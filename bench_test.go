@@ -1,0 +1,304 @@
+// Package casoffinder_bench holds the top-level benchmark harness: one
+// benchmark per table and figure of the paper's evaluation (§IV), plus
+// micro-benchmarks for the hot paths of the library. Regenerate every
+// artifact with:
+//
+//	go test -bench=. -benchmem
+//
+// or print the rendered tables with cmd/benchtab. The per-table benchmarks
+// report the projected full-assembly times as custom metrics (sec/cell) so
+// the paper's numbers and the reproduction's sit side by side in
+// EXPERIMENTS.md.
+package casoffinder_bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"casoffinder/internal/baseline"
+	"casoffinder/internal/bench"
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/isa"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/search"
+)
+
+// benchScale keeps each measurement fast; all reproduced quantities are
+// ratios and stable across scales.
+const benchScale = 1 << 16
+
+// BenchmarkTable1 regenerates the programming-steps contrast of Table I.
+func BenchmarkTable1(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = bench.RenderTable1()
+	}
+	if !strings.Contains(out, "OpenCL (13) vs SYCL (8)") {
+		b.Fatal("Table I content wrong")
+	}
+}
+
+// BenchmarkTable7 regenerates the device-specification table.
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if bench.RenderTable7() == "" {
+			b.Fatal("empty Table VII")
+		}
+	}
+}
+
+// BenchmarkTable8 regenerates Table VIII: elapsed OpenCL vs SYCL time on
+// all three devices and both datasets. The projected seconds per cell are
+// reported as metrics.
+func BenchmarkTable8(b *testing.B) {
+	var rows []bench.Table8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table8(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.OpenCL, fmt.Sprintf("s_ocl_%s_%s", r.Dataset, r.Device))
+		b.ReportMetric(r.SYCL, fmt.Sprintf("s_sycl_%s_%s", r.Dataset, r.Device))
+	}
+}
+
+// BenchmarkTable9 regenerates Table IX: base vs optimized SYCL elapsed
+// time.
+func BenchmarkTable9(b *testing.B) {
+	var rows []bench.Table9Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table9(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Speedup(), fmt.Sprintf("speedup_%s_%s", r.Dataset, r.Device))
+	}
+}
+
+// BenchmarkTable10 regenerates the ISA metrics of Table X by compiling all
+// comparer variants.
+func BenchmarkTable10(b *testing.B) {
+	var rows []isa.Metrics
+	for i := 0; i < b.N; i++ {
+		rows = isa.TableX(device.MI100(), len(bench.ExamplePattern))
+	}
+	for _, m := range rows {
+		b.ReportMetric(float64(m.CodeBytes), "code_bytes_"+m.Variant.String())
+		b.ReportMetric(float64(m.Occupancy), "occupancy_"+m.Variant.String())
+	}
+}
+
+// BenchmarkFig2 regenerates the optimization staircase of Fig. 2 (comparer
+// kernel time per variant, per device, per dataset).
+func BenchmarkFig2(b *testing.B) {
+	var points []bench.Fig2Point
+	for i := 0; i < b.N; i++ {
+		var err error
+		points, err = bench.Fig2(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		b.ReportMetric(p.Seconds, fmt.Sprintf("s_%s_%s_%s", p.Dataset, p.Device, p.Variant))
+	}
+}
+
+// --- Micro-benchmarks for the library hot paths ---
+
+func benchAssembly(b *testing.B, bases int) *genome.Assembly {
+	b.Helper()
+	asm, err := genome.Generate(genome.HG38Like(bases))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return asm
+}
+
+func benchRequest() *search.Request {
+	return &search.Request{
+		Pattern: bench.ExamplePattern,
+		Queries: []search.Query{
+			{Guide: "GGCCGACCTGTCGCTGACGCNNN", MaxMismatches: 5},
+		},
+	}
+}
+
+// BenchmarkCPUEngine measures the production engine's genome throughput.
+func BenchmarkCPUEngine(b *testing.B) {
+	asm := benchAssembly(b, 1<<21)
+	req := benchRequest()
+	eng := &search.CPU{}
+	b.SetBytes(asm.TotalLen())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(asm, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimSYCLEngine measures the simulator-backed SYCL engine.
+func BenchmarkSimSYCLEngine(b *testing.B) {
+	asm := benchAssembly(b, 1<<18)
+	req := benchRequest()
+	eng := &search.SimSYCL{Device: gpu.New(device.MI100()), Variant: kernels.Base}
+	b.SetBytes(asm.TotalLen())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(asm, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComparerVariants measures the functional cost of each comparer
+// variant on the simulator (their real-device costs differ through the
+// timing model; their simulation costs are near-identical by design).
+func BenchmarkComparerVariants(b *testing.B) {
+	asm := benchAssembly(b, 1<<17)
+	req := benchRequest()
+	for _, v := range kernels.Variants() {
+		b.Run(v.String(), func(b *testing.B) {
+			eng := &search.SimSYCL{Device: gpu.New(device.MI60()), Variant: v}
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(asm, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselineScan measures the naive reference scan.
+func BenchmarkBaselineScan(b *testing.B) {
+	asm := benchAssembly(b, 1<<20)
+	seq := genome.Upper(asm.Sequences[0].Data)
+	b.SetBytes(int64(len(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Search(seq, []byte(bench.ExamplePattern), []byte("GGCCGACCTGTCGCTGACGCNNN"), 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIUPACMatch measures the degenerate-base comparison.
+func BenchmarkIUPACMatch(b *testing.B) {
+	codes := []byte("ACGTRYSWKMBDHVN")
+	bases := []byte("ACGT")
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = genome.Matches(codes[i%len(codes)], bases[i%len(bases)])
+	}
+	_ = sink
+}
+
+// BenchmarkPack measures the 2-bit codec.
+func BenchmarkPack(b *testing.B) {
+	asm := benchAssembly(b, 1<<20)
+	data := asm.Sequences[0].Data
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := genome.Pack(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChunker measures chunk planning over a whole assembly.
+func BenchmarkChunker(b *testing.B) {
+	asm := benchAssembly(b, 1<<22)
+	c := &genome.Chunker{ChunkBytes: 1 << 16, PatternLen: 23}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Plan(asm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkISACompile measures compiling one comparer variant to the
+// pseudo-ISA.
+func BenchmarkISACompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := isa.CompileComparer(kernels.Opt3)
+		if p.CodeBytes() == 0 {
+			b.Fatal("empty program")
+		}
+	}
+}
+
+// BenchmarkSimLaunch measures the raw simulator's launch overhead: an
+// empty kernel over 64k items.
+func BenchmarkSimLaunch(b *testing.B) {
+	dev := gpu.New(device.MI60())
+	for i := 0; i < b.N; i++ {
+		_, err := dev.Launch(gpu.LaunchSpec{
+			Name:   "nop",
+			Global: gpu.R1(1 << 16),
+			Local:  gpu.R1(256),
+			Kernel: func(g *gpu.Group) gpu.WorkItemFunc { return func(it *gpu.Item) {} },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCPUPackedVsBytes is the ablation for the 2-bit sequence format
+// (related work [21]): the same search through the byte path and the
+// packed path.
+func BenchmarkCPUPackedVsBytes(b *testing.B) {
+	asm := benchAssembly(b, 1<<21)
+	req := benchRequest()
+	for _, packed := range []bool{false, true} {
+		name := "bytes"
+		if packed {
+			name = "packed"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := &search.CPU{Packed: packed}
+			b.SetBytes(asm.TotalLen())
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(asm, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIndexedVsScan compares the seed-and-extend engine against the
+// plain scan — the related-work claim [20] that an index-based CPU tool
+// runs orders of magnitude faster than position-by-position scanning.
+func BenchmarkIndexedVsScan(b *testing.B) {
+	asm := benchAssembly(b, 1<<22)
+	req := &search.Request{
+		Pattern: bench.ExamplePattern,
+		Queries: []search.Query{
+			{Guide: "GGCCGACCTGTCGCTGACGCNNN", MaxMismatches: 2},
+			{Guide: "CGCCAGCGTCAGCGACAGGTNNN", MaxMismatches: 2},
+		},
+	}
+	for _, eng := range []search.Engine{&search.CPU{}, &search.Indexed{}} {
+		b.Run(eng.Name(), func(b *testing.B) {
+			b.SetBytes(asm.TotalLen())
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(asm, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

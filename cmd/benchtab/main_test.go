@@ -1,0 +1,59 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const tinyScale = 1 << 15
+
+func TestRunStaticTables(t *testing.T) {
+	for _, table := range []string{"1", "7", "10", "migration", "listing"} {
+		if err := run(io.Discard, table, tinyScale, "MI100"); err != nil {
+			t.Errorf("run(%s): %v", table, err)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured tables are slow")
+	}
+	var b strings.Builder
+	if err := runCSV(&b, "8", tinyScale); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dataset,device,opencl_s") {
+		t.Errorf("csv output: %q", b.String())
+	}
+	if err := runCSV(io.Discard, "7", tinyScale); err == nil {
+		t.Error("csv for unsupported table accepted")
+	}
+}
+
+func TestRunMeasuredTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured tables are slow")
+	}
+	for _, table := range []string{"8", "9"} {
+		if err := run(io.Discard, table, tinyScale, "MI100"); err != nil {
+			t.Errorf("run(%s): %v", table, err)
+		}
+	}
+}
+
+func TestRunBadDevice(t *testing.T) {
+	if err := run(io.Discard, "7", tinyScale, "H100"); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestDebugBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug breakdown is slow")
+	}
+	if err := run(io.Discard, "debug", tinyScale, "MI100"); err != nil {
+		t.Errorf("debug: %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+// Command casoffinder searches genome assemblies for potential off-target
+// sites of Cas9 RNA-guided endonucleases, reading the upstream Cas-OFFinder
+// input format:
+//
+//	/path/to/genome_dir_or_fasta
+//	NNNNNNNNNNNNNNNNNNNNNRG [dnabulge rnabulge]
+//	GGCCGACCTGTCGCTGACGCNNN 5
+//	...
+//
+// Usage:
+//
+//	casoffinder [-engine cpu|opencl|sycl] [-device MI100] [-variant opt3]
+//	            [-o output.txt] input.txt
+//
+// The cpu engine is the production path; the opencl and sycl engines run
+// the paper's two applications on the device simulator and print a kernel
+// profile to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"casoffinder/internal/bulge"
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/search"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "casoffinder:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("casoffinder", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	engineName := fs.String("engine", "cpu", "search engine: cpu, indexed, opencl or sycl")
+	deviceName := fs.String("device", "MI100", "simulated device for the opencl/sycl engines")
+	variantName := fs.String("variant", "opt3", "comparer kernel variant: base, opt1..opt4")
+	outPath := fs.String("o", "", "output file (default stdout)")
+	workers := fs.Int("workers", 0, "cpu engine workers (0 = all cores)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: casoffinder [flags] input.txt")
+	}
+
+	inFile, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	input, err := search.ParseInput(inFile)
+	inFile.Close()
+	if err != nil {
+		return err
+	}
+
+	asm, err := genome.LoadDir(input.GenomeDir)
+	if err != nil {
+		return err
+	}
+
+	variant, err := parseVariant(*variantName)
+	if err != nil {
+		return err
+	}
+	eng, profiler, err := buildEngine(*engineName, *deviceName, variant, *workers)
+	if err != nil {
+		return err
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if input.DNABulge > 0 || input.RNABulge > 0 {
+		hits, err := bulge.Search(eng, asm, &input.Request, bulge.Options{
+			MaxDNABulge: input.DNABulge,
+			MaxRNABulge: input.RNABulge,
+		})
+		if err != nil {
+			return err
+		}
+		for _, h := range hits {
+			guide := input.Request.Queries[h.QueryIndex].Guide
+			fmt.Fprintf(out, "%s\t%s\t%d\t%s\t%c\t%d\t%s:%d\n",
+				guide, h.SeqName, h.Pos, h.Site, h.Dir, h.Mismatches, h.BulgeType, h.BulgeSize)
+		}
+	} else {
+		hits, err := eng.Run(asm, &input.Request)
+		if err != nil {
+			return err
+		}
+		if err := search.WriteHits(out, &input.Request, hits); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "%d sites reported\n", len(hits))
+	}
+
+	if profiler != nil {
+		if p := profiler.LastProfile(); p != nil {
+			fmt.Fprintf(stderr, "profile: %d chunks, %d candidate sites, %d entries\n",
+				p.Chunks, p.CandidateSites, p.Entries)
+			for name, s := range p.Kernels {
+				fmt.Fprintf(stderr, "  kernel %-14s launches=%-4d %s\n", name, p.Launches[name], s.String())
+			}
+		}
+	}
+	return nil
+}
+
+func parseVariant(name string) (kernels.ComparerVariant, error) {
+	for _, v := range kernels.Variants() {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown comparer variant %q", name)
+}
+
+func buildEngine(engine, deviceName string, variant kernels.ComparerVariant, workers int) (search.Engine, search.Profiler, error) {
+	switch engine {
+	case "cpu":
+		return &search.CPU{Workers: workers}, nil, nil
+	case "indexed":
+		return &search.Indexed{Workers: workers}, nil, nil
+	case "opencl", "sycl":
+		spec, err := device.ByName(deviceName)
+		if err != nil {
+			return nil, nil, err
+		}
+		dev := gpu.New(spec)
+		if engine == "opencl" {
+			e := &search.SimCL{Device: dev, Variant: variant}
+			return e, e, nil
+		}
+		e := &search.SimSYCL{Device: dev, Variant: variant}
+		return e, e, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown engine %q (want cpu, opencl or sycl)", engine)
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestData creates a genome directory with a planted site and an
+// input file referring to it.
+func writeTestData(t *testing.T, patternLine string) (inputPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	genomeDir := filepath.Join(dir, "chrs")
+	if err := os.MkdirAll(genomeDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// chr1 carries a perfect GATTACAGTA+CGG site at position 4.
+	fasta := ">chr1\nTTTTGATTACAGTACGGTTTTTTTTTTTTTTT\n"
+	if err := os.WriteFile(filepath.Join(genomeDir, "chr1.fa"), []byte(fasta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	input := genomeDir + "\n" + patternLine + "\nGATTACAGTANNN 1\n"
+	inputPath = filepath.Join(dir, "input.txt")
+	if err := os.WriteFile(inputPath, []byte(input), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return inputPath
+}
+
+func TestRunCPUEngine(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-engine", "cpu", input}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "chr1\t4\t") {
+		t.Errorf("output missing the planted site:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "sites reported") {
+		t.Errorf("stderr missing summary: %s", errOut.String())
+	}
+}
+
+func TestRunSimEnginesWithProfile(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	for _, engine := range []string{"opencl", "sycl"} {
+		var out, errOut bytes.Buffer
+		err := run([]string{"-engine", engine, "-device", "RVII", "-variant", "base", input}, &out, &errOut)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if !strings.Contains(out.String(), "chr1\t4\t") {
+			t.Errorf("%s: output missing the planted site:\n%s", engine, out.String())
+		}
+		if !strings.Contains(errOut.String(), "kernel") {
+			t.Errorf("%s: no kernel profile on stderr: %s", engine, errOut.String())
+		}
+	}
+}
+
+func TestRunBulgeInput(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG 1 1")
+	var out, errOut bytes.Buffer
+	if err := run([]string{input}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "none:0") {
+		t.Errorf("bulge output missing annotated plain hit:\n%s", out.String())
+	}
+}
+
+func TestRunOutputFile(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	outPath := filepath.Join(t.TempDir(), "hits.txt")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-o", outPath, input}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "chr1") {
+		t.Errorf("output file content: %q", data)
+	}
+	if out.Len() != 0 {
+		t.Error("stdout should be empty when -o is used")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	var out, errOut bytes.Buffer
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"no input", nil},
+		{"two inputs", []string{input, input}},
+		{"missing file", []string{filepath.Join(t.TempDir(), "nope.txt")}},
+		{"bad engine", []string{"-engine", "cuda", input}},
+		{"bad device", []string{"-engine", "sycl", "-device", "H100", input}},
+		{"bad variant", []string{"-variant", "opt9", input}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, &out, &errOut); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	v, err := parseVariant("opt2")
+	if err != nil || v.String() != "opt2" {
+		t.Errorf("parseVariant(opt2) = %v, %v", v, err)
+	}
+	if _, err := parseVariant("fast"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}

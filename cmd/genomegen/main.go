@@ -1,0 +1,81 @@
+// Command genomegen writes a synthetic human-genome-like assembly in FASTA
+// format, standing in for the UCSC hg19/hg38 downloads the paper evaluates
+// on (see DESIGN.md for the substitution rationale).
+//
+// Usage:
+//
+//	genomegen -profile hg38 -bases 10000000 -o genome.fa
+//	genomegen -profile hg19 -bases 1000000 -dir chromosomes/
+//
+// With -dir, each chromosome is written to its own .fa file, matching the
+// genome-directory layout the casoffinder command expects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"casoffinder/internal/genome"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "genomegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("genomegen", flag.ContinueOnError)
+	profileName := fs.String("profile", "hg38", "assembly profile: hg19 or hg38")
+	bases := fs.Int("bases", 1<<20, "total bases to generate")
+	out := fs.String("o", "", "write one multi-sequence FASTA file")
+	dir := fs.String("dir", "", "write one FASTA file per chromosome into this directory")
+	seed := fs.Int64("seed", 0, "override the profile seed (0 keeps the default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*out == "") == (*dir == "") {
+		return fmt.Errorf("exactly one of -o or -dir is required")
+	}
+
+	var profile genome.Profile
+	switch *profileName {
+	case "hg19":
+		profile = genome.HG19Like(*bases)
+	case "hg38":
+		profile = genome.HG38Like(*bases)
+	default:
+		return fmt.Errorf("unknown profile %q (want hg19 or hg38)", *profileName)
+	}
+	if *seed != 0 {
+		profile.Seed = *seed
+	}
+
+	asm, err := genome.Generate(profile)
+	if err != nil {
+		return err
+	}
+
+	comp := genome.Compose(asm)
+	if *out != "" {
+		if err := genome.WriteFASTAFile(*out, asm.Sequences, 0); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s to %s\n", comp, *out)
+		return nil
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	for _, seq := range asm.Sequences {
+		path := filepath.Join(*dir, seq.Name+".fa")
+		if err := genome.WriteFASTAFile(path, []*genome.Sequence{seq}, 0); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d chromosome files to %s: %s\n", len(asm.Sequences), *dir, comp)
+	return nil
+}

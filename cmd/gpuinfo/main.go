@@ -1,0 +1,39 @@
+// Command gpuinfo prints the simulated device registry — the Table VII
+// specifications of the three AMD GPUs the paper evaluates — together with
+// the occupancy the comparer kernel variants achieve on each (Table X).
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/isa"
+	"casoffinder/internal/kernels"
+)
+
+func main() {
+	report(os.Stdout)
+}
+
+func report(w io.Writer) {
+	fmt.Fprintln(w, "Simulated devices (paper Table VII):")
+	for _, spec := range device.All() {
+		fmt.Fprintf(w, "  %s\n", spec)
+		fmt.Fprintf(w, "    memory clock %d MHz, L2 %d MiB, %d SIMDs/CU, wave %d, max %d waves/SIMD\n",
+			spec.MemClockMHz, spec.L2CacheBytes>>20, spec.SIMDsPerCU,
+			spec.WavefrontSize, spec.MaxWavesPerSIMD)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Kernel footprints on MI100 (paper Table X; finder for reference):")
+	spec := device.MI100()
+	fm := isa.FinderMetrics(spec, 23)
+	fmt.Fprintf(w, "  finder  code %5d B  %2d SGPRs  %2d VGPRs  occupancy %2d\n",
+		fm.CodeBytes, fm.SGPRs, fm.VGPRs, fm.Occupancy)
+	for _, v := range kernels.Variants() {
+		m := isa.ComparerMetrics(v, spec, 23)
+		fmt.Fprintf(w, "  %-6s  code %5d B  %2d SGPRs  %2d VGPRs  occupancy %2d\n",
+			v, m.CodeBytes, m.SGPRs, m.VGPRs, m.Occupancy)
+	}
+}

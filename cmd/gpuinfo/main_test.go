@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReport(t *testing.T) {
+	var b strings.Builder
+	report(&b)
+	out := b.String()
+	for _, part := range []string{
+		"RVII", "MI60", "MI100",
+		"60 CUs", "64 CUs", "120 CUs",
+		"finder", "base", "opt4", "occupancy  9",
+	} {
+		if !strings.Contains(out, part) {
+			t.Errorf("report missing %q:\n%s", part, out)
+		}
+	}
+}

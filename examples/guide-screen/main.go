@@ -1,0 +1,109 @@
+// Guide-screen: the workload that motivates Cas-OFFinder — given a set of
+// candidate CRISPR guides for a target region, rank them by their genome-
+// wide off-target burden so the least promiscuous guide can be chosen.
+//
+//	go run ./examples/guide-screen
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/search"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("guide-screen: ")
+
+	asm, err := genome.Generate(genome.HG38Like(4 << 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Candidate guides: every NGG-adjacent 20-mer in the first kilobases
+	// of chr2 (a pretend target locus).
+	target := genome.Upper(asm.Sequence("chr2").Data)
+	guides := candidateGuides(target[:40_000], 8)
+	if len(guides) == 0 {
+		log.Fatal("no candidate guides in the target locus")
+	}
+	fmt.Printf("screening %d candidate guides from chr2 against %d bases\n",
+		len(guides), asm.TotalLen())
+
+	req := &search.Request{Pattern: strings.Repeat("N", 20) + "NGG"}
+	for _, g := range guides {
+		req.Queries = append(req.Queries, search.Query{Guide: g + "NNN", MaxMismatches: 3})
+	}
+
+	hits, err := (&search.CPU{}).Run(asm, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Off-target burden per guide: anything that is not the on-target
+	// site itself (mismatches > 0), weighted by closeness.
+	type score struct {
+		guide   string
+		perfect int
+		close1  int // 1 mismatch
+		distant int // 2-3 mismatches
+		burden  float64
+	}
+	scores := make([]score, len(guides))
+	for i, g := range guides {
+		scores[i].guide = g
+	}
+	for _, h := range hits {
+		s := &scores[h.QueryIndex]
+		switch h.Mismatches {
+		case 0:
+			s.perfect++
+		case 1:
+			s.close1++
+		default:
+			s.distant++
+		}
+	}
+	for i := range scores {
+		s := &scores[i]
+		// Extra perfect sites are disqualifying; near-misses dominate.
+		s.burden = 100*float64(s.perfect-1) + 10*float64(s.close1) + float64(s.distant)
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].burden < scores[j].burden })
+
+	fmt.Printf("\n%-24s %8s %8s %8s %8s\n", "guide (best first)", "perfect", "1 mm", "2-3 mm", "burden")
+	for _, s := range scores {
+		fmt.Printf("%-24s %8d %8d %8d %8.0f\n", s.guide, s.perfect, s.close1, s.distant, s.burden)
+	}
+	fmt.Printf("\nrecommended guide: %s\n", scores[0].guide)
+}
+
+// candidateGuides collects up to max distinct NGG-adjacent 20-mers.
+func candidateGuides(locus []byte, max int) []string {
+	var out []string
+	seen := map[string]bool{}
+	for i := 0; i+23 <= len(locus) && len(out) < max; i++ {
+		w := locus[i : i+23]
+		if w[21] != 'G' || w[22] != 'G' {
+			continue
+		}
+		ok := true
+		for _, b := range w {
+			if !genome.IsConcrete(b) {
+				ok = false
+				break
+			}
+		}
+		g := string(w[:20])
+		if ok && !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+			i += 200 // spread candidates over the locus
+		}
+	}
+	return out
+}

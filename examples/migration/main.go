@@ -1,0 +1,90 @@
+// Migration: run the identical off-target search through the OpenCL-style
+// and the SYCL-style host programs (the paper's before/after applications)
+// on the same simulated GPU, verify the results agree bit for bit, and
+// contrast the two programming models' step counts and kernel profiles —
+// the heart of the paper's Tables I-VI.
+//
+//	go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"casoffinder/internal/bench"
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/opencl"
+	"casoffinder/internal/search"
+	"casoffinder/internal/sycl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("migration: ")
+
+	fmt.Println("=== Table I: programming steps ===")
+	oclSteps := opencl.ProgrammingSteps()
+	syclSteps := sycl.ProgrammingSteps()
+	fmt.Printf("OpenCL needs %d logical steps, SYCL %d:\n\n", len(oclSteps), len(syclSteps))
+	for i, s := range oclSteps {
+		fmt.Printf("  OpenCL %2d. %s\n", i+1, s)
+	}
+	fmt.Println()
+	for i, s := range syclSteps {
+		fmt.Printf("  SYCL   %2d. %s\n", i+1, s)
+	}
+
+	asm, err := genome.Generate(genome.HG19Like(1 << 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := &search.Request{
+		Pattern: bench.ExamplePattern,
+		Queries: []search.Query{
+			{Guide: "GGCCGACCTGTCGCTGACGCNNN", MaxMismatches: 6},
+			{Guide: "CGCCAGCGTCAGCGACAGGTNNN", MaxMismatches: 6},
+		},
+	}
+	spec := device.MI100()
+
+	fmt.Printf("\n=== Running both applications on a simulated %s ===\n", spec)
+
+	cl := &search.SimCL{Device: gpu.New(spec), Variant: kernels.Base}
+	clHits, err := cl.Run(asm, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sy := &search.SimSYCL{Device: gpu.New(spec), Variant: kernels.Base}
+	syHits, err := sy.Run(asm, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("OpenCL application: %d hits\n", len(clHits))
+	fmt.Printf("SYCL application:   %d hits\n", len(syHits))
+	if len(clHits) != len(syHits) {
+		log.Fatalf("MIGRATION BROKE RESULTS: %d vs %d hits", len(clHits), len(syHits))
+	}
+	for i := range clHits {
+		if clHits[i] != syHits[i] {
+			log.Fatalf("MIGRATION BROKE RESULTS: hit %d differs: %+v vs %+v", i, clHits[i], syHits[i])
+		}
+	}
+	fmt.Println("results are identical — the migration is behaviour-preserving")
+
+	fmt.Println("\n=== Kernel profiles (simulator access statistics) ===")
+	for name, eng := range map[string]search.Profiler{"OpenCL": cl, "SYCL": sy} {
+		p := eng.LastProfile()
+		fmt.Printf("%s:\n", name)
+		for kname, s := range p.Kernels {
+			fmt.Printf("  %-10s wg=%-3d launches=%-3d  %s\n",
+				kname, p.WorkGroupSizes[kname], p.Launches[kname], s.String())
+		}
+	}
+	fmt.Println("\nNote the work-group sizes: the OpenCL runtime chose its own local size,")
+	fmt.Println("while the SYCL program launches 256-item groups (paper §IV.A) — fewer")
+	fmt.Println("groups mean fewer serialised leader prefetches, part of the Table VIII gap.")
+}

@@ -1,0 +1,75 @@
+// Multi-GPU: the paper notes the SYCL application "currently executes on a
+// single GPU device" (§IV.A). This example runs the same search on one
+// simulated MI100 and then distributed across all three of the paper's
+// devices, verifies the results agree, and shows how the per-device kernel
+// load divides.
+//
+//	go run ./examples/multi-gpu
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"casoffinder/internal/bench"
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/search"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("multi-gpu: ")
+
+	asm, err := genome.Generate(genome.HG38Like(2 << 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := &search.Request{
+		Pattern: bench.ExamplePattern,
+		Queries: []search.Query{
+			{Guide: "GGCCGACCTGTCGCTGACGCNNN", MaxMismatches: 6},
+		},
+	}
+
+	single := &search.SimSYCL{Device: gpu.New(device.MI100()), Variant: kernels.Opt3}
+	singleHits, err := single.Run(asm, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single MI100: %d hits, %d chunks, %d candidate sites\n",
+		len(singleHits), single.LastProfile().Chunks, single.LastProfile().CandidateSites)
+
+	devices := []*gpu.Device{
+		gpu.New(device.RadeonVII()),
+		gpu.New(device.MI60()),
+		gpu.New(device.MI100()),
+	}
+	multi := &search.MultiSYCL{Devices: devices, Variant: kernels.Opt3}
+	multiHits, err := multi.Run(asm, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("three devices: %d hits\n", len(multiHits))
+	if len(multiHits) != len(singleHits) {
+		log.Fatalf("DISTRIBUTION CHANGED RESULTS: %d vs %d", len(multiHits), len(singleHits))
+	}
+	for i := range multiHits {
+		if multiHits[i] != singleHits[i] {
+			log.Fatalf("DISTRIBUTION CHANGED RESULTS at hit %d", i)
+		}
+	}
+	fmt.Println("results identical across single- and multi-device runs")
+
+	fmt.Println("\nper-device kernel load (launch-log work-items):")
+	for i, d := range devices {
+		var items int64
+		for _, rec := range d.LaunchLog() {
+			items += rec.Stats.WorkItems
+		}
+		fmt.Printf("  device %d (%s): %d launches, %d work-items\n",
+			i, d.Spec().Name, len(d.LaunchLog()), items)
+	}
+}

@@ -1,0 +1,85 @@
+// Quickstart: generate a small synthetic genome, pick a guide that occurs
+// in it, and search for its off-target sites with the production CPU
+// engine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/search"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("quickstart: ")
+
+	// A 2 Mbp hg38-like synthetic assembly (24 scaled chromosomes).
+	asm, err := genome.Generate(genome.HG38Like(2 << 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %s: %d sequences, %d bases\n",
+		asm.Name, len(asm.Sequences), asm.TotalLen())
+
+	// Take a 20-nt protospacer that really exists next to an AGG PAM on
+	// chr1, so the on-target site is guaranteed to be reported.
+	guideCore, pos := findProtospacer(asm.Sequence("chr1").Data)
+	if guideCore == "" {
+		log.Fatal("no NGG-adjacent protospacer found (unexpectedly)")
+	}
+	fmt.Printf("on-target: chr1:%d %s +AGG\n", pos, guideCore)
+
+	req := &search.Request{
+		// SpCas9: 20-nt guide, NGG PAM.
+		Pattern: strings.Repeat("N", 20) + "NGG",
+		Queries: []search.Query{
+			{Guide: guideCore + "NNN", MaxMismatches: 4},
+		},
+	}
+
+	hits, err := (&search.CPU{}).Run(asm, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d candidate off-target sites with <= 4 mismatches:\n", len(hits))
+	for i, h := range hits {
+		onTarget := ""
+		if h.SeqName == "chr1" && h.Pos == pos && h.Mismatches == 0 {
+			onTarget = "   <- on-target"
+		}
+		fmt.Printf("  %-5s %9d  %s  %c  %d mismatches%s\n",
+			h.SeqName, h.Pos, h.Site, h.Dir, h.Mismatches, onTarget)
+		if i >= 19 {
+			fmt.Printf("  ... and %d more\n", len(hits)-20)
+			break
+		}
+	}
+}
+
+// findProtospacer scans for the first fully resolved 20-mer followed by an
+// AGG PAM.
+func findProtospacer(seq []byte) (string, int) {
+	up := genome.Upper(seq)
+	for i := 0; i+23 <= len(up); i++ {
+		window := up[i : i+23]
+		if window[21] != 'G' || window[22] != 'G' {
+			continue
+		}
+		ok := true
+		for _, b := range window {
+			if !genome.IsConcrete(b) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return string(window[:20]), i
+		}
+	}
+	return "", 0
+}

@@ -1,0 +1,3 @@
+module casoffinder
+
+go 1.22

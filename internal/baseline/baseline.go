@@ -1,0 +1,104 @@
+// Package baseline is the reference implementation of the off-target
+// search: a direct, single-threaded scan with no chunking, no device
+// frontend and no cost accounting. Every other engine — the simulator-backed
+// OpenCL and SYCL paths and the parallel CPU engine — is tested for result
+// equality against it, and it doubles as the "plain CPU" comparator the
+// benchmark harness reports alongside the device engines.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"casoffinder/internal/genome"
+)
+
+// Hit is one candidate off-target site.
+type Hit struct {
+	// Pos is the 0-based site start within the searched sequence.
+	Pos int
+	// Dir is '+' for a forward-strand site, '-' for reverse.
+	Dir byte
+	// Mismatches is the number of guide positions that mismatch.
+	Mismatches int
+}
+
+// Search scans seq for sites compatible with the PAM pattern and counts
+// guide mismatches, returning every site whose mismatch count is at most
+// maxMismatches, on both strands. pattern and guide must have equal length;
+// 'N' positions in either are wildcards (the pattern carries N at guide
+// positions, the guide carries N at PAM positions, as in the Cas-OFFinder
+// input format). seq is case-folded; pattern and guide are expected
+// upper-case.
+func Search(seq, pattern, guide []byte, maxMismatches int) ([]Hit, error) {
+	if len(pattern) != len(guide) {
+		return nil, fmt.Errorf("baseline: pattern length %d != guide length %d", len(pattern), len(guide))
+	}
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("baseline: empty pattern")
+	}
+	plen := len(pattern)
+	patRev := genome.ReverseComplemented(pattern)
+	guideRev := genome.ReverseComplemented(guide)
+
+	var hits []Hit
+	for pos := 0; pos+plen <= len(seq); pos++ {
+		window := seq[pos : pos+plen]
+		if matches(pattern, window) {
+			if mm, ok := mismatches(guide, window, maxMismatches); ok {
+				hits = append(hits, Hit{Pos: pos, Dir: '+', Mismatches: mm})
+			}
+		}
+		if matches(patRev, window) {
+			if mm, ok := mismatches(guideRev, window, maxMismatches); ok {
+				hits = append(hits, Hit{Pos: pos, Dir: '-', Mismatches: mm})
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Pos != hits[j].Pos {
+			return hits[i].Pos < hits[j].Pos
+		}
+		return hits[i].Dir < hits[j].Dir
+	})
+	return hits, nil
+}
+
+// matches reports whether every non-N pattern position matches the window.
+func matches(pattern, window []byte) bool {
+	for i, c := range pattern {
+		if c == 'N' {
+			continue
+		}
+		b := window[i]
+		if b >= 'a' && b <= 'z' {
+			b &^= 0x20
+		}
+		if !genome.Matches(c, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// mismatches counts mismatching non-N guide positions, giving up once the
+// count exceeds maxMM (mirroring the kernel's early exit).
+func mismatches(guide, window []byte, maxMM int) (int, bool) {
+	mm := 0
+	for i, c := range guide {
+		if c == 'N' {
+			continue
+		}
+		b := window[i]
+		if b >= 'a' && b <= 'z' {
+			b &^= 0x20
+		}
+		if !genome.Matches(c, b) {
+			mm++
+			if mm > maxMM {
+				return mm, false
+			}
+		}
+	}
+	return mm, true
+}

@@ -1,0 +1,171 @@
+package baseline
+
+import (
+	"testing"
+)
+
+func TestSearchExactSite(t *testing.T) {
+	// Guide GATTACA followed by PAM GG, embedded at position 3.
+	//          0123456789...
+	seq := []byte("ACCGATTACAGGTTT")
+	pattern := []byte("NNNNNNNGG") // 7 guide positions + GG PAM
+	guide := []byte("GATTACANN")
+	hits, err := Search(seq, pattern, guide, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("hits = %+v, want exactly 1", hits)
+	}
+	if hits[0].Pos != 3 || hits[0].Dir != '+' || hits[0].Mismatches != 0 {
+		t.Errorf("hit = %+v", hits[0])
+	}
+}
+
+func TestSearchReverseStrand(t *testing.T) {
+	// Forward site: GATTACA+GG at pos 0 -> reverse complement is
+	// CC TGTAATC; embed that so only the '-' strand hits.
+	seq := []byte("TTCCTGTAATCTT")
+	pattern := []byte("NNNNNNNGG")
+	guide := []byte("GATTACANN")
+	hits, err := Search(seq, pattern, guide, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("hits = %+v, want 1", hits)
+	}
+	if hits[0].Dir != '-' || hits[0].Pos != 2 {
+		t.Errorf("hit = %+v, want pos 2 dir '-'", hits[0])
+	}
+}
+
+func TestSearchMismatchThreshold(t *testing.T) {
+	seq := []byte("ACCGATTACAGGTTT")
+	pattern := []byte("NNNNNNNGG")
+	for _, tt := range []struct {
+		guide string
+		maxMM int
+		want  int // hits
+	}{
+		{"GATTACANN", 0, 1},
+		{"GATTAGANN", 0, 0}, // 1 mismatch, threshold 0
+		{"GATTAGANN", 1, 1},
+		{"CATTAGANN", 1, 0}, // 2 mismatches
+		{"CATTAGANN", 2, 1},
+	} {
+		hits, err := Search(seq, pattern, []byte(tt.guide), tt.maxMM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != tt.want {
+			t.Errorf("guide %s maxMM %d: %d hits, want %d", tt.guide, tt.maxMM, len(hits), tt.want)
+		}
+		if tt.want == 1 && tt.maxMM > 0 && len(hits) == 1 {
+			if hits[0].Mismatches > tt.maxMM {
+				t.Errorf("guide %s: reported %d mismatches over threshold", tt.guide, hits[0].Mismatches)
+			}
+		}
+	}
+}
+
+func TestSearchDegeneratePAM(t *testing.T) {
+	// NRG PAM: R matches A or G.
+	pattern := []byte("NNNNRG")
+	guide := []byte("ACGTNN")
+	for _, tt := range []struct {
+		seq  string
+		want int
+	}{
+		{"ACGTAG", 1}, // NAG accepted by NRG
+		{"ACGTGG", 1}, // NGG accepted
+		{"ACGTCG", 0}, // NCG rejected
+		{"ACGTTG", 0},
+	} {
+		hits, err := Search([]byte(tt.seq), pattern, guide, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd := 0
+		for _, h := range hits {
+			if h.Dir == '+' {
+				fwd++
+			}
+		}
+		if fwd != tt.want {
+			t.Errorf("seq %s: %d forward hits, want %d", tt.seq, fwd, tt.want)
+		}
+	}
+}
+
+func TestSearchSoftMaskedSequence(t *testing.T) {
+	hits, err := Search([]byte("accgattacaggttt"), []byte("NNNNNNNGG"), []byte("GATTACANN"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Errorf("soft-masked sequence: %d hits, want 1", len(hits))
+	}
+}
+
+func TestSearchNInGenomeNeverMatches(t *testing.T) {
+	hits, err := Search([]byte("ACCGATTNCAGGTTT"), []byte("NNNNNNNGG"), []byte("GATTACANN"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Errorf("N in genome matched: %+v", hits)
+	}
+	// But allowed as a mismatch under a looser threshold.
+	hits, err = Search([]byte("ACCGATTNCAGGTTT"), []byte("NNNNNNNGG"), []byte("GATTACANN"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Mismatches != 1 {
+		t.Errorf("N as mismatch: %+v", hits)
+	}
+}
+
+func TestSearchPalindromicSiteBothStrands(t *testing.T) {
+	// Pattern NN (PAM-free), guide NN: every position matches both strands.
+	hits, err := Search([]byte("ACGT"), []byte("NN"), []byte("NN"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 positions x 2 strands.
+	if len(hits) != 6 {
+		t.Errorf("%d hits, want 6", len(hits))
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	if _, err := Search([]byte("ACGT"), []byte("NN"), []byte("NNN"), 0); err == nil {
+		t.Error("length mismatch = nil error")
+	}
+	if _, err := Search([]byte("ACGT"), nil, nil, 0); err == nil {
+		t.Error("empty pattern = nil error")
+	}
+}
+
+func TestSearchShortSequence(t *testing.T) {
+	hits, err := Search([]byte("AC"), []byte("NNNNN"), []byte("NNNNN"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Errorf("sequence shorter than pattern produced hits: %+v", hits)
+	}
+}
+
+func TestSearchSortedOutput(t *testing.T) {
+	hits, err := Search([]byte("GGGGGGGGGG"), []byte("NGG"), []byte("GNN"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Pos < hits[i-1].Pos ||
+			(hits[i].Pos == hits[i-1].Pos && hits[i].Dir < hits[i-1].Dir) {
+			t.Fatal("output not sorted by (pos, dir)")
+		}
+	}
+}

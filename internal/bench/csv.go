@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers for the measured artifacts, for plotting Table VIII/IX and
+// Fig. 2 outside the text renderers.
+
+// WriteTable8CSV writes Table VIII rows as CSV.
+func WriteTable8CSV(w io.Writer, rows []Table8Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "device", "opencl_s", "sycl_s", "speedup"}); err != nil {
+		return fmt.Errorf("bench: writing csv: %w", err)
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Dataset, r.Device,
+			strconv.FormatFloat(r.OpenCL, 'f', 3, 64),
+			strconv.FormatFloat(r.SYCL, 'f', 3, 64),
+			strconv.FormatFloat(r.Speedup(), 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable9CSV writes Table IX rows as CSV.
+func WriteTable9CSV(w io.Writer, rows []Table9Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "device", "base_s", "opt_s", "speedup"}); err != nil {
+		return fmt.Errorf("bench: writing csv: %w", err)
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Dataset, r.Device,
+			strconv.FormatFloat(r.Base, 'f', 3, 64),
+			strconv.FormatFloat(r.Opt, 'f', 3, 64),
+			strconv.FormatFloat(r.Speedup(), 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig2CSV writes Fig. 2 points as CSV.
+func WriteFig2CSV(w io.Writer, points []Fig2Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "device", "variant", "seconds"}); err != nil {
+		return fmt.Errorf("bench: writing csv: %w", err)
+	}
+	for _, p := range points {
+		rec := []string{
+			p.Dataset, p.Device, p.Variant.String(),
+			strconv.FormatFloat(p.Seconds, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

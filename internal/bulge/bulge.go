@@ -1,0 +1,291 @@
+// Package bulge extends the off-target search with DNA- and RNA-bulge
+// tolerance: the paper notes (§II.A) that Cas-OFFinder "can also predict
+// off-target sites with deletions or insertions". A DNA bulge of size s is
+// an off-target site carrying s extra genomic bases opposite the guide; an
+// RNA bulge is a site missing s bases, leaving guide bases unpaired.
+//
+// The implementation follows the upstream cas-offinder-bulge strategy:
+// each bulge size becomes one derived search whose pattern is lengthened
+// (DNA bulge) or shortened (RNA bulge) and whose query set enumerates the
+// possible bulge positions inside the guide core; results are merged,
+// deduplicated and annotated with the bulge geometry.
+package bulge
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/search"
+)
+
+// Type classifies a hit's bulge.
+type Type int
+
+// Bulge types.
+const (
+	// None marks a plain (bulge-free) off-target site.
+	None Type = iota
+	// DNA marks extra bases on the genomic side.
+	DNA
+	// RNA marks unpaired guide bases (missing genomic bases).
+	RNA
+)
+
+func (t Type) String() string {
+	switch t {
+	case None:
+		return "none"
+	case DNA:
+		return "DNA"
+	case RNA:
+		return "RNA"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Hit is an off-target site annotated with its bulge geometry.
+type Hit struct {
+	search.Hit
+	// BulgeType is None, DNA or RNA.
+	BulgeType Type
+	// BulgeSize is the number of bulged bases (0 for None).
+	BulgeSize int
+	// BulgePos is the 0-based offset within the guide core after which the
+	// bulge sits (meaningful only when BulgeType != None).
+	BulgePos int
+}
+
+// Options bound the bulge search.
+type Options struct {
+	// MaxDNABulge is the largest DNA-bulge size to search (0 disables).
+	MaxDNABulge int
+	// MaxRNABulge is the largest RNA-bulge size to search (0 disables).
+	MaxRNABulge int
+}
+
+// guideLayout splits a query guide into its contiguous core (the non-N
+// prefix or suffix region aligned to the pattern's N region) and PAM
+// placement.
+type guideLayout struct {
+	coreStart, coreEnd int // [coreStart, coreEnd) is the guide core
+}
+
+func layoutOf(pattern, guide string) (guideLayout, error) {
+	// Guide core = positions where the guide is not N. It must be one
+	// contiguous run for bulge enumeration to be well defined.
+	start, end := -1, -1
+	for i := 0; i < len(guide); i++ {
+		if guide[i] != 'N' && guide[i] != 'n' {
+			if start == -1 {
+				start = i
+			}
+			end = i + 1
+		}
+	}
+	if start == -1 {
+		return guideLayout{}, errors.New("bulge: guide has no core (all N)")
+	}
+	for i := start; i < end; i++ {
+		if guide[i] == 'N' || guide[i] == 'n' {
+			return guideLayout{}, fmt.Errorf("bulge: guide core is not contiguous at position %d", i)
+		}
+	}
+	return guideLayout{coreStart: start, coreEnd: end}, nil
+}
+
+// variantKey maps a derived query back to its origin.
+type variantKey struct {
+	origQuery int
+	bulgeType Type
+	size      int
+	pos       int
+}
+
+// derived is one same-length search generated for a bulge size.
+type derived struct {
+	req  *search.Request
+	keys []variantKey // parallel to req.Queries
+}
+
+// expand builds the derived searches for the base request under opts.
+func expand(base *search.Request, opts Options) ([]derived, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxDNABulge < 0 || opts.MaxRNABulge < 0 {
+		return nil, errors.New("bulge: negative bulge size")
+	}
+	layouts := make([]guideLayout, len(base.Queries))
+	for i, q := range base.Queries {
+		l, err := layoutOf(base.Pattern, q.Guide)
+		if err != nil {
+			return nil, fmt.Errorf("bulge: query %d: %w", i, err)
+		}
+		layouts[i] = l
+	}
+
+	var out []derived
+
+	// Size 0: the plain search.
+	plain := derived{req: &search.Request{
+		Pattern:    base.Pattern,
+		ChunkBytes: base.ChunkBytes,
+	}}
+	for i, q := range base.Queries {
+		plain.req.Queries = append(plain.req.Queries, q)
+		plain.keys = append(plain.keys, variantKey{origQuery: i, bulgeType: None})
+	}
+	out = append(out, plain)
+
+	upper := strings.ToUpper(base.Pattern)
+
+	// DNA bulges: insert s wildcard positions into both pattern and guide.
+	// The pattern is N across the guide core, so every insertion position
+	// yields the same pattern; the guides enumerate positions.
+	for s := 1; s <= opts.MaxDNABulge; s++ {
+		d := derived{req: &search.Request{ChunkBytes: base.ChunkBytes}}
+		for qi, q := range base.Queries {
+			l := layouts[qi]
+			guide := strings.ToUpper(q.Guide)
+			for pos := l.coreStart + 1; pos < l.coreEnd; pos++ {
+				ng := guide[:pos] + strings.Repeat("N", s) + guide[pos:]
+				d.req.Queries = append(d.req.Queries, search.Query{Guide: ng, MaxMismatches: q.MaxMismatches})
+				d.keys = append(d.keys, variantKey{origQuery: qi, bulgeType: DNA, size: s, pos: pos - l.coreStart})
+			}
+		}
+		if len(d.req.Queries) == 0 {
+			continue
+		}
+		// Insert the N run anywhere inside the core of the pattern; the
+		// core is all N there, so position 1 after the core start works
+		// for every guide.
+		l0 := layouts[0]
+		d.req.Pattern = upper[:l0.coreStart+1] + strings.Repeat("N", s) + upper[l0.coreStart+1:]
+		out = append(out, d)
+	}
+
+	// RNA bulges: delete s guide-core bases; the site is s bases shorter.
+	for s := 1; s <= opts.MaxRNABulge; s++ {
+		d := derived{req: &search.Request{ChunkBytes: base.ChunkBytes}}
+		for qi, q := range base.Queries {
+			l := layouts[qi]
+			guide := strings.ToUpper(q.Guide)
+			if l.coreEnd-l.coreStart <= s+1 {
+				continue // core too short to lose s bases
+			}
+			seen := map[string]bool{}
+			for pos := l.coreStart + 1; pos+s < l.coreEnd; pos++ {
+				ng := guide[:pos] + guide[pos+s:]
+				if seen[ng] {
+					continue // identical deletion (repeat region)
+				}
+				seen[ng] = true
+				d.req.Queries = append(d.req.Queries, search.Query{Guide: ng, MaxMismatches: q.MaxMismatches})
+				d.keys = append(d.keys, variantKey{origQuery: qi, bulgeType: RNA, size: s, pos: pos - l.coreStart})
+			}
+		}
+		if len(d.req.Queries) == 0 {
+			continue
+		}
+		l0 := layouts[0]
+		d.req.Pattern = upper[:l0.coreStart] + upper[l0.coreStart+s:]
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// Search runs the bulge-tolerant search: the plain request plus one derived
+// search per bulge size, merged into annotated, deduplicated hits sorted
+// like search results. All queries of the base request must share one
+// pattern layout (as in the Cas-OFFinder input format).
+func Search(eng search.Engine, asm *genome.Assembly, base *search.Request, opts Options) ([]Hit, error) {
+	if eng == nil {
+		return nil, errors.New("bulge: nil engine")
+	}
+	deriveds, err := expand(base, opts)
+	if err != nil {
+		return nil, err
+	}
+	type dedupKey struct {
+		query int
+		seq   string
+		pos   int
+		dir   byte
+		site  string
+	}
+	best := map[dedupKey]Hit{}
+	for _, d := range deriveds {
+		hits, err := eng.Run(asm, d.req)
+		if err != nil {
+			return nil, fmt.Errorf("bulge: derived search (pattern %q): %w", d.req.Pattern, err)
+		}
+		for _, h := range hits {
+			key := d.keys[h.QueryIndex]
+			bh := Hit{
+				Hit:       h,
+				BulgeType: key.bulgeType,
+				BulgeSize: key.size,
+				BulgePos:  key.pos,
+			}
+			bh.QueryIndex = key.origQuery
+			dk := dedupKey{query: key.origQuery, seq: h.SeqName, pos: h.Pos, dir: h.Dir, site: h.Site}
+			if prev, ok := best[dk]; ok && !betterThan(bh, prev) {
+				continue
+			}
+			best[dk] = bh
+		}
+	}
+	out := make([]Hit, 0, len(best))
+	for _, h := range best {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.QueryIndex != b.QueryIndex {
+			return a.QueryIndex < b.QueryIndex
+		}
+		if a.SeqName != b.SeqName {
+			return a.SeqName < b.SeqName
+		}
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		if a.Dir != b.Dir {
+			return a.Dir < b.Dir
+		}
+		if a.BulgeSize != b.BulgeSize {
+			return a.BulgeSize < b.BulgeSize
+		}
+		if a.BulgeType != b.BulgeType {
+			return a.BulgeType < b.BulgeType
+		}
+		if a.Mismatches != b.Mismatches {
+			return a.Mismatches < b.Mismatches
+		}
+		if a.BulgePos != b.BulgePos {
+			return a.BulgePos < b.BulgePos
+		}
+		return a.Site < b.Site
+	})
+	return out, nil
+}
+
+// betterThan prefers smaller bulges, then fewer mismatches.
+func betterThan(a, b Hit) bool {
+	if a.BulgeSize != b.BulgeSize {
+		return a.BulgeSize < b.BulgeSize
+	}
+	return a.Mismatches < b.Mismatches
+}
+
+// String formats a hit like a cas-offinder-bulge output line.
+func (h Hit) String() string {
+	if h.BulgeType == None {
+		return h.Hit.String()
+	}
+	return fmt.Sprintf("%s\t%s:%d@%d", h.Hit.String(), h.BulgeType, h.BulgeSize, h.BulgePos)
+}

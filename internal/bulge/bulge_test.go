@@ -1,0 +1,266 @@
+package bulge
+
+import (
+	"strings"
+	"testing"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/search"
+)
+
+func asmFrom(seqs ...string) *genome.Assembly {
+	a := &genome.Assembly{Name: "t"}
+	for i, s := range seqs {
+		a.Sequences = append(a.Sequences, &genome.Sequence{
+			Name: string(rune('a' + i)),
+			Data: []byte(s),
+		})
+	}
+	return a
+}
+
+func req(pattern, guide string, mm int) *search.Request {
+	return &search.Request{
+		Pattern: pattern,
+		Queries: []search.Query{{Guide: guide, MaxMismatches: mm}},
+	}
+}
+
+func TestLayoutOf(t *testing.T) {
+	l, err := layoutOf("NNNNNGG", "GATTANN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.coreStart != 0 || l.coreEnd != 5 {
+		t.Errorf("layout = %+v", l)
+	}
+	if _, err := layoutOf("NNNNN", "NNNNN"); err == nil {
+		t.Error("all-N guide accepted")
+	}
+	if _, err := layoutOf("NNNNNNN", "GANNTAN"); err == nil {
+		t.Error("non-contiguous core accepted")
+	}
+}
+
+func TestExpandCounts(t *testing.T) {
+	base := req("NNNNNNNGG", "GATTACANN", 1)
+	ds, err := expand(base, Options{MaxDNABulge: 2, MaxRNABulge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// plain + DNA sizes 1,2 + RNA size 1.
+	if len(ds) != 4 {
+		t.Fatalf("got %d derived searches, want 4", len(ds))
+	}
+	plain := ds[0]
+	if plain.req.Pattern != "NNNNNNNGG" || len(plain.req.Queries) != 1 {
+		t.Errorf("plain derived wrong: %+v", plain.req)
+	}
+	dna1 := ds[1]
+	if len(dna1.req.Pattern) != 10 {
+		t.Errorf("DNA bulge 1 pattern length = %d, want 10", len(dna1.req.Pattern))
+	}
+	// Core is 7 long: insertion positions 1..6 -> 6 variants.
+	if len(dna1.req.Queries) != 6 {
+		t.Errorf("DNA bulge 1 variants = %d, want 6", len(dna1.req.Queries))
+	}
+	for _, q := range dna1.req.Queries {
+		if len(q.Guide) != 10 {
+			t.Errorf("DNA variant guide %q has wrong length", q.Guide)
+		}
+		if strings.Count(q.Guide, "N") != 3 {
+			t.Errorf("DNA variant guide %q should have 3 Ns", q.Guide)
+		}
+	}
+	rna1 := ds[3]
+	if len(rna1.req.Pattern) != 8 {
+		t.Errorf("RNA bulge 1 pattern length = %d, want 8", len(rna1.req.Pattern))
+	}
+	for _, q := range rna1.req.Queries {
+		if len(q.Guide) != 8 {
+			t.Errorf("RNA variant guide %q has wrong length", q.Guide)
+		}
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	base := req("NNNNNNNGG", "GATTACANN", 1)
+	if _, err := expand(base, Options{MaxDNABulge: -1}); err == nil {
+		t.Error("negative bulge accepted")
+	}
+	bad := req("NNNNNNNGG", "GANNACANN", 1) // split core
+	if _, err := expand(bad, Options{MaxDNABulge: 1}); err == nil {
+		t.Error("non-contiguous core accepted")
+	}
+}
+
+func TestSearchPlainSitesStillFound(t *testing.T) {
+	asm := asmFrom("ACCGATTACAGGTTT")
+	hits, err := Search(&search.CPU{Workers: 2}, asm, req("NNNNNNNGG", "GATTACANN", 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].BulgeType != None || hits[0].Pos != 3 {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+// TestSearchDNABulge plants a site with one extra genomic base inside the
+// guide match: GATT+X+ACA followed by GG. A plain search cannot find it; a
+// DNA-bulge search must.
+func TestSearchDNABulge(t *testing.T) {
+	asm := asmFrom("CCCGATTGACAGGTTTT") // GATT g ACA GG at pos 3
+	base := req("NNNNNNNGG", "GATTACANN", 0)
+
+	plain, err := Search(&search.CPU{}, asm, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range plain {
+		if h.BulgeType == None && h.Mismatches == 0 {
+			t.Fatalf("plain search should not find the bulged site exactly: %+v", h)
+		}
+	}
+
+	hits, err := Search(&search.CPU{}, asm, base, Options{MaxDNABulge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *Hit
+	for i := range hits {
+		if hits[i].BulgeType == DNA && hits[i].Mismatches == 0 {
+			found = &hits[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("DNA-bulge site not found; hits = %+v", hits)
+	}
+	if found.BulgeSize != 1 || found.Pos != 3 {
+		t.Errorf("bulge hit = %+v", *found)
+	}
+}
+
+// TestSearchRNABulge plants a site missing one guide base: GAT_ACA (T
+// deleted) followed by GG.
+func TestSearchRNABulge(t *testing.T) {
+	asm := asmFrom("CCCGATACAGGTTTT") // GATACA GG: guide GATTACA minus one T
+	base := req("NNNNNNNGG", "GATTACANN", 0)
+
+	hits, err := Search(&search.CPU{}, asm, base, Options{MaxRNABulge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *Hit
+	for i := range hits {
+		if hits[i].BulgeType == RNA && hits[i].Mismatches == 0 {
+			found = &hits[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("RNA-bulge site not found; hits = %+v", hits)
+	}
+	if found.BulgeSize != 1 {
+		t.Errorf("bulge hit = %+v", *found)
+	}
+}
+
+// TestDedupPrefersSmallerBulge: a perfect plain site also matches many
+// bulge variants; the merged output must report it once, as bulge-free.
+func TestDedupPrefersSmallerBulge(t *testing.T) {
+	asm := asmFrom("ACCGATTACAGGTTT")
+	base := req("NNNNNNNGG", "GATTACANN", 1)
+	hits, err := Search(&search.CPU{}, asm, base, Options{MaxDNABulge: 2, MaxRNABulge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainCount := 0
+	for _, h := range hits {
+		if h.Pos == 3 && h.Dir == '+' && h.BulgeType == None {
+			plainCount++
+		}
+	}
+	if plainCount != 1 {
+		t.Errorf("perfect site reported %d times as bulge-free, want 1 (hits: %+v)", plainCount, hits)
+	}
+}
+
+func TestSearchSortedAndEngines(t *testing.T) {
+	asm := asmFrom("CCCGATTGACAGGTTTACCGATTACAGGTT")
+	base := req("NNNNNNNGG", "GATTACANN", 1)
+	hits, err := Search(&search.CPU{Workers: 2}, asm, base, Options{MaxDNABulge: 1, MaxRNABulge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(hits); i++ {
+		a, b := hits[i-1], hits[i]
+		if a.QueryIndex > b.QueryIndex ||
+			(a.QueryIndex == b.QueryIndex && a.SeqName == b.SeqName && a.Pos > b.Pos) {
+			t.Fatal("hits not sorted")
+		}
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	asm := asmFrom("ACGT")
+	if _, err := Search(nil, asm, req("NGG", "ANN", 0), Options{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := Search(&search.CPU{}, asm, &search.Request{}, Options{}); err == nil {
+		t.Error("invalid request accepted")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if None.String() != "none" || DNA.String() != "DNA" || RNA.String() != "RNA" {
+		t.Error("Type strings wrong")
+	}
+}
+
+func TestHitString(t *testing.T) {
+	h := Hit{BulgeType: DNA, BulgeSize: 2, BulgePos: 5}
+	h.SeqName = "chr1"
+	if !strings.Contains(h.String(), "DNA:2@5") {
+		t.Errorf("Hit.String = %q", h.String())
+	}
+	plain := Hit{}
+	plain.SeqName = "chr1"
+	if strings.Contains(plain.String(), "none") {
+		t.Errorf("plain hit should not mention bulge: %q", plain.String())
+	}
+}
+
+// TestSearchWithSimEngines: the bulge search composes with the simulator
+// engines too, and all engines agree.
+func TestSearchWithSimEngines(t *testing.T) {
+	asm := asmFrom("CCCGATTGACAGGTTTACCGATTACAGGTTCCCGATACAGGTT")
+	base := req("NNNNNNNGG", "GATTACANN", 1)
+	opts := Options{MaxDNABulge: 1, MaxRNABulge: 1}
+	want, err := Search(&search.CPU{}, asm, base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no hits")
+	}
+	engines := []search.Engine{
+		&search.SimCL{Device: gpu.New(device.MI60(), gpu.WithWorkers(2)), Variant: kernels.Base},
+		&search.SimSYCL{Device: gpu.New(device.MI100(), gpu.WithWorkers(2)), Variant: kernels.Opt3, WorkGroupSize: 16},
+	}
+	for _, eng := range engines {
+		got, err := Search(eng, asm, base, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d hits, want %d", eng.Name(), len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: hit %d = %+v, want %+v", eng.Name(), i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package genome
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Chunk is one device-sized slice of a sequence. The Cas-OFFinder host
+// program "divides the genome data into chunks that can fit the memory of a
+// heterogeneous device" (paper §II.A); the finder kernel scans one chunk per
+// launch. Data aliases the parent sequence — chunking copies nothing.
+type Chunk struct {
+	// SeqIndex and SeqName identify the parent record within the assembly.
+	SeqIndex int
+	SeqName  string
+	// Start is the 0-based offset of Data[0] within the parent sequence.
+	Start int
+	// Data holds Body+Overlap bases: Body positions are the candidate site
+	// starts owned by this chunk, and the trailing Overlap bases duplicate
+	// the head of the next chunk so that sites straddling the boundary are
+	// still fully readable.
+	Data []byte
+	// Body is the number of site-start positions this chunk owns.
+	Body int
+	// Overlap is the number of trailing read-only bases shared with the
+	// next chunk (patternLen-1, or less at the end of a sequence).
+	Overlap int
+}
+
+// ErrChunkTooSmall is returned when the chunk budget cannot hold even one
+// pattern-length window.
+var ErrChunkTooSmall = errors.New("genome: chunk size smaller than pattern length")
+
+// Chunker plans how an assembly is staged into a bounded device memory.
+type Chunker struct {
+	// ChunkBytes is the maximum length of Chunk.Data. It models the device
+	// global-memory budget reserved for sequence data.
+	ChunkBytes int
+	// PatternLen is the full pattern length (guide plus PAM); chunks overlap
+	// by PatternLen-1 bases.
+	PatternLen int
+}
+
+// Plan splits every sequence of the assembly into chunks, in assembly order.
+// Sequences shorter than the pattern produce no chunks (they cannot contain
+// a site).
+func (c *Chunker) Plan(asm *Assembly) ([]*Chunk, error) {
+	if c.PatternLen <= 0 {
+		return nil, fmt.Errorf("genome: invalid pattern length %d", c.PatternLen)
+	}
+	if c.ChunkBytes < c.PatternLen {
+		return nil, fmt.Errorf("%w: %d < %d", ErrChunkTooSmall, c.ChunkBytes, c.PatternLen)
+	}
+	overlap := c.PatternLen - 1
+	body := c.ChunkBytes - overlap
+	var chunks []*Chunk
+	for si, seq := range asm.Sequences {
+		n := len(seq.Data)
+		if n < c.PatternLen {
+			continue
+		}
+		// Positions 0 .. n-PatternLen are valid site starts.
+		starts := n - c.PatternLen + 1
+		for off := 0; off < starts; off += body {
+			b := body
+			if off+b > starts {
+				b = starts - off
+			}
+			end := off + b + overlap
+			if end > n {
+				end = n
+			}
+			chunks = append(chunks, &Chunk{
+				SeqIndex: si,
+				SeqName:  seq.Name,
+				Start:    off,
+				Data:     seq.Data[off:end],
+				Body:     b,
+				Overlap:  end - (off + b),
+			})
+		}
+	}
+	return chunks, nil
+}
+
+// CountChunks returns how many chunks Plan would produce without building
+// them; the timing model uses it to cost host-side staging for full-scale
+// assemblies that are never materialised.
+func (c *Chunker) CountChunks(seqLens []int) (int, error) {
+	if c.PatternLen <= 0 || c.ChunkBytes < c.PatternLen {
+		return 0, ErrChunkTooSmall
+	}
+	body := c.ChunkBytes - (c.PatternLen - 1)
+	total := 0
+	for _, n := range seqLens {
+		if n < c.PatternLen {
+			continue
+		}
+		starts := n - c.PatternLen + 1
+		total += (starts + body - 1) / body
+	}
+	return total, nil
+}

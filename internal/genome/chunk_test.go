@@ -1,0 +1,186 @@
+package genome
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func asmOf(data ...string) *Assembly {
+	a := &Assembly{Name: "test"}
+	for i, d := range data {
+		a.Sequences = append(a.Sequences, &Sequence{Name: string(rune('a' + i)), Data: []byte(d)})
+	}
+	return a
+}
+
+func TestChunkerSingleChunk(t *testing.T) {
+	c := &Chunker{ChunkBytes: 100, PatternLen: 4}
+	chunks, err := c.Plan(asmOf("ACGTACGTAC"))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(chunks) != 1 {
+		t.Fatalf("got %d chunks, want 1", len(chunks))
+	}
+	ch := chunks[0]
+	if ch.Start != 0 || ch.Body != 7 || ch.Overlap != 3 || len(ch.Data) != 10 {
+		t.Errorf("chunk = %+v", ch)
+	}
+}
+
+func TestChunkerSplits(t *testing.T) {
+	// 10 bases, pattern 3 -> 8 site starts. ChunkBytes 5 -> body 3 per chunk.
+	c := &Chunker{ChunkBytes: 5, PatternLen: 3}
+	chunks, err := c.Plan(asmOf("ACGTACGTAC"))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks, want 3", len(chunks))
+	}
+	wantStarts := []int{0, 3, 6}
+	wantBodies := []int{3, 3, 2}
+	for i, ch := range chunks {
+		if ch.Start != wantStarts[i] || ch.Body != wantBodies[i] {
+			t.Errorf("chunk %d: start=%d body=%d, want start=%d body=%d",
+				i, ch.Start, ch.Body, wantStarts[i], wantBodies[i])
+		}
+		if len(ch.Data) > c.ChunkBytes {
+			t.Errorf("chunk %d data %d exceeds budget %d", i, len(ch.Data), c.ChunkBytes)
+		}
+		// Every owned site start must have a full pattern window in Data.
+		if ch.Body > 0 && ch.Body-1+c.PatternLen > len(ch.Data) {
+			t.Errorf("chunk %d: last site %d lacks full window", i, ch.Body-1)
+		}
+	}
+}
+
+func TestChunkerSkipsShortSequences(t *testing.T) {
+	c := &Chunker{ChunkBytes: 100, PatternLen: 5}
+	chunks, err := c.Plan(asmOf("ACG", "ACGTACGT", "AC"))
+	if err != nil {
+		t.Fatalf("Plan: %v", err)
+	}
+	if len(chunks) != 1 || chunks[0].SeqName != "b" {
+		t.Errorf("chunks = %+v", chunks)
+	}
+}
+
+func TestChunkerErrors(t *testing.T) {
+	if _, err := (&Chunker{ChunkBytes: 3, PatternLen: 4}).Plan(asmOf("ACGTACGT")); !errors.Is(err, ErrChunkTooSmall) {
+		t.Errorf("budget < pattern: err = %v, want ErrChunkTooSmall", err)
+	}
+	if _, err := (&Chunker{ChunkBytes: 10, PatternLen: 0}).Plan(asmOf("ACGT")); err == nil {
+		t.Error("pattern 0: err = nil")
+	}
+}
+
+// TestChunkerCoverageProperty: for random assemblies and budgets, the chunk
+// bodies partition the valid site starts of every sequence exactly once, and
+// every chunk window reads only in-bounds data that matches the source.
+func TestChunkerCoverageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		plen := 2 + rng.Intn(20)
+		budget := plen + rng.Intn(50)
+		nseq := 1 + rng.Intn(4)
+		asm := &Assembly{Name: "prop"}
+		alphabet := []byte("ACGTN")
+		for i := 0; i < nseq; i++ {
+			n := rng.Intn(200)
+			data := make([]byte, n)
+			for j := range data {
+				data[j] = alphabet[rng.Intn(len(alphabet))]
+			}
+			asm.Sequences = append(asm.Sequences, &Sequence{Name: string(rune('a' + i)), Data: data})
+		}
+		c := &Chunker{ChunkBytes: budget, PatternLen: plen}
+		chunks, err := c.Plan(asm)
+		if err != nil {
+			return false
+		}
+		covered := make(map[int]map[int]int) // seq -> site start -> count
+		for _, ch := range chunks {
+			seq := asm.Sequences[ch.SeqIndex]
+			if ch.SeqName != seq.Name {
+				return false
+			}
+			if !bytes.Equal(ch.Data, seq.Data[ch.Start:ch.Start+len(ch.Data)]) {
+				return false
+			}
+			if ch.Body-1+plen > len(ch.Data) {
+				return false // owned site without a full window
+			}
+			m := covered[ch.SeqIndex]
+			if m == nil {
+				m = make(map[int]int)
+				covered[ch.SeqIndex] = m
+			}
+			for s := 0; s < ch.Body; s++ {
+				m[ch.Start+s]++
+			}
+		}
+		for si, seq := range asm.Sequences {
+			starts := len(seq.Data) - plen + 1
+			if starts < 1 {
+				if len(covered[si]) != 0 {
+					return false
+				}
+				continue
+			}
+			if len(covered[si]) != starts {
+				return false
+			}
+			for s := 0; s < starts; s++ {
+				if covered[si][s] != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountChunksMatchesPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		plen := 2 + rng.Intn(10)
+		budget := plen + rng.Intn(30)
+		var lens []int
+		asm := &Assembly{Name: "x"}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			n := rng.Intn(120)
+			lens = append(lens, n)
+			asm.Sequences = append(asm.Sequences, &Sequence{
+				Name: string(rune('a' + i)),
+				Data: bytes.Repeat([]byte("A"), n),
+			})
+		}
+		c := &Chunker{ChunkBytes: budget, PatternLen: plen}
+		chunks, err := c.Plan(asm)
+		if err != nil {
+			t.Fatalf("Plan: %v", err)
+		}
+		count, err := c.CountChunks(lens)
+		if err != nil {
+			t.Fatalf("CountChunks: %v", err)
+		}
+		if count != len(chunks) {
+			t.Fatalf("CountChunks = %d, Plan produced %d (plen=%d budget=%d lens=%v)",
+				count, len(chunks), plen, budget, lens)
+		}
+	}
+}
+
+func TestCountChunksError(t *testing.T) {
+	c := &Chunker{ChunkBytes: 2, PatternLen: 4}
+	if _, err := c.CountChunks([]int{100}); !errors.Is(err, ErrChunkTooSmall) {
+		t.Errorf("err = %v, want ErrChunkTooSmall", err)
+	}
+}

@@ -1,0 +1,225 @@
+package genome
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Sequence is one record of a FASTA file: a name (the text after '>', up to
+// the first whitespace), an optional free-form description, and the sequence
+// bytes with line breaks removed.
+type Sequence struct {
+	Name        string
+	Description string
+	Data        []byte
+}
+
+// Len returns the number of bases in the sequence.
+func (s *Sequence) Len() int { return len(s.Data) }
+
+// Assembly is an ordered collection of sequences, e.g. the chromosomes of a
+// genome build. Order is load order, which the chunker and the search engine
+// preserve so that results are reported deterministically.
+type Assembly struct {
+	Name      string
+	Sequences []*Sequence
+}
+
+// TotalLen returns the summed length of all sequences.
+func (a *Assembly) TotalLen() int64 {
+	var n int64
+	for _, s := range a.Sequences {
+		n += int64(len(s.Data))
+	}
+	return n
+}
+
+// Sequence returns the record with the given name, or nil.
+func (a *Assembly) Sequence(name string) *Sequence {
+	for _, s := range a.Sequences {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// ErrEmptyFASTA is returned when an input contains no sequence records.
+var ErrEmptyFASTA = errors.New("genome: FASTA input contains no sequences")
+
+// ReadFASTA parses one FASTA stream, which may contain one or many records.
+// Blank lines are ignored; sequence bytes are validated as IUPAC codes.
+// Windows line endings are accepted.
+func ReadFASTA(r io.Reader) ([]*Sequence, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var (
+		seqs []*Sequence
+		cur  *Sequence
+		buf  bytes.Buffer
+		line int
+	)
+	flush := func() {
+		if cur != nil {
+			cur.Data = append([]byte(nil), buf.Bytes()...)
+			seqs = append(seqs, cur)
+			buf.Reset()
+		}
+	}
+	for {
+		raw, err := br.ReadBytes('\n')
+		line++
+		if len(raw) > 0 {
+			text := bytes.TrimRight(raw, "\r\n")
+			switch {
+			case len(text) == 0:
+				// blank line, skip
+			case text[0] == '>':
+				flush()
+				header := strings.TrimSpace(string(text[1:]))
+				if header == "" {
+					return nil, fmt.Errorf("genome: line %d: empty FASTA header", line)
+				}
+				name, desc, _ := strings.Cut(header, " ")
+				cur = &Sequence{Name: name, Description: strings.TrimSpace(desc)}
+			case text[0] == ';':
+				// old-style comment line, skip
+			default:
+				if cur == nil {
+					return nil, fmt.Errorf("genome: line %d: sequence data before first header", line)
+				}
+				for i, b := range text {
+					if !IsCode(b) {
+						return nil, fmt.Errorf("genome: line %d: invalid nucleotide code %q at column %d", line, b, i+1)
+					}
+				}
+				buf.Write(text)
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("genome: reading FASTA: %w", err)
+		}
+	}
+	flush()
+	if len(seqs) == 0 {
+		return nil, ErrEmptyFASTA
+	}
+	return seqs, nil
+}
+
+// ReadFASTAFile parses the FASTA file at path.
+func ReadFASTAFile(path string) ([]*Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("genome: %w", err)
+	}
+	defer f.Close()
+	seqs, err := ReadFASTA(f)
+	if err != nil {
+		return nil, fmt.Errorf("genome: %s: %w", path, err)
+	}
+	return seqs, nil
+}
+
+// fastaExtensions are the file suffixes LoadDir recognises, matching the
+// upstream Cas-OFFinder convention of pointing the tool at a directory of
+// chromosome files.
+var fastaExtensions = []string{".fa", ".fasta", ".fna"}
+
+// LoadDir reads every FASTA file in dir (non-recursively) into one assembly.
+// Files are visited in lexical order; records keep file order within a file.
+// If dir itself names a FASTA file, it is loaded as a single-file assembly.
+func LoadDir(dir string) (*Assembly, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("genome: %w", err)
+	}
+	asm := &Assembly{Name: filepath.Base(dir)}
+	if !info.IsDir() {
+		seqs, err := ReadFASTAFile(dir)
+		if err != nil {
+			return nil, err
+		}
+		asm.Sequences = seqs
+		return asm, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("genome: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		ext := strings.ToLower(filepath.Ext(e.Name()))
+		for _, want := range fastaExtensions {
+			if ext == want {
+				names = append(names, e.Name())
+				break
+			}
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("genome: no FASTA files (%s) in %s", strings.Join(fastaExtensions, ", "), dir)
+	}
+	for _, name := range names {
+		seqs, err := ReadFASTAFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		asm.Sequences = append(asm.Sequences, seqs...)
+	}
+	return asm, nil
+}
+
+// WriteFASTA writes the sequences to w with lines wrapped at width bases
+// (60 if width <= 0).
+func WriteFASTA(w io.Writer, seqs []*Sequence, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, s := range seqs {
+		if s.Description != "" {
+			fmt.Fprintf(bw, ">%s %s\n", s.Name, s.Description)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", s.Name)
+		}
+		for off := 0; off < len(s.Data); off += width {
+			end := off + width
+			if end > len(s.Data) {
+				end = len(s.Data)
+			}
+			bw.Write(s.Data[off:end])
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFASTAFile writes the sequences to the file at path.
+func WriteFASTAFile(path string, seqs []*Sequence, width int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("genome: %w", err)
+	}
+	if err := WriteFASTA(f, seqs, width); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("genome: %w", err)
+	}
+	return nil
+}

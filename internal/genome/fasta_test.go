@@ -1,0 +1,182 @@
+package genome
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadFASTASingle(t *testing.T) {
+	in := ">chr1 test sequence\nACGT\nACGT\n"
+	seqs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadFASTA: %v", err)
+	}
+	if len(seqs) != 1 {
+		t.Fatalf("got %d sequences, want 1", len(seqs))
+	}
+	s := seqs[0]
+	if s.Name != "chr1" || s.Description != "test sequence" {
+		t.Errorf("header parsed as (%q, %q)", s.Name, s.Description)
+	}
+	if string(s.Data) != "ACGTACGT" {
+		t.Errorf("Data = %q, want ACGTACGT", s.Data)
+	}
+	if s.Len() != 8 {
+		t.Errorf("Len = %d, want 8", s.Len())
+	}
+}
+
+func TestReadFASTAMulti(t *testing.T) {
+	in := ">a\nAC\nGT\n\n>b second\nNNNN\n;comment\n>c\nacgt"
+	seqs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadFASTA: %v", err)
+	}
+	if len(seqs) != 3 {
+		t.Fatalf("got %d sequences, want 3", len(seqs))
+	}
+	want := []struct{ name, data string }{{"a", "ACGT"}, {"b", "NNNN"}, {"c", "acgt"}}
+	for i, w := range want {
+		if seqs[i].Name != w.name || string(seqs[i].Data) != w.data {
+			t.Errorf("seq %d = (%q, %q), want (%q, %q)", i, seqs[i].Name, seqs[i].Data, w.name, w.data)
+		}
+	}
+}
+
+func TestReadFASTACRLF(t *testing.T) {
+	in := ">x\r\nACGT\r\nTTTT\r\n"
+	seqs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadFASTA: %v", err)
+	}
+	if string(seqs[0].Data) != "ACGTTTTT" {
+		t.Errorf("Data = %q", seqs[0].Data)
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"only blank", "\n\n"},
+		{"data before header", "ACGT\n>x\nA\n"},
+		{"invalid code", ">x\nAC!T\n"},
+		{"empty header", ">\nACGT\n"},
+		{"empty header spaces", ">   \nACGT\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadFASTA(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("ReadFASTA(%q) = nil error, want failure", tt.in)
+			}
+		})
+	}
+	if _, err := ReadFASTA(strings.NewReader("")); !errors.Is(err, ErrEmptyFASTA) {
+		t.Errorf("empty input error = %v, want ErrEmptyFASTA", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	seqs := []*Sequence{
+		{Name: "chr1", Description: "first", Data: []byte("ACGTACGTACGTACGT")},
+		{Name: "chr2", Data: []byte("NNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNNN")},
+		{Name: "chrM", Data: []byte("acgt")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, seqs, 10); err != nil {
+		t.Fatalf("WriteFASTA: %v", err)
+	}
+	got, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatalf("ReadFASTA: %v", err)
+	}
+	if len(got) != len(seqs) {
+		t.Fatalf("round trip lost sequences: %d != %d", len(got), len(seqs))
+	}
+	for i := range seqs {
+		if got[i].Name != seqs[i].Name || !bytes.Equal(got[i].Data, seqs[i].Data) {
+			t.Errorf("sequence %d did not round-trip", i)
+		}
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"b.fa":       ">chrB\nGGGG\n",
+		"a.fasta":    ">chrA\nAAAA\n",
+		"notes.txt":  "not fasta",
+		"c.fna":      ">chrC\nCCCC\n",
+		"sub.hidden": "junk",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	asm, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	var names []string
+	for _, s := range asm.Sequences {
+		names = append(names, s.Name)
+	}
+	// Lexical file order: a.fasta, b.fa, c.fna.
+	want := []string{"chrA", "chrB", "chrC"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("sequence order = %v, want %v", names, want)
+	}
+	if asm.TotalLen() != 12 {
+		t.Errorf("TotalLen = %d, want 12", asm.TotalLen())
+	}
+	if asm.Sequence("chrB") == nil || asm.Sequence("nope") != nil {
+		t.Error("Sequence lookup misbehaved")
+	}
+}
+
+func TestLoadDirSingleFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "genome.fa")
+	if err := os.WriteFile(path, []byte(">only\nACGT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	asm, err := LoadDir(path)
+	if err != nil {
+		t.Fatalf("LoadDir(file): %v", err)
+	}
+	if len(asm.Sequences) != 1 || asm.Sequences[0].Name != "only" {
+		t.Errorf("unexpected assembly: %+v", asm)
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("LoadDir(missing) = nil error")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Error("LoadDir(empty dir) = nil error")
+	}
+}
+
+func TestWriteFASTAFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.fa")
+	seqs := []*Sequence{{Name: "x", Data: []byte("ACGT")}}
+	if err := WriteFASTAFile(path, seqs, 0); err != nil {
+		t.Fatalf("WriteFASTAFile: %v", err)
+	}
+	got, err := ReadFASTAFile(path)
+	if err != nil {
+		t.Fatalf("ReadFASTAFile: %v", err)
+	}
+	if string(got[0].Data) != "ACGT" {
+		t.Errorf("Data = %q", got[0].Data)
+	}
+}

@@ -1,0 +1,210 @@
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Profile parameterises the deterministic synthetic-assembly generator that
+// stands in for the UCSC hg19/hg38 downloads (see DESIGN.md §1). The
+// generator preserves the properties the search kernels are sensitive to:
+// relative assembly sizes, the density of unresolved (N) regions, GC content
+// (which sets the density of NGG protospacer-adjacent motifs and therefore
+// the comparer-kernel load), and multi-record structure.
+type Profile struct {
+	// Name labels the assembly ("hg19-like", "hg38-like").
+	Name string
+	// Seed makes generation reproducible.
+	Seed int64
+	// Chromosomes lists record names and relative weights; each chromosome's
+	// share of TotalBases is proportional to its weight.
+	Chromosomes []ChromSpec
+	// TotalBases is the generated assembly size.
+	TotalBases int
+	// FullScaleBases is the size of the real assembly the profile models;
+	// the timing model projects measured per-base costs to this size.
+	FullScaleBases int64
+	// GC is the fraction of G+C among resolved bases.
+	GC float64
+	// NFraction is the fraction of bases inside unresolved (N) gaps;
+	// hg19 carries noticeably more gap sequence than hg38.
+	NFraction float64
+	// MeanGapLen is the mean length of one N gap.
+	MeanGapLen int
+	// SoftMask is the fraction of resolved sequence emitted in lower case
+	// (repeat-masked), exercising case folding in consumers.
+	SoftMask float64
+}
+
+// ChromSpec names one synthetic chromosome and its relative size weight.
+type ChromSpec struct {
+	Name   string
+	Weight float64
+}
+
+// humanChromWeights approximates the relative sizes of the 24 nuclear
+// human chromosomes (chr1 ≈ 249 Mbp … chrY ≈ 57 Mbp).
+var humanChromWeights = []ChromSpec{
+	{"chr1", 249}, {"chr2", 242}, {"chr3", 198}, {"chr4", 190},
+	{"chr5", 182}, {"chr6", 171}, {"chr7", 159}, {"chr8", 145},
+	{"chr9", 138}, {"chr10", 134}, {"chr11", 135}, {"chr12", 133},
+	{"chr13", 114}, {"chr14", 107}, {"chr15", 102}, {"chr16", 90},
+	{"chr17", 83}, {"chr18", 80}, {"chr19", 59}, {"chr20", 64},
+	{"chr21", 47}, {"chr22", 51}, {"chrX", 156}, {"chrY", 57},
+}
+
+// HG19Like returns a profile modelling the hg19 assembly scaled to
+// totalBases generated bases. hg19 has more unresolved gap sequence and
+// slightly less searchable content than hg38.
+func HG19Like(totalBases int) Profile {
+	return Profile{
+		Name:           "hg19-like",
+		Seed:           19,
+		Chromosomes:    humanChromWeights,
+		TotalBases:     totalBases,
+		FullScaleBases: 3_101_804_739,
+		GC:             0.409,
+		NFraction:      0.075,
+		MeanGapLen:     2500,
+		SoftMask:       0.45,
+	}
+}
+
+// HG38Like returns a profile modelling the hg38 assembly: ~3.5% larger than
+// hg19 with most hg19 gaps resolved, so it carries proportionally more
+// searchable sequence (and therefore more comparer-kernel work).
+func HG38Like(totalBases int) Profile {
+	return Profile{
+		Name:        "hg38-like",
+		Seed:        38,
+		Chromosomes: humanChromWeights,
+		TotalBases:  totalBases,
+		// The UCSC hg38.fa download the paper uses bundles the primary
+		// assembly with alternate-loci and patch contigs, which both grows
+		// the input and duplicates PAM-dense sequence.
+		FullScaleBases: 3_313_480_000,
+		GC:             0.412,
+		NFraction:      0.049,
+		MeanGapLen:     1200,
+		SoftMask:       0.47,
+	}
+}
+
+// Generate builds the synthetic assembly described by the profile. The same
+// profile always yields the same bytes.
+func Generate(p Profile) (*Assembly, error) {
+	if p.TotalBases <= 0 {
+		return nil, fmt.Errorf("genome: profile %q: TotalBases must be positive", p.Name)
+	}
+	if len(p.Chromosomes) == 0 {
+		return nil, fmt.Errorf("genome: profile %q: no chromosomes", p.Name)
+	}
+	if p.GC < 0 || p.GC > 1 || p.NFraction < 0 || p.NFraction >= 1 {
+		return nil, fmt.Errorf("genome: profile %q: GC/NFraction out of range", p.Name)
+	}
+	var totalW float64
+	for _, c := range p.Chromosomes {
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("genome: profile %q: chromosome %s has non-positive weight", p.Name, c.Name)
+		}
+		totalW += c.Weight
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	asm := &Assembly{Name: p.Name}
+	remaining := p.TotalBases
+	for i, c := range p.Chromosomes {
+		var n int
+		if i == len(p.Chromosomes)-1 {
+			n = remaining
+		} else {
+			n = int(float64(p.TotalBases) * c.Weight / totalW)
+			if n > remaining {
+				n = remaining
+			}
+		}
+		remaining -= n
+		if n <= 0 {
+			continue
+		}
+		asm.Sequences = append(asm.Sequences, &Sequence{
+			Name:        c.Name,
+			Description: fmt.Sprintf("%s synthetic", p.Name),
+			Data:        generateSeq(rng, n, p),
+		})
+	}
+	return asm, nil
+}
+
+// generateSeq emits n bases: alternating runs of resolved sequence and N
+// gaps sized so the expected gap fraction is p.NFraction.
+func generateSeq(rng *rand.Rand, n int, p Profile) []byte {
+	out := make([]byte, 0, n)
+	meanGap := p.MeanGapLen
+	if meanGap <= 0 {
+		meanGap = 1000
+	}
+	// Expected resolved-run length between gaps so that
+	// meanGap / (meanGap + meanRun) == NFraction.
+	meanRun := n // no gaps when NFraction == 0
+	if p.NFraction > 0 {
+		meanRun = int(float64(meanGap)*(1-p.NFraction)/p.NFraction + 0.5)
+		if meanRun < 1 {
+			meanRun = 1
+		}
+	}
+	// Shrink run lengths for short sequences so every record still
+	// alternates between resolved runs and gaps many times; the gap/run
+	// ratio (and so the expected N fraction) is preserved.
+	if limit := n / 25; limit > 0 && meanRun > limit {
+		scale := float64(limit) / float64(meanRun)
+		meanRun = limit
+		if meanGap = int(float64(meanGap) * scale); meanGap < 1 {
+			meanGap = 1
+		}
+	}
+	inGap := false
+	for len(out) < n {
+		var runLen int
+		if inGap {
+			runLen = 1 + int(rng.ExpFloat64()*float64(meanGap))
+		} else {
+			runLen = 1 + int(rng.ExpFloat64()*float64(meanRun))
+		}
+		if runLen > n-len(out) {
+			runLen = n - len(out)
+		}
+		if inGap {
+			for i := 0; i < runLen; i++ {
+				out = append(out, 'N')
+			}
+		} else {
+			soft := rng.Float64() < p.SoftMask
+			for i := 0; i < runLen; i++ {
+				b := randomBase(rng, p.GC)
+				if soft {
+					b |= 0x20
+				}
+				out = append(out, b)
+				// Toggle soft-masking in sub-runs for realism.
+				if rng.Float64() < 0.001 {
+					soft = !soft
+				}
+			}
+		}
+		inGap = !inGap
+	}
+	return out
+}
+
+func randomBase(rng *rand.Rand, gc float64) byte {
+	if rng.Float64() < gc {
+		if rng.Intn(2) == 0 {
+			return 'G'
+		}
+		return 'C'
+	}
+	if rng.Intn(2) == 0 {
+		return 'A'
+	}
+	return 'T'
+}

@@ -1,0 +1,108 @@
+package genome
+
+import "fmt"
+
+// Packed is a 2-bit packed nucleotide sequence with a side bitmap marking
+// positions whose original code was not a concrete base (N or another
+// ambiguity code). Packing quarters the memory footprint of a chunk staged
+// into simulated device memory and is the "2-bit sequence format"
+// optimization the paper's related-work section attributes to the upstream
+// authors.
+type Packed struct {
+	n       int
+	codes   []byte // 4 bases per byte, little-endian within the byte
+	unknown []byte // 1 bit per base; set when the source code was ambiguous
+}
+
+const (
+	codeA = 0
+	codeC = 1
+	codeG = 2
+	codeT = 3
+)
+
+var packTable = func() [256]byte {
+	var t [256]byte
+	for i := range t {
+		t[i] = 0xFF
+	}
+	set := func(b byte, c byte) { t[b] = c; t[b|0x20] = c }
+	set('A', codeA)
+	set('C', codeC)
+	set('G', codeG)
+	set('T', codeT)
+	set('U', codeT)
+	return t
+}()
+
+var unpackTable = [4]byte{'A', 'C', 'G', 'T'}
+
+// Pack converts seq to packed form. Ambiguous IUPAC codes are stored as 'N'
+// (code A with the unknown bit set); invalid bytes are an error.
+func Pack(seq []byte) (*Packed, error) {
+	p := &Packed{
+		n:       len(seq),
+		codes:   make([]byte, (len(seq)+3)/4),
+		unknown: make([]byte, (len(seq)+7)/8),
+	}
+	for i, b := range seq {
+		c := packTable[b]
+		if c == 0xFF {
+			if !IsCode(b) {
+				return nil, fmt.Errorf("genome: cannot pack invalid code %q at offset %d", b, i)
+			}
+			p.unknown[i>>3] |= 1 << (i & 7)
+			c = codeA
+		}
+		p.codes[i>>2] |= c << ((i & 3) * 2)
+	}
+	return p, nil
+}
+
+// Len returns the number of bases.
+func (p *Packed) Len() int { return p.n }
+
+// Base returns the code at position i: 'A', 'C', 'G' or 'T' for concrete
+// positions and 'N' for positions that were ambiguous in the source.
+func (p *Packed) Base(i int) byte {
+	if p.unknown[i>>3]&(1<<(i&7)) != 0 {
+		return 'N'
+	}
+	return unpackTable[(p.codes[i>>2]>>((i&3)*2))&3]
+}
+
+// Code returns the 2-bit code (0..3 for A,C,G,T) at position i and whether
+// the position held a concrete base; hot loops use it instead of Base to
+// avoid reconstructing ASCII.
+func (p *Packed) Code(i int) (byte, bool) {
+	known := p.unknown[i>>3]&(1<<(i&7)) == 0
+	return (p.codes[i>>2] >> ((i & 3) * 2)) & 3, known
+}
+
+// Known reports whether position i held a concrete base.
+func (p *Packed) Known(i int) bool {
+	return p.unknown[i>>3]&(1<<(i&7)) == 0
+}
+
+// Unpack expands the packed sequence back to ASCII codes. Ambiguity codes
+// other than N do not round-trip: they come back as 'N'.
+func (p *Packed) Unpack() []byte {
+	out := make([]byte, p.n)
+	for i := 0; i < p.n; i++ {
+		out[i] = p.Base(i)
+	}
+	return out
+}
+
+// AppendRange appends bases [from, to) to dst as ASCII codes and returns the
+// extended slice.
+func (p *Packed) AppendRange(dst []byte, from, to int) []byte {
+	for i := from; i < to; i++ {
+		dst = append(dst, p.Base(i))
+	}
+	return dst
+}
+
+// PackedBytes returns the memory footprint in bytes of the packed form
+// (codes plus unknown bitmap).
+func (p *Packed) PackedBytes() int { return len(p.codes) + len(p.unknown) }

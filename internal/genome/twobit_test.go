@@ -1,0 +1,125 @@
+package genome
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackConcrete(t *testing.T) {
+	in := []byte("ACGTACGTACGTA") // odd length exercises partial final byte
+	p, err := Pack(in)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	if p.Len() != len(in) {
+		t.Fatalf("Len = %d, want %d", p.Len(), len(in))
+	}
+	if got := p.Unpack(); !bytes.Equal(got, in) {
+		t.Errorf("Unpack = %q, want %q", got, in)
+	}
+	for i, b := range in {
+		if p.Base(i) != b {
+			t.Errorf("Base(%d) = %q, want %q", i, p.Base(i), b)
+		}
+		if !p.Known(i) {
+			t.Errorf("Known(%d) = false, want true", i)
+		}
+	}
+}
+
+func TestPackAmbiguityCodes(t *testing.T) {
+	in := []byte("ANRGt")
+	p, err := Pack(in)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	want := []byte("ANNGT") // ambiguity codes collapse to N; case folds
+	if got := p.Unpack(); !bytes.Equal(got, want) {
+		t.Errorf("Unpack = %q, want %q", got, want)
+	}
+	if p.Known(1) || p.Known(2) {
+		t.Error("ambiguous positions reported as known")
+	}
+	if !p.Known(0) || !p.Known(3) || !p.Known(4) {
+		t.Error("concrete positions reported as unknown")
+	}
+}
+
+func TestPackInvalid(t *testing.T) {
+	if _, err := Pack([]byte("AC-GT")); err == nil {
+		t.Error("Pack(invalid) = nil error, want failure")
+	}
+}
+
+func TestPackEmpty(t *testing.T) {
+	p, err := Pack(nil)
+	if err != nil {
+		t.Fatalf("Pack(nil): %v", err)
+	}
+	if p.Len() != 0 || len(p.Unpack()) != 0 {
+		t.Error("empty pack not empty")
+	}
+}
+
+func TestAppendRange(t *testing.T) {
+	p, err := Pack([]byte("ACGTNNGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.AppendRange([]byte("x:"), 2, 6)
+	if string(got) != "x:GTNN" {
+		t.Errorf("AppendRange = %q, want x:GTNN", got)
+	}
+}
+
+func TestPackedBytes(t *testing.T) {
+	p, err := Pack(bytes.Repeat([]byte("ACGT"), 256)) // 1024 bases
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024 bases -> 256 code bytes + 128 bitmap bytes.
+	if got := p.PackedBytes(); got != 256+128 {
+		t.Errorf("PackedBytes = %d, want %d", got, 256+128)
+	}
+}
+
+// TestPackRoundTripProperty: packing any ACGTN string and unpacking restores
+// it exactly (after case folding), for arbitrary lengths including the
+// partial-byte tails.
+func TestPackRoundTripProperty(t *testing.T) {
+	alphabet := []byte("ACGTN")
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]byte, int(n)%4096)
+		for i := range in {
+			in[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		p, err := Pack(in)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(p.Unpack(), in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCode(t *testing.T) {
+	p, err := Pack([]byte("ACGTN"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		code  byte
+		known bool
+	}{{0, true}, {1, true}, {2, true}, {3, true}, {0, false}}
+	for i, w := range want {
+		code, known := p.Code(i)
+		if code != w.code || known != w.known {
+			t.Errorf("Code(%d) = (%d, %v), want (%d, %v)", i, code, known, w.code, w.known)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package gpu
+
+import "sync"
+
+// barrier is a reusable synchronization barrier for the work-items of one
+// executing work-group. It implements the semantics the paper describes in
+// §II.B: a barrier "ensures that all work-items have finished an operation
+// before using the result of that operation", and memory operations
+// performed before the barrier are visible after it (the mutex hand-off
+// provides the happens-before edge).
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all parties have called wait, then releases them
+// together. The barrier is reusable: a new generation starts as soon as the
+// previous one completes.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,89 @@
+package gpu
+
+import (
+	"runtime"
+	"sync"
+
+	"casoffinder/internal/gpu/device"
+)
+
+// Device is one simulated GPU: a spec from the Table VII registry, a
+// global-memory budget, a host worker pool that stands in for the compute
+// units, and a log of every kernel launch with its access statistics (the
+// simulator's equivalent of a profiler, used to identify the hotspot kernel
+// as the paper does in §IV.B).
+type Device struct {
+	spec    device.Spec
+	workers int
+
+	mu        sync.Mutex
+	allocated int64
+	launches  []LaunchRecord
+}
+
+// LaunchRecord is one entry of the device's launch log.
+type LaunchRecord struct {
+	Name  string
+	Stats Stats
+}
+
+// Option configures a Device.
+type Option func(*Device)
+
+// WithWorkers sets the number of host goroutines that execute work-groups
+// concurrently. The default is runtime.NumCPU().
+func WithWorkers(n int) Option {
+	return func(d *Device) {
+		if n > 0 {
+			d.workers = n
+		}
+	}
+}
+
+// New creates a simulated device with the given spec.
+func New(spec device.Spec, opts ...Option) *Device {
+	d := &Device{spec: spec, workers: runtime.NumCPU()}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Spec returns the device specification.
+func (d *Device) Spec() device.Spec { return d.spec }
+
+func (d *Device) recordLaunch(name string, s *Stats) {
+	d.mu.Lock()
+	d.launches = append(d.launches, LaunchRecord{Name: name, Stats: *s})
+	d.mu.Unlock()
+}
+
+// LaunchLog returns a copy of the launch history.
+func (d *Device) LaunchLog() []LaunchRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]LaunchRecord, len(d.launches))
+	copy(out, d.launches)
+	return out
+}
+
+// ResetLaunchLog clears the launch history.
+func (d *Device) ResetLaunchLog() {
+	d.mu.Lock()
+	d.launches = nil
+	d.mu.Unlock()
+}
+
+// ProfileByKernel aggregates the launch log per kernel name, the simulator's
+// stand-in for a profiler run.
+func (d *Device) ProfileByKernel() map[string]Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]Stats)
+	for _, rec := range d.launches {
+		agg := out[rec.Name]
+		agg.Add(&rec.Stats)
+		out[rec.Name] = agg
+	}
+	return out
+}

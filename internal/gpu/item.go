@@ -1,0 +1,176 @@
+package gpu
+
+import "sync/atomic"
+
+// Group is the work-group context handed to a GroupKernel factory. Go
+// variables created inside the factory are shared by all work-items of the
+// group, playing the role of OpenCL __local / SYCL local-accessor memory.
+type Group struct {
+	launch  *launchState
+	id      [MaxDims]int
+	linear  int
+	barrier *barrier
+	locals  []any
+}
+
+// SetLocals attaches per-group shared storage created by a kernel factory;
+// the SYCL frontend uses it to back local accessors. It must be called from
+// the GroupKernel factory, before any work-item of the group runs.
+func (g *Group) SetLocals(ls []any) { g.locals = ls }
+
+// Local returns the i'th shared-storage object set by SetLocals.
+func (g *Group) Local(i int) any { return g.locals[i] }
+
+// ID returns the group's index in dimension d (get_group_id).
+func (g *Group) ID(d int) int {
+	if d < 0 || d >= MaxDims {
+		return 0
+	}
+	return g.id[d]
+}
+
+// Linear returns the group's linearized index.
+func (g *Group) Linear() int { return g.linear }
+
+// LocalRange returns the work-group extent in dimension d.
+func (g *Group) LocalRange(d int) int { return g.launch.local.Size(d) }
+
+// Device returns the device executing the group.
+func (g *Group) Device() *Device { return g.launch.dev }
+
+// WorkItemFunc is the per-work-item kernel body.
+type WorkItemFunc func(it *Item)
+
+// GroupKernel is invoked once per work-group; its closure state is the
+// group's shared local memory, and the returned body runs once per
+// work-item.
+type GroupKernel func(g *Group) WorkItemFunc
+
+// Item is the execution context of one work-item: its coordinates in the
+// ND-range, the group barrier, and the access counters that feed the launch
+// Stats. It corresponds to the OpenCL built-in index functions and the SYCL
+// nd_item class contrasted in the paper's Table IV.
+type Item struct {
+	group    *Group
+	localID  [MaxDims]int
+	globalID [MaxDims]int
+	stats    Stats
+}
+
+// Group returns the work-group context of the item.
+func (it *Item) Group() *Group { return it.group }
+
+// GlobalID returns the work-item's global index in dimension d
+// (get_global_id / nd_item::get_global_id).
+func (it *Item) GlobalID(d int) int {
+	if d < 0 || d >= MaxDims {
+		return 0
+	}
+	return it.globalID[d]
+}
+
+// LocalID returns the index within the work-group (get_local_id).
+func (it *Item) LocalID(d int) int {
+	if d < 0 || d >= MaxDims {
+		return 0
+	}
+	return it.localID[d]
+}
+
+// GroupID returns the work-group index (get_group_id / nd_item::get_group).
+func (it *Item) GroupID(d int) int { return it.group.ID(d) }
+
+// LocalRange returns the work-group size in dimension d
+// (get_local_size / nd_item::get_local_range).
+func (it *Item) LocalRange(d int) int { return it.group.launch.local.Size(d) }
+
+// GlobalRange returns the ND-range extent in dimension d (get_global_size).
+func (it *Item) GlobalRange(d int) int { return it.group.launch.global.Size(d) }
+
+// GroupRange returns the number of work-groups in dimension d.
+func (it *Item) GroupRange(d int) int {
+	l := it.group.launch
+	if d >= l.global.Dims() {
+		return 1
+	}
+	return l.global.Size(d) / l.local.Size(d)
+}
+
+// Barrier synchronises all work-items of the group
+// (barrier(CLK_LOCAL_MEM_FENCE) / nd_item::barrier(local_space)).
+func (it *Item) Barrier() {
+	it.stats.Barriers++
+	it.group.barrier.wait()
+}
+
+// Counting hooks. Kernel bodies call these alongside their ordinary Go
+// memory accesses so the launch Stats reflect the traffic a real device
+// would see; the optimization variants of the comparer kernel differ mainly
+// in which of these they execute.
+
+// LoadGlobal accounts one global-memory read of n bytes.
+func (it *Item) LoadGlobal(n int) {
+	it.stats.GlobalLoadOps++
+	it.stats.GlobalLoadBytes += int64(n)
+}
+
+// StoreGlobal accounts one global-memory write of n bytes.
+func (it *Item) StoreGlobal(n int) {
+	it.stats.GlobalStoreOps++
+	it.stats.GlobalStoreBytes += int64(n)
+}
+
+// LoadGlobalRedundant accounts one global read that re-fetches an address
+// this work-item already loaded (served from cache on a real device).
+func (it *Item) LoadGlobalRedundant(n int) {
+	it.stats.GlobalLoadOps++
+	it.stats.GlobalLoadBytes += int64(n)
+	it.stats.RedundantLoadOps++
+}
+
+// LoadGlobalN accounts ops global-memory reads of elemBytes each.
+func (it *Item) LoadGlobalN(ops, elemBytes int) {
+	it.stats.GlobalLoadOps += int64(ops)
+	it.stats.GlobalLoadBytes += int64(ops) * int64(elemBytes)
+}
+
+// LoadLocalN accounts n shared-local-memory reads.
+func (it *Item) LoadLocalN(n int) { it.stats.LocalLoadOps += int64(n) }
+
+// StoreLocalN accounts n shared-local-memory writes.
+func (it *Item) StoreLocalN(n int) { it.stats.LocalStoreOps += int64(n) }
+
+// LoadConstant accounts one constant-memory read.
+func (it *Item) LoadConstant() { it.stats.ConstantLoadOps++ }
+
+// LoadLocal accounts one shared-local-memory read.
+func (it *Item) LoadLocal() { it.stats.LocalLoadOps++ }
+
+// StoreLocal accounts one shared-local-memory write.
+func (it *Item) StoreLocal() { it.stats.LocalStoreOps++ }
+
+// ALU accounts n arithmetic operations.
+func (it *Item) ALU(n int) { it.stats.ALUOps += int64(n) }
+
+// Branch accounts one branch; diverged marks intra-wavefront divergence.
+func (it *Item) Branch(diverged bool) {
+	it.stats.Branches++
+	if diverged {
+		it.stats.DivergentBranches++
+	}
+}
+
+// AtomicIncUint32 performs the atomic increment of Table V — the only
+// atomic the application's kernels use — returning the previous value. The
+// update is a real atomic on host memory, so concurrent work-items get
+// unique slots exactly as on a device.
+func (it *Item) AtomicIncUint32(p *uint32) uint32 {
+	it.stats.AtomicOps++
+	return atomic.AddUint32(p, 1) - 1
+}
+
+// AtomicAddUint32 adds delta and returns the previous value.
+func (it *Item) AtomicAddUint32(p *uint32, delta uint32) uint32 {
+	it.stats.AtomicOps++
+	return atomic.AddUint32(p, delta) - delta
+}

@@ -1,0 +1,132 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+)
+
+// LocalArg marks an OpenCL-style __local kernel argument — the result of
+// clSetKernelArg with a size and a NULL pointer. Kernel builders turn it
+// into per-group shared storage.
+type LocalArg struct {
+	Bytes int
+}
+
+// LaunchSpec describes one kernel launch: the kernel name (for the launch
+// log), the ND-range decomposition, and the group-kernel factory.
+type LaunchSpec struct {
+	Name   string
+	Global Range
+	Local  Range
+	Kernel GroupKernel
+	// LDSBytesPerWG declares how much shared local memory each work-group
+	// uses; it is carried into the launch record for the occupancy model
+	// and validated against the device limit.
+	LDSBytesPerWG int
+}
+
+// launchState is the per-launch context shared by all groups.
+type launchState struct {
+	dev    *Device
+	global Range
+	local  Range
+}
+
+// Launch executes the kernel over the ND-range and returns the aggregated
+// access statistics. Work-groups are distributed over the device's host
+// worker pool; the work-items of each group run concurrently so that
+// barriers have their real semantics. Launch blocks until the kernel
+// completes (the frontends add their own asynchronous-queue semantics on
+// top).
+func (d *Device) Launch(spec LaunchSpec) (*Stats, error) {
+	if spec.Kernel == nil {
+		return nil, fmt.Errorf("gpu: launch %q: nil kernel", spec.Name)
+	}
+	if err := checkNDRange(spec.Global, spec.Local, d.spec.MaxWorkGroupSize); err != nil {
+		return nil, fmt.Errorf("gpu: launch %q: %w", spec.Name, err)
+	}
+	if spec.LDSBytesPerWG > d.spec.LDSPerCUBytes {
+		return nil, fmt.Errorf("gpu: launch %q: %d bytes of local memory exceed the %d-byte CU limit",
+			spec.Name, spec.LDSBytesPerWG, d.spec.LDSPerCUBytes)
+	}
+
+	ls := &launchState{dev: d, global: spec.Global, local: spec.Local}
+	var gridDim [MaxDims]int
+	numGroups := 1
+	for dim := 0; dim < MaxDims; dim++ {
+		gridDim[dim] = spec.Global.Size(dim) / spec.Local.Size(dim)
+		numGroups *= gridDim[dim]
+	}
+	groupSize := spec.Local.Total()
+
+	workers := d.workers
+	if workers > numGroups {
+		workers = numGroups
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		total   Stats
+		totalMu sync.Mutex
+		wg      sync.WaitGroup
+	)
+	groupCh := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var local Stats
+			items := make([]Item, groupSize)
+			for linear := range groupCh {
+				g := &Group{
+					launch:  ls,
+					linear:  linear,
+					barrier: newBarrier(groupSize),
+				}
+				// Decompose the linear group index; dimension 0 varies
+				// fastest, matching OpenCL's enumeration.
+				rem := linear
+				for dim := 0; dim < MaxDims; dim++ {
+					g.id[dim] = rem % gridDim[dim]
+					rem /= gridDim[dim]
+				}
+				body := spec.Kernel(g)
+				var itemWG sync.WaitGroup
+				itemWG.Add(groupSize)
+				for li := 0; li < groupSize; li++ {
+					it := &items[li]
+					*it = Item{group: g}
+					rem := li
+					for dim := 0; dim < MaxDims; dim++ {
+						it.localID[dim] = rem % spec.Local.Size(dim)
+						rem /= spec.Local.Size(dim)
+						it.globalID[dim] = g.id[dim]*spec.Local.Size(dim) + it.localID[dim]
+					}
+					go func() {
+						defer itemWG.Done()
+						body(it)
+					}()
+				}
+				itemWG.Wait()
+				local.WorkGroups++
+				for li := range items {
+					local.Add(&items[li].stats)
+				}
+			}
+			totalMu.Lock()
+			total.Add(&local)
+			totalMu.Unlock()
+		}()
+	}
+	for gid := 0; gid < numGroups; gid++ {
+		groupCh <- gid
+	}
+	close(groupCh)
+	wg.Wait()
+
+	total.WorkItems = int64(spec.Global.Total())
+	d.recordLaunch(spec.Name, &total)
+	return &total, nil
+}

@@ -1,0 +1,457 @@
+package gpu
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"casoffinder/internal/gpu/device"
+)
+
+func testDevice(t *testing.T) *Device {
+	t.Helper()
+	return New(device.MI100(), WithWorkers(4))
+}
+
+// TestLaunchCoversGlobalIDs checks that every global ID in a 1-D range is
+// visited exactly once and that local/group coordinates are consistent.
+func TestLaunchCoversGlobalIDs(t *testing.T) {
+	d := testDevice(t)
+	const global, local = 1024, 64
+	seen := make([]int32, global)
+	var bad sync.Map
+	_, err := d.Launch(LaunchSpec{
+		Name:   "cover",
+		Global: R1(global),
+		Local:  R1(local),
+		Kernel: func(g *Group) WorkItemFunc {
+			return func(it *Item) {
+				gid := it.GlobalID(0)
+				if gid != it.GroupID(0)*it.LocalRange(0)+it.LocalID(0) {
+					bad.Store(gid, "coordinate mismatch")
+				}
+				if it.GlobalRange(0) != global || it.LocalRange(0) != local {
+					bad.Store(gid, "range mismatch")
+				}
+				if it.GroupRange(0) != global/local {
+					bad.Store(gid, "group range mismatch")
+				}
+				seen[gid]++ // unique index per item: no race
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	bad.Range(func(k, v any) bool {
+		t.Errorf("item %v: %v", k, v)
+		return true
+	})
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("global ID %d visited %d times", i, n)
+		}
+	}
+}
+
+func TestLaunch3D(t *testing.T) {
+	d := testDevice(t)
+	const x, y, z = 8, 6, 4
+	seen := make([]int32, x*y*z)
+	_, err := d.Launch(LaunchSpec{
+		Name:   "cover3d",
+		Global: R3(x, y, z),
+		Local:  R3(4, 3, 2),
+		Kernel: func(g *Group) WorkItemFunc {
+			return func(it *Item) {
+				idx := it.GlobalID(0) + x*(it.GlobalID(1)+y*it.GlobalID(2))
+				seen[idx]++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("linear ID %d visited %d times", i, n)
+		}
+	}
+}
+
+// TestBarrierLeaderPrefetch reproduces the exact pattern of the paper's
+// kernels: the first work-item of each group fills shared local memory, a
+// barrier follows, then every item reads the shared data. Without correct
+// barrier semantics some item would observe zeros.
+func TestBarrierLeaderPrefetch(t *testing.T) {
+	d := testDevice(t)
+	const groups, local = 32, 64
+	results := make([]int32, groups*local)
+	_, err := d.Launch(LaunchSpec{
+		Name:   "prefetch",
+		Global: R1(groups * local),
+		Local:  R1(local),
+		Kernel: func(g *Group) WorkItemFunc {
+			shared := make([]int32, local) // work-group local memory
+			return func(it *Item) {
+				li := it.GlobalID(0) - it.GroupID(0)*it.LocalRange(0)
+				if li == 0 {
+					for k := range shared {
+						shared[k] = int32(100 + k)
+					}
+				}
+				it.Barrier()
+				results[it.GlobalID(0)] = shared[li]
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	for gid, v := range results {
+		if want := int32(100 + gid%local); v != want {
+			t.Fatalf("item %d read %d, want %d (barrier visibility broken)", gid, v, want)
+		}
+	}
+}
+
+// TestBarrierMultiplePhases stresses barrier reuse within one group.
+func TestBarrierMultiplePhases(t *testing.T) {
+	d := testDevice(t)
+	const local, phases = 32, 5
+	counter := make([]int32, phases)
+	var mu sync.Mutex
+	_, err := d.Launch(LaunchSpec{
+		Name:   "phases",
+		Global: R1(local),
+		Local:  R1(local),
+		Kernel: func(g *Group) WorkItemFunc {
+			progress := make([]int32, phases)
+			return func(it *Item) {
+				for p := 0; p < phases; p++ {
+					mu.Lock()
+					progress[p]++
+					mu.Unlock()
+					it.Barrier()
+					// After the barrier every item must see all arrivals.
+					mu.Lock()
+					if progress[p] != local {
+						counter[p]++
+					}
+					mu.Unlock()
+					it.Barrier()
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	for p, bad := range counter {
+		if bad != 0 {
+			t.Errorf("phase %d: %d items saw incomplete arrivals", p, bad)
+		}
+	}
+}
+
+// TestAtomicCompaction verifies that atomic increments hand out unique,
+// dense slots — the output-compaction idiom of the comparer kernel.
+func TestAtomicCompaction(t *testing.T) {
+	d := testDevice(t)
+	const n = 2048
+	var count uint32
+	slots := make([]int32, n)
+	_, err := d.Launch(LaunchSpec{
+		Name:   "compact",
+		Global: R1(n),
+		Local:  R1(128),
+		Kernel: func(g *Group) WorkItemFunc {
+			return func(it *Item) {
+				if it.GlobalID(0)%3 == 0 { // a third of the items "match"
+					old := it.AtomicIncUint32(&count)
+					slots[old] = int32(it.GlobalID(0))
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	want := uint32((n + 2) / 3)
+	if count != want {
+		t.Fatalf("count = %d, want %d", count, want)
+	}
+	seen := make(map[int32]bool)
+	for i := uint32(0); i < count; i++ {
+		v := slots[i]
+		if v%3 != 0 {
+			t.Fatalf("slot %d holds non-matching item %d", i, v)
+		}
+		if seen[v] {
+			t.Fatalf("item %d stored twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestAtomicAdd(t *testing.T) {
+	d := testDevice(t)
+	var sum uint32
+	_, err := d.Launch(LaunchSpec{
+		Name:   "add",
+		Global: R1(256),
+		Local:  R1(64),
+		Kernel: func(g *Group) WorkItemFunc {
+			return func(it *Item) { it.AtomicAddUint32(&sum, 2) }
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if sum != 512 {
+		t.Errorf("sum = %d, want 512", sum)
+	}
+}
+
+func TestLaunchStats(t *testing.T) {
+	d := testDevice(t)
+	const global, local = 512, 64
+	stats, err := d.Launch(LaunchSpec{
+		Name:   "stats",
+		Global: R1(global),
+		Local:  R1(local),
+		Kernel: func(g *Group) WorkItemFunc {
+			return func(it *Item) {
+				it.LoadGlobal(4)
+				it.LoadGlobal(1)
+				it.StoreGlobal(4)
+				it.LoadConstant()
+				it.LoadLocal()
+				it.StoreLocal()
+				it.ALU(3)
+				it.Branch(true)
+				it.Branch(false)
+				it.Barrier()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	n := int64(global)
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"WorkItems", stats.WorkItems, n},
+		{"WorkGroups", stats.WorkGroups, global / local},
+		{"GlobalLoadOps", stats.GlobalLoadOps, 2 * n},
+		{"GlobalLoadBytes", stats.GlobalLoadBytes, 5 * n},
+		{"GlobalStoreOps", stats.GlobalStoreOps, n},
+		{"GlobalStoreBytes", stats.GlobalStoreBytes, 4 * n},
+		{"ConstantLoadOps", stats.ConstantLoadOps, n},
+		{"LocalLoadOps", stats.LocalLoadOps, n},
+		{"LocalStoreOps", stats.LocalStoreOps, n},
+		{"ALUOps", stats.ALUOps, 3 * n},
+		{"Branches", stats.Branches, 2 * n},
+		{"DivergentBranches", stats.DivergentBranches, n},
+		{"Barriers", stats.Barriers, n},
+		{"GlobalBytes", stats.GlobalBytes(), 9 * n},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+	if stats.String() == "" {
+		t.Error("Stats.String empty")
+	}
+}
+
+func TestLaunchErrors(t *testing.T) {
+	d := testDevice(t)
+	nop := func(g *Group) WorkItemFunc { return func(it *Item) {} }
+	tests := []struct {
+		name    string
+		spec    LaunchSpec
+		wantErr error
+	}{
+		{"nil kernel", LaunchSpec{Name: "k", Global: R1(64), Local: R1(64)}, nil},
+		{"bad divide", LaunchSpec{Name: "k", Global: R1(100), Local: R1(64), Kernel: nop}, ErrLocalSize},
+		{"oversized group", LaunchSpec{Name: "k", Global: R1(4096), Local: R1(4096), Kernel: nop}, ErrWorkGroupTooLarge},
+		{"zero range", LaunchSpec{Name: "k", Kernel: nop}, ErrInvalidRange},
+		{"huge lds", LaunchSpec{Name: "k", Global: R1(64), Local: R1(64), Kernel: nop, LDSBytesPerWG: 1 << 20}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := d.Launch(tt.spec)
+			if err == nil {
+				t.Fatal("Launch = nil error, want failure")
+			}
+			if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+				t.Errorf("Launch error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLaunchLogAndProfile(t *testing.T) {
+	d := testDevice(t)
+	kernel := func(loads int) GroupKernel {
+		return func(g *Group) WorkItemFunc {
+			return func(it *Item) {
+				for i := 0; i < loads; i++ {
+					it.LoadGlobal(4)
+				}
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d.Launch(LaunchSpec{Name: "finder", Global: R1(64), Local: R1(64), Kernel: kernel(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Launch(LaunchSpec{Name: "comparer", Global: R1(64), Local: R1(64), Kernel: kernel(10)}); err != nil {
+		t.Fatal(err)
+	}
+	log := d.LaunchLog()
+	if len(log) != 4 {
+		t.Fatalf("launch log has %d entries, want 4", len(log))
+	}
+	prof := d.ProfileByKernel()
+	if got := prof["finder"].GlobalLoadOps; got != 3*64 {
+		t.Errorf("finder loads = %d, want %d", got, 3*64)
+	}
+	if got := prof["comparer"].GlobalLoadOps; got != 10*64 {
+		t.Errorf("comparer loads = %d, want %d", got, 10*64)
+	}
+	d.ResetLaunchLog()
+	if len(d.LaunchLog()) != 0 {
+		t.Error("ResetLaunchLog did not clear the log")
+	}
+}
+
+func TestGroupContext(t *testing.T) {
+	d := testDevice(t)
+	const groups = 8
+	linears := make([]int32, groups)
+	_, err := d.Launch(LaunchSpec{
+		Name:   "groups",
+		Global: R1(groups * 16),
+		Local:  R1(16),
+		Kernel: func(g *Group) WorkItemFunc {
+			if g.Device() != d {
+				t.Error("Group.Device mismatch")
+			}
+			if g.LocalRange(0) != 16 {
+				t.Errorf("Group.LocalRange = %d", g.LocalRange(0))
+			}
+			if g.ID(0) != g.Linear() {
+				t.Errorf("1-D group: ID(0)=%d != Linear()=%d", g.ID(0), g.Linear())
+			}
+			linears[g.Linear()]++
+			return func(it *Item) {}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	for i, n := range linears {
+		if n != 1 {
+			t.Errorf("group %d instantiated %d times", i, n)
+		}
+	}
+}
+
+func TestItemOutOfRangeDims(t *testing.T) {
+	d := testDevice(t)
+	_, err := d.Launch(LaunchSpec{
+		Name:   "dims",
+		Global: R1(4),
+		Local:  R1(4),
+		Kernel: func(g *Group) WorkItemFunc {
+			return func(it *Item) {
+				if it.GlobalID(5) != 0 || it.LocalID(-1) != 0 || it.GroupID(7) != 0 {
+					t.Error("out-of-range dims should be 0")
+				}
+				if it.GlobalRange(2) != 1 || it.GroupRange(2) != 1 {
+					t.Error("out-of-range range dims should be 1")
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+}
+
+// TestConcurrentLaunches stresses the device with parallel kernel launches
+// from many goroutines; the launch log and results must stay consistent.
+func TestConcurrentLaunches(t *testing.T) {
+	d := New(device.MI100(), WithWorkers(4))
+	const launchers = 8
+	var wg sync.WaitGroup
+	results := make([][]int32, launchers)
+	wg.Add(launchers)
+	for l := 0; l < launchers; l++ {
+		go func(l int) {
+			defer wg.Done()
+			out := make([]int32, 512)
+			_, err := d.Launch(LaunchSpec{
+				Name:   "stress",
+				Global: R1(512),
+				Local:  R1(64),
+				Kernel: func(g *Group) WorkItemFunc {
+					return func(it *Item) {
+						out[it.GlobalID(0)] = int32(l*1000 + it.GlobalID(0))
+					}
+				},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[l] = out
+		}(l)
+	}
+	wg.Wait()
+	for l, out := range results {
+		for i, v := range out {
+			if v != int32(l*1000+i) {
+				t.Fatalf("launcher %d: out[%d] = %d", l, i, v)
+			}
+		}
+	}
+	if got := len(d.LaunchLog()); got != launchers {
+		t.Errorf("launch log has %d entries, want %d", got, launchers)
+	}
+}
+
+// TestConcurrentAlloc stresses the memory accounting with parallel
+// allocate/free cycles.
+func TestConcurrentAlloc(t *testing.T) {
+	d := New(device.RadeonVII())
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a, err := d.Alloc(GlobalMem, 1<<20)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := a.Free(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if d.AllocatedBytes() != 0 {
+		t.Errorf("leaked %d bytes", d.AllocatedBytes())
+	}
+}

@@ -1,0 +1,90 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRangeConstructors(t *testing.T) {
+	tests := []struct {
+		r     Range
+		dims  int
+		sizes [3]int
+		total int
+	}{
+		{R1(7), 1, [3]int{7, 1, 1}, 7},
+		{R2(4, 5), 2, [3]int{4, 5, 1}, 20},
+		{R3(2, 3, 4), 3, [3]int{2, 3, 4}, 24},
+	}
+	for _, tt := range tests {
+		if tt.r.Dims() != tt.dims {
+			t.Errorf("%v: Dims = %d, want %d", tt.r, tt.r.Dims(), tt.dims)
+		}
+		for d := 0; d < 3; d++ {
+			if tt.r.Size(d) != tt.sizes[d] {
+				t.Errorf("%v: Size(%d) = %d, want %d", tt.r, d, tt.r.Size(d), tt.sizes[d])
+			}
+		}
+		if tt.r.Total() != tt.total {
+			t.Errorf("%v: Total = %d, want %d", tt.r, tt.r.Total(), tt.total)
+		}
+	}
+}
+
+func TestRangeZeroValue(t *testing.T) {
+	var r Range
+	if r.Dims() != 0 || r.Total() != 0 {
+		t.Errorf("zero Range: Dims=%d Total=%d", r.Dims(), r.Total())
+	}
+	if r.String() != "{invalid}" {
+		t.Errorf("zero Range String = %q", r.String())
+	}
+}
+
+func TestRangeSizeOutOfBounds(t *testing.T) {
+	r := R2(3, 4)
+	if r.Size(-1) != 1 || r.Size(2) != 1 || r.Size(99) != 1 {
+		t.Error("out-of-range dimension should report extent 1")
+	}
+}
+
+func TestCheckNDRange(t *testing.T) {
+	tests := []struct {
+		name          string
+		global, local Range
+		wantErr       error
+	}{
+		{"ok 1d", R1(1024), R1(256), nil},
+		{"ok 2d", R2(64, 64), R2(8, 8), nil},
+		{"ok 3d", R3(8, 8, 8), R3(2, 2, 2), nil},
+		{"zero global", Range{}, R1(1), ErrInvalidRange},
+		{"zero local", R1(64), Range{}, ErrInvalidRange},
+		{"dim mismatch", R2(64, 64), R1(8), ErrInvalidRange},
+		{"not dividing", R1(100), R1(256), ErrLocalSize},
+		{"not dividing dim 1", R2(64, 63), R2(8, 8), ErrLocalSize},
+		{"too large wg", R1(4096), R1(2048), ErrWorkGroupTooLarge},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := checkNDRange(tt.global, tt.local, 1024)
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Errorf("checkNDRange = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("checkNDRange = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	if s := R3(1, 2, 3).String(); s != "{1,2,3}" {
+		t.Errorf("String = %q", s)
+	}
+	if s := R1(5).String(); s != "{5}" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,79 @@
+package gpu
+
+import "fmt"
+
+// Stats aggregates the observable work of one kernel launch. Kernel bodies
+// report their memory traffic and instruction mix through the Item counting
+// methods; the executor merges per-item counts into one record per launch.
+// The timing model (internal/timing) turns a Stats record plus a device spec
+// and an occupancy into estimated kernel time.
+type Stats struct {
+	// Launch shape.
+	WorkItems  int64
+	WorkGroups int64
+
+	// Device global memory traffic, split into operations (transactions
+	// before coalescing) and bytes.
+	GlobalLoadOps   int64
+	GlobalLoadBytes int64
+	// RedundantLoadOps is the subset of GlobalLoadOps that re-read an
+	// address already fetched by the same work-item (the reloads a
+	// compiler emits without __restrict or explicit registering); they hit
+	// the cache hierarchy rather than DRAM.
+	RedundantLoadOps int64
+	GlobalStoreOps   int64
+	GlobalStoreBytes int64
+
+	// Constant-memory reads (broadcast-friendly, cheap when uniform).
+	ConstantLoadOps int64
+
+	// Shared local memory traffic.
+	LocalLoadOps  int64
+	LocalStoreOps int64
+
+	// Atomic read-modify-write operations on global memory.
+	AtomicOps int64
+
+	// Work-group barrier executions (per work-item).
+	Barriers int64
+
+	// ALU operations explicitly accounted by kernel bodies (comparisons,
+	// address arithmetic bundles).
+	ALUOps int64
+
+	// Branches and the subset whose outcome diverged within a wavefront
+	// (approximated by the kernel body's own accounting).
+	Branches          int64
+	DivergentBranches int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o *Stats) {
+	s.WorkItems += o.WorkItems
+	s.WorkGroups += o.WorkGroups
+	s.GlobalLoadOps += o.GlobalLoadOps
+	s.GlobalLoadBytes += o.GlobalLoadBytes
+	s.RedundantLoadOps += o.RedundantLoadOps
+	s.GlobalStoreOps += o.GlobalStoreOps
+	s.GlobalStoreBytes += o.GlobalStoreBytes
+	s.ConstantLoadOps += o.ConstantLoadOps
+	s.LocalLoadOps += o.LocalLoadOps
+	s.LocalStoreOps += o.LocalStoreOps
+	s.AtomicOps += o.AtomicOps
+	s.Barriers += o.Barriers
+	s.ALUOps += o.ALUOps
+	s.Branches += o.Branches
+	s.DivergentBranches += o.DivergentBranches
+}
+
+// GlobalBytes returns total global-memory bytes moved.
+func (s *Stats) GlobalBytes() int64 { return s.GlobalLoadBytes + s.GlobalStoreBytes }
+
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"items=%d groups=%d gld=%d(%dB) gst=%d(%dB) cld=%d lld=%d lst=%d atom=%d barrier=%d alu=%d br=%d/%d",
+		s.WorkItems, s.WorkGroups,
+		s.GlobalLoadOps, s.GlobalLoadBytes, s.GlobalStoreOps, s.GlobalStoreBytes,
+		s.ConstantLoadOps, s.LocalLoadOps, s.LocalStoreOps,
+		s.AtomicOps, s.Barriers, s.ALUOps, s.DivergentBranches, s.Branches)
+}

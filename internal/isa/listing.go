@@ -1,0 +1,73 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Listing renders the program as pseudo-assembly, one instruction per line
+// with defs, uses and encoding sizes — the reproduction's equivalent of the
+// disassembly the paper inspects to explain Table X. Loop regions are
+// marked with labels and indentation.
+func (p *Program) Listing() string {
+	loopBegin := map[int][]int{}
+	loopEnd := map[int][]int{}
+	for li, lp := range p.Loops {
+		loopBegin[lp[0]] = append(loopBegin[lp[0]], li)
+		loopEnd[lp[1]] = append(loopEnd[lp[1]], li)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; kernel %s: %d instructions, %d bytes\n", p.Name, len(p.Insts), p.CodeBytes())
+	depth := 0
+	for idx, inst := range p.Insts {
+		for range loopEnd[idx] {
+			depth--
+			fmt.Fprintf(&b, "%s.endloop\n", strings.Repeat("  ", 1+depth))
+		}
+		for _, li := range loopBegin[idx] {
+			fmt.Fprintf(&b, "%s.loop_%d:\n", strings.Repeat("  ", 1+depth), li)
+			depth++
+		}
+		indent := strings.Repeat("  ", 1+depth)
+		fmt.Fprintf(&b, "%s%-44s", indent, inst.Name)
+		if len(inst.Defs) > 0 {
+			fmt.Fprintf(&b, " %v", inst.Defs)
+		}
+		if len(inst.Uses) > 0 {
+			uses := inst.Uses
+			if len(uses) > 6 {
+				fmt.Fprintf(&b, " <- %v... (%d uses)", uses[:6], len(uses))
+			} else {
+				fmt.Fprintf(&b, " <- %v", uses)
+			}
+		}
+		if inst.AliasGuarded {
+			b.WriteString("  ; alias-guarded reload")
+		}
+		fmt.Fprintf(&b, "  ; %dB\n", inst.Bytes())
+	}
+	for range loopEnd[len(p.Insts)] {
+		depth--
+		fmt.Fprintf(&b, "%s.endloop\n", strings.Repeat("  ", 1+depth))
+	}
+	return b.String()
+}
+
+// Summary returns a one-line per-unit instruction census.
+func (p *Program) Summary() string {
+	units := []struct {
+		u    Unit
+		name string
+	}{
+		{SALU, "salu"}, {VALU, "valu"}, {SMEM, "smem"},
+		{VMEM, "vmem"}, {LDS, "lds"}, {BRANCH, "branch"}, {SYNC, "sync"},
+	}
+	parts := make([]string, 0, len(units)+1)
+	parts = append(parts, fmt.Sprintf("%dB", p.CodeBytes()))
+	for _, u := range units {
+		if n := p.CountUnit(u.u); n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", u.name, n))
+		}
+	}
+	return strings.Join(parts, " ")
+}

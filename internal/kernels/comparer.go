@@ -1,0 +1,226 @@
+package kernels
+
+import (
+	"fmt"
+
+	"casoffinder/internal/gpu"
+)
+
+// ComparerVariant selects between the baseline comparer of Listing 1 and
+// the paper's cumulative optimizations (§IV.B). All variants compute
+// identical results; they differ in the memory traffic the compiler would
+// emit for them, which the simulator accounts through the Item counters,
+// and in the register pressure internal/isa derives for them.
+type ComparerVariant int
+
+// Comparer variants, cumulative in the paper's order.
+const (
+	// Base is the kernel exactly as migrated (Listing 1).
+	Base ComparerVariant = iota
+	// Opt1 adds __restrict to every pointer argument, letting the compiler
+	// remove reloads it previously kept for potential aliasing: the flag
+	// test reads flag[i] once per branch and loci[i] is hoisted out of each
+	// comparison loop.
+	Opt1
+	// Opt2 explicitly stages loci[i] and flag[i] in registers before the
+	// comparison loops: one global read of each per work-item.
+	Opt2
+	// Opt3 fetches the pattern and index arrays from global to shared
+	// local memory cooperatively — every work-item of the group
+	// participates instead of only the first.
+	Opt3
+	// Opt4 additionally stages each pattern character read from shared
+	// local memory in a register, halving LDS traffic but raising register
+	// pressure enough to cost a wave of occupancy (Table X).
+	Opt4
+)
+
+// Variants lists all comparer variants in cumulative order.
+func Variants() []ComparerVariant { return []ComparerVariant{Base, Opt1, Opt2, Opt3, Opt4} }
+
+func (v ComparerVariant) String() string {
+	switch v {
+	case Base:
+		return "base"
+	case Opt1:
+		return "opt1"
+	case Opt2:
+		return "opt2"
+	case Opt3:
+		return "opt3"
+	case Opt4:
+		return "opt4"
+	default:
+		return fmt.Sprintf("ComparerVariant(%d)", int(v))
+	}
+}
+
+// CooperativeFetch reports whether the variant stages patterns into local
+// memory with all work-items (opt3 and later) rather than the group leader
+// alone; the timing model charges leader-only staging as a serialised
+// prefix on the group's critical path.
+func (v ComparerVariant) CooperativeFetch() bool { return v >= Opt3 }
+
+// comparerCosts encodes the compiler-visible differences between variants:
+// how often the kernel re-reads flag[i] and loci[i] from global memory and
+// whether the ladder re-reads l_comp[k] from local memory per term.
+type comparerCosts struct {
+	flagLoads    int  // global reads of flag[i] per work-item
+	lociPerIter  bool // loci[i] re-read on every comparison iteration
+	lociPerHalf  bool // loci[i] read once per strand loop (hoisted)
+	ldsPerTerm   bool // l_comp[k] read once per evaluated ladder term
+	coopPrefetch bool // all items stage the pattern arrays
+}
+
+func (v ComparerVariant) costs() comparerCosts {
+	switch v {
+	case Base:
+		return comparerCosts{flagLoads: 4, lociPerIter: true, ldsPerTerm: true}
+	case Opt1:
+		return comparerCosts{flagLoads: 2, lociPerHalf: true, ldsPerTerm: true}
+	case Opt2:
+		return comparerCosts{flagLoads: 1, ldsPerTerm: true}
+	case Opt3:
+		return comparerCosts{flagLoads: 1, ldsPerTerm: true, coopPrefetch: true}
+	default: // Opt4
+		return comparerCosts{flagLoads: 1, coopPrefetch: true}
+	}
+}
+
+// Comparer returns the kernel body for the variant. lComp and lCompIndex
+// are the work-group-local staging arrays ("l_comp", "l_comp_index"), each
+// of length 2*PatternLen.
+func Comparer(v ComparerVariant) func(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int32) {
+	c := v.costs()
+	return func(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int32) {
+		comparerImpl(it, a, lComp, lCompIndex, c)
+	}
+}
+
+// ComparerLocalBytes returns the shared-local-memory bytes one work-group
+// of the comparer uses for a guide pattern of length plen.
+func ComparerLocalBytes(plen int) int { return 2*plen + 4*2*plen }
+
+// comparerImpl is Listing 1 with the per-variant cost model applied. The
+// control flow follows the listing: stage patterns to local memory,
+// barrier, then for each flagged strand walk the guide's index array,
+// counting mismatches with early exit past the threshold, and compact
+// passing entries through the atomic entry counter.
+func comparerImpl(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int32, c comparerCosts) {
+	plen := a.Guide.PatternLen
+	i := it.GlobalID(0)
+	li := i - it.GroupID(0)*it.LocalRange(0) // L1 of Listing 1
+	it.ALU(2)
+
+	// L2-L8: stage comp and comp_index into shared local memory.
+	if c.coopPrefetch {
+		wg := it.LocalRange(0)
+		for k := li; k < plen*2; k += wg {
+			lComp[k] = a.Guide.Codes[k]
+			lCompIndex[k] = a.Guide.Index[k]
+			it.LoadGlobal(1)
+			it.LoadGlobal(4)
+			it.StoreLocalN(2)
+		}
+	} else if li == 0 {
+		for k := 0; k < plen*2; k++ {
+			lComp[k] = a.Guide.Codes[k]
+			lCompIndex[k] = a.Guide.Index[k]
+			it.LoadGlobal(1)
+			it.LoadGlobal(4)
+			it.StoreLocalN(2)
+		}
+	}
+	it.Barrier()
+
+	if uint32(i) >= a.LociCount {
+		it.Branch(true)
+		return
+	}
+
+	flag := a.Flags[i]
+	it.LoadGlobal(1)
+	for r := 1; r < c.flagLoads; r++ {
+		it.LoadGlobalRedundant(1)
+	}
+	locus := int(a.Loci[i])
+	if !c.lociPerIter && !c.lociPerHalf {
+		it.LoadGlobal(4) // opt2+: loci[i] registered once per item
+	}
+
+	// compareStrand walks one half of the index array (L9-L24 forward,
+	// L26-L42 reverse). offset selects the strand; pattern characters live
+	// at lComp[k+offset] and reference characters at chr[locus+k].
+	firstLociRead := true
+	readLocus := func() {
+		if firstLociRead {
+			it.LoadGlobal(4)
+			firstLociRead = false
+			return
+		}
+		it.LoadGlobalRedundant(4)
+	}
+
+	compareStrand := func(offset int) (uint16, bool) {
+		if c.lociPerHalf {
+			readLocus() // opt1: loci[i] hoisted out of the loop
+		}
+		var mm uint16
+		for j := 0; j < plen; j++ {
+			k := lCompIndex[offset+j]
+			it.LoadLocal()
+			if k == -1 {
+				it.Branch(false)
+				break
+			}
+			code := lComp[offset+int(k)]
+			terms := ladderPos[code]
+			if c.ldsPerTerm {
+				it.LoadLocalN(terms)
+			} else {
+				it.LoadLocal() // opt4: one LDS read, then a register
+			}
+			if c.lociPerIter {
+				readLocus() // base: loci[i] reloaded per iteration
+			}
+			it.LoadGlobal(1) // chr[loci[i]+k]
+			it.ALU(aluPerTerm*terms + 2)
+			it.Branch(true)
+			if mismatch(code, a.Chr[locus+int(k)]) {
+				mm++
+				if mm > a.Threshold {
+					it.Branch(true)
+					return mm, false
+				}
+			}
+		}
+		return mm, true
+	}
+
+	// store compacts one passing entry (L19-L23 / L36-L40).
+	store := func(mm uint16, dir byte) {
+		old := it.AtomicIncUint32(a.EntryCount)
+		a.MMCount[old] = mm
+		a.Direction[old] = dir
+		a.MMLoci[old] = uint32(locus)
+		if c.lociPerIter {
+			readLocus() // base: mm_loci[old] = loci[i] reloads again
+		}
+		it.StoreGlobal(2)
+		it.StoreGlobal(1)
+		it.StoreGlobal(4)
+	}
+
+	if flag == FlagBoth || flag == FlagForward {
+		it.Branch(true)
+		if mm, ok := compareStrand(0); ok && mm <= a.Threshold {
+			store(mm, DirForward)
+		}
+	}
+	if flag == FlagBoth || flag == FlagReverse {
+		it.Branch(true)
+		if mm, ok := compareStrand(plen); ok && mm <= a.Threshold {
+			store(mm, DirReverse)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package kernels
+
+import "casoffinder/internal/gpu"
+
+// Finder is the "search" kernel: one work-item per candidate site start,
+// selecting the sites that contain the PAM sequence on either strand
+// (§II.A). The first work-item of each group stages the pattern pair and
+// its index arrays into shared local memory (the kernel's __constant
+// pattern argument in OpenCL, a constant_buffer accessor in SYCL), a
+// barrier publishes them, then every item tests its site and compacts
+// matches through an atomic cursor.
+//
+// lPat and lPatIndex are the work-group-local staging arrays ("l_pat",
+// "l_pat_index" in Table VI), each of length 2*PatternLen.
+func Finder(it *gpu.Item, a *FinderArgs, lPat []byte, lPatIndex []int32) {
+	plen := a.Pattern.PatternLen
+	i := it.GlobalID(0)
+	li := i - it.GroupID(0)*it.LocalRange(0)
+	it.ALU(2)
+
+	if li == 0 {
+		for k := 0; k < plen*2; k++ {
+			lPat[k] = a.Pattern.Codes[k]
+			lPatIndex[k] = a.Pattern.Index[k]
+			it.LoadConstant()
+			it.LoadConstant()
+			it.StoreLocalN(2)
+		}
+	}
+	it.Barrier()
+
+	if i >= a.Sites {
+		it.Branch(true)
+		return
+	}
+
+	match := func(offset int) bool {
+		for j := 0; j < plen; j++ {
+			k := lPatIndex[offset+j]
+			it.LoadLocal()
+			if k == -1 {
+				it.Branch(false)
+				break
+			}
+			code := lPat[offset+int(k)]
+			terms := ladderPos[code]
+			it.LoadLocalN(1 + terms)
+			it.LoadGlobal(1) // chr[i+k]
+			it.ALU(aluPerTerm*terms + 2)
+			it.Branch(true)
+			if mismatch(code, a.Chr[i+int(k)]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	fwd := match(0)
+	rev := match(plen)
+	var flag byte
+	switch {
+	case fwd && rev:
+		flag = FlagBoth
+	case fwd:
+		flag = FlagForward
+	case rev:
+		flag = FlagReverse
+	default:
+		it.Branch(true)
+		return
+	}
+	old := it.AtomicIncUint32(a.Count)
+	a.Loci[old] = uint32(i)
+	a.Flags[old] = flag
+	it.StoreGlobal(4)
+	it.StoreGlobal(1)
+}
+
+// FinderLocalBytes returns the shared-local-memory bytes one work-group of
+// the finder uses for a pattern of length plen.
+func FinderLocalBytes(plen int) int { return 2*plen + 4*2*plen }

@@ -1,0 +1,266 @@
+package kernels
+
+import (
+	"fmt"
+
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/opencl"
+)
+
+// Argument-slot helpers for the OpenCL builder functions.
+
+func memSlice[T any](args []any, i int) ([]T, error) {
+	m, ok := args[i].(*opencl.Mem)
+	if !ok {
+		return nil, fmt.Errorf("kernels: argument %d: want *opencl.Mem, got %T", i, args[i])
+	}
+	s, err := opencl.Slice[T](m)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: argument %d: %w", i, err)
+	}
+	return s, nil
+}
+
+func scalar[T any](args []any, i int) (T, error) {
+	v, ok := args[i].(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("kernels: argument %d: want %T, got %T", i, zero, args[i])
+	}
+	return v, nil
+}
+
+func localSlots(args []any, i int, elemBytes int) (int, error) {
+	l, ok := args[i].(gpu.LocalArg)
+	if !ok {
+		return 0, fmt.Errorf("kernels: argument %d: want __local size, got %T", i, args[i])
+	}
+	if l.Bytes%elemBytes != 0 {
+		return 0, fmt.Errorf("kernels: argument %d: local size %d not a multiple of %d", i, l.Bytes, elemBytes)
+	}
+	return l.Bytes / elemBytes, nil
+}
+
+// Finder argument-slot order for the OpenCL frontend, following the kernel
+// signature of Table VI.
+const (
+	FinderArgChr = iota
+	FinderArgPat
+	FinderArgPatIndex
+	FinderArgPatternLen
+	FinderArgSites
+	FinderArgLoci
+	FinderArgFlags
+	FinderArgCount
+	FinderArgLocalPat
+	FinderArgLocalPatIndex
+	finderNumArgs
+)
+
+// Comparer argument-slot order for the OpenCL frontend, following the
+// signature of Listing 1.
+const (
+	ComparerArgLociCount = iota
+	ComparerArgChr
+	ComparerArgLoci
+	ComparerArgMMLoci
+	ComparerArgComp
+	ComparerArgCompIndex
+	ComparerArgPatternLen
+	ComparerArgThreshold
+	ComparerArgFlags
+	ComparerArgMMCount
+	ComparerArgDirection
+	ComparerArgEntryCount
+	ComparerArgLocalComp
+	ComparerArgLocalCompIndex
+	comparerNumArgs
+)
+
+// ComparerKernelName returns the registry name of a comparer variant
+// ("comparer" for the baseline, "comparer_optN" for the optimizations).
+func ComparerKernelName(v ComparerVariant) string {
+	if v == Base {
+		return "comparer"
+	}
+	return "comparer_" + v.String()
+}
+
+// CLSource returns the OpenCL program source registry holding the finder
+// and every comparer variant, keyed by kernel name. It is the argument to
+// Context.CreateProgramWithSource, standing in for the application's
+// OpenCL C source string.
+func CLSource() opencl.Source {
+	src := opencl.Source{
+		"finder": {
+			NumArgs: finderNumArgs,
+			Build:   buildFinder,
+		},
+	}
+	for _, v := range Variants() {
+		src[ComparerKernelName(v)] = opencl.KernelBuilder{
+			NumArgs: comparerNumArgs,
+			Build:   buildComparer(v),
+		}
+	}
+	return src
+}
+
+func buildFinder(args []any) (gpu.GroupKernel, error) {
+	chr, err := memSlice[byte](args, FinderArgChr)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := memSlice[byte](args, FinderArgPat)
+	if err != nil {
+		return nil, err
+	}
+	patIndex, err := memSlice[int32](args, FinderArgPatIndex)
+	if err != nil {
+		return nil, err
+	}
+	plen, err := scalar[int32](args, FinderArgPatternLen)
+	if err != nil {
+		return nil, err
+	}
+	sites, err := scalar[uint32](args, FinderArgSites)
+	if err != nil {
+		return nil, err
+	}
+	loci, err := memSlice[uint32](args, FinderArgLoci)
+	if err != nil {
+		return nil, err
+	}
+	flags, err := memSlice[byte](args, FinderArgFlags)
+	if err != nil {
+		return nil, err
+	}
+	count, err := memSlice[uint32](args, FinderArgCount)
+	if err != nil {
+		return nil, err
+	}
+	if len(count) < 1 {
+		return nil, fmt.Errorf("kernels: finder: count buffer is empty")
+	}
+	lPatN, err := localSlots(args, FinderArgLocalPat, 1)
+	if err != nil {
+		return nil, err
+	}
+	lIdxN, err := localSlots(args, FinderArgLocalPatIndex, 4)
+	if err != nil {
+		return nil, err
+	}
+	fa := &FinderArgs{
+		Chr: chr,
+		Pattern: &PatternPair{
+			Codes:      pat,
+			Index:      patIndex,
+			PatternLen: int(plen),
+		},
+		Sites: int(sites),
+		Loci:  loci,
+		Flags: flags,
+		Count: &count[0],
+	}
+	if err := fa.validate(); err != nil {
+		return nil, err
+	}
+	return func(g *gpu.Group) gpu.WorkItemFunc {
+		lPat := make([]byte, lPatN)
+		lPatIndex := make([]int32, lIdxN)
+		return func(it *gpu.Item) {
+			Finder(it, fa, lPat, lPatIndex)
+		}
+	}, nil
+}
+
+func buildComparer(v ComparerVariant) func(args []any) (gpu.GroupKernel, error) {
+	return func(args []any) (gpu.GroupKernel, error) {
+		lociCount, err := scalar[uint32](args, ComparerArgLociCount)
+		if err != nil {
+			return nil, err
+		}
+		chr, err := memSlice[byte](args, ComparerArgChr)
+		if err != nil {
+			return nil, err
+		}
+		loci, err := memSlice[uint32](args, ComparerArgLoci)
+		if err != nil {
+			return nil, err
+		}
+		mmLoci, err := memSlice[uint32](args, ComparerArgMMLoci)
+		if err != nil {
+			return nil, err
+		}
+		comp, err := memSlice[byte](args, ComparerArgComp)
+		if err != nil {
+			return nil, err
+		}
+		compIndex, err := memSlice[int32](args, ComparerArgCompIndex)
+		if err != nil {
+			return nil, err
+		}
+		plen, err := scalar[int32](args, ComparerArgPatternLen)
+		if err != nil {
+			return nil, err
+		}
+		threshold, err := scalar[uint16](args, ComparerArgThreshold)
+		if err != nil {
+			return nil, err
+		}
+		flags, err := memSlice[byte](args, ComparerArgFlags)
+		if err != nil {
+			return nil, err
+		}
+		mmCount, err := memSlice[uint16](args, ComparerArgMMCount)
+		if err != nil {
+			return nil, err
+		}
+		direction, err := memSlice[byte](args, ComparerArgDirection)
+		if err != nil {
+			return nil, err
+		}
+		entryCount, err := memSlice[uint32](args, ComparerArgEntryCount)
+		if err != nil {
+			return nil, err
+		}
+		if len(entryCount) < 1 {
+			return nil, fmt.Errorf("kernels: comparer: entry-count buffer is empty")
+		}
+		lCompN, err := localSlots(args, ComparerArgLocalComp, 1)
+		if err != nil {
+			return nil, err
+		}
+		lIdxN, err := localSlots(args, ComparerArgLocalCompIndex, 4)
+		if err != nil {
+			return nil, err
+		}
+		ca := &ComparerArgs{
+			Chr:       chr,
+			Loci:      loci,
+			Flags:     flags,
+			LociCount: lociCount,
+			Guide: &PatternPair{
+				Codes:      comp,
+				Index:      compIndex,
+				PatternLen: int(plen),
+			},
+			Threshold:  threshold,
+			MMLoci:     mmLoci,
+			MMCount:    mmCount,
+			Direction:  direction,
+			EntryCount: &entryCount[0],
+		}
+		if err := ca.validate(); err != nil {
+			return nil, err
+		}
+		body := Comparer(v)
+		return func(g *gpu.Group) gpu.WorkItemFunc {
+			lComp := make([]byte, lCompN)
+			lCompIndex := make([]int32, lIdxN)
+			return func(it *gpu.Item) {
+				body(it, ca, lComp, lCompIndex)
+			}
+		}, nil
+	}
+}

@@ -1,0 +1,244 @@
+package kernels
+
+import (
+	"sort"
+	"testing"
+
+	"casoffinder/internal/baseline"
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/opencl"
+)
+
+// clEnv builds the OpenCL object stack over one simulated device.
+func clEnv(t *testing.T) (*opencl.Context, *opencl.CommandQueue, *opencl.Program) {
+	t.Helper()
+	p := opencl.NewPlatform("ROCm", "AMD", gpu.New(device.MI60(), gpu.WithWorkers(4)))
+	devs, err := p.GetDevices(opencl.DeviceTypeGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := opencl.CreateContext(devs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ctx.CreateCommandQueue(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ctx.CreateProgramWithSource(CLSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Build("-O3"); err != nil {
+		t.Fatal(err)
+	}
+	return ctx, q, prog
+}
+
+// TestCLSourceEndToEnd runs the finder and comparer through the full OpenCL
+// host path (buffers, SetArg, enqueue, read back) and checks the hits
+// against the reference.
+func TestCLSourceEndToEnd(t *testing.T) {
+	ctx, q, prog := clEnv(t)
+	seq := genome.Upper([]byte("ACCGATTACAGGTTTGATTACAAGCCGATTACAGGACGTCCTGTAATCGG"))
+	const patternStr, guideStr = "NNNNNNNGG", "GATTACANN"
+	const maxMM = 1
+
+	pat, err := NewPatternPair([]byte(patternStr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := NewPatternPair([]byte(guideStr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := len(seq) - pat.PatternLen + 1
+
+	chrBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(seq), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemUseConstant|opencl.MemCopyHostPtr, len(pat.Codes), pat.Codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patIdxBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(pat.Index), pat.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lociBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, sites, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagsBuf, err := opencl.CreateBuffer[byte](ctx, opencl.MemReadWrite, sites, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	finder, err := prog.CreateKernel("finder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finderArgs := []any{
+		chrBuf, patBuf, patIdxBuf,
+		int32(pat.PatternLen), uint32(sites),
+		lociBuf, flagsBuf, countBuf,
+	}
+	for i, a := range finderArgs {
+		if err := finder.SetArg(i, a); err != nil {
+			t.Fatalf("finder arg %d: %v", i, err)
+		}
+	}
+	if err := finder.SetArgLocal(FinderArgLocalPat, 2*pat.PatternLen); err != nil {
+		t.Fatal(err)
+	}
+	if err := finder.SetArgLocal(FinderArgLocalPatIndex, 4*2*pat.PatternLen); err != nil {
+		t.Fatal(err)
+	}
+	gws := (sites + 63) / 64 * 64
+	if _, err := q.EnqueueNDRangeKernel(finder, gws, 0); err != nil {
+		t.Fatalf("finder enqueue: %v", err)
+	}
+
+	countHost := make([]uint32, 1)
+	if _, err := opencl.EnqueueReadBuffer(q, countBuf, true, 0, 1, countHost); err != nil {
+		t.Fatal(err)
+	}
+	n := int(countHost[0])
+	if n == 0 {
+		t.Fatal("finder found no candidate sites")
+	}
+
+	compBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(gd.Codes), gd.Codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compIdxBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(gd.Index), gd.Index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmLociBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemWriteOnly, 2*n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmCountBuf, err := opencl.CreateBuffer[uint16](ctx, opencl.MemWriteOnly, 2*n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirBuf, err := opencl.CreateBuffer[byte](ctx, opencl.MemWriteOnly, 2*n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entryBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, variant := range Variants() {
+		// Reset the entry counter between variants.
+		if _, err := opencl.EnqueueWriteBuffer(q, entryBuf, true, 0, 1, []uint32{0}); err != nil {
+			t.Fatal(err)
+		}
+		comparer, err := prog.CreateKernel(ComparerKernelName(variant))
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparerArgs := []any{
+			uint32(n), chrBuf, lociBuf, mmLociBuf,
+			compBuf, compIdxBuf,
+			int32(gd.PatternLen), uint16(maxMM),
+			flagsBuf, mmCountBuf, dirBuf, entryBuf,
+		}
+		for i, a := range comparerArgs {
+			if err := comparer.SetArg(i, a); err != nil {
+				t.Fatalf("%s arg %d: %v", variant, i, err)
+			}
+		}
+		if err := comparer.SetArgLocal(ComparerArgLocalComp, 2*gd.PatternLen); err != nil {
+			t.Fatal(err)
+		}
+		if err := comparer.SetArgLocal(ComparerArgLocalCompIndex, 4*2*gd.PatternLen); err != nil {
+			t.Fatal(err)
+		}
+		cgws := (n + 63) / 64 * 64
+		if _, err := q.EnqueueNDRangeKernel(comparer, cgws, 64); err != nil {
+			t.Fatalf("%s enqueue: %v", variant, err)
+		}
+
+		entries := make([]uint32, 1)
+		if _, err := opencl.EnqueueReadBuffer(q, entryBuf, true, 0, 1, entries); err != nil {
+			t.Fatal(err)
+		}
+		e := int(entries[0])
+		mmLoci := make([]uint32, e)
+		mmCount := make([]uint16, e)
+		dirs := make([]byte, e)
+		if _, err := opencl.EnqueueReadBuffer(q, mmLociBuf, true, 0, e, mmLoci); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opencl.EnqueueReadBuffer(q, mmCountBuf, true, 0, e, mmCount); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opencl.EnqueueReadBuffer(q, dirBuf, true, 0, e, dirs); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]baseline.Hit, e)
+		for i := range got {
+			got[i] = baseline.Hit{Pos: int(mmLoci[i]), Dir: dirs[i], Mismatches: int(mmCount[i])}
+		}
+		sort.Slice(got, func(i, j int) bool {
+			if got[i].Pos != got[j].Pos {
+				return got[i].Pos < got[j].Pos
+			}
+			return got[i].Dir < got[j].Dir
+		})
+		want, err := baseline.Search(seq, []byte(patternStr), []byte(guideStr), maxMM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hitsEqual(got, want) {
+			t.Errorf("variant %s via OpenCL: hits = %+v, want %+v", variant, got, want)
+		}
+		if err := comparer.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCLSourceArgTypeErrors checks the builders reject mistyped arguments.
+func TestCLSourceArgTypeErrors(t *testing.T) {
+	ctx, q, prog := clEnv(t)
+	finder, err := prog.CreateKernel("finder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadOnly, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 0 wants a byte buffer; give it a uint32 one.
+	args := []any{
+		wrong, wrong, wrong, int32(3), uint32(1),
+		wrong, wrong, wrong,
+	}
+	for i, a := range args {
+		if err := finder.SetArg(i, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := finder.SetArgLocal(FinderArgLocalPat, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := finder.SetArgLocal(FinderArgLocalPatIndex, 24); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueNDRangeKernel(finder, 64, 64); err == nil {
+		t.Error("mistyped kernel arguments accepted")
+	}
+}

@@ -1,0 +1,23 @@
+package opencl
+
+// ProgrammingSteps returns the logical steps of writing an OpenCL program,
+// as enumerated in the paper's Table I. Each entry names the step and the
+// API that implements it in this frontend. The count (13) is contrasted
+// with the SYCL frontend's 8 in the Table I reproduction.
+func ProgrammingSteps() []string {
+	return []string{
+		"Platform query (NewPlatform)",
+		"Device query of a platform (Platform.GetDevices)",
+		"Create context for devices (CreateContext)",
+		"Create command queue for context (Context.CreateCommandQueue)",
+		"Create memory objects (CreateBuffer)",
+		"Create program object (Context.CreateProgramWithSource)",
+		"Build a program (Program.Build)",
+		"Create kernel(s) (Program.CreateKernel)",
+		"Set kernel arguments (Kernel.SetArg)",
+		"Enqueue a kernel object for execution (CommandQueue.EnqueueNDRangeKernel)",
+		"Transfer data from device to host (EnqueueReadBuffer)",
+		"Event handling (Event.Wait / CommandQueue.Finish)",
+		"Release resources (Release on every object)",
+	}
+}

@@ -1,0 +1,188 @@
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/kernels"
+)
+
+// CPU is the production engine: a goroutine-parallel scan over genome
+// chunks with no device simulation. It is the engine a downstream user
+// would run; the simulator engines exist to reproduce the paper.
+type CPU struct {
+	// Workers bounds the concurrent chunk scanners; 0 means NumCPU.
+	Workers int
+	// Packed scans chunks in the 2-bit packed format (the upstream
+	// optimization noted in the paper's related work [21]); results are
+	// byte-identical to the default path.
+	Packed bool
+}
+
+// Name implements Engine.
+func (c *CPU) Name() string { return "cpu" }
+
+// Run implements Engine.
+func (c *CPU) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	pattern, err := kernels.NewPatternPair([]byte(req.Pattern))
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	guides := make([]*kernels.PatternPair, len(req.Queries))
+	for i, q := range req.Queries {
+		if guides[i], err = kernels.NewPatternPair([]byte(q.Guide)); err != nil {
+			return nil, fmt.Errorf("search: query %d: %w", i, err)
+		}
+	}
+	chunker := &genome.Chunker{ChunkBytes: req.chunkBytes(), PatternLen: pattern.PatternLen}
+	chunks, err := chunker.Plan(asm)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+
+	var (
+		packedPattern *maskedPattern
+		packedGuides  []*maskedPattern
+	)
+	if c.Packed {
+		packedPattern = newMaskedPattern(pattern)
+		packedGuides = make([]*maskedPattern, len(guides))
+		for i, g := range guides {
+			packedGuides[i] = newMaskedPattern(g)
+		}
+	}
+
+	perChunk := make([][]Hit, len(chunks))
+	var (
+		wg      sync.WaitGroup
+		scanErr error
+		errOnce sync.Once
+	)
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range work {
+				var (
+					hits []Hit
+					err  error
+				)
+				if c.Packed {
+					hits, err = scanChunkPacked(chunks[ci], packedPattern, packedGuides, req.Queries)
+				} else {
+					hits, err = scanChunk(chunks[ci], pattern, guides, req.Queries)
+				}
+				if err != nil {
+					errOnce.Do(func() { scanErr = err })
+					continue
+				}
+				perChunk[ci] = hits
+			}
+		}()
+	}
+	for ci := range chunks {
+		work <- ci
+	}
+	close(work)
+	wg.Wait()
+	if scanErr != nil {
+		return nil, scanErr
+	}
+
+	var all []Hit
+	for _, hits := range perChunk {
+		all = append(all, hits...)
+	}
+	sortHits(all)
+	return all, nil
+}
+
+// scanChunk finds every hit whose site start lies in the chunk body.
+func scanChunk(ch *genome.Chunk, pattern *kernels.PatternPair, guides []*kernels.PatternPair, queries []Query) ([]Hit, error) {
+	data := genome.Upper(ch.Data)
+	plen := pattern.PatternLen
+	var hits []Hit
+	for pos := 0; pos < ch.Body; pos++ {
+		window := data[pos : pos+plen]
+		fwd := windowMatches(window, pattern, 0)
+		rev := windowMatches(window, pattern, plen)
+		if !fwd && !rev {
+			continue
+		}
+		for qi, g := range guides {
+			limit := queries[qi].MaxMismatches
+			if fwd {
+				if mm, ok := countMismatches(window, g, 0, limit); ok {
+					hits = append(hits, Hit{
+						QueryIndex: qi,
+						SeqName:    ch.SeqName,
+						Pos:        ch.Start + pos,
+						Dir:        kernels.DirForward,
+						Mismatches: mm,
+						Site:       renderSite(window, g, kernels.DirForward),
+					})
+				}
+			}
+			if rev {
+				if mm, ok := countMismatches(window, g, plen, limit); ok {
+					hits = append(hits, Hit{
+						QueryIndex: qi,
+						SeqName:    ch.SeqName,
+						Pos:        ch.Start + pos,
+						Dir:        kernels.DirReverse,
+						Mismatches: mm,
+						Site:       renderSite(window, g, kernels.DirReverse),
+					})
+				}
+			}
+		}
+	}
+	return hits, nil
+}
+
+// windowMatches tests the PAM scaffold at the given strand offset.
+func windowMatches(window []byte, p *kernels.PatternPair, offset int) bool {
+	for j := 0; j < p.PatternLen; j++ {
+		k := p.Index[offset+j]
+		if k == -1 {
+			break
+		}
+		if !genome.Matches(p.Codes[offset+int(k)], window[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// countMismatches counts mismatching guide positions at the strand offset,
+// giving up past the limit.
+func countMismatches(window []byte, g *kernels.PatternPair, offset, limit int) (int, bool) {
+	mm := 0
+	for j := 0; j < g.PatternLen; j++ {
+		k := g.Index[offset+j]
+		if k == -1 {
+			break
+		}
+		if !genome.Matches(g.Codes[offset+int(k)], window[k]) {
+			mm++
+			if mm > limit {
+				return mm, false
+			}
+		}
+	}
+	return mm, true
+}

@@ -1,0 +1,59 @@
+package search_test
+
+import (
+	"fmt"
+	"log"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/search"
+)
+
+// ExampleCPU_Run searches a small assembly with the production engine.
+func ExampleCPU_Run() {
+	asm := &genome.Assembly{Name: "demo", Sequences: []*genome.Sequence{
+		{Name: "chr1", Data: []byte("ACCGATTACAGGTTTACCGATTACTGGTT")},
+	}}
+	req := &search.Request{
+		Pattern: "NNNNNNNGG", // 7-nt guide + GG PAM
+		Queries: []search.Query{{Guide: "GATTACANN", MaxMismatches: 1}},
+	}
+	hits, err := (&search.CPU{}).Run(asm, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range hits {
+		fmt.Printf("%s:%d %s %c %d\n", h.SeqName, h.Pos, h.Site, h.Dir, h.Mismatches)
+	}
+	// Output:
+	// chr1:3 GATTACAGG + 0
+	// chr1:18 GATTACtGG + 1
+}
+
+// ExampleSimSYCL_Run reproduces the paper's SYCL application on a simulated
+// MI100 and reads back the kernel profile.
+func ExampleSimSYCL_Run() {
+	asm := &genome.Assembly{Name: "demo", Sequences: []*genome.Sequence{
+		{Name: "chr1", Data: []byte("ACCGATTACAGGTTTACCGATTACTGGTT")},
+	}}
+	req := &search.Request{
+		Pattern: "NNNNNNNGG",
+		Queries: []search.Query{{Guide: "GATTACANN", MaxMismatches: 1}},
+	}
+	eng := &search.SimSYCL{
+		Device:        gpu.New(device.MI100()),
+		Variant:       kernels.Opt3,
+		WorkGroupSize: 8,
+	}
+	hits, err := eng.Run(asm, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := eng.LastProfile()
+	fmt.Printf("%d hits from %d candidate sites in %d chunk(s)\n",
+		len(hits), p.CandidateSites, p.Chunks)
+	// Output:
+	// 2 hits from 4 candidate sites in 1 chunk(s)
+}

@@ -1,0 +1,31 @@
+package search
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseInput checks the input-file parser never panics and that every
+// accepted input yields a validated request.
+func FuzzParseInput(f *testing.F) {
+	f.Add("genome\nNNNGG\nACGTN 2\n")
+	f.Add("g\nNNNGG 1 1\nACGTN 2\nTTTTN 0\n")
+	f.Add("# comment\ng\nNGG\nANN 0\n")
+	f.Add("")
+	f.Add("g\nNNNGG x\nACGTN 2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		parsed, err := ParseInput(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := parsed.Request.Validate(); err != nil {
+			t.Fatalf("accepted input has invalid request: %v", err)
+		}
+		if parsed.GenomeDir == "" {
+			t.Fatal("accepted input has empty genome dir")
+		}
+		if parsed.DNABulge < 0 || parsed.RNABulge < 0 {
+			t.Fatal("negative bulge size accepted")
+		}
+	})
+}

@@ -1,0 +1,337 @@
+package search
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/kernels"
+)
+
+// Indexed is a seed-and-extend CPU engine in the spirit of the FlashFry
+// comparator the paper's related work discusses [20]: instead of testing
+// every genome position against every guide, it splits each guide into
+// maxMismatches+1 disjoint segments (the pigeonhole principle guarantees
+// any site within the mismatch budget matches at least one segment
+// exactly), indexes the segments as 2-bit k-mers, and verifies full sites
+// only where a single pass over the genome finds a seed hit. Results are
+// byte-identical to the scanning engines; queries whose guides cannot be
+// seeded (degenerate cores, segments shorter than MinSeedLen) fall back to
+// the plain scan.
+type Indexed struct {
+	// Workers bounds the concurrent per-sequence scanners; 0 means NumCPU.
+	Workers int
+	// MinSeedLen rejects seeds too short to be selective (default 6).
+	MinSeedLen int
+}
+
+// Name implements Engine.
+func (e *Indexed) Name() string { return "cpu-indexed" }
+
+// DefaultMinSeedLen is the shortest usable seed.
+const DefaultMinSeedLen = 6
+
+func (e *Indexed) minSeed() int {
+	if e.MinSeedLen > 0 {
+		return e.MinSeedLen
+	}
+	return DefaultMinSeedLen
+}
+
+// seedRef locates one indexed segment: which query and orientation it
+// belongs to and where the segment starts relative to the site start.
+type seedRef struct {
+	query  int
+	offset int // pattern coordinate of the segment start
+	rev    bool
+}
+
+// seedIndex maps k-mer values to the segments bearing them, per seed
+// length. A direct-mapped prefilter over the low bits of the k-mer rejects
+// almost every window before the map lookup, keeping the rolling scan at a
+// few instructions per base.
+type seedIndex struct {
+	k         int
+	refs      map[uint64][]seedRef
+	prefilter [prefilterSize]bool
+}
+
+// prefilterSize is the direct-mapped guard size (12 bits of k-mer).
+const prefilterSize = 1 << 12
+
+func (idx *seedIndex) insert(val uint64, ref seedRef) {
+	idx.refs[val] = append(idx.refs[val], ref)
+	idx.prefilter[val&(prefilterSize-1)] = true
+}
+
+var code2bit = [256]byte{'A': 0, 'C': 1, 'G': 2, 'T': 3}
+
+func isACGT(b byte) bool { return b == 'A' || b == 'C' || b == 'G' || b == 'T' }
+
+// kmerOf encodes an exact ACGT slice as 2 bits per base.
+func kmerOf(seq []byte) (uint64, bool) {
+	var v uint64
+	for _, b := range seq {
+		if !isACGT(b) {
+			return 0, false
+		}
+		v = v<<2 | uint64(code2bit[b])
+	}
+	return v, true
+}
+
+// segmentsOf splits the contiguous core [start, end) into n disjoint
+// near-equal parts.
+func segmentsOf(start, end, n int) [][2]int {
+	total := end - start
+	segs := make([][2]int, 0, n)
+	base := total / n
+	rem := total % n
+	at := start
+	for i := 0; i < n; i++ {
+		l := base
+		if i < rem {
+			l++
+		}
+		segs = append(segs, [2]int{at, at + l})
+		at += l
+	}
+	return segs
+}
+
+// coreRun returns the contiguous non-N run of one strand of a pattern
+// pair, or ok=false if the non-N positions are not contiguous.
+func coreRun(p *kernels.PatternPair, offset int) (start, end int, ok bool) {
+	start, end = -1, -1
+	for i := 0; i < p.PatternLen; i++ {
+		if p.Codes[offset+i] != 'N' {
+			if start == -1 {
+				start = i
+			}
+			end = i + 1
+		}
+	}
+	if start == -1 {
+		return 0, 0, false
+	}
+	for i := start; i < end; i++ {
+		if p.Codes[offset+i] == 'N' {
+			return 0, 0, false
+		}
+	}
+	return start, end, true
+}
+
+// buildIndexes seeds every query it can; the returned fallback list holds
+// query indices that need the plain scan.
+func (e *Indexed) buildIndexes(guides []*kernels.PatternPair, queries []Query) (map[int]*seedIndex, []int) {
+	indexes := map[int]*seedIndex{}
+	var fallback []int
+	for qi, g := range guides {
+		parts := queries[qi].MaxMismatches + 1
+		ok := true
+		type pending struct {
+			k   int
+			val uint64
+			ref seedRef
+		}
+		var pendings []pending
+		for _, rev := range []bool{false, true} {
+			offset := 0
+			if rev {
+				offset = g.PatternLen
+			}
+			start, end, contiguous := coreRun(g, offset)
+			if !contiguous || (end-start)/parts < e.minSeed() {
+				ok = false
+				break
+			}
+			for _, seg := range segmentsOf(start, end, parts) {
+				val, exact := kmerOf(g.Codes[offset+seg[0] : offset+seg[1]])
+				if !exact {
+					ok = false
+					break
+				}
+				pendings = append(pendings, pending{
+					k:   seg[1] - seg[0],
+					val: val,
+					ref: seedRef{query: qi, offset: seg[0], rev: rev},
+				})
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			fallback = append(fallback, qi)
+			continue
+		}
+		for _, p := range pendings {
+			idx := indexes[p.k]
+			if idx == nil {
+				idx = &seedIndex{k: p.k, refs: map[uint64][]seedRef{}}
+				indexes[p.k] = idx
+			}
+			idx.insert(p.val, p.ref)
+		}
+	}
+	return indexes, fallback
+}
+
+// Run implements Engine.
+func (e *Indexed) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	pattern, err := kernels.NewPatternPair([]byte(req.Pattern))
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	guides := make([]*kernels.PatternPair, len(req.Queries))
+	for i, q := range req.Queries {
+		if guides[i], err = kernels.NewPatternPair([]byte(q.Guide)); err != nil {
+			return nil, fmt.Errorf("search: query %d: %w", i, err)
+		}
+	}
+	indexes, fallback := e.buildIndexes(guides, req.Queries)
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(asm.Sequences) {
+		workers = len(asm.Sequences)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	perSeq := make([][]Hit, len(asm.Sequences))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range work {
+				perSeq[si] = e.scanSequence(asm.Sequences[si], pattern, guides, req.Queries, indexes)
+			}
+		}()
+	}
+	for si := range asm.Sequences {
+		work <- si
+	}
+	close(work)
+	wg.Wait()
+
+	var hits []Hit
+	for _, h := range perSeq {
+		hits = append(hits, h...)
+	}
+
+	// Fallback queries use the plain scanning engine on a request
+	// restricted to them, then remap query indices.
+	if len(fallback) > 0 {
+		sub := &Request{Pattern: req.Pattern, ChunkBytes: req.ChunkBytes}
+		for _, qi := range fallback {
+			sub.Queries = append(sub.Queries, req.Queries[qi])
+		}
+		scanHits, err := (&CPU{Workers: e.Workers}).Run(asm, sub)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range scanHits {
+			h.QueryIndex = fallback[h.QueryIndex]
+			hits = append(hits, h)
+		}
+	}
+	sortHits(hits)
+	return hits, nil
+}
+
+// scanSequence rolls every seed length over the sequence, verifying full
+// sites at seed hits.
+func (e *Indexed) scanSequence(seq *genome.Sequence, pattern *kernels.PatternPair, guides []*kernels.PatternPair, queries []Query, indexes map[int]*seedIndex) []Hit {
+	data := genome.Upper(seq.Data)
+	plen := pattern.PatternLen
+
+	type siteKey struct {
+		query int
+		pos   int
+		rev   bool
+	}
+	candidates := map[siteKey]struct{}{}
+
+	ks := make([]int, 0, len(indexes))
+	for k := range indexes {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		idx := indexes[k]
+		if len(data) < k {
+			continue
+		}
+		mask := uint64(1)<<(2*uint(k)) - 1
+		var v uint64
+		valid := 0 // consecutive ACGT bases ending at i
+		for i := 0; i < len(data); i++ {
+			b := data[i]
+			if !isACGT(b) {
+				valid = 0
+				v = 0
+				continue
+			}
+			v = (v<<2 | uint64(code2bit[b])) & mask
+			valid++
+			if valid < k {
+				continue
+			}
+			if !idx.prefilter[v&(prefilterSize-1)] {
+				continue
+			}
+			refs, hit := idx.refs[v]
+			if !hit {
+				continue
+			}
+			segStart := i - k + 1
+			for _, r := range refs {
+				pos := segStart - r.offset
+				if pos < 0 || pos+plen > len(data) {
+					continue
+				}
+				candidates[siteKey{query: r.query, pos: pos, rev: r.rev}] = struct{}{}
+			}
+		}
+	}
+
+	var hits []Hit
+	for key := range candidates {
+		g := guides[key.query]
+		window := data[key.pos : key.pos+plen]
+		strand := 0
+		dir := kernels.DirForward
+		if key.rev {
+			strand = plen
+			dir = kernels.DirReverse
+		}
+		if !windowMatches(window, pattern, strand) {
+			continue
+		}
+		mm, ok := countMismatches(window, g, strand, queries[key.query].MaxMismatches)
+		if !ok {
+			continue
+		}
+		hits = append(hits, Hit{
+			QueryIndex: key.query,
+			SeqName:    seq.Name,
+			Pos:        key.pos,
+			Dir:        dir,
+			Mismatches: mm,
+			Site:       renderSite(window, g, dir),
+		})
+	}
+	return hits
+}

@@ -1,0 +1,152 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexedMatchesScan(t *testing.T) {
+	asm := testAssembly(t, 13, []int{1500, 800, 200}, testSite)
+	req := testRequest(1) // core 10 long, 2 segments of 5: below MinSeedLen 6
+	req.Queries[0].MaxMismatches = 0
+	want, err := (&CPU{}).Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no hits in test data")
+	}
+	got, err := (&Indexed{MinSeedLen: 5}).Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalHits(got, want) {
+		t.Errorf("indexed hits %d != scan %d", len(got), len(want))
+	}
+}
+
+// TestIndexedProperty: for random genomes, guides long enough to seed, the
+// indexed engine is byte-identical to the scanning engine.
+func TestIndexedProperty(t *testing.T) {
+	const pattern = "NNNNNNNNNNNNNNNNNNNNNGG"
+	const guide = "GATTACAGTACGATTACAGTANN"
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		asm := testAssembly(t, seed, []int{400 + rng.Intn(2000)}, "GATTACAGTACGATTACAGTAGG")
+		req := &Request{
+			Pattern: pattern,
+			Queries: []Query{{Guide: guide, MaxMismatches: rng.Intn(3)}},
+		}
+		want, err := (&CPU{Workers: 2}).Run(asm, req)
+		if err != nil {
+			return false
+		}
+		got, err := (&Indexed{Workers: 2}).Run(asm, req)
+		if err != nil {
+			return false
+		}
+		return equalHits(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIndexedFallback: a query whose guide cannot be seeded (degenerate
+// core) must still be answered, via the scanning fallback.
+func TestIndexedFallback(t *testing.T) {
+	asm := testAssembly(t, 3, []int{900}, testSite)
+	req := &Request{
+		Pattern: testPattern,
+		Queries: []Query{
+			{Guide: testGuide, MaxMismatches: 1},      // seedable only with tiny seeds -> fallback
+			{Guide: "GATTRCAGTANN", MaxMismatches: 0}, // degenerate core -> fallback
+		},
+	}
+	want, err := (&CPU{}).Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&Indexed{}).Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalHits(got, want) {
+		t.Errorf("fallback path diverges: %d vs %d hits", len(got), len(want))
+	}
+}
+
+// TestIndexedMixedSeedAndFallback: seedable and unseedable queries in one
+// request keep their indices.
+func TestIndexedMixedSeedAndFallback(t *testing.T) {
+	const site = "GATTACAGTACGATTACAGTAGG"
+	asm := testAssembly(t, 31, []int{2000}, site)
+	req := &Request{
+		Pattern: "NNNNNNNNNNNNNNNNNNNNNGG",
+		Queries: []Query{
+			{Guide: "GATTACAGTACGATTACAGTANN", MaxMismatches: 1}, // seedable
+			{Guide: "GATTRCAGTACGATTACAGTANN", MaxMismatches: 1}, // degenerate -> fallback
+		},
+	}
+	want, err := (&CPU{}).Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&Indexed{}).Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalHits(got, want) {
+		t.Errorf("mixed request diverges: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestIndexedNAndSoftMask(t *testing.T) {
+	// Seeds must not cross N runs; soft-masked sites must still be found.
+	asm := testAssembly(t, 41, []int{600}, "gattacagtacgattacagtagg")
+	req := &Request{
+		Pattern: "NNNNNNNNNNNNNNNNNNNNNGG",
+		Queries: []Query{{Guide: "GATTACAGTACGATTACAGTANN", MaxMismatches: 2}},
+	}
+	want, err := (&CPU{}).Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&Indexed{}).Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalHits(got, want) {
+		t.Errorf("N/soft-mask handling diverges: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestSegmentsOf(t *testing.T) {
+	segs := segmentsOf(2, 22, 3) // 20 positions into 3 parts: 7, 7, 6
+	want := [][2]int{{2, 9}, {9, 16}, {16, 22}}
+	if len(segs) != len(want) {
+		t.Fatalf("segs = %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Errorf("seg %d = %v, want %v", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestKmerOf(t *testing.T) {
+	v, ok := kmerOf([]byte("ACGT"))
+	if !ok || v != 0b00011011 {
+		t.Errorf("kmerOf(ACGT) = %b, %v", v, ok)
+	}
+	if _, ok := kmerOf([]byte("ACNT")); ok {
+		t.Error("kmer with N accepted")
+	}
+}
+
+func TestIndexedName(t *testing.T) {
+	if (&Indexed{}).Name() != "cpu-indexed" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,101 @@
+package search
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Input is a parsed Cas-OFFinder input file:
+//
+//	/path/to/genome_dir            <- genome directory or FASTA file
+//	NNNNNNNNNNNNNNNNNNNNNRG [d r]  <- PAM scaffold, optional bulge sizes
+//	GGCCGACCTGTCGCTGACGCNNN 5      <- guide and mismatch limit, repeated
+//
+// matching the example the paper's evaluation uses (reference [17]). The
+// optional second and third fields of the pattern line give the DNA and RNA
+// bulge sizes of the cas-offinder-bulge extension.
+type Input struct {
+	// GenomeDir is the directory (or single FASTA file) to scan.
+	GenomeDir string
+	// Request is the parsed search request.
+	Request Request
+	// DNABulge and RNABulge are the optional bulge sizes (0 when absent).
+	DNABulge int
+	RNABulge int
+}
+
+// ParseInput reads an input file.
+func ParseInput(r io.Reader) (*Input, error) {
+	sc := bufio.NewScanner(r)
+	var lines []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("search: reading input: %w", err)
+	}
+	if len(lines) < 3 {
+		return nil, fmt.Errorf("search: input needs a genome path, a pattern and at least one query (got %d lines)", len(lines))
+	}
+
+	in := &Input{GenomeDir: lines[0]}
+
+	patFields := strings.Fields(lines[1])
+	in.Request.Pattern = strings.ToUpper(patFields[0])
+	switch len(patFields) {
+	case 1:
+	case 3:
+		d, err := strconv.Atoi(patFields[1])
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("search: invalid DNA bulge size %q", patFields[1])
+		}
+		rn, err := strconv.Atoi(patFields[2])
+		if err != nil || rn < 0 {
+			return nil, fmt.Errorf("search: invalid RNA bulge size %q", patFields[2])
+		}
+		in.DNABulge, in.RNABulge = d, rn
+	default:
+		return nil, fmt.Errorf("search: pattern line must be PATTERN or PATTERN DNABULGE RNABULGE, got %q", lines[1])
+	}
+
+	for _, line := range lines[2:] {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("search: query line must be GUIDE MISMATCHES, got %q", line)
+		}
+		mm, err := strconv.Atoi(fields[1])
+		if err != nil || mm < 0 {
+			return nil, fmt.Errorf("search: invalid mismatch count %q", fields[1])
+		}
+		in.Request.Queries = append(in.Request.Queries, Query{
+			Guide:         strings.ToUpper(fields[0]),
+			MaxMismatches: mm,
+		})
+	}
+	if err := in.Request.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// WriteHits writes hits in the upstream output format, one line per hit:
+// guide sequence, chromosome, position, site (mismatches lower-case),
+// strand, mismatch count.
+func WriteHits(w io.Writer, req *Request, hits []Hit) error {
+	bw := bufio.NewWriter(w)
+	for _, h := range hits {
+		guide := req.Queries[h.QueryIndex].Guide
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%s\t%c\t%d\n",
+			guide, h.SeqName, h.Pos, h.Site, h.Dir, h.Mismatches); err != nil {
+			return fmt.Errorf("search: writing output: %w", err)
+		}
+	}
+	return bw.Flush()
+}

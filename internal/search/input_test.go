@@ -1,0 +1,104 @@
+package search
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseInputExample(t *testing.T) {
+	in := `
+# paper's example input ([17])
+/var/chromosomes/human_hg38
+NNNNNNNNNNNNNNNNNNNNNRG
+GGCCGACCTGTCGCTGACGCNNN 5
+CGCCAGCGTCAGCGACAGGTNNN 5
+`
+	parsed, err := ParseInput(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseInput: %v", err)
+	}
+	if parsed.GenomeDir != "/var/chromosomes/human_hg38" {
+		t.Errorf("GenomeDir = %q", parsed.GenomeDir)
+	}
+	if parsed.Request.Pattern != "NNNNNNNNNNNNNNNNNNNNNRG" {
+		t.Errorf("Pattern = %q", parsed.Request.Pattern)
+	}
+	if len(parsed.Request.Queries) != 2 {
+		t.Fatalf("queries = %d", len(parsed.Request.Queries))
+	}
+	if parsed.Request.Queries[0].Guide != "GGCCGACCTGTCGCTGACGCNNN" || parsed.Request.Queries[0].MaxMismatches != 5 {
+		t.Errorf("query 0 = %+v", parsed.Request.Queries[0])
+	}
+	if parsed.DNABulge != 0 || parsed.RNABulge != 0 {
+		t.Error("bulge sizes should default to 0")
+	}
+}
+
+func TestParseInputBulge(t *testing.T) {
+	in := `genome.fa
+NNNNNNNNNNNNNNNNNNNNNRG 2 1
+GGCCGACCTGTCGCTGACGCNNN 4
+`
+	parsed, err := ParseInput(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseInput: %v", err)
+	}
+	if parsed.DNABulge != 2 || parsed.RNABulge != 1 {
+		t.Errorf("bulge = %d/%d, want 2/1", parsed.DNABulge, parsed.RNABulge)
+	}
+}
+
+func TestParseInputLowerCaseFolded(t *testing.T) {
+	in := "g.fa\nnnnnnnngg\ngattacann 1\n"
+	parsed, err := ParseInput(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseInput: %v", err)
+	}
+	if parsed.Request.Pattern != "NNNNNNNGG" || parsed.Request.Queries[0].Guide != "GATTACANN" {
+		t.Errorf("case folding failed: %+v", parsed.Request)
+	}
+}
+
+func TestParseInputErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"too short", "genome\nNGG\n"},
+		{"bad mismatch", "g\nNNNGG\nACGTN x\n"},
+		{"negative mismatch", "g\nNNNGG\nACGTN -1\n"},
+		{"bad query fields", "g\nNNNGG\nACGTN\n"},
+		{"bad pattern fields", "g\nNNNGG 1\nACGTN 2\n"},
+		{"bad dna bulge", "g\nNNNGG x 1\nACGTN 2\n"},
+		{"bad rna bulge", "g\nNNNGG 1 x\nACGTN 2\n"},
+		{"length mismatch", "g\nNNNGG\nACGT 2\n"},
+		{"invalid code", "g\nNNNG!\nACGTN 2\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseInput(strings.NewReader(tt.in)); err == nil {
+				t.Errorf("ParseInput(%q) accepted", tt.in)
+			}
+		})
+	}
+}
+
+func TestWriteHits(t *testing.T) {
+	req := &Request{
+		Pattern: "NNNNNNNGG",
+		Queries: []Query{{Guide: "GATTACANN", MaxMismatches: 1}},
+	}
+	hits := []Hit{{
+		QueryIndex: 0, SeqName: "chr1", Pos: 42, Dir: '+',
+		Mismatches: 1, Site: "GATtACAGG",
+	}}
+	var buf bytes.Buffer
+	if err := WriteHits(&buf, req, hits); err != nil {
+		t.Fatal(err)
+	}
+	want := "GATTACANN\tchr1\t42\tGATtACAGG\t+\t1\n"
+	if buf.String() != want {
+		t.Errorf("output = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,121 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/kernels"
+)
+
+// MultiSYCL extends the SYCL application to several devices — the paper's
+// stated limitation ("The SYCL application currently executes on a single
+// GPU device", §IV.A) turned future work. Sequences are distributed
+// round-robin across one SimSYCL engine per device, engines run
+// concurrently, and hits merge into the usual deterministic order.
+type MultiSYCL struct {
+	// Devices are the simulated GPUs to spread the search over.
+	Devices []*gpu.Device
+	// Variant selects the comparer kernel on every device.
+	Variant kernels.ComparerVariant
+	// WorkGroupSize overrides the launch local size (0 means 256).
+	WorkGroupSize int
+
+	profile *Profile
+}
+
+// Name implements Engine.
+func (e *MultiSYCL) Name() string { return "sycl-multi" }
+
+// LastProfile implements Profiler: the merged profile of all devices.
+func (e *MultiSYCL) LastProfile() *Profile { return e.profile }
+
+// merge folds o into p.
+func (p *Profile) merge(o *Profile) {
+	for name, s := range o.Kernels {
+		agg := p.Kernels[name]
+		agg.Add(&s)
+		p.Kernels[name] = agg
+		p.Launches[name] += o.Launches[name]
+		p.WorkGroupSizes[name] = o.WorkGroupSizes[name]
+	}
+	p.Chunks += o.Chunks
+	p.BytesStaged += o.BytesStaged
+	p.BytesRead += o.BytesRead
+	p.CandidateSites += o.CandidateSites
+	p.Entries += o.Entries
+}
+
+// Run implements Engine.
+func (e *MultiSYCL) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if len(e.Devices) == 0 {
+		return nil, errors.New("search: sycl-multi: no devices")
+	}
+	for i, d := range e.Devices {
+		if d == nil {
+			return nil, fmt.Errorf("search: sycl-multi: device %d is nil", i)
+		}
+	}
+
+	// Partition sequences round-robin by descending length so device loads
+	// balance even when chromosome sizes are skewed.
+	parts := make([]*genome.Assembly, len(e.Devices))
+	for i := range parts {
+		parts[i] = &genome.Assembly{Name: fmt.Sprintf("%s.part%d", asm.Name, i)}
+	}
+	order := make([]int, len(asm.Sequences))
+	for i := range order {
+		order[i] = i
+	}
+	// Simple length-descending selection sort (sequence counts are small).
+	for i := 0; i < len(order); i++ {
+		maxAt := i
+		for j := i + 1; j < len(order); j++ {
+			if len(asm.Sequences[order[j]].Data) > len(asm.Sequences[order[maxAt]].Data) {
+				maxAt = j
+			}
+		}
+		order[i], order[maxAt] = order[maxAt], order[i]
+	}
+	for rank, si := range order {
+		p := parts[rank%len(parts)]
+		p.Sequences = append(p.Sequences, asm.Sequences[si])
+	}
+
+	subEngines := make([]*SimSYCL, len(e.Devices))
+	results := make([][]Hit, len(e.Devices))
+	errs := make([]error, len(e.Devices))
+	var wg sync.WaitGroup
+	for i, dev := range e.Devices {
+		subEngines[i] = &SimSYCL{Device: dev, Variant: e.Variant, WorkGroupSize: e.WorkGroupSize}
+		if len(parts[i].Sequences) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = subEngines[i].Run(parts[i], req)
+		}(i)
+	}
+	wg.Wait()
+
+	merged := newProfile()
+	var hits []Hit
+	for i := range e.Devices {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("search: sycl-multi device %d: %w", i, errs[i])
+		}
+		hits = append(hits, results[i]...)
+		if p := subEngines[i].LastProfile(); p != nil {
+			merged.merge(p)
+		}
+	}
+	e.profile = merged
+	sortHits(hits)
+	return hits, nil
+}

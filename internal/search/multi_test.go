@@ -1,0 +1,138 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+)
+
+func multiDevices(n int) []*gpu.Device {
+	specs := device.All()
+	out := make([]*gpu.Device, n)
+	for i := range out {
+		out[i] = gpu.New(specs[i%len(specs)], gpu.WithWorkers(2))
+	}
+	return out
+}
+
+// TestMultiSYCLMatchesSingle: distributing across devices must not change
+// results.
+func TestMultiSYCLMatchesSingle(t *testing.T) {
+	asm := testAssembly(t, 77, []int{900, 500, 300, 120, 60}, testSite)
+	req := testRequest(2)
+	single := &SimSYCL{Device: gpu.New(device.MI60(), gpu.WithWorkers(2)), Variant: kernels.Base, WorkGroupSize: 64}
+	want, err := single.Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no hits in test data")
+	}
+	for _, n := range []int{1, 2, 3} {
+		multi := &MultiSYCL{Devices: multiDevices(n), Variant: kernels.Base, WorkGroupSize: 64}
+		got, err := multi.Run(asm, req)
+		if err != nil {
+			t.Fatalf("%d devices: %v", n, err)
+		}
+		if !equalHits(got, want) {
+			t.Errorf("%d devices: %d hits != single %d", n, len(got), len(want))
+		}
+	}
+}
+
+// TestMultiSYCLProperty: random assemblies, multi == single for random
+// device counts.
+func TestMultiSYCLProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nseq := 1 + rng.Intn(5)
+		lens := make([]int, nseq)
+		for i := range lens {
+			lens[i] = 80 + rng.Intn(500)
+		}
+		asm := testAssembly(t, seed, lens, testSite)
+		req := testRequest(rng.Intn(3))
+		req.ChunkBytes = 128 + rng.Intn(256)
+		single := &SimSYCL{Device: gpu.New(device.RadeonVII(), gpu.WithWorkers(2)), Variant: kernels.Opt2, WorkGroupSize: 32}
+		want, err := single.Run(asm, req)
+		if err != nil {
+			return false
+		}
+		multi := &MultiSYCL{Devices: multiDevices(1 + rng.Intn(3)), Variant: kernels.Opt2, WorkGroupSize: 32}
+		got, err := multi.Run(asm, req)
+		if err != nil {
+			return false
+		}
+		return equalHits(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiSYCLProfileMerged(t *testing.T) {
+	asm := testAssembly(t, 9, []int{1000, 700, 500}, testSite)
+	req := testRequest(2)
+	req.ChunkBytes = 300
+	multi := &MultiSYCL{Devices: multiDevices(2), Variant: kernels.Base, WorkGroupSize: 64}
+	if _, err := multi.Run(asm, req); err != nil {
+		t.Fatal(err)
+	}
+	p := multi.LastProfile()
+	if p == nil {
+		t.Fatal("no merged profile")
+	}
+	// Every chunk of every sequence must be accounted for exactly once.
+	single := &SimSYCL{Device: gpu.New(device.MI60(), gpu.WithWorkers(2)), Variant: kernels.Base, WorkGroupSize: 64}
+	if _, err := single.Run(asm, req); err != nil {
+		t.Fatal(err)
+	}
+	sp := single.LastProfile()
+	if p.Chunks != sp.Chunks {
+		t.Errorf("merged chunks = %d, single = %d", p.Chunks, sp.Chunks)
+	}
+	if p.CandidateSites != sp.CandidateSites || p.Entries != sp.Entries {
+		t.Errorf("merged counters diverge: %+v vs %+v", p, sp)
+	}
+	if p.Kernels["finder"].WorkItems == 0 {
+		t.Error("merged finder stats empty")
+	}
+}
+
+func TestMultiSYCLErrors(t *testing.T) {
+	asm := testAssembly(t, 1, []int{200}, testSite)
+	req := testRequest(1)
+	if _, err := (&MultiSYCL{}).Run(asm, req); err == nil {
+		t.Error("no devices accepted")
+	}
+	if _, err := (&MultiSYCL{Devices: []*gpu.Device{nil}}).Run(asm, req); err == nil {
+		t.Error("nil device accepted")
+	}
+	bad := &MultiSYCL{Devices: multiDevices(1)}
+	if _, err := bad.Run(asm, &Request{}); err == nil {
+		t.Error("invalid request accepted")
+	}
+}
+
+// TestMultiSYCLMoreDevicesThanSequences: extra devices idle without error.
+func TestMultiSYCLMoreDevicesThanSequences(t *testing.T) {
+	asm := testAssembly(t, 3, []int{400}, testSite)
+	req := testRequest(1)
+	multi := &MultiSYCL{Devices: multiDevices(4), Variant: kernels.Base, WorkGroupSize: 64}
+	single := &SimSYCL{Device: gpu.New(device.MI100(), gpu.WithWorkers(2)), Variant: kernels.Base, WorkGroupSize: 64}
+	got, err := multi.Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalHits(got, want) {
+		t.Error("idle devices changed results")
+	}
+}

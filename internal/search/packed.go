@@ -1,0 +1,118 @@
+package search
+
+import (
+	"fmt"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/kernels"
+)
+
+// The packed scan path implements the "2-bit sequence format" optimization
+// the paper's related-work section attributes to the upstream authors [21]:
+// chunk sequences are packed four bases per byte with an unknown-position
+// bitmap, and pattern matching tests the 2-bit code against a precomputed
+// 4-bit IUPAC mask per pattern position instead of byte tables. Enable it
+// with CPU{Packed: true}; the ablation benchmark BenchmarkCPUPackedVsBytes
+// compares the two paths.
+
+// maskedPattern is a PatternPair with per-position IUPAC masks aligned to
+// Codes, for 2-bit comparison.
+type maskedPattern struct {
+	pair  *kernels.PatternPair
+	masks []genome.Mask // parallel to pair.Codes
+}
+
+func newMaskedPattern(pair *kernels.PatternPair) *maskedPattern {
+	masks := make([]genome.Mask, len(pair.Codes))
+	for i, c := range pair.Codes {
+		masks[i] = genome.MaskOf(c)
+	}
+	return &maskedPattern{pair: pair, masks: masks}
+}
+
+// matchesAt tests whether the packed window starting at pos matches the
+// strand half selected by offset: every indexed position's 2-bit code must
+// be concrete and inside the pattern mask.
+func (m *maskedPattern) matchesAt(p *genome.Packed, pos, offset int) bool {
+	for j := 0; j < m.pair.PatternLen; j++ {
+		k := m.pair.Index[offset+j]
+		if k == -1 {
+			break
+		}
+		code, known := p.Code(pos + int(k))
+		if !known || m.masks[offset+int(k)]&(1<<code) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// mismatchesAt counts mismatching indexed positions at the strand offset,
+// giving up past the limit.
+func (m *maskedPattern) mismatchesAt(p *genome.Packed, pos, offset, limit int) (int, bool) {
+	mm := 0
+	for j := 0; j < m.pair.PatternLen; j++ {
+		k := m.pair.Index[offset+j]
+		if k == -1 {
+			break
+		}
+		code, known := p.Code(pos + int(k))
+		if !known || m.masks[offset+int(k)]&(1<<code) == 0 {
+			mm++
+			if mm > limit {
+				return mm, false
+			}
+		}
+	}
+	return mm, true
+}
+
+// scanChunkPacked is the packed-path equivalent of scanChunk. The chunk is
+// packed once (quartering the working set of the inner loop); site
+// rendering still uses the original bytes so results are byte-identical to
+// the unpacked path.
+func scanChunkPacked(ch *genome.Chunk, pattern *maskedPattern, guides []*maskedPattern, queries []Query) ([]Hit, error) {
+	data := genome.Upper(ch.Data)
+	packed, err := genome.Pack(data)
+	if err != nil {
+		return nil, fmt.Errorf("search: packing chunk at %s:%d: %w", ch.SeqName, ch.Start, err)
+	}
+	plen := pattern.pair.PatternLen
+	var hits []Hit
+	for pos := 0; pos < ch.Body; pos++ {
+		fwd := pattern.matchesAt(packed, pos, 0)
+		rev := pattern.matchesAt(packed, pos, plen)
+		if !fwd && !rev {
+			continue
+		}
+		window := data[pos : pos+plen]
+		for qi, g := range guides {
+			limit := queries[qi].MaxMismatches
+			if fwd {
+				if mm, ok := g.mismatchesAt(packed, pos, 0, limit); ok {
+					hits = append(hits, Hit{
+						QueryIndex: qi,
+						SeqName:    ch.SeqName,
+						Pos:        ch.Start + pos,
+						Dir:        kernels.DirForward,
+						Mismatches: mm,
+						Site:       renderSite(window, g.pair, kernels.DirForward),
+					})
+				}
+			}
+			if rev {
+				if mm, ok := g.mismatchesAt(packed, pos, plen, limit); ok {
+					hits = append(hits, Hit{
+						QueryIndex: qi,
+						SeqName:    ch.SeqName,
+						Pos:        ch.Start + pos,
+						Dir:        kernels.DirReverse,
+						Mismatches: mm,
+						Site:       renderSite(window, g.pair, kernels.DirReverse),
+					})
+				}
+			}
+		}
+	}
+	return hits, nil
+}

@@ -1,0 +1,62 @@
+package search
+
+import "casoffinder/internal/gpu"
+
+// Profile records what a simulator-backed engine did during one Run: the
+// aggregated access statistics per kernel (the simulator's profiler view,
+// used to identify the comparer as the hotspot, §IV.B) and the host-side
+// pipeline counters the timing model needs to cost staging and transfers.
+type Profile struct {
+	// Kernels aggregates launch statistics by kernel name.
+	Kernels map[string]gpu.Stats
+	// Launches counts launches by kernel name.
+	Launches map[string]int
+	// WorkGroupSizes records the local size used per kernel name.
+	WorkGroupSizes map[string]int
+	// Chunks is the number of sequence chunks staged to the device.
+	Chunks int
+	// BytesStaged is the host-to-device traffic (chunk sequences, pattern
+	// tables, parameter buffers).
+	BytesStaged int64
+	// BytesRead is the device-to-host traffic (counters and result
+	// arrays).
+	BytesRead int64
+	// CandidateSites is the total number of PAM-compatible loci the finder
+	// reported across all chunks.
+	CandidateSites int64
+	// Entries is the total number of comparer output entries.
+	Entries int64
+}
+
+func newProfile() *Profile {
+	return &Profile{
+		Kernels:        make(map[string]gpu.Stats),
+		Launches:       make(map[string]int),
+		WorkGroupSizes: make(map[string]int),
+	}
+}
+
+// addKernel merges one launch into the profile.
+func (p *Profile) addKernel(name string, s *gpu.Stats, wgSize int) {
+	agg := p.Kernels[name]
+	agg.Add(s)
+	p.Kernels[name] = agg
+	p.Launches[name]++
+	p.WorkGroupSizes[name] = wgSize
+}
+
+// KernelNames returns the profiled kernel names ("finder" plus the comparer
+// variant that ran).
+func (p *Profile) KernelNames() []string {
+	names := make([]string, 0, len(p.Kernels))
+	for n := range p.Kernels {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Profiler is implemented by engines that collect a Profile.
+type Profiler interface {
+	// LastProfile returns the profile of the most recent Run, or nil.
+	LastProfile() *Profile
+}

@@ -1,0 +1,346 @@
+package search
+
+import (
+	"fmt"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/opencl"
+)
+
+// SimCL runs the search as the paper's original OpenCL application: the
+// full 13-step host lifecycle over the device simulator, with the
+// work-group size left to the runtime (the OpenCL-side condition of the
+// Table VIII comparison) unless WorkGroupSize forces one.
+type SimCL struct {
+	// Device is the simulated GPU to run on.
+	Device *gpu.Device
+	// Variant selects the comparer kernel (Base unless exploring the
+	// optimizations of §IV.B).
+	Variant kernels.ComparerVariant
+	// WorkGroupSize forces a local size; 0 lets the runtime choose, as the
+	// upstream OpenCL host program does.
+	WorkGroupSize int
+
+	profile *Profile
+}
+
+// Name implements Engine.
+func (e *SimCL) Name() string { return "opencl-sim" }
+
+// LastProfile implements Profiler.
+func (e *SimCL) LastProfile() *Profile { return e.profile }
+
+// Run implements Engine by driving the two kernels chunk by chunk through
+// the OpenCL host API.
+func (e *SimCL) Run(asm *genome.Assembly, req *Request) (hits []Hit, err error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if e.Device == nil {
+		return nil, fmt.Errorf("search: %s: nil device", e.Name())
+	}
+	prof := newProfile()
+	e.profile = prof
+
+	pattern, err := kernels.NewPatternPair([]byte(req.Pattern))
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	guides := make([]*kernels.PatternPair, len(req.Queries))
+	for i, q := range req.Queries {
+		if guides[i], err = kernels.NewPatternPair([]byte(q.Guide)); err != nil {
+			return nil, fmt.Errorf("search: query %d: %w", i, err)
+		}
+	}
+	plen := pattern.PatternLen
+	chunker := &genome.Chunker{ChunkBytes: req.chunkBytes(), PatternLen: plen}
+	chunks, err := chunker.Plan(asm)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+
+	// Steps 1-4: platform, device, context, queue.
+	platform := opencl.NewPlatform("ROCm", "AMD", e.Device)
+	devs, err := platform.GetDevices(opencl.DeviceTypeGPU)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := opencl.CreateContext(devs...)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(ctx.Release(), &err) }()
+	queue, err := ctx.CreateCommandQueue(devs[0])
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(queue.Release(), &err) }()
+
+	// Steps 6-8: program and kernels.
+	prog, err := ctx.CreateProgramWithSource(kernels.CLSource())
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(prog.Release(), &err) }()
+	if err := prog.Build("-O3"); err != nil {
+		return nil, err
+	}
+	finder, err := prog.CreateKernel("finder")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(finder.Release(), &err) }()
+	comparer, err := prog.CreateKernel(kernels.ComparerKernelName(e.Variant))
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(comparer.Release(), &err) }()
+
+	// Step 5 (per-run constants): pattern tables.
+	patBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemUseConstant|opencl.MemCopyHostPtr, len(pattern.Codes), pattern.Codes)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(patBuf.Release(), &err) }()
+	patIdxBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(pattern.Index), pattern.Index)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(patIdxBuf.Release(), &err) }()
+	prof.BytesStaged += int64(len(pattern.Codes) + 4*len(pattern.Index))
+
+	for _, ch := range chunks {
+		chHits, err := e.runChunk(ctx, queue, finder, comparer, pattern, guides, req, ch, patBuf, patIdxBuf)
+		if err != nil {
+			return nil, err
+		}
+		hits = append(hits, chHits...)
+	}
+	sortHits(hits)
+	return hits, nil
+}
+
+// closeErr folds a release error into the function error without masking
+// an earlier one.
+func closeErr(relErr error, err *error) {
+	if relErr != nil && *err == nil {
+		*err = relErr
+	}
+}
+
+func (e *SimCL) runChunk(
+	ctx *opencl.Context, queue *opencl.CommandQueue,
+	finder, comparer *opencl.Kernel,
+	pattern *kernels.PatternPair, guides []*kernels.PatternPair,
+	req *Request, ch *genome.Chunk,
+	patBuf, patIdxBuf *opencl.Mem,
+) (hits []Hit, err error) {
+	prof := e.profile
+	plen := pattern.PatternLen
+	data := genome.Upper(ch.Data)
+	sites := ch.Body
+
+	chrBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(data), data)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(chrBuf.Release(), &err) }()
+	lociBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, sites, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(lociBuf.Release(), &err) }()
+	flagsBuf, err := opencl.CreateBuffer[byte](ctx, opencl.MemReadWrite, sites, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(flagsBuf.Release(), &err) }()
+	countBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(countBuf.Release(), &err) }()
+	prof.Chunks++
+	prof.BytesStaged += int64(len(data))
+
+	// Step 9: finder arguments.
+	finderArgs := []any{
+		chrBuf, patBuf, patIdxBuf,
+		int32(plen), uint32(sites),
+		lociBuf, flagsBuf, countBuf,
+	}
+	for i, a := range finderArgs {
+		if err := finder.SetArg(i, a); err != nil {
+			return nil, err
+		}
+	}
+	if err := finder.SetArgLocal(kernels.FinderArgLocalPat, 2*plen); err != nil {
+		return nil, err
+	}
+	if err := finder.SetArgLocal(kernels.FinderArgLocalPatIndex, 4*2*plen); err != nil {
+		return nil, err
+	}
+
+	// Step 10: enqueue the finder over the padded site range.
+	wg := e.WorkGroupSize
+	pad := wg
+	if pad <= 0 {
+		pad = 64
+	}
+	gws := (sites + pad - 1) / pad * pad
+	ev, err := queue.EnqueueNDRangeKernel(finder, gws, wg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ev.Wait(); err != nil {
+		return nil, err
+	}
+	prof.addKernel("finder", ev.Stats(), gws/int(ev.Stats().WorkGroups))
+
+	// Step 11: read the candidate count and loci.
+	countHost := make([]uint32, 1)
+	if _, err := opencl.EnqueueReadBuffer(queue, countBuf, true, 0, 1, countHost); err != nil {
+		return nil, err
+	}
+	n := int(countHost[0])
+	prof.BytesRead += 4
+	prof.CandidateSites += int64(n)
+	if n == 0 {
+		return nil, nil
+	}
+	lociHost := make([]uint32, n)
+	if _, err := opencl.EnqueueReadBuffer(queue, lociBuf, true, 0, n, lociHost); err != nil {
+		return nil, err
+	}
+	prof.BytesRead += int64(4 * n)
+
+	// Comparer output buffers sized for both strands of every candidate.
+	mmLociBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemWriteOnly, 2*n, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(mmLociBuf.Release(), &err) }()
+	mmCountBuf, err := opencl.CreateBuffer[uint16](ctx, opencl.MemWriteOnly, 2*n, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(mmCountBuf.Release(), &err) }()
+	dirBuf, err := opencl.CreateBuffer[byte](ctx, opencl.MemWriteOnly, 2*n, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(dirBuf.Release(), &err) }()
+	entryBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { closeErr(entryBuf.Release(), &err) }()
+
+	for qi, g := range guides {
+		compBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(g.Codes), g.Codes)
+		if err != nil {
+			return nil, err
+		}
+		compIdxBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(g.Index), g.Index)
+		if err != nil {
+			closeErr(compBuf.Release(), &err)
+			return nil, err
+		}
+		prof.BytesStaged += int64(len(g.Codes) + 4*len(g.Index))
+		qHits, qErr := e.runComparer(queue, comparer, ch, data, g, qi, req.Queries[qi], n,
+			chrBuf, lociBuf, flagsBuf, compBuf, compIdxBuf, mmLociBuf, mmCountBuf, dirBuf, entryBuf)
+		closeErr(compBuf.Release(), &qErr)
+		closeErr(compIdxBuf.Release(), &qErr)
+		if qErr != nil {
+			return nil, qErr
+		}
+		hits = append(hits, qHits...)
+	}
+	return hits, nil
+}
+
+func (e *SimCL) runComparer(
+	queue *opencl.CommandQueue, comparer *opencl.Kernel,
+	ch *genome.Chunk, data []byte, g *kernels.PatternPair,
+	qi int, q Query, n int,
+	chrBuf, lociBuf, flagsBuf, compBuf, compIdxBuf, mmLociBuf, mmCountBuf, dirBuf, entryBuf *opencl.Mem,
+) ([]Hit, error) {
+	prof := e.profile
+	if _, err := opencl.EnqueueWriteBuffer(queue, entryBuf, true, 0, 1, []uint32{0}); err != nil {
+		return nil, err
+	}
+	prof.BytesStaged += 4
+
+	comparerArgs := []any{
+		uint32(n), chrBuf, lociBuf, mmLociBuf,
+		compBuf, compIdxBuf,
+		int32(g.PatternLen), uint16(q.MaxMismatches),
+		flagsBuf, mmCountBuf, dirBuf, entryBuf,
+	}
+	for i, a := range comparerArgs {
+		if err := comparer.SetArg(i, a); err != nil {
+			return nil, err
+		}
+	}
+	if err := comparer.SetArgLocal(kernels.ComparerArgLocalComp, 2*g.PatternLen); err != nil {
+		return nil, err
+	}
+	if err := comparer.SetArgLocal(kernels.ComparerArgLocalCompIndex, 4*2*g.PatternLen); err != nil {
+		return nil, err
+	}
+	wg := e.WorkGroupSize
+	pad := wg
+	if pad <= 0 {
+		pad = 64
+	}
+	cgws := (n + pad - 1) / pad * pad
+	ev, err := queue.EnqueueNDRangeKernel(comparer, cgws, wg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ev.Wait(); err != nil {
+		return nil, err
+	}
+	prof.addKernel(comparer.Name(), ev.Stats(), cgws/int(ev.Stats().WorkGroups))
+
+	entries := make([]uint32, 1)
+	if _, err := opencl.EnqueueReadBuffer(queue, entryBuf, true, 0, 1, entries); err != nil {
+		return nil, err
+	}
+	cnt := int(entries[0])
+	prof.BytesRead += 4
+	prof.Entries += int64(cnt)
+	if cnt == 0 {
+		return nil, nil
+	}
+	mmLoci := make([]uint32, cnt)
+	mmCount := make([]uint16, cnt)
+	dirs := make([]byte, cnt)
+	if _, err := opencl.EnqueueReadBuffer(queue, mmLociBuf, true, 0, cnt, mmLoci); err != nil {
+		return nil, err
+	}
+	if _, err := opencl.EnqueueReadBuffer(queue, mmCountBuf, true, 0, cnt, mmCount); err != nil {
+		return nil, err
+	}
+	if _, err := opencl.EnqueueReadBuffer(queue, dirBuf, true, 0, cnt, dirs); err != nil {
+		return nil, err
+	}
+	prof.BytesRead += int64(cnt * (4 + 2 + 1))
+
+	hits := make([]Hit, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		pos := int(mmLoci[i])
+		window := data[pos : pos+g.PatternLen]
+		hits = append(hits, Hit{
+			QueryIndex: qi,
+			SeqName:    ch.SeqName,
+			Pos:        ch.Start + pos,
+			Dir:        dirs[i],
+			Mismatches: int(mmCount[i]),
+			Site:       renderSite(window, g, dirs[i]),
+		})
+	}
+	return hits, nil
+}

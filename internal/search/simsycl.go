@@ -1,0 +1,371 @@
+package search
+
+import (
+	"fmt"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/sycl"
+)
+
+// SimSYCL runs the search as the migrated SYCL application (§III): a queue
+// from a device selector, buffers with accessors, command groups with local
+// accessors and parallel_for, and implicit buffer write-back. The kernels
+// are the same bodies the OpenCL engine runs; the work-group size is 256
+// for both kernels, as in the paper's SYCL program.
+type SimSYCL struct {
+	// Device is the simulated GPU to run on.
+	Device *gpu.Device
+	// Variant selects the comparer kernel.
+	Variant kernels.ComparerVariant
+	// WorkGroupSize overrides the launch local size; 0 means 256.
+	WorkGroupSize int
+
+	profile *Profile
+}
+
+// DefaultSYCLWorkGroup is the local work size of the SYCL application:
+// "the local work size (work-group size) is 256 for launching both SYCL
+// kernels" (§IV.A).
+const DefaultSYCLWorkGroup = 256
+
+// Name implements Engine.
+func (e *SimSYCL) Name() string { return "sycl-sim" }
+
+// LastProfile implements Profiler.
+func (e *SimSYCL) LastProfile() *Profile { return e.profile }
+
+func (e *SimSYCL) wgSize() int {
+	if e.WorkGroupSize > 0 {
+		return e.WorkGroupSize
+	}
+	return DefaultSYCLWorkGroup
+}
+
+// Run implements Engine.
+func (e *SimSYCL) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if e.Device == nil {
+		return nil, fmt.Errorf("search: %s: nil device", e.Name())
+	}
+	prof := newProfile()
+	e.profile = prof
+
+	pattern, err := kernels.NewPatternPair([]byte(req.Pattern))
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	guides := make([]*kernels.PatternPair, len(req.Queries))
+	for i, q := range req.Queries {
+		if guides[i], err = kernels.NewPatternPair([]byte(q.Guide)); err != nil {
+			return nil, fmt.Errorf("search: query %d: %w", i, err)
+		}
+	}
+	chunker := &genome.Chunker{ChunkBytes: req.chunkBytes(), PatternLen: pattern.PatternLen}
+	chunks, err := chunker.Plan(asm)
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+
+	// Device selector and queue (steps 1-2 of the SYCL column).
+	queue, err := sycl.NewQueue(sycl.GPUSelector{}, e.Device)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pattern tables live for the whole run; the scaffold goes behind the
+	// constant address space as in the paper's finder kernel.
+	patBuf, err := sycl.NewConstantBuffer(pattern.Codes)
+	if err != nil {
+		return nil, err
+	}
+	defer patBuf.Destroy()
+	patIdxBuf, err := sycl.NewBufferFrom(pattern.Index)
+	if err != nil {
+		return nil, err
+	}
+	defer patIdxBuf.Destroy()
+	prof.BytesStaged += int64(len(pattern.Codes) + 4*len(pattern.Index))
+
+	var hits []Hit
+	for _, ch := range chunks {
+		chHits, err := e.runChunk(queue, pattern, guides, req, ch, patBuf, patIdxBuf)
+		if err != nil {
+			return nil, err
+		}
+		hits = append(hits, chHits...)
+	}
+	sortHits(hits)
+	return hits, nil
+}
+
+func (e *SimSYCL) runChunk(
+	queue *sycl.Queue,
+	pattern *kernels.PatternPair, guides []*kernels.PatternPair,
+	req *Request, ch *genome.Chunk,
+	patBuf *sycl.Buffer[byte], patIdxBuf *sycl.Buffer[int32],
+) ([]Hit, error) {
+	prof := e.profile
+	plen := pattern.PatternLen
+	data := genome.Upper(ch.Data)
+	sites := ch.Body
+	wg := e.wgSize()
+
+	chrBuf, err := sycl.NewBufferFrom(data)
+	if err != nil {
+		return nil, err
+	}
+	defer chrBuf.Destroy()
+	lociBuf, err := sycl.NewBuffer[uint32](sites)
+	if err != nil {
+		return nil, err
+	}
+	defer lociBuf.Destroy()
+	flagsBuf, err := sycl.NewBuffer[byte](sites)
+	if err != nil {
+		return nil, err
+	}
+	defer flagsBuf.Destroy()
+	countBuf, err := sycl.NewBuffer[uint32](1)
+	if err != nil {
+		return nil, err
+	}
+	defer countBuf.Destroy()
+	prof.Chunks++
+	prof.BytesStaged += int64(len(data))
+
+	gws := (sites + wg - 1) / wg * wg
+	ev := queue.Submit(func(h *sycl.Handler) error {
+		chrAcc, err := sycl.Access(h, chrBuf, sycl.Read)
+		if err != nil {
+			return err
+		}
+		patAcc, err := sycl.Access(h, patBuf, sycl.Read)
+		if err != nil {
+			return err
+		}
+		patIdxAcc, err := sycl.Access(h, patIdxBuf, sycl.Read)
+		if err != nil {
+			return err
+		}
+		lociAcc, err := sycl.Access(h, lociBuf, sycl.Write)
+		if err != nil {
+			return err
+		}
+		flagsAcc, err := sycl.Access(h, flagsBuf, sycl.Write)
+		if err != nil {
+			return err
+		}
+		countAcc, err := sycl.Access(h, countBuf, sycl.ReadWrite)
+		if err != nil {
+			return err
+		}
+		lPat, err := sycl.NewLocalAccessor[byte](h, 2*plen)
+		if err != nil {
+			return err
+		}
+		lPatIdx, err := sycl.NewLocalAccessor[int32](h, 2*plen)
+		if err != nil {
+			return err
+		}
+		fa := &kernels.FinderArgs{
+			Chr: chrAcc.Slice(),
+			Pattern: &kernels.PatternPair{
+				Codes:      patAcc.Slice(),
+				Index:      patIdxAcc.Slice(),
+				PatternLen: plen,
+			},
+			Sites: sites,
+			Loci:  lociAcc.Slice(),
+			Flags: flagsAcc.Slice(),
+			Count: &countAcc.Slice()[0],
+		}
+		return h.ParallelFor("finder", gpu.R1(gws), gpu.R1(wg), func(it *sycl.NDItem) {
+			kernels.Finder(it.Item(), fa, lPat.Slice(it), lPatIdx.Slice(it))
+		})
+	})
+	if err := ev.Wait(); err != nil {
+		return nil, err
+	}
+	prof.addKernel("finder", ev.Stats(), wg)
+
+	countHost, err := countBuf.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	n := int(countHost[0])
+	prof.BytesRead += 4
+	prof.CandidateSites += int64(n)
+	if n == 0 {
+		return nil, nil
+	}
+
+	mmLociBuf, err := sycl.NewBuffer[uint32](2 * n)
+	if err != nil {
+		return nil, err
+	}
+	defer mmLociBuf.Destroy()
+	mmCountBuf, err := sycl.NewBuffer[uint16](2 * n)
+	if err != nil {
+		return nil, err
+	}
+	defer mmCountBuf.Destroy()
+	dirBuf, err := sycl.NewBuffer[byte](2 * n)
+	if err != nil {
+		return nil, err
+	}
+	defer dirBuf.Destroy()
+
+	var hits []Hit
+	for qi, g := range guides {
+		qHits, err := e.runComparer(queue, ch, data, g, qi, req.Queries[qi], n,
+			chrBuf, lociBuf, flagsBuf, mmLociBuf, mmCountBuf, dirBuf)
+		if err != nil {
+			return nil, err
+		}
+		hits = append(hits, qHits...)
+	}
+	return hits, nil
+}
+
+func (e *SimSYCL) runComparer(
+	queue *sycl.Queue,
+	ch *genome.Chunk, data []byte, g *kernels.PatternPair,
+	qi int, q Query, n int,
+	chrBuf *sycl.Buffer[byte], lociBuf *sycl.Buffer[uint32], flagsBuf *sycl.Buffer[byte],
+	mmLociBuf *sycl.Buffer[uint32], mmCountBuf *sycl.Buffer[uint16], dirBuf *sycl.Buffer[byte],
+) ([]Hit, error) {
+	prof := e.profile
+	wg := e.wgSize()
+	compBuf, err := sycl.NewBufferFrom(g.Codes)
+	if err != nil {
+		return nil, err
+	}
+	defer compBuf.Destroy()
+	compIdxBuf, err := sycl.NewBufferFrom(g.Index)
+	if err != nil {
+		return nil, err
+	}
+	defer compIdxBuf.Destroy()
+	entryBuf, err := sycl.NewBuffer[uint32](1)
+	if err != nil {
+		return nil, err
+	}
+	defer entryBuf.Destroy()
+	prof.BytesStaged += int64(len(g.Codes)+4*len(g.Index)) + 4
+
+	body := kernels.Comparer(e.Variant)
+	name := kernels.ComparerKernelName(e.Variant)
+	cgws := (n + wg - 1) / wg * wg
+	ev := queue.Submit(func(h *sycl.Handler) error {
+		chrAcc, err := sycl.Access(h, chrBuf, sycl.Read)
+		if err != nil {
+			return err
+		}
+		lociAcc, err := sycl.Access(h, lociBuf, sycl.Read)
+		if err != nil {
+			return err
+		}
+		flagsAcc, err := sycl.Access(h, flagsBuf, sycl.Read)
+		if err != nil {
+			return err
+		}
+		compAcc, err := sycl.Access(h, compBuf, sycl.Read)
+		if err != nil {
+			return err
+		}
+		compIdxAcc, err := sycl.Access(h, compIdxBuf, sycl.Read)
+		if err != nil {
+			return err
+		}
+		mmLociAcc, err := sycl.Access(h, mmLociBuf, sycl.Write)
+		if err != nil {
+			return err
+		}
+		mmCountAcc, err := sycl.Access(h, mmCountBuf, sycl.Write)
+		if err != nil {
+			return err
+		}
+		dirAcc, err := sycl.Access(h, dirBuf, sycl.Write)
+		if err != nil {
+			return err
+		}
+		entryAcc, err := sycl.Access(h, entryBuf, sycl.ReadWrite)
+		if err != nil {
+			return err
+		}
+		lComp, err := sycl.NewLocalAccessor[byte](h, 2*g.PatternLen)
+		if err != nil {
+			return err
+		}
+		lCompIdx, err := sycl.NewLocalAccessor[int32](h, 2*g.PatternLen)
+		if err != nil {
+			return err
+		}
+		ca := &kernels.ComparerArgs{
+			Chr:       chrAcc.Slice(),
+			Loci:      lociAcc.Slice(),
+			Flags:     flagsAcc.Slice(),
+			LociCount: uint32(n),
+			Guide: &kernels.PatternPair{
+				Codes:      compAcc.Slice(),
+				Index:      compIdxAcc.Slice(),
+				PatternLen: g.PatternLen,
+			},
+			Threshold:  uint16(q.MaxMismatches),
+			MMLoci:     mmLociAcc.Slice(),
+			MMCount:    mmCountAcc.Slice(),
+			Direction:  dirAcc.Slice(),
+			EntryCount: &entryAcc.Slice()[0],
+		}
+		return h.ParallelFor(name, gpu.R1(cgws), gpu.R1(wg), func(it *sycl.NDItem) {
+			body(it.Item(), ca, lComp.Slice(it), lCompIdx.Slice(it))
+		})
+	})
+	if err := ev.Wait(); err != nil {
+		return nil, err
+	}
+	prof.addKernel(name, ev.Stats(), wg)
+
+	entries, err := entryBuf.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	cnt := int(entries[0])
+	prof.BytesRead += 4
+	prof.Entries += int64(cnt)
+	if cnt == 0 {
+		return nil, nil
+	}
+	mmLoci, err := mmLociBuf.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	mmCount, err := mmCountBuf.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := dirBuf.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	prof.BytesRead += int64(cnt * (4 + 2 + 1))
+
+	hits := make([]Hit, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		pos := int(mmLoci[i])
+		window := data[pos : pos+g.PatternLen]
+		hits = append(hits, Hit{
+			QueryIndex: qi,
+			SeqName:    ch.SeqName,
+			Pos:        ch.Start + pos,
+			Dir:        dirs[i],
+			Mismatches: int(mmCount[i]),
+			Site:       renderSite(window, g, dirs[i]),
+		})
+	}
+	return hits, nil
+}

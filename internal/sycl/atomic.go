@@ -1,0 +1,71 @@
+package sycl
+
+import "casoffinder/internal/gpu"
+
+// MemoryOrder is the ordering constraint of an atomic reference
+// (memory_order::relaxed in Table V).
+type MemoryOrder int
+
+// Memory orders.
+const (
+	Relaxed MemoryOrder = iota + 1
+	AcqRel
+	SeqCst
+)
+
+// MemoryScope is the set of work-items an atomic synchronises with
+// (memory_scope::device in Table V).
+type MemoryScope int
+
+// Memory scopes.
+const (
+	WorkGroupScope MemoryScope = iota + 1
+	DeviceScope
+	SystemScope
+)
+
+// AddressSpace is the address space of the referenced object
+// (access::address_space::global_space in Table V).
+type AddressSpace int
+
+// Address spaces.
+const (
+	GlobalAddressSpace AddressSpace = iota + 1
+	LocalAddressSpace
+)
+
+// AtomicRef is a reference through which a memory location is updated
+// atomically — the SYCL atomic_ref class of Table V, instantiated with the
+// ordering, scope and address space of the referenced object. The simulator
+// implements every combination with sequentially consistent host atomics,
+// which satisfies the relaxed ordering the application requests.
+type AtomicRef struct {
+	it    *gpu.Item
+	p     *uint32
+	order MemoryOrder
+	scope MemoryScope
+	space AddressSpace
+}
+
+// NewAtomicRef builds an atomic reference to *p.
+func NewAtomicRef(it *NDItem, p *uint32, order MemoryOrder, scope MemoryScope, space AddressSpace) AtomicRef {
+	return AtomicRef{it: it.Item(), p: p, order: order, scope: scope, space: space}
+}
+
+// FetchAdd atomically adds v and returns the previous value.
+func (a AtomicRef) FetchAdd(v uint32) uint32 {
+	return a.it.AtomicAddUint32(a.p, v)
+}
+
+// AtomicInc is the migration helper of Table V:
+//
+//	template<typename T> T atomic_inc(T &val) {
+//	  atomic_ref<T, memory_order::relaxed, memory_scope::device,
+//	             access::address_space::global_space> obj(val);
+//	  return obj.fetch_add((T)1);
+//	}
+//
+// It replaces the OpenCL atomic_inc() built-in in the application kernels.
+func AtomicInc(it *NDItem, val *uint32) uint32 {
+	return NewAtomicRef(it, val, Relaxed, DeviceScope, GlobalAddressSpace).FetchAdd(1)
+}

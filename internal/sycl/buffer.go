@@ -1,0 +1,279 @@
+package sycl
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"casoffinder/internal/gpu"
+)
+
+// depState serialises conflicting commands on one buffer. Submitting a
+// command group that writes a buffer makes it depend on the buffer's last
+// writer and all readers since (WAW, WAR); a reading group depends on the
+// last writer only (RAW). This is the implicit task graph a SYCL runtime
+// derives from accessors.
+type depState struct {
+	mu        sync.Mutex
+	lastWrite *Event
+	readers   []*Event
+}
+
+// acquire registers ev as the next access and returns the events it must
+// wait for.
+func (ds *depState) acquire(ev *Event, write bool) []*Event {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	var deps []*Event
+	if ds.lastWrite != nil {
+		deps = append(deps, ds.lastWrite)
+	}
+	if write {
+		deps = append(deps, ds.readers...)
+		ds.lastWrite = ev
+		ds.readers = nil
+	} else {
+		ds.readers = append(ds.readers, ev)
+	}
+	return deps
+}
+
+// settled returns the events an outside observer (buffer destruction, host
+// snapshot) must wait for: the last writer and all readers.
+func (ds *depState) settled() []*Event {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	deps := make([]*Event, 0, len(ds.readers)+1)
+	if ds.lastWrite != nil {
+		deps = append(deps, ds.lastWrite)
+	}
+	deps = append(deps, ds.readers...)
+	return deps
+}
+
+// bufferLike is the type-erased view of Buffer[T] the handler scheduler
+// uses.
+type bufferLike interface {
+	state() *depState
+	ensureAlloc(dev *gpu.Device) error
+	live() error
+}
+
+// Buffer is a SYCL buffer of element type T — step 3 of the SYCL column of
+// Table I and the right column of Table II. The runtime owns its storage:
+// there is no explicit release; Destroy (the analogue of the buffer going
+// out of scope in C++) waits for outstanding work and writes the contents
+// back to the host slice the buffer was constructed over.
+type Buffer[T any] struct {
+	mu        sync.Mutex
+	length    int
+	data      []T // materialised lazily for sized constructors
+	host      []T // write-back target; nil for sized constructors
+	written   bool
+	destroyed bool
+	alloc     *gpu.Allocation
+	kind      gpu.MemKind
+	deps      depState
+}
+
+// NewBuffer constructs a buffer of ws zero elements —
+// "buffer<T, D> d (WS)" in Table II. The initial content is unspecified in
+// SYCL; the simulator zeroes it. Storage is materialised when the buffer is
+// first used on a device, after the device memory budget admits it.
+func NewBuffer[T any](ws int) (*Buffer[T], error) {
+	if ws < 0 {
+		return nil, fmt.Errorf("sycl: negative buffer size %d", ws)
+	}
+	return &Buffer[T]{length: ws, kind: gpu.GlobalMem}, nil
+}
+
+// NewBufferFrom constructs a buffer initialised from, and owning, the host
+// slice for the buffer's lifetime — "buffer<T, D> d (h, WS)" in Table II.
+// Destroy copies the (possibly modified) contents back to host.
+func NewBufferFrom[T any](host []T) (*Buffer[T], error) {
+	b := &Buffer[T]{length: len(host), data: make([]T, len(host)), host: host, kind: gpu.GlobalMem}
+	copy(b.data, host)
+	return b, nil
+}
+
+// NewConstantBuffer constructs a read-only buffer that kernels access
+// through the constant address space (the "constant_buffer" access target
+// the paper uses for the finder kernel's pattern argument).
+func NewConstantBuffer[T any](host []T) (*Buffer[T], error) {
+	b, err := NewBufferFrom(host)
+	if err != nil {
+		return nil, err
+	}
+	b.kind = gpu.ConstantMem
+	return b, nil
+}
+
+// Len returns the buffer length in elements.
+func (b *Buffer[T]) Len() int { return b.length }
+
+func (b *Buffer[T]) state() *depState { return &b.deps }
+
+func (b *Buffer[T]) live() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.destroyed {
+		return ErrBufferDestroyed
+	}
+	return nil
+}
+
+// ensureAlloc lazily charges the buffer against the device memory budget on
+// first use, the way a SYCL runtime materialises device storage when a
+// kernel first needs it.
+func (b *Buffer[T]) ensureAlloc(dev *gpu.Device) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.destroyed {
+		return ErrBufferDestroyed
+	}
+	if b.alloc != nil {
+		return nil
+	}
+	var zero T
+	size := int64(b.length) * int64(reflect.TypeOf(zero).Size())
+	alloc, err := dev.Alloc(b.kind, size)
+	if err != nil {
+		return fmt.Errorf("sycl: materialising buffer on %s: %w", dev.Spec().Name, err)
+	}
+	b.alloc = alloc
+	if b.data == nil {
+		b.data = make([]T, b.length)
+	}
+	return nil
+}
+
+func (b *Buffer[T]) materialize() {
+	b.mu.Lock()
+	if b.data == nil {
+		b.data = make([]T, b.length)
+	}
+	b.mu.Unlock()
+}
+
+func (b *Buffer[T]) markWritten() {
+	b.mu.Lock()
+	b.written = true
+	b.mu.Unlock()
+}
+
+// Destroy ends the buffer's lifetime: it waits until all submitted work on
+// the buffer has completed, copies the contents back to the host memory the
+// buffer was constructed over (if any work wrote to it), and returns the
+// device storage. It reproduces the destruction semantics §III.A describes
+// and is idempotent, unlike an OpenCL double release.
+func (b *Buffer[T]) Destroy() error {
+	for _, e := range b.deps.settled() {
+		if err := e.Wait(); err != nil {
+			return fmt.Errorf("sycl: waiting for work on buffer: %w", err)
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.destroyed {
+		return nil
+	}
+	b.destroyed = true
+	if b.host != nil && b.written && b.data != nil {
+		copy(b.host, b.data)
+	}
+	if b.alloc != nil {
+		if err := b.alloc.Free(); err != nil {
+			return err
+		}
+		b.alloc = nil
+	}
+	return nil
+}
+
+// Snapshot waits for all outstanding work on the buffer and returns a copy
+// of its contents — a host accessor in SYCL terms.
+func (b *Buffer[T]) Snapshot() ([]T, error) {
+	for _, e := range b.deps.settled() {
+		if err := e.Wait(); err != nil {
+			return nil, fmt.Errorf("sycl: waiting for work on buffer: %w", err)
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.destroyed {
+		return nil, ErrBufferDestroyed
+	}
+	out := make([]T, b.length)
+	copy(out, b.data) // data may be nil (never materialised): zeros
+	return out, nil
+}
+
+// AccessMode says how a kernel or copy uses an accessor (read, write or
+// both) — the sycl_read / sycl_write / sycl_read_write short names the
+// paper uses.
+type AccessMode int
+
+// Access modes.
+const (
+	Read AccessMode = 1 << iota
+	Write
+	ReadWrite AccessMode = Read | Write
+)
+
+func (m AccessMode) reads() bool  { return m&Read != 0 }
+func (m AccessMode) writes() bool { return m&Write != 0 }
+
+// Accessor indicates where and how buffer data is accessed (§III.A). It is
+// created inside a command group via Access or AccessRange and hands the
+// kernel a typed window onto the buffer.
+type Accessor[T any] struct {
+	buf    *Buffer[T]
+	mode   AccessMode
+	offset int
+	length int
+}
+
+// Slice returns the accessor's window of the buffer data, materialising the
+// host-side storage of a sized buffer on first access (the device-side
+// budget is still charged when the owning command group runs).
+func (a *Accessor[T]) Slice() []T {
+	a.buf.materialize()
+	return a.buf.data[a.offset : a.offset+a.length]
+}
+
+// Len returns the accessor range length.
+func (a *Accessor[T]) Len() int { return a.length }
+
+// Offset returns the accessor offset within the buffer.
+func (a *Accessor[T]) Offset() int { return a.offset }
+
+// Mode returns the access mode.
+func (a *Accessor[T]) Mode() AccessMode { return a.mode }
+
+// Constant reports whether the accessor targets the constant address space.
+func (a *Accessor[T]) Constant() bool { return a.buf.kind == gpu.ConstantMem }
+
+// Access creates an accessor covering the whole buffer —
+// buf.get_access<mode>(cgh) in SYCL.
+func Access[T any](h *Handler, buf *Buffer[T], mode AccessMode) (*Accessor[T], error) {
+	return AccessRange(h, buf, mode, buf.Len(), 0)
+}
+
+// AccessRange creates a ranged accessor of count elements starting at
+// offset — the ranged accessors of Table III.
+func AccessRange[T any](h *Handler, buf *Buffer[T], mode AccessMode, count, offset int) (*Accessor[T], error) {
+	if err := h.useable(); err != nil {
+		return nil, err
+	}
+	if err := buf.live(); err != nil {
+		return nil, err
+	}
+	if offset < 0 || count < 0 || offset+count > buf.Len() {
+		return nil, fmt.Errorf("%w: [%d, %d) of %d", ErrInvalidAccessRange, offset, offset+count, buf.Len())
+	}
+	if buf.kind == gpu.ConstantMem && mode.writes() {
+		return nil, fmt.Errorf("sycl: constant buffer cannot be written")
+	}
+	h.registerAccess(buf, mode)
+	return &Accessor[T]{buf: buf, mode: mode, offset: offset, length: count}, nil
+}

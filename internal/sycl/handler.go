@@ -1,0 +1,193 @@
+package sycl
+
+import (
+	"fmt"
+	"reflect"
+
+	"casoffinder/internal/gpu"
+)
+
+// bufAccess records one accessor registration for dependency analysis.
+type bufAccess struct {
+	buf   bufferLike
+	write bool
+}
+
+// Handler is the SYCL command-group handler (cgh). A command group function
+// receives it, creates accessors, and sets exactly one action: a kernel
+// launch (ParallelFor, Table VI) or a copy (CopyToDevice / CopyFromDevice,
+// Table III). The handler is only valid during its Submit call.
+type Handler struct {
+	q      *Queue
+	usable bool
+
+	accesses []bufAccess
+	locals   []func() any
+	ldsBytes int
+
+	action func(dev *gpu.Device) (*gpu.Stats, error)
+}
+
+func (h *Handler) useable() error {
+	if !h.usable {
+		return ErrHandlerReuse
+	}
+	return nil
+}
+
+func (h *Handler) registerAccess(buf bufferLike, mode AccessMode) {
+	h.accesses = append(h.accesses, bufAccess{buf: buf, write: mode.writes()})
+}
+
+func (h *Handler) setAction(a func(dev *gpu.Device) (*gpu.Stats, error)) error {
+	if err := h.useable(); err != nil {
+		return err
+	}
+	if h.action != nil {
+		return fmt.Errorf("sycl: command group already has an action")
+	}
+	h.action = a
+	return nil
+}
+
+// ParallelFor launches a kernel over an nd_range — the SYCL side of
+// Table VI: h.parallel_for(nd_range<1>(gws, lws), [=](nd_item<1> it)
+// { finder(it, ...) }). The name labels the launch in the device log.
+func (h *Handler) ParallelFor(name string, global, local gpu.Range, body func(it *NDItem)) error {
+	if body == nil {
+		return fmt.Errorf("sycl: nil kernel body")
+	}
+	locals := h.locals
+	lds := h.ldsBytes
+	return h.setAction(func(dev *gpu.Device) (*gpu.Stats, error) {
+		return dev.Launch(gpu.LaunchSpec{
+			Name:   name,
+			Global: global,
+			Local:  local,
+			Kernel: func(g *gpu.Group) gpu.WorkItemFunc {
+				shared := make([]any, len(locals))
+				for i, mk := range locals {
+					shared[i] = mk()
+				}
+				g.SetLocals(shared)
+				return func(it *gpu.Item) {
+					nd := NDItem{it: it}
+					body(&nd)
+				}
+			},
+			LDSBytesPerWG: lds,
+		})
+	})
+}
+
+// CopyFromDevice copies an accessor's range into host memory — the first
+// row of Table III (cgh.copy(deviceAccessor, hostPtr)).
+func CopyFromDevice[T any](h *Handler, dst []T, src *Accessor[T]) error {
+	if len(dst) < src.Len() {
+		return fmt.Errorf("%w: host destination holds %d of %d elements",
+			ErrInvalidAccessRange, len(dst), src.Len())
+	}
+	return h.setAction(func(dev *gpu.Device) (*gpu.Stats, error) {
+		copy(dst[:src.Len()], src.Slice())
+		return nil, nil
+	})
+}
+
+// CopyToDevice copies host memory into an accessor's range — the second row
+// of Table III (cgh.copy(hostPtr, deviceAccessor)).
+func CopyToDevice[T any](h *Handler, dst *Accessor[T], src []T) error {
+	if !dst.Mode().writes() {
+		return fmt.Errorf("sycl: copy destination accessor is read-only")
+	}
+	if len(src) < dst.Len() {
+		return fmt.Errorf("%w: host source holds %d of %d elements",
+			ErrInvalidAccessRange, len(src), dst.Len())
+	}
+	return h.setAction(func(dev *gpu.Device) (*gpu.Stats, error) {
+		copy(dst.Slice(), src[:dst.Len()])
+		return nil, nil
+	})
+}
+
+// LocalAccessor is shared local memory declared in a command group — the
+// SYCL replacement for an OpenCL __local kernel argument (§III.E). Each
+// work-group gets its own storage.
+type LocalAccessor[T any] struct {
+	index int
+}
+
+// NewLocalAccessor declares n elements of work-group-local storage.
+func NewLocalAccessor[T any](h *Handler, n int) (*LocalAccessor[T], error) {
+	if err := h.useable(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("sycl: local accessor needs a positive size, got %d", n)
+	}
+	idx := len(h.locals)
+	h.locals = append(h.locals, func() any { return make([]T, n) })
+	var zero T
+	h.ldsBytes += n * int(reflect.TypeOf(zero).Size())
+	return &LocalAccessor[T]{index: idx}, nil
+}
+
+// Slice returns the calling work-group's storage.
+func (la *LocalAccessor[T]) Slice(it *NDItem) []T {
+	return it.it.Group().Local(la.index).([]T)
+}
+
+// Submit runs a command-group function and schedules its action — the SYCL
+// queue submit of Tables III and VI. The returned event completes when the
+// action has run; buffer-access dependencies order it against previously
+// submitted groups. Errors returned by the command-group function, or
+// raised asynchronously by the action, surface on the event (and on
+// Queue.Wait), mirroring SYCL's async exception handler.
+func (q *Queue) Submit(cg func(h *Handler) error) *Event {
+	ev := newEvent()
+	q.mu.Lock()
+	q.events = append(q.events, ev)
+	q.mu.Unlock()
+
+	h := &Handler{q: q, usable: true}
+	if err := cg(h); err != nil {
+		ev.complete(nil, err)
+		return ev
+	}
+	h.usable = false
+	if h.action == nil {
+		ev.complete(nil, ErrNoAction)
+		return ev
+	}
+
+	// Register this event in each touched buffer's dependency state, in
+	// submission order, and collect what it must wait for.
+	var deps []*Event
+	buffers := make([]bufferLike, 0, len(h.accesses))
+	for _, a := range h.accesses {
+		deps = append(deps, a.buf.state().acquire(ev, a.write)...)
+		buffers = append(buffers, a.buf)
+		if a.write {
+			if marker, ok := a.buf.(interface{ markWritten() }); ok {
+				marker.markWritten()
+			}
+		}
+	}
+
+	go func() {
+		for _, d := range deps {
+			if err := d.Wait(); err != nil {
+				ev.complete(nil, fmt.Errorf("sycl: dependency failed: %w", err))
+				return
+			}
+		}
+		for _, b := range buffers {
+			if err := b.ensureAlloc(q.dev); err != nil {
+				ev.complete(nil, err)
+				return
+			}
+		}
+		stats, err := h.action(q.dev)
+		ev.complete(stats, err)
+	}()
+	return ev
+}

@@ -1,0 +1,19 @@
+package sycl
+
+// ProgrammingSteps returns the logical steps of writing a SYCL program, as
+// enumerated in the paper's Table I: the first three OpenCL steps collapse
+// into a device selector, program/kernel management collapses into a lambda
+// submitted to a queue, transfers become implicit via accessors, and
+// releases are handled by destructors.
+func ProgrammingSteps() []string {
+	return []string{
+		"Device selector class (DeviceSelector)",
+		"Queue class (NewQueue)",
+		"Buffer class (NewBuffer / NewBufferFrom)",
+		"Lambda expressions (command-group function with kernel body)",
+		"Submit a SYCL kernel to a queue (Queue.Submit + Handler.ParallelFor)",
+		"Implicit transfers via accessors (Access / AccessRange / Copy*)",
+		"Event class (Event.Wait / Queue.Wait)",
+		"Implicit release via destructors (Buffer.Destroy write-back)",
+	}
+}

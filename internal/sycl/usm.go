@@ -1,0 +1,202 @@
+package sycl
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"casoffinder/internal/gpu"
+)
+
+// Unified shared memory (USM) is the second memory-management abstraction
+// §III.A describes: "a pointer-based approach that allows for easier
+// integration with existing C/C++ programs". The paper's migration uses
+// buffers; USM is provided for completeness and exercised by tests. USM
+// allocations are plain Go slices charged against the device budget, freed
+// explicitly, and moved with queue Memcpy/Memset command groups that join
+// the same implicit task graph as buffer accesses (each allocation carries
+// its own dependency state).
+
+// USMKind distinguishes the three USM allocation flavours.
+type USMKind int
+
+// USM allocation kinds.
+const (
+	// USMDevice memory is accessible only inside kernels.
+	USMDevice USMKind = iota + 1
+	// USMHost memory lives on the host but is device-readable.
+	USMHost
+	// USMShared memory migrates between host and device on demand.
+	USMShared
+)
+
+func (k USMKind) String() string {
+	switch k {
+	case USMDevice:
+		return "device"
+	case USMHost:
+		return "host"
+	case USMShared:
+		return "shared"
+	default:
+		return fmt.Sprintf("USMKind(%d)", int(k))
+	}
+}
+
+// ErrUSMFreed marks use of a freed USM allocation.
+var ErrUSMFreed = errors.New("sycl: use of freed USM allocation")
+
+// USM is one unified-shared-memory allocation of element type T.
+type USM[T any] struct {
+	mu    sync.Mutex
+	data  []T
+	kind  USMKind
+	alloc *gpu.Allocation
+	freed bool
+	deps  depState
+}
+
+// Malloc allocates n elements of USM of the given kind on the queue's
+// device (sycl::malloc_device / malloc_host / malloc_shared).
+func Malloc[T any](q *Queue, kind USMKind, n int) (*USM[T], error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sycl: negative USM size %d", n)
+	}
+	var zero T
+	size := int64(n) * int64(reflect.TypeOf(zero).Size())
+	var alloc *gpu.Allocation
+	if kind == USMDevice || kind == USMShared {
+		a, err := q.dev.Alloc(gpu.GlobalMem, size)
+		if err != nil {
+			return nil, fmt.Errorf("sycl: USM %s allocation: %w", kind, err)
+		}
+		alloc = a
+	}
+	return &USM[T]{data: make([]T, n), kind: kind, alloc: alloc}, nil
+}
+
+// Len returns the allocation length in elements.
+func (u *USM[T]) Len() int { return len(u.data) }
+
+// Kind returns the allocation kind.
+func (u *USM[T]) Kind() USMKind { return u.kind }
+
+// Slice returns the underlying storage for use inside kernels. Unlike
+// buffer accessors, USM carries no implicit dependency information: the
+// caller orders kernels against copies with explicit event waits, exactly
+// the trade-off the paper notes when contrasting USM with buffers.
+func (u *USM[T]) Slice() ([]T, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.freed {
+		return nil, ErrUSMFreed
+	}
+	return u.data, nil
+}
+
+// Free releases the allocation (sycl::free). It waits for submitted
+// copies on this allocation to complete first.
+func (u *USM[T]) Free() error {
+	for _, e := range u.deps.settled() {
+		if err := e.Wait(); err != nil {
+			return fmt.Errorf("sycl: waiting for work on USM allocation: %w", err)
+		}
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.freed {
+		return ErrUSMFreed
+	}
+	u.freed = true
+	u.data = nil
+	if u.alloc != nil {
+		return u.alloc.Free()
+	}
+	return nil
+}
+
+func (u *USM[T]) live() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.freed {
+		return ErrUSMFreed
+	}
+	return nil
+}
+
+// MemcpyToUSM copies host data into a USM allocation
+// (queue.memcpy(dst, src, bytes)). The returned event completes when the
+// copy has run; copies on the same allocation are ordered.
+func MemcpyToUSM[T any](q *Queue, dst *USM[T], src []T) *Event {
+	return usmCommand(q, dst, true, func() error {
+		if len(src) > len(dst.data) {
+			return fmt.Errorf("sycl: memcpy source %d exceeds USM allocation %d", len(src), len(dst.data))
+		}
+		copy(dst.data, src)
+		return nil
+	})
+}
+
+// MemcpyFromUSM copies a USM allocation into host memory.
+func MemcpyFromUSM[T any](q *Queue, dst []T, src *USM[T]) *Event {
+	return usmCommand(q, src, false, func() error {
+		if len(dst) < len(src.data) {
+			return fmt.Errorf("sycl: memcpy destination %d smaller than USM allocation %d", len(dst), len(src.data))
+		}
+		copy(dst, src.data)
+		return nil
+	})
+}
+
+// Memset fills a USM allocation with a value (queue.fill).
+func Memset[T any](q *Queue, dst *USM[T], value T) *Event {
+	return usmCommand(q, dst, true, func() error {
+		for i := range dst.data {
+			dst.data[i] = value
+		}
+		return nil
+	})
+}
+
+// usmCommand schedules one asynchronous operation on a USM allocation,
+// ordered against prior operations on the same allocation.
+func usmCommand[T any](q *Queue, u *USM[T], write bool, op func() error) *Event {
+	ev := newEvent()
+	q.mu.Lock()
+	q.events = append(q.events, ev)
+	q.mu.Unlock()
+	if err := u.live(); err != nil {
+		ev.complete(nil, err)
+		return ev
+	}
+	deps := u.deps.acquire(ev, write)
+	go func() {
+		for _, d := range deps {
+			if err := d.Wait(); err != nil {
+				ev.complete(nil, fmt.Errorf("sycl: dependency failed: %w", err))
+				return
+			}
+		}
+		ev.complete(nil, op())
+	}()
+	return ev
+}
+
+// SubmitUSMKernel launches a kernel that reads and writes USM allocations.
+// deps are the events the launch must wait for (the explicit ordering USM
+// requires in place of accessor-derived dependencies); the usual local
+// accessors are available through the handler.
+func (q *Queue) SubmitUSMKernel(name string, global, local gpu.Range, deps []*Event, body func(it *NDItem)) *Event {
+	return q.Submit(func(h *Handler) error {
+		for _, d := range deps {
+			if d == nil {
+				return errors.New("sycl: nil dependency event")
+			}
+			if err := d.Wait(); err != nil {
+				return fmt.Errorf("sycl: dependency failed: %w", err)
+			}
+		}
+		return h.ParallelFor(name, global, local, body)
+	})
+}

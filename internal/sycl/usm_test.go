@@ -1,0 +1,231 @@
+package sycl
+
+import (
+	"errors"
+	"testing"
+
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+)
+
+func TestUSMKinds(t *testing.T) {
+	q := newTestQueue(t)
+	for _, kind := range []USMKind{USMDevice, USMHost, USMShared} {
+		u, err := Malloc[int32](q, kind, 16)
+		if err != nil {
+			t.Fatalf("Malloc(%v): %v", kind, err)
+		}
+		if u.Kind() != kind || u.Len() != 16 {
+			t.Errorf("allocation metadata wrong: %v %d", u.Kind(), u.Len())
+		}
+		if err := u.Free(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if USMDevice.String() != "device" || USMHost.String() != "host" || USMShared.String() != "shared" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestUSMDeviceBudget(t *testing.T) {
+	q := newTestQueue(t)
+	before := q.Device().AllocatedBytes()
+	u, err := Malloc[int64](q, USMDevice, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Device().AllocatedBytes() - before; got != 8*1024 {
+		t.Errorf("device budget charged %d bytes, want %d", got, 8*1024)
+	}
+	if err := u.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Device().AllocatedBytes() != before {
+		t.Error("Free did not return device bytes")
+	}
+	// Host memory is not charged to the device.
+	h, err := Malloc[int64](q, USMHost, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Device().AllocatedBytes() != before {
+		t.Error("host USM charged to device budget")
+	}
+	if err := h.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUSMOOM(t *testing.T) {
+	q := newTestQueue(t) // MI100: 32 GiB
+	if _, err := Malloc[int64](q, USMDevice, 1<<33); !errors.Is(err, gpu.ErrOutOfMemory) {
+		t.Errorf("oversized USM = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := Malloc[int32](q, USMShared, -1); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+// TestUSMKernelRoundTrip is the USM flavour of the §III.E kernel launch:
+// memcpy in, kernel over the pointers, memcpy out, ordered by explicit
+// events.
+func TestUSMKernelRoundTrip(t *testing.T) {
+	q := newTestQueue(t)
+	const n = 512
+	in, err := Malloc[int32](q, USMDevice, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Malloc[int32](q, USMShared, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := make([]int32, n)
+	for i := range host {
+		host[i] = int32(i)
+	}
+
+	up := MemcpyToUSM(q, in, host)
+	inData, err := in.Slice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outData, err := out.Slice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernelEv := q.SubmitUSMKernel("usm_scale", gpu.R1(n), gpu.R1(64), []*Event{up}, func(it *NDItem) {
+		gid := it.GetGlobalID(0)
+		outData[gid] = inData[gid] * 3
+	})
+	if err := kernelEv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int32, n)
+	if err := MemcpyFromUSM(q, got, out).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != int32(i*3) {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*3)
+		}
+	}
+	if err := in.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUSMMemset(t *testing.T) {
+	q := newTestQueue(t)
+	u, err := Malloc[uint16](q, USMShared, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Memset(q, u, 7).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := u.Slice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range data {
+		if v != 7 {
+			t.Fatalf("data[%d] = %d after memset", i, v)
+		}
+	}
+}
+
+// TestUSMCopyOrdering: two writes to the same allocation must apply in
+// submission order even though both run asynchronously.
+func TestUSMCopyOrdering(t *testing.T) {
+	q := newTestQueue(t)
+	u, err := Malloc[int32](q, USMShared, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([]int32, 1024)
+	second := make([]int32, 1024)
+	for i := range first {
+		first[i] = 1
+		second[i] = 2
+	}
+	MemcpyToUSM(q, u, first)
+	MemcpyToUSM(q, u, second)
+	got := make([]int32, 1024)
+	if err := MemcpyFromUSM(q, got, u).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 2 {
+			t.Fatalf("got[%d] = %d, want the second write", i, v)
+		}
+	}
+}
+
+func TestUSMUseAfterFree(t *testing.T) {
+	q := newTestQueue(t)
+	u, err := Malloc[int32](q, USMDevice, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Free(); !errors.Is(err, ErrUSMFreed) {
+		t.Errorf("double free = %v, want ErrUSMFreed", err)
+	}
+	if _, err := u.Slice(); !errors.Is(err, ErrUSMFreed) {
+		t.Errorf("Slice after free = %v, want ErrUSMFreed", err)
+	}
+	if err := MemcpyToUSM(q, u, make([]int32, 8)).Wait(); !errors.Is(err, ErrUSMFreed) {
+		t.Errorf("memcpy after free = %v, want ErrUSMFreed", err)
+	}
+}
+
+func TestUSMMemcpySizeErrors(t *testing.T) {
+	q := newTestQueue(t)
+	u, err := Malloc[int32](q, USMShared, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MemcpyToUSM(q, u, make([]int32, 8)).Wait(); err == nil {
+		t.Error("oversized memcpy accepted")
+	}
+	if err := MemcpyFromUSM(q, make([]int32, 2), u).Wait(); err == nil {
+		t.Error("undersized destination accepted")
+	}
+}
+
+func TestSubmitUSMKernelDependencyFailure(t *testing.T) {
+	q := newTestQueue(t)
+	failed := newEvent()
+	failed.complete(nil, errors.New("upstream failure"))
+	ev := q.SubmitUSMKernel("k", gpu.R1(64), gpu.R1(64), []*Event{failed}, func(it *NDItem) {})
+	if err := ev.Wait(); err == nil {
+		t.Error("kernel after failed dependency should fail")
+	}
+	ev = q.SubmitUSMKernel("k", gpu.R1(64), gpu.R1(64), []*Event{nil}, func(it *NDItem) {})
+	if err := ev.Wait(); err == nil {
+		t.Error("nil dependency accepted")
+	}
+}
+
+func TestUSMOnDifferentDevices(t *testing.T) {
+	q1, err := NewQueue(DefaultSelector{}, gpu.New(device.RadeonVII()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Malloc[byte](q1, USMDevice, 12<<30) // 12 of 16 GiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Malloc[byte](q1, USMDevice, 8<<30); !errors.Is(err, gpu.ErrOutOfMemory) {
+		t.Errorf("second oversized alloc = %v, want OOM", err)
+	}
+	if err := u.Free(); err != nil {
+		t.Fatal(err)
+	}
+}
