@@ -1,0 +1,38 @@
+# Build and verification entry points. `make ci` is the full gate: format
+# check, vet, build, race-enabled tests, and a stat-only benchmark pass that
+# proves the benchmarks still run without rewriting BENCH_baseline.json.
+
+GO ?= go
+
+.PHONY: all build fmt vet test race bench-stat bench-snapshot ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the tracked micro-benchmarks briefly and print the parsed results
+# without touching the committed snapshot.
+bench-stat:
+	$(GO) run ./cmd/benchsnap -stat -benchtime 20x
+
+# Re-record BENCH_baseline.json (longer benchtime for stable numbers).
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap -benchtime 200x
+
+ci: fmt vet build race bench-stat

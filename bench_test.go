@@ -256,6 +256,62 @@ func BenchmarkSimLaunch(b *testing.B) {
 	}
 }
 
+// BenchmarkLaunchOverhead isolates the scheduler cost of one kernel launch:
+// an empty kernel and a tiny barrier kernel, each under the legacy
+// goroutine-per-item contract and under the cooperative contract
+// (BarrierFree for the empty kernel, phase-split for the barrier kernel).
+// The ratio between the legacy and cooperative rows is the launch-overhead
+// reduction the cooperative scheduler buys.
+func BenchmarkLaunchOverhead(b *testing.B) {
+	dev := gpu.New(device.MI60())
+	const global, local = 1 << 14, 64
+	launch := func(b *testing.B, spec gpu.LaunchSpec) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dev.Launch(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	nop := func(g *gpu.Group) gpu.WorkItemFunc { return func(it *gpu.Item) {} }
+	b.Run("empty/legacy", func(b *testing.B) {
+		launch(b, gpu.LaunchSpec{Name: "nop", Global: gpu.R1(global), Local: gpu.R1(local), Kernel: nop})
+	})
+	b.Run("empty/coop", func(b *testing.B) {
+		launch(b, gpu.LaunchSpec{Name: "nop", Global: gpu.R1(global), Local: gpu.R1(local), Kernel: nop, BarrierFree: true})
+	})
+	barrierKernel := func(g *gpu.Group) gpu.WorkItemFunc {
+		shared := make([]int32, local)
+		return func(it *gpu.Item) {
+			if it.LocalID(0) == 0 {
+				shared[0] = int32(it.GroupID(0))
+			}
+			it.Barrier()
+			_ = shared[0]
+		}
+	}
+	b.Run("barrier/legacy", func(b *testing.B) {
+		launch(b, gpu.LaunchSpec{Name: "tiny", Global: gpu.R1(global), Local: gpu.R1(local), Kernel: barrierKernel})
+	})
+	b.Run("barrier/coop", func(b *testing.B) {
+		launch(b, gpu.LaunchSpec{
+			Name: "tiny", Global: gpu.R1(global), Local: gpu.R1(local),
+			Phases: func(g *gpu.Group) []gpu.WorkItemFunc {
+				shared := make([]int32, local)
+				return []gpu.WorkItemFunc{
+					func(it *gpu.Item) {
+						if it.LocalID(0) == 0 {
+							shared[0] = int32(it.GroupID(0))
+						}
+					},
+					func(it *gpu.Item) { _ = shared[0] },
+				}
+			},
+		})
+	})
+}
+
 // BenchmarkCPUPackedVsBytes is the ablation for the 2-bit sequence format
 // (related work [21]): the same search through the byte path and the
 // packed path.

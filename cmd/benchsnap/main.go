@@ -1,0 +1,162 @@
+// Command benchsnap runs the repository's micro-benchmarks and records the
+// parsed results as a JSON snapshot, giving the performance work a tracked
+// baseline to diff against:
+//
+//	benchsnap                    # run and write BENCH_baseline.json
+//	benchsnap -o snap.json       # write elsewhere
+//	benchsnap -stat              # run and print, write nothing (CI mode)
+//	benchsnap -bench 'LaunchOverhead|CPUScan' -benchtime 100x
+//
+// It shells out to `go test -bench -benchmem -run ^$` for the selected
+// packages and parses the standard benchmark output lines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Snapshot is the file format of BENCH_baseline.json.
+type Snapshot struct {
+	// Taken is when the snapshot was recorded, RFC 3339.
+	Taken string `json:"taken"`
+	// Bench and Benchtime echo the selection the snapshot ran with.
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	Packages  []string `json:"packages"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", "LaunchOverhead|CPUScanTwoPhase|SimLaunch|CPUEngine$", "benchmark selection regexp")
+	benchtime := flag.String("benchtime", "200x", "go test -benchtime value")
+	out := flag.String("o", "BENCH_baseline.json", "snapshot output path")
+	stat := flag.Bool("stat", false, "print the parsed results without writing the snapshot")
+	pkgs := flag.String("pkgs", ".,./internal/search", "comma-separated packages to benchmark")
+	flag.Parse()
+
+	packages := strings.Split(*pkgs, ",")
+	var results []Result
+	for _, pkg := range packages {
+		out, err := runBench(pkg, *bench, *benchtime)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		results = append(results, ParseBenchOutput(out)...)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+
+	if *stat {
+		for _, r := range results {
+			fmt.Printf("%-60s %12.0f ns/op %8d B/op %6d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		return
+	}
+	snap := Snapshot{
+		Taken:     time.Now().UTC().Format(time.RFC3339),
+		Bench:     *bench,
+		Benchtime: *benchtime,
+		Packages:  packages,
+		Results:   results,
+	}
+	blob, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsnap: wrote %d results to %s\n", len(results), *out)
+}
+
+func runBench(pkg, bench, benchtime string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchtime", benchtime, "-benchmem", pkg)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go test -bench %s: %w", pkg, err)
+	}
+	return string(out), nil
+}
+
+// ParseBenchOutput extracts the benchmark result lines from `go test -bench`
+// output. Lines that are not results (headers, PASS, custom metrics) are
+// skipped.
+func ParseBenchOutput(out string) []Result {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		if r, ok := ParseBenchLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	return results
+}
+
+// ParseBenchLine parses one standard benchmark output line of the form
+//
+//	BenchmarkName-8   50   160881 ns/op   5985 B/op   10 allocs/op
+//
+// returning false for anything else.
+func ParseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Iterations: iters}
+	// Strip the -GOMAXPROCS suffix from the name.
+	r.Name = fields[0]
+	if i := strings.LastIndex(r.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name = r.Name[:i]
+		}
+	}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			r.NsPerOp = f
+			seen = true
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "MB/s":
+			r.MBPerSec, _ = strconv.ParseFloat(val, 64)
+		}
+	}
+	if !seen {
+		return Result{}, false
+	}
+	return r, true
+}

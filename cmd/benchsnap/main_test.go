@@ -1,0 +1,65 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	tests := []struct {
+		line string
+		want Result
+		ok   bool
+	}{
+		{
+			line: "BenchmarkLaunchOverhead/empty/coop-8         \t      50\t    160881 ns/op\t    5985 B/op\t      10 allocs/op",
+			want: Result{Name: "BenchmarkLaunchOverhead/empty/coop", Iterations: 50, NsPerOp: 160881, BytesPerOp: 5985, AllocsPerOp: 10},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkCPUScanTwoPhase/twophase-4 \t 100\t 7191451 ns/op\t  36.45 MB/s\t  438800 B/op\t 3615 allocs/op",
+			want: Result{Name: "BenchmarkCPUScanTwoPhase/twophase", Iterations: 100, NsPerOp: 7191451, MBPerSec: 36.45, BytesPerOp: 438800, AllocsPerOp: 3615},
+			ok:   true,
+		},
+		{
+			// No GOMAXPROCS suffix; fractional ns/op.
+			line: "BenchmarkIUPACMatch \t 1000000\t 2.5 ns/op",
+			want: Result{Name: "BenchmarkIUPACMatch", Iterations: 1000000, NsPerOp: 2.5},
+			ok:   true,
+		},
+		{line: "goos: linux"},
+		{line: "PASS"},
+		{line: "ok  \tcasoffinder\t0.965s"},
+		{line: ""},
+		{line: "BenchmarkBroken notanumber 5 ns/op"},
+		{line: "BenchmarkNoUnits 50 12345"},
+	}
+	for _, tt := range tests {
+		got, ok := ParseBenchLine(tt.line)
+		if ok != tt.ok {
+			t.Errorf("ParseBenchLine(%q) ok = %v, want %v", tt.line, ok, tt.ok)
+			continue
+		}
+		if ok && got != tt.want {
+			t.Errorf("ParseBenchLine(%q) = %+v, want %+v", tt.line, got, tt.want)
+		}
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: casoffinder
+BenchmarkLaunchOverhead/empty/legacy-8     50	6874161 ns/op	542619 B/op	16653 allocs/op
+BenchmarkLaunchOverhead/empty/coop-8       50	 160881 ns/op	  5985 B/op	   10 allocs/op
+PASS
+ok  	casoffinder	0.965s
+`
+	results := ParseBenchOutput(out)
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	if results[0].Name != "BenchmarkLaunchOverhead/empty/legacy" {
+		t.Errorf("first result = %q", results[0].Name)
+	}
+	if results[1].AllocsPerOp != 10 {
+		t.Errorf("coop allocs = %d, want 10", results[1].AllocsPerOp)
+	}
+}

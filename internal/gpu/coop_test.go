@@ -1,0 +1,336 @@
+package gpu
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"casoffinder/internal/gpu/device"
+)
+
+// TestPhasesLeaderPrefetch is the cooperative-contract port of
+// TestBarrierLeaderPrefetch: the leader item stages shared local memory in
+// phase 0, the implicit inter-phase barrier publishes it, and phase 1 reads
+// it back. The range is sized past the inline-launch threshold so several
+// workers race over the groups.
+func TestPhasesLeaderPrefetch(t *testing.T) {
+	d := testDevice(t)
+	const groups, local = 128, 64
+	results := make([]int32, groups*local)
+	_, err := d.Launch(LaunchSpec{
+		Name:   "prefetch_phases",
+		Global: R1(groups * local),
+		Local:  R1(local),
+		Phases: func(g *Group) []WorkItemFunc {
+			shared := make([]int32, local) // reused across the worker's groups
+			return []WorkItemFunc{
+				func(it *Item) {
+					if it.LocalID(0) == 0 {
+						base := int32(it.GroupID(0) * 1000)
+						for k := range shared {
+							shared[k] = base + int32(k)
+						}
+					}
+				},
+				func(it *Item) {
+					results[it.GlobalID(0)] = shared[it.LocalID(0)]
+				},
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	for gid, v := range results {
+		if want := int32((gid/local)*1000 + gid%local); v != want {
+			t.Fatalf("item %d read %d, want %d (phase barrier visibility broken)", gid, v, want)
+		}
+	}
+}
+
+// TestBarrierFreeCoverage checks that the cooperative path taken by
+// BarrierFree kernels still visits every global ID exactly once, with
+// enough items to spill past the inline-launch threshold.
+func TestBarrierFreeCoverage(t *testing.T) {
+	d := testDevice(t)
+	const global, local = 8192, 64
+	seen := make([]int32, global)
+	_, err := d.Launch(LaunchSpec{
+		Name:   "cover_coop",
+		Global: R1(global),
+		Local:  R1(local),
+		Kernel: func(g *Group) WorkItemFunc {
+			return func(it *Item) {
+				gid := it.GlobalID(0)
+				if gid != it.GroupID(0)*it.LocalRange(0)+it.LocalID(0) {
+					t.Errorf("item %d: coordinate mismatch", gid)
+				}
+				seen[gid]++ // unique index per item: no race
+			}
+		},
+		BarrierFree: true,
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("global ID %d visited %d times", i, n)
+		}
+	}
+}
+
+// TestBarrierFreeFreshLocals checks that a BarrierFree kernel keeps the
+// legacy factory contract: the factory runs per group and SetLocals storage
+// is not leaked between groups.
+func TestBarrierFreeFreshLocals(t *testing.T) {
+	d := testDevice(t)
+	const groups, local = 64, 64
+	var stale atomic.Int32
+	_, err := d.Launch(LaunchSpec{
+		Name:   "fresh_locals",
+		Global: R1(groups * local),
+		Local:  R1(local),
+		Kernel: func(g *Group) WorkItemFunc {
+			if g.locals != nil {
+				stale.Add(1)
+			}
+			g.SetLocals([]any{make([]int32, local)})
+			return func(it *Item) {
+				buf := it.Group().Local(0).([]int32)
+				buf[it.LocalID(0)] = int32(it.GlobalID(0))
+			}
+		},
+		BarrierFree: true,
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if n := stale.Load(); n != 0 {
+		t.Errorf("%d groups saw stale locals from a previous group", n)
+	}
+}
+
+// TestBarrierFreeViolation checks that a kernel declared BarrierFree that
+// calls Item.Barrier anyway fails the launch instead of deadlocking.
+func TestBarrierFreeViolation(t *testing.T) {
+	d := testDevice(t)
+	_, err := d.Launch(LaunchSpec{
+		Name:   "liar",
+		Global: R1(64),
+		Local:  R1(64),
+		Kernel: func(g *Group) WorkItemFunc {
+			return func(it *Item) { it.Barrier() }
+		},
+		BarrierFree: true,
+	})
+	if err == nil {
+		t.Fatal("Launch = nil error, want barrier-misuse failure")
+	}
+	if !strings.Contains(err.Error(), "Barrier") {
+		t.Errorf("error %q does not mention the barrier misuse", err)
+	}
+}
+
+// TestPhaseBarrierViolation checks the same for a phase body: phases are
+// split at barriers, so calling Item.Barrier inside one is a bug.
+func TestPhaseBarrierViolation(t *testing.T) {
+	d := testDevice(t)
+	_, err := d.Launch(LaunchSpec{
+		Name:   "phase_liar",
+		Global: R1(64),
+		Local:  R1(64),
+		Phases: func(g *Group) []WorkItemFunc {
+			return []WorkItemFunc{func(it *Item) { it.Barrier() }}
+		},
+	})
+	if err == nil {
+		t.Fatal("Launch = nil error, want barrier-misuse failure")
+	}
+}
+
+// TestPhasesStatsParity runs the same counting kernel under the legacy
+// blocking contract and as a two-phase cooperative kernel and requires the
+// aggregated Stats to be identical, barrier counts included — the timing
+// model prices launches off these counters, so the scheduler switch must
+// not change them.
+func TestPhasesStatsParity(t *testing.T) {
+	d := testDevice(t)
+	const global, local = 4096, 64
+	stage := func(it *Item) {
+		it.ALU(2)
+		it.LoadGlobal(4)
+		it.StoreLocal()
+	}
+	scan := func(it *Item) {
+		it.LoadLocal()
+		it.Branch(it.GlobalID(0)%2 == 0)
+		it.StoreGlobal(4)
+	}
+	legacy, err := d.Launch(LaunchSpec{
+		Name:   "parity_legacy",
+		Global: R1(global),
+		Local:  R1(local),
+		Kernel: func(g *Group) WorkItemFunc {
+			return func(it *Item) {
+				stage(it)
+				it.Barrier()
+				scan(it)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("legacy Launch: %v", err)
+	}
+	coop, err := d.Launch(LaunchSpec{
+		Name:   "parity_coop",
+		Global: R1(global),
+		Local:  R1(local),
+		Phases: func(g *Group) []WorkItemFunc {
+			return []WorkItemFunc{stage, scan}
+		},
+	})
+	if err != nil {
+		t.Fatalf("cooperative Launch: %v", err)
+	}
+	if *legacy != *coop {
+		t.Errorf("stats diverge:\nlegacy = %+v\ncoop   = %+v", *legacy, *coop)
+	}
+	if coop.Barriers != global {
+		t.Errorf("coop Barriers = %d, want %d (one per item per phase boundary)", coop.Barriers, global)
+	}
+}
+
+// TestPhaseFactoryPerWorker checks the PhaseKernel contract: the factory
+// runs once per worker, not once per group, so its local allocations are
+// pooled across groups.
+func TestPhaseFactoryPerWorker(t *testing.T) {
+	const workers = 4
+	d := New(device.MI100(), WithWorkers(workers))
+	const groups, local = 256, 64
+	var calls atomic.Int32
+	_, err := d.Launch(LaunchSpec{
+		Name:   "factory_count",
+		Global: R1(groups * local),
+		Local:  R1(local),
+		Phases: func(g *Group) []WorkItemFunc {
+			calls.Add(1)
+			return []WorkItemFunc{func(it *Item) {}}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if n := int(calls.Load()); n < 1 || n > workers {
+		t.Errorf("factory ran %d times, want between 1 and %d (once per worker)", n, workers)
+	}
+}
+
+// TestPhasesAtomicCompaction reruns the comparer's output-compaction idiom
+// under the cooperative scheduler.
+func TestPhasesAtomicCompaction(t *testing.T) {
+	d := testDevice(t)
+	const n = 8192
+	var count uint32
+	slots := make([]int32, n)
+	_, err := d.Launch(LaunchSpec{
+		Name:   "compact_coop",
+		Global: R1(n),
+		Local:  R1(128),
+		Phases: func(g *Group) []WorkItemFunc {
+			return []WorkItemFunc{func(it *Item) {
+				if it.GlobalID(0)%3 == 0 {
+					old := it.AtomicIncUint32(&count)
+					slots[old] = int32(it.GlobalID(0))
+				}
+			}}
+		},
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	want := uint32((n + 2) / 3)
+	if count != want {
+		t.Fatalf("count = %d, want %d", count, want)
+	}
+	seen := make(map[int32]bool)
+	for i := uint32(0); i < count; i++ {
+		v := slots[i]
+		if v%3 != 0 || seen[v] {
+			t.Fatalf("slot %d holds bad or duplicate item %d", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+// TestLaunchSpecValidation covers the cooperative-contract launch errors.
+func TestLaunchSpecValidation(t *testing.T) {
+	d := testDevice(t)
+	nop := func(g *Group) WorkItemFunc { return func(it *Item) {} }
+	onePhase := func(g *Group) []WorkItemFunc { return []WorkItemFunc{func(it *Item) {}} }
+	t.Run("both contracts", func(t *testing.T) {
+		_, err := d.Launch(LaunchSpec{Name: "k", Global: R1(64), Local: R1(64), Kernel: nop, Phases: onePhase})
+		if err == nil {
+			t.Fatal("Launch accepted both Kernel and Phases")
+		}
+	})
+	t.Run("no phases returned", func(t *testing.T) {
+		_, err := d.Launch(LaunchSpec{
+			Name: "k", Global: R1(64 * 64), Local: R1(64),
+			Phases: func(g *Group) []WorkItemFunc { return nil },
+		})
+		if err == nil {
+			t.Fatal("Launch accepted an empty phase list")
+		}
+	})
+}
+
+// TestConcurrentCooperativeLaunches stresses the cooperative scheduler with
+// parallel launches the way the out-of-order frontends drive it.
+func TestConcurrentCooperativeLaunches(t *testing.T) {
+	d := New(device.MI100(), WithWorkers(4))
+	const launchers = 8
+	var wg sync.WaitGroup
+	results := make([][]int32, launchers)
+	wg.Add(launchers)
+	for l := 0; l < launchers; l++ {
+		go func(l int) {
+			defer wg.Done()
+			out := make([]int32, 4096)
+			_, err := d.Launch(LaunchSpec{
+				Name:   "stress_coop",
+				Global: R1(4096),
+				Local:  R1(64),
+				Phases: func(g *Group) []WorkItemFunc {
+					shared := make([]int32, 64)
+					return []WorkItemFunc{
+						func(it *Item) {
+							if it.LocalID(0) == 0 {
+								for k := range shared {
+									shared[k] = int32(l * 1000)
+								}
+							}
+						},
+						func(it *Item) {
+							out[it.GlobalID(0)] = shared[it.LocalID(0)] + int32(it.GlobalID(0))
+						},
+					}
+				},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[l] = out
+		}(l)
+	}
+	wg.Wait()
+	for l, out := range results {
+		for i, v := range out {
+			if v != int32(l*1000+i) {
+				t.Fatalf("launcher %d: out[%d] = %d, want %d", l, i, v, l*1000+i)
+			}
+		}
+	}
+}

@@ -46,15 +46,33 @@ type WorkItemFunc func(it *Item)
 // work-item.
 type GroupKernel func(g *Group) WorkItemFunc
 
+// PhaseKernel is the cooperative scheduler's kernel contract: the kernel
+// body split at its barrier points. The returned phases run in order, each
+// executed for every work-item of the group before the next starts, which
+// gives the inter-phase boundary exactly the semantics of a work-group
+// barrier without blocking any goroutine.
+//
+// Unlike GroupKernel, the factory is invoked once per executing worker, not
+// once per group: the Group it receives is re-targeted at each group the
+// worker runs, and any local-memory storage the factory allocates is reused
+// across those groups. That matches real devices, where shared local memory
+// is uninitialized at group start — phases must write local memory before
+// reading it, as the paper's staging loops do.
+type PhaseKernel func(g *Group) []WorkItemFunc
+
 // Item is the execution context of one work-item: its coordinates in the
 // ND-range, the group barrier, and the access counters that feed the launch
 // Stats. It corresponds to the OpenCL built-in index functions and the SYCL
 // nd_item class contrasted in the paper's Table IV.
+//
+// Under the cooperative scheduler all items of a worker share one Stats
+// shard (they run sequentially, so the unsynchronized counters are safe);
+// under the legacy scheduler each concurrent item counts into its own.
 type Item struct {
 	group    *Group
 	localID  [MaxDims]int
 	globalID [MaxDims]int
-	stats    Stats
+	stats    *Stats
 }
 
 // Group returns the work-group context of the item.
@@ -97,9 +115,17 @@ func (it *Item) GroupRange(d int) int {
 }
 
 // Barrier synchronises all work-items of the group
-// (barrier(CLK_LOCAL_MEM_FENCE) / nd_item::barrier(local_space)).
+// (barrier(CLK_LOCAL_MEM_FENCE) / nd_item::barrier(local_space)). Under the
+// cooperative scheduler there is no blocking barrier — barriers are the
+// boundaries between phases — so a kernel that was declared barrier-free
+// (or phase-structured) yet calls Barrier fails the launch instead of
+// deadlocking.
 func (it *Item) Barrier() {
 	it.stats.Barriers++
+	if it.group.barrier == nil {
+		panic("gpu: Item.Barrier called under the cooperative scheduler; " +
+			"split the kernel at its barriers with LaunchSpec.Phases instead of declaring it BarrierFree")
+	}
 	it.group.barrier.wait()
 }
 

@@ -3,6 +3,7 @@ package gpu
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // LocalArg marks an OpenCL-style __local kernel argument — the result of
@@ -13,12 +14,28 @@ type LocalArg struct {
 }
 
 // LaunchSpec describes one kernel launch: the kernel name (for the launch
-// log), the ND-range decomposition, and the group-kernel factory.
+// log), the ND-range decomposition, and the kernel under one of two
+// contracts. Exactly one of Kernel or Phases must be set.
 type LaunchSpec struct {
 	Name   string
 	Global Range
 	Local  Range
+	// Kernel is the legacy goroutine-per-item contract: the work-items of
+	// each group run concurrently, so Item.Barrier has its real blocking
+	// semantics. Use it for kernels with barriers that cannot be expressed
+	// as phases.
 	Kernel GroupKernel
+	// Phases is the cooperative contract: the kernel body is split at its
+	// barrier points and the scheduler runs each phase for every work-item
+	// of a group sequentially on one worker, with zero per-item goroutines.
+	// See PhaseKernel for the local-memory reuse semantics.
+	Phases PhaseKernel
+	// BarrierFree declares that Kernel never calls Item.Barrier, letting
+	// the scheduler run its work-items sequentially on the owning worker
+	// (the cooperative path) while keeping the legacy fresh-locals-per-group
+	// factory semantics. A kernel that breaks the declaration by calling
+	// Barrier makes the launch fail instead of deadlocking.
+	BarrierFree bool
 	// LDSBytesPerWG declares how much shared local memory each work-group
 	// uses; it is carried into the launch record for the occupancy model
 	// and validated against the device limit.
@@ -32,15 +49,26 @@ type launchState struct {
 	local  Range
 }
 
+// inlineLaunchItems bounds the cooperative launches that run entirely on
+// the calling goroutine: below this many work-items the work is dominated
+// by scheduling overhead, so spawning workers would cost more than it buys.
+const inlineLaunchItems = 2048
+
 // Launch executes the kernel over the ND-range and returns the aggregated
 // access statistics. Work-groups are distributed over the device's host
-// worker pool; the work-items of each group run concurrently so that
-// barriers have their real semantics. Launch blocks until the kernel
-// completes (the frontends add their own asynchronous-queue semantics on
-// top).
+// worker pool; each worker claims groups from an atomic cursor. Under the
+// cooperative contract (Phases, or Kernel with BarrierFree) the work-items
+// of a group run sequentially on the owning worker with pooled per-worker
+// state and no per-item goroutines; under the legacy Kernel contract each
+// work-item gets its own goroutine so barriers keep their real blocking
+// semantics. Launch blocks until the kernel completes (the frontends add
+// their own asynchronous-queue semantics on top).
 func (d *Device) Launch(spec LaunchSpec) (*Stats, error) {
-	if spec.Kernel == nil {
+	if spec.Kernel == nil && spec.Phases == nil {
 		return nil, fmt.Errorf("gpu: launch %q: nil kernel", spec.Name)
+	}
+	if spec.Kernel != nil && spec.Phases != nil {
+		return nil, fmt.Errorf("gpu: launch %q: both Kernel and Phases set", spec.Name)
 	}
 	if err := checkNDRange(spec.Global, spec.Local, d.spec.MaxWorkGroupSize); err != nil {
 		return nil, fmt.Errorf("gpu: launch %q: %w", spec.Name, err)
@@ -66,27 +94,174 @@ func (d *Device) Launch(spec LaunchSpec) (*Stats, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	cooperative := spec.Phases != nil || spec.BarrierFree
+	if cooperative && numGroups*groupSize <= inlineLaunchItems {
+		workers = 1
+	}
 
-	var (
-		total   Stats
-		totalMu sync.Mutex
-		wg      sync.WaitGroup
-	)
-	groupCh := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			var local Stats
-			items := make([]Item, groupSize)
-			for linear := range groupCh {
-				g := &Group{
-					launch:  ls,
-					linear:  linear,
-					barrier: newBarrier(groupSize),
+	var total Stats
+	var err error
+	if cooperative {
+		err = d.runCooperative(&spec, ls, gridDim, numGroups, groupSize, workers, &total)
+	} else {
+		err = d.runConcurrent(&spec, ls, gridDim, numGroups, groupSize, workers, &total)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("gpu: launch %q: %w", spec.Name, err)
+	}
+	total.WorkItems = int64(spec.Global.Total())
+	d.recordLaunch(spec.Name, &total)
+	return &total, nil
+}
+
+// coopWorker is the pooled per-worker execution state of the cooperative
+// scheduler: one Group and one Item per local index, reused across every
+// group the worker executes, all counting into one shared Stats shard.
+type coopWorker struct {
+	group *Group
+	items []Item
+}
+
+func newCoopWorker(ls *launchState, groupSize int, stats *Stats, local Range) *coopWorker {
+	w := &coopWorker{
+		group: &Group{launch: ls},
+		items: make([]Item, groupSize),
+	}
+	for li := range w.items {
+		it := &w.items[li]
+		it.group = w.group
+		it.stats = stats
+		rem := li
+		for dim := 0; dim < MaxDims; dim++ {
+			it.localID[dim] = rem % local.Size(dim)
+			rem /= local.Size(dim)
+		}
+	}
+	return w
+}
+
+// target repoints the worker's group and items at the given linear group.
+func (w *coopWorker) target(linear int, gridDim [MaxDims]int, local Range) {
+	g := w.group
+	g.linear = linear
+	rem := linear
+	for dim := 0; dim < MaxDims; dim++ {
+		g.id[dim] = rem % gridDim[dim]
+		rem /= gridDim[dim]
+	}
+	for li := range w.items {
+		it := &w.items[li]
+		for dim := 0; dim < MaxDims; dim++ {
+			it.globalID[dim] = g.id[dim]*local.Size(dim) + it.localID[dim]
+		}
+	}
+}
+
+// runCooperative executes the launch under the cooperative contract: each
+// worker claims groups from the shared cursor and runs all work-items of a
+// group sequentially, phase by phase. The boundary between two phases is
+// the work-group barrier: because phase k runs to completion for every item
+// before phase k+1 starts, all pre-barrier memory effects are visible after
+// it, and the scheduler accounts one barrier execution per item per
+// boundary exactly as the blocking path would.
+func (d *Device) runCooperative(spec *LaunchSpec, ls *launchState, gridDim [MaxDims]int, numGroups, groupSize, workers int, total *Stats) error {
+	var next atomic.Int64
+	workerStats := make([]Stats, workers)
+	errs := make([]error, workers)
+
+	run := func(wi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[wi] = fmt.Errorf("work-group kernel panicked: %v", r)
+			}
+		}()
+		ws := &workerStats[wi]
+		w := newCoopWorker(ls, groupSize, ws, spec.Local)
+		var phases []WorkItemFunc
+		if spec.Phases != nil {
+			// The factory runs once per worker: local memory it allocates is
+			// reused by every group the worker executes, matching the
+			// uninitialized-at-group-start semantics of device LDS.
+			phases = spec.Phases(w.group)
+			if len(phases) == 0 {
+				errs[wi] = fmt.Errorf("phase kernel returned no phases")
+				return
+			}
+		}
+		for {
+			linear := int(next.Add(1)) - 1
+			if linear >= numGroups {
+				return
+			}
+			w.target(linear, gridDim, spec.Local)
+			if spec.Phases != nil {
+				for pi, phase := range phases {
+					if pi > 0 {
+						// Implicit work-group barrier between phases: every
+						// item of the group executes it.
+						ws.Barriers += int64(groupSize)
+					}
+					for li := range w.items {
+						phase(&w.items[li])
+					}
 				}
-				// Decompose the linear group index; dimension 0 varies
-				// fastest, matching OpenCL's enumeration.
+			} else {
+				w.group.locals = nil
+				body := spec.Kernel(w.group) // fresh per group: legacy locals
+				for li := range w.items {
+					body(&w.items[li])
+				}
+			}
+			ws.WorkGroups++
+		}
+	}
+
+	if workers == 1 {
+		run(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers - 1)
+		for wi := 1; wi < workers; wi++ {
+			go func(wi int) {
+				defer wg.Done()
+				run(wi)
+			}(wi)
+		}
+		run(0)
+		wg.Wait()
+	}
+	for wi := range workerStats {
+		total.Add(&workerStats[wi])
+		if errs[wi] != nil {
+			return errs[wi]
+		}
+	}
+	return nil
+}
+
+// runConcurrent executes the launch under the legacy contract: one
+// goroutine per work-item per group, so Item.Barrier blocks for real.
+// Group, barrier and item state are still pooled per worker and the stats
+// shards are merged without a mutex.
+func (d *Device) runConcurrent(spec *LaunchSpec, ls *launchState, gridDim [MaxDims]int, numGroups, groupSize, workers int, total *Stats) error {
+	var next atomic.Int64
+	workerStats := make([]Stats, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wi := 0; wi < workers; wi++ {
+		go func(wi int) {
+			defer wg.Done()
+			ws := &workerStats[wi]
+			g := &Group{launch: ls, barrier: newBarrier(groupSize)}
+			items := make([]Item, groupSize)
+			itemStats := make([]Stats, groupSize)
+			for {
+				linear := int(next.Add(1)) - 1
+				if linear >= numGroups {
+					return
+				}
+				g.linear = linear
+				g.locals = nil
 				rem := linear
 				for dim := 0; dim < MaxDims; dim++ {
 					g.id[dim] = rem % gridDim[dim]
@@ -97,7 +272,9 @@ func (d *Device) Launch(spec LaunchSpec) (*Stats, error) {
 				itemWG.Add(groupSize)
 				for li := 0; li < groupSize; li++ {
 					it := &items[li]
-					*it = Item{group: g}
+					itemStats[li] = Stats{}
+					it.group = g
+					it.stats = &itemStats[li]
 					rem := li
 					for dim := 0; dim < MaxDims; dim++ {
 						it.localID[dim] = rem % spec.Local.Size(dim)
@@ -110,23 +287,16 @@ func (d *Device) Launch(spec LaunchSpec) (*Stats, error) {
 					}()
 				}
 				itemWG.Wait()
-				local.WorkGroups++
-				for li := range items {
-					local.Add(&items[li].stats)
+				ws.WorkGroups++
+				for li := range itemStats {
+					ws.Add(&itemStats[li])
 				}
 			}
-			totalMu.Lock()
-			total.Add(&local)
-			totalMu.Unlock()
-		}()
+		}(wi)
 	}
-	for gid := 0; gid < numGroups; gid++ {
-		groupCh <- gid
-	}
-	close(groupCh)
 	wg.Wait()
-
-	total.WorkItems = int64(spec.Global.Total())
-	d.recordLaunch(spec.Name, &total)
-	return &total, nil
+	for wi := range workerStats {
+		total.Add(&workerStats[wi])
+	}
+	return nil
 }

@@ -91,7 +91,8 @@ func (p *PatternPair) LocalBytes() int {
 // loci (and their strand flags) into the output arrays with an atomic
 // counter.
 type FinderArgs struct {
-	// Chr is the chunk sequence (upper-case), body plus overlap.
+	// Chr is the chunk sequence, body plus overlap. Soft-masked lower-case
+	// bases are accepted; the IUPAC match tables fold case.
 	Chr []byte
 	// Pattern is the PAM search pattern pair.
 	Pattern *PatternPair

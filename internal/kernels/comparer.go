@@ -87,13 +87,36 @@ func (v ComparerVariant) costs() comparerCosts {
 	}
 }
 
-// Comparer returns the kernel body for the variant. lComp and lCompIndex
-// are the work-group-local staging arrays ("l_comp", "l_comp_index"), each
-// of length 2*PatternLen.
-func Comparer(v ComparerVariant) func(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int32) {
+// ComparerFunc is the shape of one comparer body or phase: the work-item,
+// the kernel arguments, and the work-group-local staging arrays ("l_comp",
+// "l_comp_index"), each of length 2*PatternLen.
+type ComparerFunc func(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int32)
+
+// Comparer returns the kernel body for the variant under the blocking
+// contract: staging, a real barrier, then comparison.
+func Comparer(v ComparerVariant) ComparerFunc {
 	c := v.costs()
 	return func(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int32) {
-		comparerImpl(it, a, lComp, lCompIndex, c)
+		comparerStage(it, a, lComp, lCompIndex, c)
+		it.Barrier()
+		comparerCompare(it, a, lComp, lCompIndex, c)
+	}
+}
+
+// ComparerPhases returns the variant's body split at its single barrier
+// point for the cooperative scheduler: phase 0 stages the pattern tables
+// into local memory, phase 1 runs the comparison. Running them through
+// gpu.LaunchSpec.Phases is equivalent — in results and in every Stats
+// counter — to running Comparer under the blocking contract.
+func ComparerPhases(v ComparerVariant) [2]ComparerFunc {
+	c := v.costs()
+	return [2]ComparerFunc{
+		func(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int32) {
+			comparerStage(it, a, lComp, lCompIndex, c)
+		},
+		func(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int32) {
+			comparerCompare(it, a, lComp, lCompIndex, c)
+		},
 	}
 }
 
@@ -101,12 +124,10 @@ func Comparer(v ComparerVariant) func(it *gpu.Item, a *ComparerArgs, lComp []byt
 // of the comparer uses for a guide pattern of length plen.
 func ComparerLocalBytes(plen int) int { return 2*plen + 4*2*plen }
 
-// comparerImpl is Listing 1 with the per-variant cost model applied. The
-// control flow follows the listing: stage patterns to local memory,
-// barrier, then for each flagged strand walk the guide's index array,
-// counting mismatches with early exit past the threshold, and compact
-// passing entries through the atomic entry counter.
-func comparerImpl(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int32, c comparerCosts) {
+// comparerStage is L1-L8 of Listing 1 with the per-variant cost model
+// applied: compute the local index and stage comp and comp_index into
+// shared local memory (cooperatively for opt3+, leader-only before).
+func comparerStage(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int32, c comparerCosts) {
 	plen := a.Guide.PatternLen
 	i := it.GlobalID(0)
 	li := i - it.GroupID(0)*it.LocalRange(0) // L1 of Listing 1
@@ -131,7 +152,15 @@ func comparerImpl(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int3
 			it.StoreLocalN(2)
 		}
 	}
-	it.Barrier()
+}
+
+// comparerCompare is L9-L42 of Listing 1, after the barrier: for each
+// flagged strand walk the guide's index array, counting mismatches with
+// early exit past the threshold, and compact passing entries through the
+// atomic entry counter.
+func comparerCompare(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []int32, c comparerCosts) {
+	plen := a.Guide.PatternLen
+	i := it.GlobalID(0)
 
 	if uint32(i) >= a.LociCount {
 		it.Branch(true)

@@ -1,0 +1,157 @@
+package kernels
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"casoffinder/internal/baseline"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+)
+
+// runPipelinePhases is runPipeline's cooperative twin: the finder and the
+// comparer launch through the phase contract (LaunchSpec.Phases), with the
+// local staging arrays allocated once per worker and the implicit
+// inter-phase barrier replacing Item.Barrier.
+func runPipelinePhases(t *testing.T, dev *gpu.Device, seq []byte, pattern, guide string, maxMM int, v ComparerVariant, wg int) ([]baseline.Hit, *gpu.Stats, *gpu.Stats) {
+	t.Helper()
+	pat, err := NewPatternPair([]byte(pattern))
+	if err != nil {
+		t.Fatalf("pattern: %v", err)
+	}
+	gd, err := NewPatternPair([]byte(guide))
+	if err != nil {
+		t.Fatalf("guide: %v", err)
+	}
+	chr := seq // cooperative path scans in place; tables fold case
+	sites := len(chr) - pat.PatternLen + 1
+	if sites < 0 {
+		sites = 0
+	}
+
+	var count uint32
+	fa := &FinderArgs{
+		Chr:     chr,
+		Pattern: pat,
+		Sites:   sites,
+		Loci:    make([]uint32, sites+1),
+		Flags:   make([]byte, sites+1),
+		Count:   &count,
+	}
+	gws := (sites + wg - 1) / wg * wg
+	if gws == 0 {
+		gws = wg
+	}
+	fStats, err := dev.Launch(gpu.LaunchSpec{
+		Name:   "finder",
+		Global: gpu.R1(gws),
+		Local:  gpu.R1(wg),
+		Phases: func(g *gpu.Group) []gpu.WorkItemFunc {
+			lPat := make([]byte, 2*pat.PatternLen)
+			lIdx := make([]int32, 2*pat.PatternLen)
+			return []gpu.WorkItemFunc{
+				func(it *gpu.Item) { FinderStage(it, fa, lPat, lIdx) },
+				func(it *gpu.Item) { FinderScan(it, fa, lPat, lIdx) },
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("finder phases launch: %v", err)
+	}
+
+	var entries uint32
+	ca := &ComparerArgs{
+		Chr:        chr,
+		Loci:       fa.Loci,
+		Flags:      fa.Flags,
+		LociCount:  count,
+		Guide:      gd,
+		Threshold:  uint16(maxMM),
+		MMLoci:     make([]uint32, 2*count+2),
+		MMCount:    make([]uint16, 2*count+2),
+		Direction:  make([]byte, 2*count+2),
+		EntryCount: &entries,
+	}
+	phases := ComparerPhases(v)
+	cgws := (int(count) + wg - 1) / wg * wg
+	if cgws == 0 {
+		cgws = wg
+	}
+	cStats, err := dev.Launch(gpu.LaunchSpec{
+		Name:   ComparerKernelName(v),
+		Global: gpu.R1(cgws),
+		Local:  gpu.R1(wg),
+		Phases: func(g *gpu.Group) []gpu.WorkItemFunc {
+			lComp := make([]byte, 2*gd.PatternLen)
+			lIdx := make([]int32, 2*gd.PatternLen)
+			return []gpu.WorkItemFunc{
+				func(it *gpu.Item) { phases[0](it, ca, lComp, lIdx) },
+				func(it *gpu.Item) { phases[1](it, ca, lComp, lIdx) },
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("comparer phases launch: %v", err)
+	}
+
+	hits := make([]baseline.Hit, 0, entries)
+	for i := uint32(0); i < entries; i++ {
+		hits = append(hits, baseline.Hit{
+			Pos:        int(ca.MMLoci[i]),
+			Dir:        ca.Direction[i],
+			Mismatches: int(ca.MMCount[i]),
+		})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Pos != hits[j].Pos {
+			return hits[i].Pos < hits[j].Pos
+		}
+		return hits[i].Dir < hits[j].Dir
+	})
+	return hits, fStats, cStats
+}
+
+// TestCooperativeMatchesLegacy is the scheduler-equivalence property: for
+// the finder and every comparer variant, the cooperative phase-split launch
+// must produce exactly the hits of the legacy goroutine-per-item launch,
+// with identical Stats — barrier executions included, because the timing
+// model prices launches off those counters. The workload exercises the
+// barrier-dependent LDS staging (leader or cooperative fetch, depending on
+// the variant).
+func TestCooperativeMatchesLegacy(t *testing.T) {
+	dev := gpu.New(device.MI100(), gpu.WithWorkers(4))
+	rng := rand.New(rand.NewSource(99))
+	seq := make([]byte, 8192)
+	alphabet := []byte("ACGTacgtACGTN")
+	for i := range seq {
+		seq[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	const pattern, guide = "NNNNNNNNNNNNNNNNNNNNNGG", "GGCCGACCTGTCGCTGACGCNNN"
+	site := []byte("GGCCGACCTGTCGCTGACGCTGG")
+	for s := 0; s < 16; s++ {
+		mutated := append([]byte(nil), site...)
+		for m := 0; m < s%5; m++ {
+			mutated[rng.Intn(20)] = "ACGT"[rng.Intn(4)]
+		}
+		copy(seq[128+s*480:], mutated)
+	}
+	for _, v := range Variants() {
+		t.Run(v.String(), func(t *testing.T) {
+			wantHits, wantF, wantC := runPipeline(t, dev, seq, pattern, guide, 4, v, 64)
+			gotHits, gotF, gotC := runPipelinePhases(t, dev, seq, pattern, guide, 4, v, 64)
+			if len(wantHits) == 0 {
+				t.Fatal("workload should produce hits")
+			}
+			if !hitsEqual(gotHits, wantHits) {
+				t.Errorf("cooperative hits diverge: got %d, want %d", len(gotHits), len(wantHits))
+			}
+			if *gotF != *wantF {
+				t.Errorf("finder stats diverge:\ncoop   = %+v\nlegacy = %+v", *gotF, *wantF)
+			}
+			if *gotC != *wantC {
+				t.Errorf("comparer %s stats diverge:\ncoop   = %+v\nlegacy = %+v", v, *gotC, *wantC)
+			}
+		})
+	}
+}

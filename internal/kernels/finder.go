@@ -13,6 +13,15 @@ import "casoffinder/internal/gpu"
 // lPat and lPatIndex are the work-group-local staging arrays ("l_pat",
 // "l_pat_index" in Table VI), each of length 2*PatternLen.
 func Finder(it *gpu.Item, a *FinderArgs, lPat []byte, lPatIndex []int32) {
+	FinderStage(it, a, lPat, lPatIndex)
+	it.Barrier()
+	FinderScan(it, a, lPat, lPatIndex)
+}
+
+// FinderStage is the finder body up to its barrier: the group leader
+// stages the pattern pair and index arrays into shared local memory. It is
+// phase 0 of the kernel under the cooperative scheduler.
+func FinderStage(it *gpu.Item, a *FinderArgs, lPat []byte, lPatIndex []int32) {
 	plen := a.Pattern.PatternLen
 	i := it.GlobalID(0)
 	li := i - it.GroupID(0)*it.LocalRange(0)
@@ -27,7 +36,16 @@ func Finder(it *gpu.Item, a *FinderArgs, lPat []byte, lPatIndex []int32) {
 			it.StoreLocalN(2)
 		}
 	}
-	it.Barrier()
+}
+
+// FinderScan is the finder body after its barrier: test the item's site on
+// both strands and compact matches through the atomic cursor. It is phase 1
+// of the kernel under the cooperative scheduler; running FinderStage and
+// FinderScan through gpu.LaunchSpec.Phases is equivalent — in results and
+// in every Stats counter — to running Finder under the blocking contract.
+func FinderScan(it *gpu.Item, a *FinderArgs, lPat []byte, lPatIndex []int32) {
+	plen := a.Pattern.PatternLen
+	i := it.GlobalID(0)
 
 	if i >= a.Sites {
 		it.Branch(true)

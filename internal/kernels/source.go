@@ -89,68 +89,75 @@ func ComparerKernelName(v ComparerVariant) string {
 // CLSource returns the OpenCL program source registry holding the finder
 // and every comparer variant, keyed by kernel name. It is the argument to
 // Context.CreateProgramWithSource, standing in for the application's
-// OpenCL C source string.
+// OpenCL C source string. Every kernel carries both contracts: the legacy
+// goroutine-per-item Build and the cooperative BuildPhases the frontend
+// prefers.
 func CLSource() opencl.Source {
 	src := opencl.Source{
 		"finder": {
-			NumArgs: finderNumArgs,
-			Build:   buildFinder,
+			NumArgs:     finderNumArgs,
+			Build:       buildFinder,
+			BuildPhases: buildFinderPhases,
 		},
 	}
 	for _, v := range Variants() {
 		src[ComparerKernelName(v)] = opencl.KernelBuilder{
-			NumArgs: comparerNumArgs,
-			Build:   buildComparer(v),
+			NumArgs:     comparerNumArgs,
+			Build:       buildComparer(v),
+			BuildPhases: buildComparerPhases(v),
 		}
 	}
 	return src
 }
 
-func buildFinder(args []any) (gpu.GroupKernel, error) {
+// finderSlots parses and validates the finder's bound argument slots,
+// returning the kernel arguments and the element counts of the two local
+// staging arrays.
+func finderSlots(args []any) (fa *FinderArgs, lPatN, lIdxN int, err error) {
 	chr, err := memSlice[byte](args, FinderArgChr)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	pat, err := memSlice[byte](args, FinderArgPat)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	patIndex, err := memSlice[int32](args, FinderArgPatIndex)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	plen, err := scalar[int32](args, FinderArgPatternLen)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	sites, err := scalar[uint32](args, FinderArgSites)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	loci, err := memSlice[uint32](args, FinderArgLoci)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	flags, err := memSlice[byte](args, FinderArgFlags)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	count, err := memSlice[uint32](args, FinderArgCount)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	if len(count) < 1 {
-		return nil, fmt.Errorf("kernels: finder: count buffer is empty")
+		return nil, 0, 0, fmt.Errorf("kernels: finder: count buffer is empty")
 	}
-	lPatN, err := localSlots(args, FinderArgLocalPat, 1)
+	lPatN, err = localSlots(args, FinderArgLocalPat, 1)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
-	lIdxN, err := localSlots(args, FinderArgLocalPatIndex, 4)
+	lIdxN, err = localSlots(args, FinderArgLocalPatIndex, 4)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
-	fa := &FinderArgs{
+	fa = &FinderArgs{
 		Chr: chr,
 		Pattern: &PatternPair{
 			Codes:      pat,
@@ -163,6 +170,14 @@ func buildFinder(args []any) (gpu.GroupKernel, error) {
 		Count: &count[0],
 	}
 	if err := fa.validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	return fa, lPatN, lIdxN, nil
+}
+
+func buildFinder(args []any) (gpu.GroupKernel, error) {
+	fa, lPatN, lIdxN, err := finderSlots(args)
+	if err != nil {
 		return nil, err
 	}
 	return func(g *gpu.Group) gpu.WorkItemFunc {
@@ -174,84 +189,112 @@ func buildFinder(args []any) (gpu.GroupKernel, error) {
 	}, nil
 }
 
+func buildFinderPhases(args []any) (gpu.PhaseKernel, error) {
+	fa, lPatN, lIdxN, err := finderSlots(args)
+	if err != nil {
+		return nil, err
+	}
+	return func(g *gpu.Group) []gpu.WorkItemFunc {
+		// Allocated once per worker and reused across groups; FinderStage
+		// overwrites the staging arrays before FinderScan reads them.
+		lPat := make([]byte, lPatN)
+		lPatIndex := make([]int32, lIdxN)
+		return []gpu.WorkItemFunc{
+			func(it *gpu.Item) { FinderStage(it, fa, lPat, lPatIndex) },
+			func(it *gpu.Item) { FinderScan(it, fa, lPat, lPatIndex) },
+		}
+	}, nil
+}
+
+// comparerSlots parses and validates the comparer's bound argument slots,
+// returning the kernel arguments and the element counts of the two local
+// staging arrays.
+func comparerSlots(args []any) (ca *ComparerArgs, lCompN, lIdxN int, err error) {
+	lociCount, err := scalar[uint32](args, ComparerArgLociCount)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	chr, err := memSlice[byte](args, ComparerArgChr)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	loci, err := memSlice[uint32](args, ComparerArgLoci)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	mmLoci, err := memSlice[uint32](args, ComparerArgMMLoci)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	comp, err := memSlice[byte](args, ComparerArgComp)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	compIndex, err := memSlice[int32](args, ComparerArgCompIndex)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	plen, err := scalar[int32](args, ComparerArgPatternLen)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	threshold, err := scalar[uint16](args, ComparerArgThreshold)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	flags, err := memSlice[byte](args, ComparerArgFlags)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	mmCount, err := memSlice[uint16](args, ComparerArgMMCount)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	direction, err := memSlice[byte](args, ComparerArgDirection)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	entryCount, err := memSlice[uint32](args, ComparerArgEntryCount)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(entryCount) < 1 {
+		return nil, 0, 0, fmt.Errorf("kernels: comparer: entry-count buffer is empty")
+	}
+	lCompN, err = localSlots(args, ComparerArgLocalComp, 1)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	lIdxN, err = localSlots(args, ComparerArgLocalCompIndex, 4)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ca = &ComparerArgs{
+		Chr:       chr,
+		Loci:      loci,
+		Flags:     flags,
+		LociCount: lociCount,
+		Guide: &PatternPair{
+			Codes:      comp,
+			Index:      compIndex,
+			PatternLen: int(plen),
+		},
+		Threshold:  threshold,
+		MMLoci:     mmLoci,
+		MMCount:    mmCount,
+		Direction:  direction,
+		EntryCount: &entryCount[0],
+	}
+	if err := ca.validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	return ca, lCompN, lIdxN, nil
+}
+
 func buildComparer(v ComparerVariant) func(args []any) (gpu.GroupKernel, error) {
 	return func(args []any) (gpu.GroupKernel, error) {
-		lociCount, err := scalar[uint32](args, ComparerArgLociCount)
+		ca, lCompN, lIdxN, err := comparerSlots(args)
 		if err != nil {
-			return nil, err
-		}
-		chr, err := memSlice[byte](args, ComparerArgChr)
-		if err != nil {
-			return nil, err
-		}
-		loci, err := memSlice[uint32](args, ComparerArgLoci)
-		if err != nil {
-			return nil, err
-		}
-		mmLoci, err := memSlice[uint32](args, ComparerArgMMLoci)
-		if err != nil {
-			return nil, err
-		}
-		comp, err := memSlice[byte](args, ComparerArgComp)
-		if err != nil {
-			return nil, err
-		}
-		compIndex, err := memSlice[int32](args, ComparerArgCompIndex)
-		if err != nil {
-			return nil, err
-		}
-		plen, err := scalar[int32](args, ComparerArgPatternLen)
-		if err != nil {
-			return nil, err
-		}
-		threshold, err := scalar[uint16](args, ComparerArgThreshold)
-		if err != nil {
-			return nil, err
-		}
-		flags, err := memSlice[byte](args, ComparerArgFlags)
-		if err != nil {
-			return nil, err
-		}
-		mmCount, err := memSlice[uint16](args, ComparerArgMMCount)
-		if err != nil {
-			return nil, err
-		}
-		direction, err := memSlice[byte](args, ComparerArgDirection)
-		if err != nil {
-			return nil, err
-		}
-		entryCount, err := memSlice[uint32](args, ComparerArgEntryCount)
-		if err != nil {
-			return nil, err
-		}
-		if len(entryCount) < 1 {
-			return nil, fmt.Errorf("kernels: comparer: entry-count buffer is empty")
-		}
-		lCompN, err := localSlots(args, ComparerArgLocalComp, 1)
-		if err != nil {
-			return nil, err
-		}
-		lIdxN, err := localSlots(args, ComparerArgLocalCompIndex, 4)
-		if err != nil {
-			return nil, err
-		}
-		ca := &ComparerArgs{
-			Chr:       chr,
-			Loci:      loci,
-			Flags:     flags,
-			LociCount: lociCount,
-			Guide: &PatternPair{
-				Codes:      comp,
-				Index:      compIndex,
-				PatternLen: int(plen),
-			},
-			Threshold:  threshold,
-			MMLoci:     mmLoci,
-			MMCount:    mmCount,
-			Direction:  direction,
-			EntryCount: &entryCount[0],
-		}
-		if err := ca.validate(); err != nil {
 			return nil, err
 		}
 		body := Comparer(v)
@@ -260,6 +303,26 @@ func buildComparer(v ComparerVariant) func(args []any) (gpu.GroupKernel, error) 
 			lCompIndex := make([]int32, lIdxN)
 			return func(it *gpu.Item) {
 				body(it, ca, lComp, lCompIndex)
+			}
+		}, nil
+	}
+}
+
+func buildComparerPhases(v ComparerVariant) func(args []any) (gpu.PhaseKernel, error) {
+	return func(args []any) (gpu.PhaseKernel, error) {
+		ca, lCompN, lIdxN, err := comparerSlots(args)
+		if err != nil {
+			return nil, err
+		}
+		phases := ComparerPhases(v)
+		return func(g *gpu.Group) []gpu.WorkItemFunc {
+			// Allocated once per worker and reused across groups; the stage
+			// phase overwrites both arrays before the compare phase reads.
+			lComp := make([]byte, lCompN)
+			lCompIndex := make([]int32, lIdxN)
+			return []gpu.WorkItemFunc{
+				func(it *gpu.Item) { phases[0](it, ca, lComp, lCompIndex) },
+				func(it *gpu.Item) { phases[1](it, ca, lComp, lCompIndex) },
 			}
 		}, nil
 	}

@@ -106,18 +106,17 @@ func (q *CommandQueue) EnqueueNDRangeKernelWithEvents(k *Kernel, gws, lws int, w
 			ev.complete(nil, err)
 			return
 		}
-		groupKernel, err := builder.Build(args)
-		if err != nil {
-			ev.complete(nil, fmt.Errorf("opencl: kernel %s: %w", name, err))
-			return
-		}
-		stats, err := q.dev.sim.Launch(gpu.LaunchSpec{
+		spec := gpu.LaunchSpec{
 			Name:          name,
 			Global:        gpu.R1(gws),
 			Local:         gpu.R1(lws),
-			Kernel:        groupKernel,
 			LDSBytesPerWG: lds,
-		})
+		}
+		if err := buildSpec(builder, name, args, &spec); err != nil {
+			ev.complete(nil, err)
+			return
+		}
+		stats, err := q.dev.sim.Launch(spec)
 		if err != nil {
 			ev.complete(nil, fmt.Errorf("opencl: enqueue %s: %w", name, err))
 			return

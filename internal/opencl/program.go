@@ -15,8 +15,14 @@ import (
 type KernelBuilder struct {
 	// NumArgs is the number of argument slots the kernel declares.
 	NumArgs int
-	// Build validates the bound arguments and returns the group kernel.
+	// Build validates the bound arguments and returns the group kernel for
+	// the legacy goroutine-per-item scheduler.
 	Build func(args []any) (gpu.GroupKernel, error)
+	// BuildPhases, when set, returns the kernel split at its barrier points
+	// for the cooperative scheduler; enqueues prefer it over Build. It is
+	// the simulator's stand-in for a compiler that statically resolves the
+	// kernel's barrier structure.
+	BuildPhases func(args []any) (gpu.PhaseKernel, error)
 }
 
 // Source is the program "source code": a registry of kernel builders,
@@ -156,6 +162,25 @@ func (k *Kernel) Release() error {
 		return fmt.Errorf("kernel %s: %w", k.name, ErrReleased)
 	}
 	k.released = true
+	return nil
+}
+
+// buildSpec turns bound arguments into the launch-spec kernel fields,
+// preferring the cooperative phase contract when the builder provides it.
+func buildSpec(builder KernelBuilder, name string, args []any, spec *gpu.LaunchSpec) error {
+	if builder.BuildPhases != nil {
+		phases, err := builder.BuildPhases(args)
+		if err != nil {
+			return fmt.Errorf("opencl: kernel %s: %w", name, err)
+		}
+		spec.Phases = phases
+		return nil
+	}
+	groupKernel, err := builder.Build(args)
+	if err != nil {
+		return fmt.Errorf("opencl: kernel %s: %w", name, err)
+	}
+	spec.Kernel = groupKernel
 	return nil
 }
 

@@ -133,17 +133,16 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, gws, lws int) (*Event, er
 	if lws <= 0 {
 		lws = defaultLocalSize(gws)
 	}
-	groupKernel, err := k.builder.Build(args)
-	if err != nil {
-		return nil, fmt.Errorf("opencl: kernel %s: %w", k.name, err)
-	}
-	stats, err := q.dev.sim.Launch(gpu.LaunchSpec{
+	spec := gpu.LaunchSpec{
 		Name:          k.name,
 		Global:        gpu.R1(gws),
 		Local:         gpu.R1(lws),
-		Kernel:        groupKernel,
 		LDSBytesPerWG: lds,
-	})
+	}
+	if err := buildSpec(k.builder, k.name, args, &spec); err != nil {
+		return nil, err
+	}
+	stats, err := q.dev.sim.Launch(spec)
 	if err != nil {
 		return nil, fmt.Errorf("opencl: enqueue %s: %w", k.name, err)
 	}

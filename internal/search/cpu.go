@@ -72,30 +72,54 @@ func (c *CPU) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 		errOnce sync.Once
 	)
 	work := make(chan int)
+	stop := make(chan struct{})
+	fail := func(err error) {
+		errOnce.Do(func() {
+			scanErr = err
+			close(stop)
+		})
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ci := range work {
-				var (
-					hits []Hit
-					err  error
-				)
-				if c.Packed {
-					hits, err = scanChunkPacked(chunks[ci], packedPattern, packedGuides, req.Queries)
-				} else {
-					hits, err = scanChunk(chunks[ci], pattern, guides, req.Queries)
+			// Each worker owns one scratch whose candidate buffer is
+			// reused across its chunks.
+			var sc scanScratch
+			for {
+				select {
+				case <-stop:
+					return
+				case ci, ok := <-work:
+					if !ok {
+						return
+					}
+					var (
+						hits []Hit
+						err  error
+					)
+					if c.Packed {
+						hits, err = scanChunkPacked(chunks[ci], packedPattern, packedGuides, req.Queries)
+					} else {
+						hits, err = sc.scanChunk(chunks[ci], pattern, guides, req.Queries)
+					}
+					if err != nil {
+						fail(err)
+						return
+					}
+					perChunk[ci] = hits
 				}
-				if err != nil {
-					errOnce.Do(func() { scanErr = err })
-					continue
-				}
-				perChunk[ci] = hits
 			}
 		}()
 	}
+dispatch:
 	for ci := range chunks {
-		work <- ci
+		// Stop handing out chunks as soon as any worker fails.
+		select {
+		case work <- ci:
+		case <-stop:
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -111,38 +135,77 @@ func (c *CPU) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 	return all, nil
 }
 
-// scanChunk finds every hit whose site start lies in the chunk body.
-func scanChunk(ch *genome.Chunk, pattern *kernels.PatternPair, guides []*kernels.PatternPair, queries []Query) ([]Hit, error) {
-	data := genome.Upper(ch.Data)
+// Strand-survival bits recorded by the PAM prefilter.
+const (
+	strandFwd = 1 << iota
+	strandRev
+)
+
+// candidate is a position that survived the PAM prefilter, tagged with the
+// strands on which the scaffold matched.
+type candidate struct {
+	pos    int
+	strand uint8
+}
+
+// scanScratch holds per-worker buffers reused across chunks so the scan
+// allocates nothing per position.
+type scanScratch struct {
+	cand []candidate
+}
+
+// scanChunk finds every hit whose site start lies in the chunk body. Like
+// the simulated GPU pipeline it runs in two phases: a PAM-prefilter pass
+// over every position that compacts the (rare) scaffold matches into the
+// pooled candidate buffer, then guide comparison only at those candidates.
+// The chunk is scanned in place: the IUPAC tables accept soft-masked
+// lower-case bases, and renderSite normalizes case in the reported site.
+func (sc *scanScratch) scanChunk(ch *genome.Chunk, pattern *kernels.PatternPair, guides []*kernels.PatternPair, queries []Query) ([]Hit, error) {
+	data := ch.Data
 	plen := pattern.PatternLen
-	var hits []Hit
+
+	// Phase 1: PAM prefilter (the finder kernel's role).
+	cand := sc.cand[:0]
 	for pos := 0; pos < ch.Body; pos++ {
 		window := data[pos : pos+plen]
-		fwd := windowMatches(window, pattern, 0)
-		rev := windowMatches(window, pattern, plen)
-		if !fwd && !rev {
-			continue
+		var strand uint8
+		if windowMatches(window, pattern, 0) {
+			strand |= strandFwd
 		}
+		if windowMatches(window, pattern, plen) {
+			strand |= strandRev
+		}
+		if strand != 0 {
+			cand = append(cand, candidate{pos: pos, strand: strand})
+		}
+	}
+	sc.cand = cand
+
+	// Phase 2: guide comparison at the surviving candidates only (the
+	// comparer kernel's role).
+	var hits []Hit
+	for _, cd := range cand {
+		window := data[cd.pos : cd.pos+plen]
 		for qi, g := range guides {
 			limit := queries[qi].MaxMismatches
-			if fwd {
+			if cd.strand&strandFwd != 0 {
 				if mm, ok := countMismatches(window, g, 0, limit); ok {
 					hits = append(hits, Hit{
 						QueryIndex: qi,
 						SeqName:    ch.SeqName,
-						Pos:        ch.Start + pos,
+						Pos:        ch.Start + cd.pos,
 						Dir:        kernels.DirForward,
 						Mismatches: mm,
 						Site:       renderSite(window, g, kernels.DirForward),
 					})
 				}
 			}
-			if rev {
+			if cd.strand&strandRev != 0 {
 				if mm, ok := countMismatches(window, g, plen, limit); ok {
 					hits = append(hits, Hit{
 						QueryIndex: qi,
 						SeqName:    ch.SeqName,
-						Pos:        ch.Start + pos,
+						Pos:        ch.Start + cd.pos,
 						Dir:        kernels.DirReverse,
 						Mismatches: mm,
 						Site:       renderSite(window, g, kernels.DirReverse),
@@ -152,6 +215,13 @@ func scanChunk(ch *genome.Chunk, pattern *kernels.PatternPair, guides []*kernels
 		}
 	}
 	return hits, nil
+}
+
+// scanChunk is the single-shot wrapper used by tests and one-off callers;
+// workers hold a scanScratch instead so the candidate buffer is pooled.
+func scanChunk(ch *genome.Chunk, pattern *kernels.PatternPair, guides []*kernels.PatternPair, queries []Query) ([]Hit, error) {
+	var sc scanScratch
+	return sc.scanChunk(ch, pattern, guides, queries)
 }
 
 // windowMatches tests the PAM scaffold at the given strand offset.

@@ -72,7 +72,9 @@ func (m *maskedPattern) mismatchesAt(p *genome.Packed, pos, offset, limit int) (
 // rendering still uses the original bytes so results are byte-identical to
 // the unpacked path.
 func scanChunkPacked(ch *genome.Chunk, pattern *maskedPattern, guides []*maskedPattern, queries []Query) ([]Hit, error) {
-	data := genome.Upper(ch.Data)
+	// Pack folds soft-masked lower-case itself and renderSite normalizes
+	// case in the reported site, so no upper-case copy is needed.
+	data := ch.Data
 	packed, err := genome.Pack(data)
 	if err != nil {
 		return nil, fmt.Errorf("search: packing chunk at %s:%d: %w", ch.SeqName, ch.Start, err)

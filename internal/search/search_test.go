@@ -17,31 +17,7 @@ import (
 // approximate sites for the given guide+PAM.
 func testAssembly(t *testing.T, seed int64, seqLens []int, site string) *genome.Assembly {
 	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
-	asm := &genome.Assembly{Name: "test"}
-	alphabet := []byte("ACGTacgtN")
-	for si, n := range seqLens {
-		data := make([]byte, n)
-		for i := range data {
-			data[i] = alphabet[rng.Intn(len(alphabet))]
-		}
-		// Plant mutated copies of the site on both strands.
-		for p := 16; p+len(site)+4 < n; p += 96 + rng.Intn(64) {
-			mutated := []byte(site)
-			for m := 0; m < rng.Intn(4); m++ {
-				mutated[rng.Intn(len(mutated))] = "ACGT"[rng.Intn(4)]
-			}
-			if rng.Intn(2) == 0 {
-				genome.ReverseComplement(mutated)
-			}
-			copy(data[p:], mutated)
-		}
-		asm.Sequences = append(asm.Sequences, &genome.Sequence{
-			Name: string(rune('a' + si)),
-			Data: data,
-		})
-	}
-	return asm
+	return testAssemblyTB(t, seed, seqLens, site)
 }
 
 const (

@@ -139,7 +139,10 @@ func (e *SimCL) runChunk(
 ) (hits []Hit, err error) {
 	prof := e.profile
 	plen := pattern.PatternLen
-	data := genome.Upper(ch.Data)
+	// The chunk is staged as-is: the kernels' IUPAC tables accept
+	// soft-masked lower-case bases, so no per-chunk upper-case copy is
+	// needed (renderSite normalizes case in the reported site).
+	data := ch.Data
 	sites := ch.Body
 
 	chrBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(data), data)

@@ -110,7 +110,10 @@ func (e *SimSYCL) runChunk(
 ) ([]Hit, error) {
 	prof := e.profile
 	plen := pattern.PatternLen
-	data := genome.Upper(ch.Data)
+	// The chunk is staged as-is: the kernels' IUPAC tables accept
+	// soft-masked lower-case bases, so no per-chunk upper-case copy is
+	// needed (renderSite normalizes case in the reported site).
+	data := ch.Data
 	sites := ch.Body
 	wg := e.wgSize()
 
@@ -183,8 +186,9 @@ func (e *SimSYCL) runChunk(
 			Flags: flagsAcc.Slice(),
 			Count: &countAcc.Slice()[0],
 		}
-		return h.ParallelFor("finder", gpu.R1(gws), gpu.R1(wg), func(it *sycl.NDItem) {
-			kernels.Finder(it.Item(), fa, lPat.Slice(it), lPatIdx.Slice(it))
+		return h.ParallelForPhases("finder", gpu.R1(gws), gpu.R1(wg), []func(it *sycl.NDItem){
+			func(it *sycl.NDItem) { kernels.FinderStage(it.Item(), fa, lPat.Slice(it), lPatIdx.Slice(it)) },
+			func(it *sycl.NDItem) { kernels.FinderScan(it.Item(), fa, lPat.Slice(it), lPatIdx.Slice(it)) },
 		})
 	})
 	if err := ev.Wait(); err != nil {
@@ -257,7 +261,7 @@ func (e *SimSYCL) runComparer(
 	defer entryBuf.Destroy()
 	prof.BytesStaged += int64(len(g.Codes)+4*len(g.Index)) + 4
 
-	body := kernels.Comparer(e.Variant)
+	phases := kernels.ComparerPhases(e.Variant)
 	name := kernels.ComparerKernelName(e.Variant)
 	cgws := (n + wg - 1) / wg * wg
 	ev := queue.Submit(func(h *sycl.Handler) error {
@@ -321,8 +325,9 @@ func (e *SimSYCL) runComparer(
 			Direction:  dirAcc.Slice(),
 			EntryCount: &entryAcc.Slice()[0],
 		}
-		return h.ParallelFor(name, gpu.R1(cgws), gpu.R1(wg), func(it *sycl.NDItem) {
-			body(it.Item(), ca, lComp.Slice(it), lCompIdx.Slice(it))
+		return h.ParallelForPhases(name, gpu.R1(cgws), gpu.R1(wg), []func(it *sycl.NDItem){
+			func(it *sycl.NDItem) { phases[0](it.Item(), ca, lComp.Slice(it), lCompIdx.Slice(it)) },
+			func(it *sycl.NDItem) { phases[1](it.Item(), ca, lComp.Slice(it), lCompIdx.Slice(it)) },
 		})
 	})
 	if err := ev.Wait(); err != nil {

@@ -80,6 +80,57 @@ func (h *Handler) ParallelFor(name string, global, local gpu.Range, body func(it
 	})
 }
 
+// ParallelForPhases launches a kernel whose body is split at its barrier
+// points, one function per phase, through the simulator's cooperative
+// scheduler: all work-items of a group run each phase sequentially on one
+// worker, with an implicit work-group barrier between phases and zero
+// per-item goroutines. It is the SYCL frontend's counterpart of a compiler
+// that statically resolves the kernel's barrier structure; ParallelFor
+// remains for bodies whose barriers cannot be split out. Local-accessor
+// storage is allocated once per worker and reused across that worker's
+// groups, so phases must write local memory before reading it, exactly as
+// on a real device.
+func (h *Handler) ParallelForPhases(name string, global, local gpu.Range, phases []func(it *NDItem)) error {
+	if len(phases) == 0 {
+		return fmt.Errorf("sycl: no kernel phases")
+	}
+	for _, ph := range phases {
+		if ph == nil {
+			return fmt.Errorf("sycl: nil kernel phase")
+		}
+	}
+	locals := h.locals
+	lds := h.ldsBytes
+	return h.setAction(func(dev *gpu.Device) (*gpu.Stats, error) {
+		return dev.Launch(gpu.LaunchSpec{
+			Name:   name,
+			Global: global,
+			Local:  local,
+			Phases: func(g *gpu.Group) []gpu.WorkItemFunc {
+				shared := make([]any, len(locals))
+				for i, mk := range locals {
+					shared[i] = mk()
+				}
+				g.SetLocals(shared)
+				// One NDItem per worker: the phases of a group run
+				// sequentially, so the wrapper can be reused without
+				// allocating per work-item.
+				nd := new(NDItem)
+				out := make([]gpu.WorkItemFunc, len(phases))
+				for i, ph := range phases {
+					ph := ph
+					out[i] = func(it *gpu.Item) {
+						nd.it = it
+						ph(nd)
+					}
+				}
+				return out
+			},
+			LDSBytesPerWG: lds,
+		})
+	})
+}
+
 // CopyFromDevice copies an accessor's range into host memory — the first
 // row of Table III (cgh.copy(deviceAccessor, hostPtr)).
 func CopyFromDevice[T any](h *Handler, dst []T, src *Accessor[T]) error {
