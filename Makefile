@@ -1,10 +1,10 @@
 # Build and verification entry points. `make ci` is the full gate: format
-# check, vet, build, race-enabled tests, and a stat-only benchmark pass that
-# proves the benchmarks still run without rewriting BENCH_baseline.json.
+# check, vet, build, race-enabled tests, and a benchmark comparison against
+# BENCH_baseline.json that fails on a >15% geomean ns/op regression.
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench-stat bench-snapshot ci
+.PHONY: all build fmt vet test race bench-stat bench-snapshot bench-compare bench-pipeline ci
 
 all: build
 
@@ -35,4 +35,13 @@ bench-stat:
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap -benchtime 200x
 
-ci: fmt vet build race bench-stat
+# Regression gate: rerun the tracked benchmarks and fail when the geomean
+# ns/op ratio against the committed baseline exceeds 1.15x.
+bench-compare:
+	$(GO) run ./cmd/benchsnap -compare BENCH_baseline.json -benchtime 20x
+
+# Record the post-pipeline snapshot (includes BenchmarkStreamVsRun).
+bench-pipeline:
+	$(GO) run ./cmd/benchsnap -o BENCH_pipeline.json -benchtime 200x
+
+ci: fmt vet build race bench-compare

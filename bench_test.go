@@ -12,6 +12,7 @@
 package casoffinder_bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -331,6 +332,47 @@ func BenchmarkCPUPackedVsBytes(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkStreamVsRun compares the collect-then-sort path against the
+// streaming path on a multi-chunk search: the pipeline's double-buffered
+// staging must make streaming no slower than batch collection.
+func BenchmarkStreamVsRun(b *testing.B) {
+	cases := []struct {
+		name  string
+		eng   search.Engine
+		bases int
+	}{
+		{"cpu", &search.CPU{}, 1 << 21},
+		{"sycl", &search.SimSYCL{Device: gpu.New(device.MI100()), Variant: kernels.Base}, 1 << 18},
+	}
+	for _, c := range cases {
+		asm := benchAssembly(b, c.bases)
+		req := benchRequest()
+		req.ChunkBytes = 1 << 16 // many chunks, so staging overlap matters
+		b.Run(c.name+"/run", func(b *testing.B) {
+			b.SetBytes(asm.TotalLen())
+			for i := 0; i < b.N; i++ {
+				if _, err := c.eng.Run(asm, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/stream", func(b *testing.B) {
+			b.SetBytes(asm.TotalLen())
+			var sink int
+			for i := 0; i < b.N; i++ {
+				err := c.eng.Stream(context.Background(), asm, req, func(search.Hit) error {
+					sink++
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			_ = sink
 		})
 	}
 }

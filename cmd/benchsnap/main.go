@@ -6,6 +6,11 @@
 //	benchsnap -o snap.json       # write elsewhere
 //	benchsnap -stat              # run and print, write nothing (CI mode)
 //	benchsnap -bench 'LaunchOverhead|CPUScan' -benchtime 100x
+//	benchsnap -compare BENCH_baseline.json   # regression gate vs a snapshot
+//
+// With -compare the run is diffed against the named snapshot: each benchmark
+// present in both is printed with its ns/op ratio, and the process exits
+// non-zero when the geometric mean of the ratios exceeds -threshold.
 //
 // It shells out to `go test -bench -benchmem -run ^$` for the selected
 // packages and parses the standard benchmark output lines.
@@ -15,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"sort"
@@ -45,11 +51,13 @@ type Snapshot struct {
 }
 
 func main() {
-	bench := flag.String("bench", "LaunchOverhead|CPUScanTwoPhase|SimLaunch|CPUEngine$", "benchmark selection regexp")
+	bench := flag.String("bench", "LaunchOverhead|CPUScanTwoPhase|SimLaunch|CPUEngine$|StreamVsRun", "benchmark selection regexp")
 	benchtime := flag.String("benchtime", "200x", "go test -benchtime value")
 	out := flag.String("o", "BENCH_baseline.json", "snapshot output path")
 	stat := flag.Bool("stat", false, "print the parsed results without writing the snapshot")
 	pkgs := flag.String("pkgs", ".,./internal/search", "comma-separated packages to benchmark")
+	compare := flag.String("compare", "", "baseline snapshot to diff against; exits 1 on regression")
+	threshold := flag.Float64("threshold", 1.15, "geomean ns/op ratio above which -compare fails")
 	flag.Parse()
 
 	packages := strings.Split(*pkgs, ",")
@@ -63,6 +71,14 @@ func main() {
 		results = append(results, ParseBenchOutput(out)...)
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+
+	if *compare != "" {
+		if err := compareAgainst(*compare, results, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *stat {
 		for _, r := range results {
@@ -88,6 +104,48 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchsnap: wrote %d results to %s\n", len(results), *out)
+}
+
+// compareAgainst diffs the current results against the snapshot at path over
+// the benchmarks the two have in common, printing the per-benchmark ns/op
+// ratio and failing when the geometric mean exceeds threshold. Benchmarks
+// present on only one side (new or retired) are ignored, so adding a
+// benchmark never breaks the gate against an older baseline.
+func compareAgainst(path string, results []Result, threshold float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	baseline := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	var logsum float64
+	n := 0
+	for _, r := range results {
+		b, ok := baseline[r.Name]
+		if !ok || b.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		logsum += math.Log(ratio)
+		n++
+		fmt.Printf("%-60s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			r.Name, b.NsPerOp, r.NsPerOp, (ratio-1)*100)
+	}
+	if n == 0 {
+		return fmt.Errorf("no benchmarks in common with %s", path)
+	}
+	geomean := math.Exp(logsum / float64(n))
+	fmt.Printf("geomean over %d benchmarks: %.3fx (threshold %.2fx)\n", n, geomean, threshold)
+	if geomean > threshold {
+		return fmt.Errorf("performance regression: geomean %.3fx exceeds %.2fx", geomean, threshold)
+	}
+	return nil
 }
 
 func runBench(pkg, bench, benchtime string) (string, error) {

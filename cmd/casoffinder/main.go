@@ -18,10 +18,13 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"casoffinder/internal/bulge"
 	"casoffinder/internal/genome"
@@ -101,14 +104,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 				guide, h.SeqName, h.Pos, h.Site, h.Dir, h.Mismatches, h.BulgeType, h.BulgeSize)
 		}
 	} else {
-		hits, err := eng.Run(asm, &input.Request)
+		// Stream output lines as chunks complete instead of collecting the
+		// whole result first; an interrupt cancels the in-flight search.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		bw := bufio.NewWriter(out)
+		count := 0
+		err := eng.Stream(ctx, asm, &input.Request, func(h search.Hit) error {
+			count++
+			return search.WriteHit(bw, &input.Request, h)
+		})
+		if ferr := bw.Flush(); err == nil {
+			err = ferr
+		}
 		if err != nil {
 			return err
 		}
-		if err := search.WriteHits(out, &input.Request, hits); err != nil {
-			return err
-		}
-		fmt.Fprintf(stderr, "%d sites reported\n", len(hits))
+		fmt.Fprintf(stderr, "%d sites reported\n", count)
 	}
 
 	if profiler != nil {

@@ -41,19 +41,19 @@ type Chunker struct {
 	PatternLen int
 }
 
-// Plan splits every sequence of the assembly into chunks, in assembly order.
-// Sequences shorter than the pattern produce no chunks (they cannot contain
-// a site).
-func (c *Chunker) Plan(asm *Assembly) ([]*Chunk, error) {
+// Each calls fn for every chunk Plan would produce, in plan order, without
+// materialising the whole plan: chunks are built one at a time, so a
+// streaming consumer can stage chunk N+1 while chunk N is still being
+// scanned. An error from fn stops the walk and is returned.
+func (c *Chunker) Each(asm *Assembly, fn func(*Chunk) error) error {
 	if c.PatternLen <= 0 {
-		return nil, fmt.Errorf("genome: invalid pattern length %d", c.PatternLen)
+		return fmt.Errorf("genome: invalid pattern length %d", c.PatternLen)
 	}
 	if c.ChunkBytes < c.PatternLen {
-		return nil, fmt.Errorf("%w: %d < %d", ErrChunkTooSmall, c.ChunkBytes, c.PatternLen)
+		return fmt.Errorf("%w: %d < %d", ErrChunkTooSmall, c.ChunkBytes, c.PatternLen)
 	}
 	overlap := c.PatternLen - 1
 	body := c.ChunkBytes - overlap
-	var chunks []*Chunk
 	for si, seq := range asm.Sequences {
 		n := len(seq.Data)
 		if n < c.PatternLen {
@@ -70,15 +70,31 @@ func (c *Chunker) Plan(asm *Assembly) ([]*Chunk, error) {
 			if end > n {
 				end = n
 			}
-			chunks = append(chunks, &Chunk{
+			if err := fn(&Chunk{
 				SeqIndex: si,
 				SeqName:  seq.Name,
 				Start:    off,
 				Data:     seq.Data[off:end],
 				Body:     b,
 				Overlap:  end - (off + b),
-			})
+			}); err != nil {
+				return err
+			}
 		}
+	}
+	return nil
+}
+
+// Plan splits every sequence of the assembly into chunks, in assembly order.
+// Sequences shorter than the pattern produce no chunks (they cannot contain
+// a site).
+func (c *Chunker) Plan(asm *Assembly) ([]*Chunk, error) {
+	var chunks []*Chunk
+	if err := c.Each(asm, func(ch *Chunk) error {
+		chunks = append(chunks, ch)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return chunks, nil
 }

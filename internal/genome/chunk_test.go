@@ -147,6 +147,71 @@ func TestChunkerCoverageProperty(t *testing.T) {
 	}
 }
 
+// TestEachMatchesPlan: the streaming iterator visits exactly the chunks
+// Plan materialises, in the same order.
+func TestEachMatchesPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		plen := 2 + rng.Intn(10)
+		budget := plen + rng.Intn(30)
+		asm := &Assembly{Name: "each"}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			n := rng.Intn(150)
+			data := make([]byte, n)
+			for j := range data {
+				data[j] = "ACGTN"[rng.Intn(5)]
+			}
+			asm.Sequences = append(asm.Sequences, &Sequence{Name: string(rune('a' + i)), Data: data})
+		}
+		c := &Chunker{ChunkBytes: budget, PatternLen: plen}
+		want, err := c.Plan(asm)
+		if err != nil {
+			t.Fatalf("Plan: %v", err)
+		}
+		var got []*Chunk
+		if err := c.Each(asm, func(ch *Chunk) error {
+			got = append(got, ch)
+			return nil
+		}); err != nil {
+			t.Fatalf("Each: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Each visited %d chunks, Plan produced %d", len(got), len(want))
+		}
+		for i := range got {
+			g, w := got[i], want[i]
+			if g.SeqIndex != w.SeqIndex || g.Start != w.Start || g.Body != w.Body ||
+				g.Overlap != w.Overlap || !bytes.Equal(g.Data, w.Data) {
+				t.Fatalf("chunk %d: Each=%+v Plan=%+v", i, g, w)
+			}
+		}
+	}
+}
+
+// TestEachStopsOnError: the first fn error aborts the walk and is returned
+// verbatim, so a streaming consumer can cancel staging mid-assembly.
+func TestEachStopsOnError(t *testing.T) {
+	c := &Chunker{ChunkBytes: 5, PatternLen: 3}
+	boom := errors.New("boom")
+	visits := 0
+	err := c.Each(asmOf("ACGTACGTAC"), func(ch *Chunk) error {
+		visits++
+		if visits == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if visits != 2 {
+		t.Fatalf("visits = %d, want 2 (walk must stop at the error)", visits)
+	}
+	if err := c.Each(&Assembly{}, func(*Chunk) error { return boom }); err != nil {
+		t.Fatalf("empty assembly: err = %v (fn must not be called)", err)
+	}
+}
+
 func TestCountChunksMatchesPlan(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 50; trial++ {

@@ -1,0 +1,307 @@
+// Package pipeline is the shared streaming orchestrator behind every search
+// engine: one copy of the request lifecycle — validate, compile the
+// PatternPairs, walk the genome.Chunker plan, double-buffer chunk staging,
+// render hits, and merge them into the deterministic output order —
+// parameterized by a small Backend interface that the CPU scan and the two
+// simulator host programs implement as thin adapters over their kernel
+// launches. The paper's central artifact is one application expressed
+// against two programming models with identical results; this package is
+// that shape in the repo, so adding a backend never re-implements the host
+// program.
+//
+// The schedule is a classic double buffer: a single stager goroutine stages
+// chunk N+1 while a scan worker drives the backend's kernels over chunk N.
+// Hits stream to the caller in chunk order as each chunk completes, so a
+// search over a full assembly never materializes its whole result set.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/kernels"
+)
+
+// Plan is a compiled request: the validated pattern and guide tables plus
+// the chunker that walks the assembly. Chunks are never materialized here —
+// the stager walks Chunker.Each so staging overlaps scanning.
+type Plan struct {
+	// Request is the validated originating request.
+	Request *Request
+	// Pattern is the compiled PAM scaffold (both strands).
+	Pattern *kernels.PatternPair
+	// Guides holds one compiled pair per request query, in query order.
+	Guides []*kernels.PatternPair
+	// Chunker stages the assembly within the request's chunk budget.
+	Chunker *genome.Chunker
+}
+
+// Compile validates the request and compiles its pattern tables.
+func Compile(req *Request) (*Plan, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	pattern, err := kernels.NewPatternPair([]byte(req.Pattern))
+	if err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	guides := make([]*kernels.PatternPair, len(req.Queries))
+	for i, q := range req.Queries {
+		if guides[i], err = kernels.NewPatternPair([]byte(q.Guide)); err != nil {
+			return nil, fmt.Errorf("search: query %d: %w", i, err)
+		}
+	}
+	chunker := &genome.Chunker{ChunkBytes: req.chunkBytes(), PatternLen: pattern.PatternLen}
+	// Surface chunker parameter errors (budget smaller than the pattern)
+	// now rather than mid-stream: a walk over an empty assembly runs
+	// exactly the parameter validation.
+	if err := chunker.Each(&genome.Assembly{}, func(*genome.Chunk) error { return nil }); err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	return &Plan{Request: req, Pattern: pattern, Guides: guides, Chunker: chunker}, nil
+}
+
+// Staged is a backend's handle for one staged chunk. The pipeline treats it
+// as opaque and hands it back to the same backend's scan methods.
+type Staged any
+
+// Backend executes the kernel side of the search for one engine. The
+// pipeline calls Stage from a dedicated stager goroutine — possibly while a
+// scan worker is inside Find or Compare for an earlier chunk — and the
+// remaining methods from scan workers, never concurrently for the same
+// handle.
+//
+// On the success path every staged chunk flows Stage → Find → Compare (per
+// query, only when Find reported candidates) → Drain. On error or
+// cancellation the pipeline stops calling scan methods; Close must then
+// release whatever staged handles never reached Drain, so an aborted run
+// cannot leak device buffers.
+type Backend interface {
+	// Stage uploads one chunk and returns the backend's handle for it.
+	Stage(ctx context.Context, ch *genome.Chunk) (Staged, error)
+	// Find runs the PAM prefilter (the finder kernel) over the staged
+	// chunk and returns the number of surviving candidate sites.
+	Find(ctx context.Context, st Staged) (int, error)
+	// Compare runs the comparer kernel for query qi over the candidates,
+	// accumulating raw entries in the handle.
+	Compare(ctx context.Context, st Staged, qi int) error
+	// Drain renders the accumulated entries into hits using the worker's
+	// pooled renderer and releases the chunk's per-chunk resources.
+	Drain(ctx context.Context, st Staged, r *SiteRenderer) ([]Hit, error)
+	// Close releases everything the backend still holds: run-wide state
+	// and any staged handles that never reached Drain. It is called
+	// exactly once, after all pipeline goroutines have stopped.
+	Close() error
+}
+
+// Pipeline drives one Backend over an assembly.
+type Pipeline struct {
+	// Open builds the backend for a compiled plan (device setup, program
+	// build, pattern upload). It is called once per Stream.
+	Open func(plan *Plan) (Backend, error)
+	// ScanWorkers bounds the concurrent scan workers; values below 1 mean
+	// one worker (the double-buffered schedule of the simulator engines).
+	// The CPU engine raises it to scan chunks in parallel.
+	ScanWorkers int
+}
+
+// Stream executes the request, calling emit sequentially for every hit.
+// Hits arrive grouped by chunk in chunk order, sorted within each chunk, so
+// the overall stream is deterministic. A cancelled context or an emit error
+// aborts staging and in-flight dispatch and is returned. emit must not be
+// nil.
+func (p *Pipeline) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
+	plan, err := Compile(req)
+	if err != nil {
+		return err
+	}
+	be, err := p.Open(plan)
+	if err != nil {
+		return err
+	}
+	runErr := p.run(ctx, be, plan, asm, emit)
+	if cerr := be.Close(); runErr == nil {
+		runErr = cerr
+	}
+	return runErr
+}
+
+// Collect executes the request and returns all hits in the deterministic
+// output order; on error the partial results are dropped and nil is
+// returned.
+func (p *Pipeline) Collect(ctx context.Context, asm *genome.Assembly, req *Request) ([]Hit, error) {
+	var hits []Hit
+	if err := p.Stream(ctx, asm, req, func(h Hit) error {
+		hits = append(hits, h)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	SortHits(hits)
+	return hits, nil
+}
+
+// run owns the goroutine topology:
+//
+//	stager ──stagedCh──▶ scan workers ──results──▶ collector (caller)
+//
+// The stager walks the chunk plan, staging each chunk and handing it over;
+// scan workers drive the backend kernels; the collector reorders finished
+// chunks back into plan order and emits. The first error cancels the
+// derived context, which stops the stager, aborts blocked sends, and makes
+// in-flight scans fail fast at their next phase boundary.
+func (p *Pipeline) run(ctx context.Context, be Backend, plan *Plan, asm *genome.Assembly, emit func(Hit) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := p.ScanWorkers
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	type stagedChunk struct {
+		index int
+		st    Staged
+	}
+	type scannedChunk struct {
+		index int
+		hits  []Hit
+	}
+	// stagedCh is unbuffered on purpose: the stager completes Stage for
+	// chunk N+1 and then blocks on the send while a scanner works chunk N
+	// — exactly one chunk of prefetch. A deeper channel would hold more
+	// device memory live without hiding any more latency.
+	stagedCh := make(chan stagedChunk)
+	results := make(chan scannedChunk, workers)
+
+	var stagerWG sync.WaitGroup
+	stagerWG.Add(1)
+	go func() {
+		defer stagerWG.Done()
+		defer close(stagedCh)
+		index := 0
+		if err := plan.Chunker.Each(asm, func(ch *genome.Chunk) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			st, err := be.Stage(ctx, ch)
+			if err != nil {
+				return err
+			}
+			select {
+			case stagedCh <- stagedChunk{index: index, st: st}:
+				index++
+				return nil
+			case <-ctx.Done():
+				// The handle never reaches a scanner; Close releases it.
+				return ctx.Err()
+			}
+		}); err != nil {
+			fail(err)
+		}
+	}()
+
+	var scanWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		scanWG.Add(1)
+		go func() {
+			defer scanWG.Done()
+			r := &SiteRenderer{}
+			for sc := range stagedCh {
+				hits, err := p.scanOne(ctx, be, plan, sc.st, r)
+				if err != nil {
+					// Keep draining stagedCh so the stager is never
+					// stranded on a send; after fail the scans below
+					// short-circuit on the cancelled context and their
+					// handles are released by Close.
+					fail(err)
+					continue
+				}
+				select {
+				case results <- scannedChunk{index: sc.index, hits: hits}:
+				case <-ctx.Done():
+				}
+			}
+		}()
+	}
+	go func() {
+		scanWG.Wait()
+		close(results)
+	}()
+
+	// The collector runs on the caller's goroutine so emit is always
+	// sequential, reordering out-of-order scans back into chunk order.
+	pending := make(map[int][]Hit)
+	next := 0
+	emitting := true
+	for res := range results {
+		pending[res.index] = res.hits
+		for {
+			hits, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if !emitting {
+				continue
+			}
+			for _, h := range hits {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					emitting = false
+					break
+				}
+				if err := emit(h); err != nil {
+					fail(err)
+					emitting = false
+					break
+				}
+			}
+		}
+	}
+	stagerWG.Wait()
+	return firstErr
+}
+
+// scanOne drives one staged chunk through the backend's kernel phases and
+// returns its hits sorted. The context is checked at every phase boundary
+// so cancellation takes effect within one kernel launch.
+func (p *Pipeline) scanOne(ctx context.Context, be Backend, plan *Plan, st Staged, r *SiteRenderer) ([]Hit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n, err := be.Find(ctx, st)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		for qi := range plan.Guides {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := be.Compare(ctx, st, qi); err != nil {
+				return nil, err
+			}
+		}
+	}
+	hits, err := be.Drain(ctx, st, r)
+	if err != nil {
+		return nil, err
+	}
+	SortHits(hits)
+	return hits, nil
+}

@@ -1,0 +1,280 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"casoffinder/internal/genome"
+)
+
+func testAsm(seqLens ...int) *genome.Assembly {
+	asm := &genome.Assembly{Name: "t"}
+	for i, n := range seqLens {
+		data := make([]byte, n)
+		for j := range data {
+			data[j] = 'A'
+		}
+		asm.Sequences = append(asm.Sequences, &genome.Sequence{
+			Name: fmt.Sprintf("seq%d", i),
+			Data: data,
+		})
+	}
+	return asm
+}
+
+func testReq() *Request {
+	return &Request{
+		Pattern:    "NNNGG",
+		Queries:    []Query{{Guide: "ACGNN", MaxMismatches: 1}},
+		ChunkBytes: 32,
+	}
+}
+
+func chunkKey(ch *genome.Chunk) string {
+	return fmt.Sprintf("%s:%d", ch.SeqName, ch.Start)
+}
+
+// fakeStaged is the fake backend's per-chunk handle.
+type fakeStaged struct {
+	ch    *genome.Chunk
+	index int
+}
+
+// fakeBackend fabricates one hit per chunk and accounts for every handle so
+// tests can assert that nothing staged is ever leaked: at any quiescent
+// point drained + liveAtClose must equal staged.
+type fakeBackend struct {
+	mu          sync.Mutex
+	live        map[*fakeStaged]struct{}
+	stageOrder  []string
+	drained     int
+	closed      int
+	liveAtClose int
+
+	stageN     atomic.Int64
+	stageErrAt int // stage index that fails; -1 = never
+	findHook   func(ctx context.Context, s *fakeStaged) error
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{live: map[*fakeStaged]struct{}{}, stageErrAt: -1}
+}
+
+func (b *fakeBackend) Stage(ctx context.Context, ch *genome.Chunk) (Staged, error) {
+	i := int(b.stageN.Add(1)) - 1
+	if i == b.stageErrAt {
+		return nil, errors.New("stage boom")
+	}
+	s := &fakeStaged{ch: ch, index: i}
+	b.mu.Lock()
+	b.live[s] = struct{}{}
+	b.stageOrder = append(b.stageOrder, chunkKey(ch))
+	b.mu.Unlock()
+	return s, nil
+}
+
+func (b *fakeBackend) Find(ctx context.Context, st Staged) (int, error) {
+	s := st.(*fakeStaged)
+	if b.findHook != nil {
+		if err := b.findHook(ctx, s); err != nil {
+			return 0, err
+		}
+	}
+	return 1, nil
+}
+
+func (b *fakeBackend) Compare(ctx context.Context, st Staged, qi int) error { return nil }
+
+func (b *fakeBackend) Drain(ctx context.Context, st Staged, r *SiteRenderer) ([]Hit, error) {
+	s := st.(*fakeStaged)
+	b.mu.Lock()
+	delete(b.live, s)
+	b.drained++
+	b.mu.Unlock()
+	return []Hit{{SeqName: s.ch.SeqName, Pos: s.ch.Start, Dir: '+', Site: "AAA"}}, nil
+}
+
+func (b *fakeBackend) Close() error {
+	b.mu.Lock()
+	b.closed++
+	b.liveAtClose += len(b.live)
+	b.live = map[*fakeStaged]struct{}{}
+	b.mu.Unlock()
+	return nil
+}
+
+// checkAccounting asserts no staged handle escaped both Drain and Close.
+func checkAccounting(t *testing.T, b *fakeBackend) {
+	t.Helper()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	staged := int(b.stageN.Load())
+	if b.stageErrAt >= 0 && staged > b.stageErrAt {
+		staged-- // the failing Stage produced no handle
+	}
+	if b.closed != 1 {
+		t.Errorf("Close called %d times, want 1", b.closed)
+	}
+	if b.drained+b.liveAtClose != staged {
+		t.Errorf("handle leak: staged %d, drained %d, released at close %d",
+			staged, b.drained, b.liveAtClose)
+	}
+}
+
+func pipelineFor(b *fakeBackend, workers int) *Pipeline {
+	return &Pipeline{
+		Open:        func(*Plan) (Backend, error) { return b, nil },
+		ScanWorkers: workers,
+	}
+}
+
+// TestStreamEmitsInChunkOrder: with several scan workers racing, hits must
+// still arrive grouped by chunk in plan order.
+func TestStreamEmitsInChunkOrder(t *testing.T) {
+	b := newFakeBackend()
+	// Skew per-chunk scan latency so completion order scrambles.
+	b.findHook = func(ctx context.Context, s *fakeStaged) error {
+		time.Sleep(time.Duration((s.index%5)*300) * time.Microsecond)
+		return nil
+	}
+	var got []string
+	err := pipelineFor(b, 4).Stream(context.Background(), testAsm(500, 200), testReq(), func(h Hit) error {
+		got = append(got, fmt.Sprintf("%s:%d", h.SeqName, h.Pos))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 10 {
+		t.Fatalf("only %d chunks; fixture too small", len(got))
+	}
+	b.mu.Lock()
+	want := append([]string(nil), b.stageOrder...)
+	b.mu.Unlock()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("emission order diverges from chunk order:\n got %v\nwant %v", got, want)
+	}
+	checkAccounting(t, b)
+}
+
+// TestEmitErrorAborts: an emit error must stop staging, surface as the
+// stream error, and leave no staged handle unreleased.
+func TestEmitErrorAborts(t *testing.T) {
+	b := newFakeBackend()
+	b.findHook = func(ctx context.Context, s *fakeStaged) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	}
+	sentinel := errors.New("emit failed")
+	err := pipelineFor(b, 1).Stream(context.Background(), testAsm(2000), testReq(), func(h Hit) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	total := 0
+	chunker := &genome.Chunker{ChunkBytes: 32, PatternLen: 5}
+	chunker.Each(testAsm(2000), func(*genome.Chunk) error { total++; return nil })
+	if n := int(b.stageN.Load()); n >= total {
+		t.Errorf("staged all %d chunks despite abort", n)
+	}
+	checkAccounting(t, b)
+}
+
+// TestStageErrorReleasesHandles: a staging failure mid-plan must surface and
+// the handles staged before it must be drained or released by Close.
+func TestStageErrorReleasesHandles(t *testing.T) {
+	b := newFakeBackend()
+	b.stageErrAt = 3
+	err := pipelineFor(b, 2).Stream(context.Background(), testAsm(2000), testReq(), func(Hit) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "stage boom") {
+		t.Fatalf("err = %v, want the stage error", err)
+	}
+	checkAccounting(t, b)
+}
+
+// TestDoubleBuffering: with one scan worker, chunk N+1 must finish staging
+// while chunk N is still being scanned — the pipeline's prefetch.
+func TestDoubleBuffering(t *testing.T) {
+	b := newFakeBackend()
+	b.findHook = func(ctx context.Context, s *fakeStaged) error {
+		if s.index != 0 {
+			return nil
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for b.stageN.Load() < 2 {
+			if time.Now().After(deadline) {
+				return errors.New("chunk 1 was not staged while chunk 0 scanned")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	}
+	err := pipelineFor(b, 1).Stream(context.Background(), testAsm(300), testReq(), func(Hit) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAccounting(t, b)
+}
+
+// TestCancellation: cancelling the context mid-scan returns ctx.Err() and
+// releases everything.
+func TestCancellation(t *testing.T) {
+	b := newFakeBackend()
+	ctx, cancel := context.WithCancel(context.Background())
+	b.findHook = func(ctx context.Context, s *fakeStaged) error {
+		if s.index == 0 {
+			cancel()
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	err := pipelineFor(b, 1).Stream(ctx, testAsm(2000), testReq(), func(Hit) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	checkAccounting(t, b)
+}
+
+// TestCollectDropsPartialOnError: Collect must not hand back partial hits.
+func TestCollectDropsPartialOnError(t *testing.T) {
+	b := newFakeBackend()
+	b.stageErrAt = 5
+	hits, err := pipelineFor(b, 2).Collect(context.Background(), testAsm(2000), testReq())
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if hits != nil {
+		t.Errorf("partial hits returned: %d", len(hits))
+	}
+}
+
+// TestCompileErrors: invalid requests and impossible chunk budgets fail
+// before any backend is opened.
+func TestCompileErrors(t *testing.T) {
+	opened := 0
+	p := &Pipeline{Open: func(*Plan) (Backend, error) {
+		opened++
+		return newFakeBackend(), nil
+	}}
+	bad := []*Request{
+		{Pattern: "", Queries: []Query{{Guide: "NN"}}},
+		{Pattern: "NNNGG", Queries: []Query{{Guide: "ACGNN"}}, ChunkBytes: 3},
+	}
+	for _, req := range bad {
+		if err := p.Stream(context.Background(), testAsm(100), req, func(Hit) error { return nil }); err == nil {
+			t.Errorf("request %+v accepted", req)
+		} else if !strings.HasPrefix(err.Error(), "search: ") {
+			t.Errorf("error %q lacks the search: prefix", err)
+		}
+	}
+	if opened != 0 {
+		t.Errorf("backend opened %d times for invalid requests", opened)
+	}
+}

@@ -1,0 +1,49 @@
+package search
+
+import (
+	"casoffinder/internal/genome"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/pipeline"
+)
+
+// rawHit is one comparer output entry before site rendering: the owning
+// query, the chunk-local site position, the strand and the mismatch count.
+// Every backend accumulates rawHits in its staged handle and lets
+// drainEntries turn them into reported hits, so hit rendering exists in
+// exactly one place.
+type rawHit struct {
+	qi  int
+	pos int
+	dir byte
+	mm  int
+}
+
+// drainEntries renders raw comparer entries into reported hits using the
+// scan worker's pooled site renderer.
+func drainEntries(r *pipeline.SiteRenderer, ch *genome.Chunk, guides []*kernels.PatternPair, entries []rawHit) []Hit {
+	if len(entries) == 0 {
+		return nil
+	}
+	hits := make([]Hit, 0, len(entries))
+	for _, e := range entries {
+		g := guides[e.qi]
+		window := ch.Data[e.pos : e.pos+g.PatternLen]
+		hits = append(hits, Hit{
+			QueryIndex: e.qi,
+			SeqName:    ch.SeqName,
+			Pos:        ch.Start + e.pos,
+			Dir:        e.dir,
+			Mismatches: e.mm,
+			Site:       r.Render(window, g, e.dir),
+		})
+	}
+	return hits
+}
+
+// closeErr folds a release error into the function error without masking
+// an earlier one.
+func closeErr(relErr error, err *error) {
+	if relErr != nil && *err == nil {
+		*err = relErr
+	}
+}

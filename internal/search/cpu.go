@@ -1,12 +1,14 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"casoffinder/internal/genome"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/pipeline"
 )
 
 // CPU is the production engine: a goroutine-parallel scan over genome
@@ -24,116 +26,116 @@ type CPU struct {
 // Name implements Engine.
 func (c *CPU) Name() string { return "cpu" }
 
+func (c *CPU) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
 // Run implements Engine.
 func (c *CPU) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
-	if err := req.Validate(); err != nil {
-		return nil, err
-	}
-	pattern, err := kernels.NewPatternPair([]byte(req.Pattern))
-	if err != nil {
-		return nil, fmt.Errorf("search: %w", err)
-	}
-	guides := make([]*kernels.PatternPair, len(req.Queries))
-	for i, q := range req.Queries {
-		if guides[i], err = kernels.NewPatternPair([]byte(q.Guide)); err != nil {
-			return nil, fmt.Errorf("search: query %d: %w", i, err)
-		}
-	}
-	chunker := &genome.Chunker{ChunkBytes: req.chunkBytes(), PatternLen: pattern.PatternLen}
-	chunks, err := chunker.Plan(asm)
-	if err != nil {
-		return nil, fmt.Errorf("search: %w", err)
-	}
-
-	workers := c.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(chunks) {
-		workers = len(chunks)
-	}
-
-	var (
-		packedPattern *maskedPattern
-		packedGuides  []*maskedPattern
-	)
-	if c.Packed {
-		packedPattern = newMaskedPattern(pattern)
-		packedGuides = make([]*maskedPattern, len(guides))
-		for i, g := range guides {
-			packedGuides[i] = newMaskedPattern(g)
-		}
-	}
-
-	perChunk := make([][]Hit, len(chunks))
-	var (
-		wg      sync.WaitGroup
-		scanErr error
-		errOnce sync.Once
-	)
-	work := make(chan int)
-	stop := make(chan struct{})
-	fail := func(err error) {
-		errOnce.Do(func() {
-			scanErr = err
-			close(stop)
-		})
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker owns one scratch whose candidate buffer is
-			// reused across its chunks.
-			var sc scanScratch
-			for {
-				select {
-				case <-stop:
-					return
-				case ci, ok := <-work:
-					if !ok {
-						return
-					}
-					var (
-						hits []Hit
-						err  error
-					)
-					if c.Packed {
-						hits, err = scanChunkPacked(chunks[ci], packedPattern, packedGuides, req.Queries)
-					} else {
-						hits, err = sc.scanChunk(chunks[ci], pattern, guides, req.Queries)
-					}
-					if err != nil {
-						fail(err)
-						return
-					}
-					perChunk[ci] = hits
-				}
-			}
-		}()
-	}
-dispatch:
-	for ci := range chunks {
-		// Stop handing out chunks as soon as any worker fails.
-		select {
-		case work <- ci:
-		case <-stop:
-			break dispatch
-		}
-	}
-	close(work)
-	wg.Wait()
-	if scanErr != nil {
-		return nil, scanErr
-	}
-
-	var all []Hit
-	for _, hits := range perChunk {
-		all = append(all, hits...)
-	}
-	sortHits(all)
-	return all, nil
+	return Collect(context.Background(), c, asm, req)
 }
+
+// Stream implements Engine by running the shared pipeline over the in-place
+// chunk scan, one scan worker per configured CPU.
+func (c *CPU) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
+	p := &pipeline.Pipeline{
+		Open: func(plan *pipeline.Plan) (pipeline.Backend, error) {
+			return newCPUBackend(plan, c.Packed), nil
+		},
+		ScanWorkers: c.workers(),
+	}
+	return p.Stream(ctx, asm, req, emit)
+}
+
+// cpuBackend adapts the goroutine scan to the pipeline Backend contract.
+// Staging is free (chunks are scanned in place), so the pipeline's scan
+// workers carry all the parallelism.
+type cpuBackend struct {
+	plan   *pipeline.Plan
+	packed bool
+	// Packed-path pattern tables, compiled once per run.
+	packedPattern *maskedPattern
+	packedGuides  []*maskedPattern
+	// scratch pools one scanScratch per concurrent scan so the hot loops
+	// allocate nothing per chunk.
+	scratch sync.Pool
+}
+
+func newCPUBackend(plan *pipeline.Plan, packed bool) *cpuBackend {
+	b := &cpuBackend{plan: plan, packed: packed}
+	b.scratch.New = func() any { return new(scanScratch) }
+	if packed {
+		b.packedPattern = newMaskedPattern(plan.Pattern)
+		b.packedGuides = make([]*maskedPattern, len(plan.Guides))
+		for i, g := range plan.Guides {
+			b.packedGuides[i] = newMaskedPattern(g)
+		}
+	}
+	return b
+}
+
+// cpuStaged is the CPU's staged-chunk handle: the chunk itself plus the
+// pooled scratch claimed in Find and returned in Drain.
+type cpuStaged struct {
+	ch     *genome.Chunk
+	sc     *scanScratch
+	packed *genome.Packed
+}
+
+// Stage implements pipeline.Backend. The CPU scans chunks in place, so
+// staging only wraps the chunk.
+func (b *cpuBackend) Stage(ctx context.Context, ch *genome.Chunk) (pipeline.Staged, error) {
+	return &cpuStaged{ch: ch}, nil
+}
+
+// Find implements pipeline.Backend: the PAM prefilter into the pooled
+// candidate buffer (the finder kernel's role). The packed path packs the
+// chunk here, in the scan worker, so packing parallelizes across chunks.
+func (b *cpuBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) {
+	s := st.(*cpuStaged)
+	s.sc = b.scratch.Get().(*scanScratch)
+	if b.packed {
+		packed, err := genome.Pack(s.ch.Data)
+		if err != nil {
+			return 0, fmt.Errorf("search: packing chunk at %s:%d: %w", s.ch.SeqName, s.ch.Start, err)
+		}
+		s.packed = packed
+		s.sc.findPackedCandidates(s.ch, packed, b.packedPattern)
+	} else {
+		s.sc.findCandidates(s.ch, b.plan.Pattern)
+	}
+	return len(s.sc.cand), nil
+}
+
+// Compare implements pipeline.Backend: one guide over the surviving
+// candidates (the comparer kernel's role).
+func (b *cpuBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) error {
+	s := st.(*cpuStaged)
+	limit := b.plan.Request.Queries[qi].MaxMismatches
+	if b.packed {
+		s.sc.comparePacked(s.packed, b.packedGuides[qi], qi, limit)
+	} else {
+		s.sc.compare(s.ch.Data, b.plan.Guides[qi], qi, limit)
+	}
+	return nil
+}
+
+// Drain implements pipeline.Backend: render the accumulated entries and
+// return the scratch to the pool.
+func (b *cpuBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline.SiteRenderer) ([]Hit, error) {
+	s := st.(*cpuStaged)
+	hits := drainEntries(r, s.ch, b.plan.Guides, s.sc.entries)
+	s.sc.entries = s.sc.entries[:0]
+	b.scratch.Put(s.sc)
+	s.sc, s.packed = nil, nil
+	return hits, nil
+}
+
+// Close implements pipeline.Backend; the CPU holds no run-wide resources.
+func (b *cpuBackend) Close() error { return nil }
 
 // Strand-survival bits recorded by the PAM prefilter.
 const (
@@ -151,20 +153,17 @@ type candidate struct {
 // scanScratch holds per-worker buffers reused across chunks so the scan
 // allocates nothing per position.
 type scanScratch struct {
-	cand []candidate
+	cand    []candidate
+	entries []rawHit
 }
 
-// scanChunk finds every hit whose site start lies in the chunk body. Like
-// the simulated GPU pipeline it runs in two phases: a PAM-prefilter pass
-// over every position that compacts the (rare) scaffold matches into the
-// pooled candidate buffer, then guide comparison only at those candidates.
-// The chunk is scanned in place: the IUPAC tables accept soft-masked
-// lower-case bases, and renderSite normalizes case in the reported site.
-func (sc *scanScratch) scanChunk(ch *genome.Chunk, pattern *kernels.PatternPair, guides []*kernels.PatternPair, queries []Query) ([]Hit, error) {
+// findCandidates runs the PAM prefilter over the chunk body (the finder
+// kernel's role), compacting the (rare) scaffold matches into the pooled
+// candidate buffer. The chunk is scanned in place: the IUPAC tables accept
+// soft-masked lower-case bases, and site rendering normalizes case.
+func (sc *scanScratch) findCandidates(ch *genome.Chunk, pattern *kernels.PatternPair) {
 	data := ch.Data
 	plen := pattern.PatternLen
-
-	// Phase 1: PAM prefilter (the finder kernel's role).
 	cand := sc.cand[:0]
 	for pos := 0; pos < ch.Body; pos++ {
 		window := data[pos : pos+plen]
@@ -180,11 +179,38 @@ func (sc *scanScratch) scanChunk(ch *genome.Chunk, pattern *kernels.PatternPair,
 		}
 	}
 	sc.cand = cand
+}
 
-	// Phase 2: guide comparison at the surviving candidates only (the
-	// comparer kernel's role).
+// compare tests one guide at every surviving candidate (the comparer
+// kernel's role), appending raw entries for the drain phase to render.
+func (sc *scanScratch) compare(data []byte, g *kernels.PatternPair, qi, limit int) {
+	plen := g.PatternLen
+	for _, cd := range sc.cand {
+		window := data[cd.pos : cd.pos+plen]
+		if cd.strand&strandFwd != 0 {
+			if mm, ok := countMismatches(window, g, 0, limit); ok {
+				sc.entries = append(sc.entries, rawHit{qi: qi, pos: cd.pos, dir: kernels.DirForward, mm: mm})
+			}
+		}
+		if cd.strand&strandRev != 0 {
+			if mm, ok := countMismatches(window, g, plen, limit); ok {
+				sc.entries = append(sc.entries, rawHit{qi: qi, pos: cd.pos, dir: kernels.DirReverse, mm: mm})
+			}
+		}
+	}
+}
+
+// scanChunk is the fused single-call scan over one chunk — the PAM
+// prefilter followed by every guide at every candidate, rendering hits
+// as it goes. The engine streams through the pipeline phases instead;
+// this form remains the reference the equivalence tests pin (its hit
+// order is the seed scan's: position-major, then query, then strand).
+func (sc *scanScratch) scanChunk(ch *genome.Chunk, pattern *kernels.PatternPair, guides []*kernels.PatternPair, queries []Query) ([]Hit, error) {
+	sc.findCandidates(ch, pattern)
+	data := ch.Data
+	plen := pattern.PatternLen
 	var hits []Hit
-	for _, cd := range cand {
+	for _, cd := range sc.cand {
 		window := data[cd.pos : cd.pos+plen]
 		for qi, g := range guides {
 			limit := queries[qi].MaxMismatches
@@ -215,13 +241,6 @@ func (sc *scanScratch) scanChunk(ch *genome.Chunk, pattern *kernels.PatternPair,
 		}
 	}
 	return hits, nil
-}
-
-// scanChunk is the single-shot wrapper used by tests and one-off callers;
-// workers hold a scanScratch instead so the candidate buffer is pooled.
-func scanChunk(ch *genome.Chunk, pattern *kernels.PatternPair, guides []*kernels.PatternPair, queries []Query) ([]Hit, error) {
-	var sc scanScratch
-	return sc.scanChunk(ch, pattern, guides, queries)
 }
 
 // windowMatches tests the PAM scaffold at the given strand offset.

@@ -2,6 +2,7 @@ package search
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"casoffinder/internal/genome"
@@ -49,6 +50,20 @@ GATTACANN	chr2	2	GATTACAGG	+	0
 		}
 		if buf.String() != want {
 			t.Errorf("%s output:\n%s\nwant:\n%s", eng.Name(), buf.String(), want)
+		}
+
+		// The streaming path must render the same lines; on this fixture
+		// each chunk holds at most one hit, so the streamed order is already
+		// the golden order.
+		buf.Reset()
+		err = eng.Stream(context.Background(), asm, req, func(h Hit) error {
+			return WriteHit(&buf, req, h)
+		})
+		if err != nil {
+			t.Fatalf("%s stream: %v", eng.Name(), err)
+		}
+		if buf.String() != want {
+			t.Errorf("%s streamed output:\n%s\nwant:\n%s", eng.Name(), buf.String(), want)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"casoffinder/internal/genome"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/pipeline"
 )
 
 // Indexed is a seed-and-extend CPU engine in the spirit of the FlashFry
@@ -182,6 +184,31 @@ func (e *Indexed) buildIndexes(guides []*kernels.PatternPair, queries []Query) (
 
 // Run implements Engine.
 func (e *Indexed) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
+	return e.run(context.Background(), asm, req)
+}
+
+// Stream implements Engine. The seed-and-extend scan is per-sequence, not
+// per-chunk, so hits are emitted once the whole scan has merged into the
+// deterministic order; cancellation still aborts the per-sequence workers
+// between sequences.
+func (e *Indexed) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
+	hits, err := e.run(ctx, asm, req)
+	if err != nil {
+		return err
+	}
+	for _, h := range hits {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := emit(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run is the shared body of Run and Stream.
+func (e *Indexed) run(ctx context.Context, asm *genome.Assembly, req *Request) ([]Hit, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -215,16 +242,28 @@ func (e *Indexed) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			r := &pipeline.SiteRenderer{}
 			for si := range work {
-				perSeq[si] = e.scanSequence(asm.Sequences[si], pattern, guides, req.Queries, indexes)
+				if ctx.Err() != nil {
+					continue
+				}
+				perSeq[si] = e.scanSequence(asm.Sequences[si], pattern, guides, req.Queries, indexes, r)
 			}
 		}()
 	}
+dispatch:
 	for si := range asm.Sequences {
-		work <- si
+		select {
+		case work <- si:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	var hits []Hit
 	for _, h := range perSeq {
@@ -238,7 +277,7 @@ func (e *Indexed) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 		for _, qi := range fallback {
 			sub.Queries = append(sub.Queries, req.Queries[qi])
 		}
-		scanHits, err := (&CPU{Workers: e.Workers}).Run(asm, sub)
+		scanHits, err := Collect(ctx, &CPU{Workers: e.Workers}, asm, sub)
 		if err != nil {
 			return nil, err
 		}
@@ -252,8 +291,8 @@ func (e *Indexed) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 }
 
 // scanSequence rolls every seed length over the sequence, verifying full
-// sites at seed hits.
-func (e *Indexed) scanSequence(seq *genome.Sequence, pattern *kernels.PatternPair, guides []*kernels.PatternPair, queries []Query, indexes map[int]*seedIndex) []Hit {
+// sites at seed hits with the worker's pooled site renderer.
+func (e *Indexed) scanSequence(seq *genome.Sequence, pattern *kernels.PatternPair, guides []*kernels.PatternPair, queries []Query, indexes map[int]*seedIndex, r *pipeline.SiteRenderer) []Hit {
 	data := genome.Upper(seq.Data)
 	plen := pattern.PatternLen
 
@@ -297,12 +336,12 @@ func (e *Indexed) scanSequence(seq *genome.Sequence, pattern *kernels.PatternPai
 				continue
 			}
 			segStart := i - k + 1
-			for _, r := range refs {
-				pos := segStart - r.offset
+			for _, ref := range refs {
+				pos := segStart - ref.offset
 				if pos < 0 || pos+plen > len(data) {
 					continue
 				}
-				candidates[siteKey{query: r.query, pos: pos, rev: r.rev}] = struct{}{}
+				candidates[siteKey{query: ref.query, pos: pos, rev: ref.rev}] = struct{}{}
 			}
 		}
 	}
@@ -330,7 +369,7 @@ func (e *Indexed) scanSequence(seq *genome.Sequence, pattern *kernels.PatternPai
 			Pos:        key.pos,
 			Dir:        dir,
 			Mismatches: mm,
-			Site:       renderSite(window, g, dir),
+			Site:       r.Render(window, g, dir),
 		})
 	}
 	return hits

@@ -85,16 +85,24 @@ func ParseInput(r io.Reader) (*Input, error) {
 	return in, nil
 }
 
-// WriteHits writes hits in the upstream output format, one line per hit:
-// guide sequence, chromosome, position, site (mismatches lower-case),
-// strand, mismatch count.
+// WriteHit writes one hit in the upstream output format: guide sequence,
+// chromosome, position, site (mismatches lower-case), strand, mismatch
+// count.
+func WriteHit(w io.Writer, req *Request, h Hit) error {
+	guide := req.Queries[h.QueryIndex].Guide
+	if _, err := fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%c\t%d\n",
+		guide, h.SeqName, h.Pos, h.Site, h.Dir, h.Mismatches); err != nil {
+		return fmt.Errorf("search: writing output: %w", err)
+	}
+	return nil
+}
+
+// WriteHits writes hits in the upstream output format, one line per hit.
 func WriteHits(w io.Writer, req *Request, hits []Hit) error {
 	bw := bufio.NewWriter(w)
 	for _, h := range hits {
-		guide := req.Queries[h.QueryIndex].Guide
-		if _, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%s\t%c\t%d\n",
-			guide, h.SeqName, h.Pos, h.Site, h.Dir, h.Mismatches); err != nil {
-			return fmt.Errorf("search: writing output: %w", err)
+		if err := WriteHit(bw, req, h); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,7 +15,8 @@ import (
 // stated limitation ("The SYCL application currently executes on a single
 // GPU device", §IV.A) turned future work. Sequences are distributed
 // round-robin across one SimSYCL engine per device, engines run
-// concurrently, and hits merge into the usual deterministic order.
+// concurrently (each streaming through the shared pipeline), and hits
+// merge into the usual deterministic order.
 type MultiSYCL struct {
 	// Devices are the simulated GPUs to spread the search over.
 	Devices []*gpu.Device
@@ -32,33 +34,24 @@ func (e *MultiSYCL) Name() string { return "sycl-multi" }
 // LastProfile implements Profiler: the merged profile of all devices.
 func (e *MultiSYCL) LastProfile() *Profile { return e.profile }
 
-// merge folds o into p.
-func (p *Profile) merge(o *Profile) {
-	for name, s := range o.Kernels {
-		agg := p.Kernels[name]
-		agg.Add(&s)
-		p.Kernels[name] = agg
-		p.Launches[name] += o.Launches[name]
-		p.WorkGroupSizes[name] = o.WorkGroupSizes[name]
-	}
-	p.Chunks += o.Chunks
-	p.BytesStaged += o.BytesStaged
-	p.BytesRead += o.BytesRead
-	p.CandidateSites += o.CandidateSites
-	p.Entries += o.Entries
-}
-
 // Run implements Engine.
 func (e *MultiSYCL) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
+	return Collect(context.Background(), e, asm, req)
+}
+
+// Stream implements Engine. Hits can only be emitted once every device has
+// finished (the merge is what makes the order deterministic), so this
+// engine streams per-device internally and emits the merged result.
+func (e *MultiSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
 	if err := req.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if len(e.Devices) == 0 {
-		return nil, errors.New("search: sycl-multi: no devices")
+		return errors.New("search: sycl-multi: no devices")
 	}
 	for i, d := range e.Devices {
 		if d == nil {
-			return nil, fmt.Errorf("search: sycl-multi: device %d is nil", i)
+			return fmt.Errorf("search: sycl-multi: device %d is nil", i)
 		}
 	}
 
@@ -99,7 +92,7 @@ func (e *MultiSYCL) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = subEngines[i].Run(parts[i], req)
+			results[i], errs[i] = Collect(ctx, subEngines[i], parts[i], req)
 		}(i)
 	}
 	wg.Wait()
@@ -108,14 +101,22 @@ func (e *MultiSYCL) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 	var hits []Hit
 	for i := range e.Devices {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("search: sycl-multi device %d: %w", i, errs[i])
+			return fmt.Errorf("search: sycl-multi device %d: %w", i, errs[i])
 		}
 		hits = append(hits, results[i]...)
-		if p := subEngines[i].LastProfile(); p != nil {
+		if p := subEngines[i].LastProfile(); p != nil && len(parts[i].Sequences) > 0 {
 			merged.merge(p)
 		}
 	}
 	e.profile = merged
 	sortHits(hits)
-	return hits, nil
+	for _, h := range hits {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := emit(h); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,8 +1,6 @@
 package search
 
 import (
-	"fmt"
-
 	"casoffinder/internal/genome"
 	"casoffinder/internal/kernels"
 )
@@ -67,54 +65,43 @@ func (m *maskedPattern) mismatchesAt(p *genome.Packed, pos, offset, limit int) (
 	return mm, true
 }
 
-// scanChunkPacked is the packed-path equivalent of scanChunk. The chunk is
-// packed once (quartering the working set of the inner loop); site
+// findPackedCandidates is the packed-path PAM prefilter: the chunk was
+// packed once in Find (quartering the working set of the inner loop), and
+// the scaffold is tested against the 4-bit masks per position. Site
 // rendering still uses the original bytes so results are byte-identical to
 // the unpacked path.
-func scanChunkPacked(ch *genome.Chunk, pattern *maskedPattern, guides []*maskedPattern, queries []Query) ([]Hit, error) {
-	// Pack folds soft-masked lower-case itself and renderSite normalizes
-	// case in the reported site, so no upper-case copy is needed.
-	data := ch.Data
-	packed, err := genome.Pack(data)
-	if err != nil {
-		return nil, fmt.Errorf("search: packing chunk at %s:%d: %w", ch.SeqName, ch.Start, err)
-	}
+func (sc *scanScratch) findPackedCandidates(ch *genome.Chunk, packed *genome.Packed, pattern *maskedPattern) {
 	plen := pattern.pair.PatternLen
-	var hits []Hit
+	cand := sc.cand[:0]
 	for pos := 0; pos < ch.Body; pos++ {
-		fwd := pattern.matchesAt(packed, pos, 0)
-		rev := pattern.matchesAt(packed, pos, plen)
-		if !fwd && !rev {
-			continue
+		var strand uint8
+		if pattern.matchesAt(packed, pos, 0) {
+			strand |= strandFwd
 		}
-		window := data[pos : pos+plen]
-		for qi, g := range guides {
-			limit := queries[qi].MaxMismatches
-			if fwd {
-				if mm, ok := g.mismatchesAt(packed, pos, 0, limit); ok {
-					hits = append(hits, Hit{
-						QueryIndex: qi,
-						SeqName:    ch.SeqName,
-						Pos:        ch.Start + pos,
-						Dir:        kernels.DirForward,
-						Mismatches: mm,
-						Site:       renderSite(window, g.pair, kernels.DirForward),
-					})
-				}
+		if pattern.matchesAt(packed, pos, plen) {
+			strand |= strandRev
+		}
+		if strand != 0 {
+			cand = append(cand, candidate{pos: pos, strand: strand})
+		}
+	}
+	sc.cand = cand
+}
+
+// comparePacked tests one guide's masks at every surviving candidate,
+// appending raw entries for the drain phase to render.
+func (sc *scanScratch) comparePacked(packed *genome.Packed, g *maskedPattern, qi, limit int) {
+	plen := g.pair.PatternLen
+	for _, cd := range sc.cand {
+		if cd.strand&strandFwd != 0 {
+			if mm, ok := g.mismatchesAt(packed, cd.pos, 0, limit); ok {
+				sc.entries = append(sc.entries, rawHit{qi: qi, pos: cd.pos, dir: kernels.DirForward, mm: mm})
 			}
-			if rev {
-				if mm, ok := g.mismatchesAt(packed, pos, plen, limit); ok {
-					hits = append(hits, Hit{
-						QueryIndex: qi,
-						SeqName:    ch.SeqName,
-						Pos:        ch.Start + pos,
-						Dir:        kernels.DirReverse,
-						Mismatches: mm,
-						Site:       renderSite(window, g.pair, kernels.DirReverse),
-					})
-				}
+		}
+		if cd.strand&strandRev != 0 {
+			if mm, ok := g.mismatchesAt(packed, cd.pos, plen, limit); ok {
+				sc.entries = append(sc.entries, rawHit{qi: qi, pos: cd.pos, dir: kernels.DirReverse, mm: mm})
 			}
 		}
 	}
-	return hits, nil
 }

@@ -1,11 +1,19 @@
 package search
 
-import "casoffinder/internal/gpu"
+import (
+	"sync"
+
+	"casoffinder/internal/gpu"
+)
 
 // Profile records what a simulator-backed engine did during one Run: the
 // aggregated access statistics per kernel (the simulator's profiler view,
 // used to identify the comparer as the hotspot, §IV.B) and the host-side
 // pipeline counters the timing model needs to cost staging and transfers.
+//
+// The exported fields are safe to read once the run has returned; while a
+// run is live the pipeline's stager and scan workers update them
+// concurrently through the locked mutators below.
 type Profile struct {
 	// Kernels aggregates launch statistics by kernel name.
 	Kernels map[string]gpu.Stats
@@ -26,6 +34,8 @@ type Profile struct {
 	CandidateSites int64
 	// Entries is the total number of comparer output entries.
 	Entries int64
+
+	mu sync.Mutex
 }
 
 func newProfile() *Profile {
@@ -38,11 +48,67 @@ func newProfile() *Profile {
 
 // addKernel merges one launch into the profile.
 func (p *Profile) addKernel(name string, s *gpu.Stats, wgSize int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	agg := p.Kernels[name]
 	agg.Add(s)
 	p.Kernels[name] = agg
 	p.Launches[name]++
 	p.WorkGroupSizes[name] = wgSize
+}
+
+// addStagedChunk counts one staged sequence chunk of n bytes.
+func (p *Profile) addStagedChunk(n int64) {
+	p.mu.Lock()
+	p.Chunks++
+	p.BytesStaged += n
+	p.mu.Unlock()
+}
+
+// addStaged counts n bytes of host-to-device traffic.
+func (p *Profile) addStaged(n int64) {
+	p.mu.Lock()
+	p.BytesStaged += n
+	p.mu.Unlock()
+}
+
+// addRead counts n bytes of device-to-host traffic.
+func (p *Profile) addRead(n int64) {
+	p.mu.Lock()
+	p.BytesRead += n
+	p.mu.Unlock()
+}
+
+// addCandidates counts finder-reported candidate sites.
+func (p *Profile) addCandidates(n int64) {
+	p.mu.Lock()
+	p.CandidateSites += n
+	p.mu.Unlock()
+}
+
+// addEntries counts comparer output entries.
+func (p *Profile) addEntries(n int64) {
+	p.mu.Lock()
+	p.Entries += n
+	p.mu.Unlock()
+}
+
+// merge folds o into p. o must be quiescent (its run finished).
+func (p *Profile) merge(o *Profile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for name, s := range o.Kernels {
+		agg := p.Kernels[name]
+		agg.Add(&s)
+		p.Kernels[name] = agg
+		p.Launches[name] += o.Launches[name]
+		p.WorkGroupSizes[name] = o.WorkGroupSizes[name]
+	}
+	p.Chunks += o.Chunks
+	p.BytesStaged += o.BytesStaged
+	p.BytesRead += o.BytesRead
+	p.CandidateSites += o.CandidateSites
+	p.Entries += o.Entries
 }
 
 // KernelNames returns the profiled kernel names ("finder" plus the comparer

@@ -12,104 +12,35 @@
 //   - SimSYCL — the migrated SYCL-style host program (buffers + accessors,
 //     queue submissions, work-group size 256).
 //
-// All engines return identical, deterministically ordered results; the
-// simulator engines additionally return a Profile with per-kernel access
-// statistics for the paper's performance analysis.
+// All engines are thin backend adapters over the shared streaming
+// orchestrator in internal/pipeline: one copy of validation, chunk
+// staging, hit rendering and sorting drives every backend's kernels. They
+// return identical, deterministically ordered results; the simulator
+// engines additionally return a Profile with per-kernel access statistics
+// for the paper's performance analysis.
 package search
 
 import (
-	"errors"
-	"fmt"
-	"sort"
-	"strings"
+	"context"
 
 	"casoffinder/internal/genome"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/pipeline"
 )
 
 // Query is one guide sequence with its mismatch budget, as one line of the
-// Cas-OFFinder input file.
-type Query struct {
-	// Guide is the query sequence, same length as the request pattern,
-	// with N at the PAM positions (e.g. "GGCCGACCTGTCGCTGACGCNNN").
-	Guide string
-	// MaxMismatches is the reporting threshold for this guide.
-	MaxMismatches int
-}
+// Cas-OFFinder input file. It aliases the pipeline type so engines, the
+// orchestrator and callers share one definition.
+type Query = pipeline.Query
 
 // Request describes one search.
-type Request struct {
-	// Pattern is the PAM scaffold: N at guide positions, PAM code at PAM
-	// positions (e.g. "NNNNNNNNNNNNNNNNNNNNNRG").
-	Pattern string
-	// Queries are the guides to compare at every PAM-compatible site.
-	Queries []Query
-	// ChunkBytes bounds the device memory used for one sequence chunk;
-	// 0 selects a sensible default.
-	ChunkBytes int
-}
-
-// DefaultChunkBytes bounds one staged chunk when the request does not say.
-const DefaultChunkBytes = 1 << 20
+type Request = pipeline.Request
 
 // Hit is one reported off-target site.
-type Hit struct {
-	// QueryIndex identifies the guide in the request.
-	QueryIndex int
-	// SeqName is the chromosome/record name.
-	SeqName string
-	// Pos is the 0-based site start within the record.
-	Pos int
-	// Dir is '+' or '-'.
-	Dir byte
-	// Mismatches is the number of mismatched guide bases.
-	Mismatches int
-	// Site is the genomic sequence at the site, with mismatched positions
-	// in lower case (the upstream output convention).
-	Site string
-}
+type Hit = pipeline.Hit
 
-// String formats a hit like a Cas-OFFinder output line:
-// guide-index, chromosome, position, site, strand, mismatches.
-func (h Hit) String() string {
-	return fmt.Sprintf("%d\t%s\t%d\t%s\t%c\t%d", h.QueryIndex, h.SeqName, h.Pos, h.Site, h.Dir, h.Mismatches)
-}
-
-// Validate checks the request and returns the shared pattern length.
-func (r *Request) Validate() error {
-	if len(r.Pattern) == 0 {
-		return errors.New("search: empty pattern")
-	}
-	if err := genome.Validate([]byte(strings.ToUpper(r.Pattern))); err != nil {
-		return fmt.Errorf("search: pattern: %w", err)
-	}
-	if len(r.Queries) == 0 {
-		return errors.New("search: no queries")
-	}
-	for i, q := range r.Queries {
-		if len(q.Guide) != len(r.Pattern) {
-			return fmt.Errorf("search: query %d: guide length %d != pattern length %d",
-				i, len(q.Guide), len(r.Pattern))
-		}
-		if err := genome.Validate([]byte(strings.ToUpper(q.Guide))); err != nil {
-			return fmt.Errorf("search: query %d: %w", i, err)
-		}
-		if q.MaxMismatches < 0 {
-			return fmt.Errorf("search: query %d: negative mismatch limit", i)
-		}
-	}
-	if r.ChunkBytes < 0 {
-		return errors.New("search: negative chunk size")
-	}
-	return nil
-}
-
-func (r *Request) chunkBytes() int {
-	if r.ChunkBytes > 0 {
-		return r.ChunkBytes
-	}
-	return DefaultChunkBytes
-}
+// DefaultChunkBytes bounds one staged chunk when the request does not say.
+const DefaultChunkBytes = pipeline.DefaultChunkBytes
 
 // Engine executes a search over an assembly.
 type Engine interface {
@@ -118,46 +49,33 @@ type Engine interface {
 	// Run executes the request and returns hits sorted by
 	// (query, sequence, position, direction).
 	Run(asm *genome.Assembly, req *Request) ([]Hit, error)
+	// Stream executes the request, calling emit sequentially for every
+	// hit as its chunk completes: hits arrive grouped by chunk in chunk
+	// order, sorted within each chunk. A cancelled context or an emit
+	// error aborts staging and in-flight dispatch and is returned.
+	Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error
+}
+
+// Collect drains eng.Stream into the deterministic batch order Run
+// promises; on error the partial hits are dropped and nil is returned.
+// Engines implement Run with it.
+func Collect(ctx context.Context, eng Engine, asm *genome.Assembly, req *Request) ([]Hit, error) {
+	var hits []Hit
+	if err := eng.Stream(ctx, asm, req, func(h Hit) error {
+		hits = append(hits, h)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	sortHits(hits)
+	return hits, nil
 }
 
 // sortHits puts hits into the deterministic output order.
-func sortHits(hits []Hit) {
-	sort.Slice(hits, func(i, j int) bool {
-		a, b := hits[i], hits[j]
-		if a.QueryIndex != b.QueryIndex {
-			return a.QueryIndex < b.QueryIndex
-		}
-		if a.SeqName != b.SeqName {
-			return a.SeqName < b.SeqName
-		}
-		if a.Pos != b.Pos {
-			return a.Pos < b.Pos
-		}
-		return a.Dir < b.Dir
-	})
-}
+func sortHits(hits []Hit) { pipeline.SortHits(hits) }
 
-// renderSite extracts the site sequence for output in guide orientation,
-// lower-casing mismatched guide positions (the upstream output convention):
-// forward sites compare the genomic window against the guide directly;
-// reverse sites compare against the guide's reverse complement and are then
-// reverse-complemented so the printed sequence aligns with the query.
+// renderSite is the one-shot site renderer; the streaming hot path uses the
+// per-worker pipeline.SiteRenderer instead.
 func renderSite(window []byte, guide *kernels.PatternPair, dir byte) string {
-	out := make([]byte, len(window))
-	offset := 0
-	if dir == kernels.DirReverse {
-		offset = guide.PatternLen
-	}
-	for i, b := range window {
-		b &^= 0x20 // upper-case
-		code := guide.Codes[offset+i]
-		if code != 'N' && !genome.Matches(code, b) {
-			b |= 0x20 // lower-case marks the mismatch
-		}
-		out[i] = b
-	}
-	if dir == kernels.DirReverse {
-		genome.ReverseComplement(out) // case is preserved per code
-	}
-	return string(out)
+	return pipeline.RenderSite(window, guide, dir)
 }

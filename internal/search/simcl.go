@@ -1,12 +1,15 @@
 package search
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/kernels"
 	"casoffinder/internal/opencl"
+	"casoffinder/internal/pipeline"
 )
 
 // SimCL runs the search as the paper's original OpenCL application: the
@@ -32,34 +35,75 @@ func (e *SimCL) Name() string { return "opencl-sim" }
 // LastProfile implements Profiler.
 func (e *SimCL) LastProfile() *Profile { return e.profile }
 
-// Run implements Engine by driving the two kernels chunk by chunk through
-// the OpenCL host API.
-func (e *SimCL) Run(asm *genome.Assembly, req *Request) (hits []Hit, err error) {
-	if err := req.Validate(); err != nil {
+// Run implements Engine.
+func (e *SimCL) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
+	return Collect(context.Background(), e, asm, req)
+}
+
+// Stream implements Engine by driving the two kernels through the OpenCL
+// host API behind the shared pipeline: one scan worker owns the command
+// queue while the stager creates the next chunk's buffers.
+func (e *SimCL) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
+	p := &pipeline.Pipeline{
+		Open: func(plan *pipeline.Plan) (pipeline.Backend, error) {
+			if e.Device == nil {
+				return nil, fmt.Errorf("search: %s: nil device", e.Name())
+			}
+			return newCLBackend(e, plan)
+		},
+		ScanWorkers: 1,
+	}
+	return p.Stream(ctx, asm, req, emit)
+}
+
+// clBackend adapts the OpenCL host program to the pipeline Backend
+// contract. The run-wide objects (context, queue, program, kernels,
+// pattern buffers) live for the whole stream; every buffer is tracked in
+// the live set so Close can release whatever an aborted run left behind —
+// a staging error can no longer leak simulator buffers.
+type clBackend struct {
+	e    *SimCL
+	plan *pipeline.Plan
+	prof *Profile
+
+	ctx      *opencl.Context
+	queue    *opencl.CommandQueue
+	prog     *opencl.Program
+	finder   *opencl.Kernel
+	comparer *opencl.Kernel
+
+	patBuf    *opencl.Mem
+	patIdxBuf *opencl.Mem
+
+	// mu guards live: the stager creates buffers while the scan worker
+	// releases others.
+	mu   sync.Mutex
+	live map[*opencl.Mem]struct{}
+}
+
+// clCreate creates a buffer and registers it in the backend's live set.
+func clCreate[T any](b *clBackend, flags opencl.MemFlags, n int, host []T) (*opencl.Mem, error) {
+	m, err := opencl.CreateBuffer(b.ctx, flags, n, host)
+	if err != nil {
 		return nil, err
 	}
-	if e.Device == nil {
-		return nil, fmt.Errorf("search: %s: nil device", e.Name())
-	}
-	prof := newProfile()
-	e.profile = prof
+	b.mu.Lock()
+	b.live[m] = struct{}{}
+	b.mu.Unlock()
+	return m, nil
+}
 
-	pattern, err := kernels.NewPatternPair([]byte(req.Pattern))
-	if err != nil {
-		return nil, fmt.Errorf("search: %w", err)
-	}
-	guides := make([]*kernels.PatternPair, len(req.Queries))
-	for i, q := range req.Queries {
-		if guides[i], err = kernels.NewPatternPair([]byte(q.Guide)); err != nil {
-			return nil, fmt.Errorf("search: query %d: %w", i, err)
+// newCLBackend performs steps 1-8 of the host lifecycle (platform, device,
+// context, queue, program, build, kernels) plus the run-constant pattern
+// upload. On any failure the partially built state is torn down via Close.
+func newCLBackend(e *SimCL, plan *pipeline.Plan) (_ *clBackend, err error) {
+	b := &clBackend{e: e, plan: plan, prof: newProfile(), live: make(map[*opencl.Mem]struct{})}
+	e.profile = b.prof
+	defer func() {
+		if err != nil {
+			b.Close()
 		}
-	}
-	plen := pattern.PatternLen
-	chunker := &genome.Chunker{ChunkBytes: req.chunkBytes(), PatternLen: plen}
-	chunks, err := chunker.Plan(asm)
-	if err != nil {
-		return nil, fmt.Errorf("search: %w", err)
-	}
+	}()
 
 	// Steps 1-4: platform, device, context, queue.
 	platform := opencl.NewPlatform("ROCm", "AMD", e.Device)
@@ -67,283 +111,299 @@ func (e *SimCL) Run(asm *genome.Assembly, req *Request) (hits []Hit, err error) 
 	if err != nil {
 		return nil, err
 	}
-	ctx, err := opencl.CreateContext(devs...)
-	if err != nil {
+	if b.ctx, err = opencl.CreateContext(devs...); err != nil {
 		return nil, err
 	}
-	defer func() { closeErr(ctx.Release(), &err) }()
-	queue, err := ctx.CreateCommandQueue(devs[0])
-	if err != nil {
+	if b.queue, err = b.ctx.CreateCommandQueue(devs[0]); err != nil {
 		return nil, err
 	}
-	defer func() { closeErr(queue.Release(), &err) }()
 
 	// Steps 6-8: program and kernels.
-	prog, err := ctx.CreateProgramWithSource(kernels.CLSource())
-	if err != nil {
+	if b.prog, err = b.ctx.CreateProgramWithSource(kernels.CLSource()); err != nil {
 		return nil, err
 	}
-	defer func() { closeErr(prog.Release(), &err) }()
-	if err := prog.Build("-O3"); err != nil {
+	if err = b.prog.Build("-O3"); err != nil {
 		return nil, err
 	}
-	finder, err := prog.CreateKernel("finder")
-	if err != nil {
+	if b.finder, err = b.prog.CreateKernel("finder"); err != nil {
 		return nil, err
 	}
-	defer func() { closeErr(finder.Release(), &err) }()
-	comparer, err := prog.CreateKernel(kernels.ComparerKernelName(e.Variant))
-	if err != nil {
+	if b.comparer, err = b.prog.CreateKernel(kernels.ComparerKernelName(e.Variant)); err != nil {
 		return nil, err
 	}
-	defer func() { closeErr(comparer.Release(), &err) }()
 
 	// Step 5 (per-run constants): pattern tables.
-	patBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemUseConstant|opencl.MemCopyHostPtr, len(pattern.Codes), pattern.Codes)
-	if err != nil {
+	pattern := plan.Pattern
+	if b.patBuf, err = clCreate(b, opencl.MemReadOnly|opencl.MemUseConstant|opencl.MemCopyHostPtr, len(pattern.Codes), pattern.Codes); err != nil {
 		return nil, err
 	}
-	defer func() { closeErr(patBuf.Release(), &err) }()
-	patIdxBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(pattern.Index), pattern.Index)
-	if err != nil {
+	if b.patIdxBuf, err = clCreate(b, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(pattern.Index), pattern.Index); err != nil {
 		return nil, err
 	}
-	defer func() { closeErr(patIdxBuf.Release(), &err) }()
-	prof.BytesStaged += int64(len(pattern.Codes) + 4*len(pattern.Index))
-
-	for _, ch := range chunks {
-		chHits, err := e.runChunk(ctx, queue, finder, comparer, pattern, guides, req, ch, patBuf, patIdxBuf)
-		if err != nil {
-			return nil, err
-		}
-		hits = append(hits, chHits...)
-	}
-	sortHits(hits)
-	return hits, nil
+	b.prof.addStaged(int64(len(pattern.Codes) + 4*len(pattern.Index)))
+	return b, nil
 }
 
-// closeErr folds a release error into the function error without masking
-// an earlier one.
-func closeErr(relErr error, err *error) {
-	if relErr != nil && *err == nil {
-		*err = relErr
+// releaseBuf releases a buffer and drops it from the live set; nil buffers
+// are ignored so error paths can release unconditionally.
+func (b *clBackend) releaseBuf(m *opencl.Mem) error {
+	if m == nil {
+		return nil
 	}
+	b.mu.Lock()
+	delete(b.live, m)
+	b.mu.Unlock()
+	return m.Release()
 }
 
-func (e *SimCL) runChunk(
-	ctx *opencl.Context, queue *opencl.CommandQueue,
-	finder, comparer *opencl.Kernel,
-	pattern *kernels.PatternPair, guides []*kernels.PatternPair,
-	req *Request, ch *genome.Chunk,
-	patBuf, patIdxBuf *opencl.Mem,
-) (hits []Hit, err error) {
-	prof := e.profile
-	plen := pattern.PatternLen
-	// The chunk is staged as-is: the kernels' IUPAC tables accept
-	// soft-masked lower-case bases, so no per-chunk upper-case copy is
-	// needed (renderSite normalizes case in the reported site).
+// Close implements pipeline.Backend: release every still-live buffer (the
+// pattern tables plus whatever staged chunks never reached Drain), then the
+// kernels, program, queue and context, folding the first error.
+func (b *clBackend) Close() (err error) {
+	b.mu.Lock()
+	leaked := make([]*opencl.Mem, 0, len(b.live))
+	for m := range b.live {
+		leaked = append(leaked, m)
+	}
+	b.live = make(map[*opencl.Mem]struct{})
+	b.mu.Unlock()
+	for _, m := range leaked {
+		closeErr(m.Release(), &err)
+	}
+	b.patBuf, b.patIdxBuf = nil, nil
+	if b.finder != nil {
+		closeErr(b.finder.Release(), &err)
+		b.finder = nil
+	}
+	if b.comparer != nil {
+		closeErr(b.comparer.Release(), &err)
+		b.comparer = nil
+	}
+	if b.prog != nil {
+		closeErr(b.prog.Release(), &err)
+		b.prog = nil
+	}
+	if b.queue != nil {
+		closeErr(b.queue.Release(), &err)
+		b.queue = nil
+	}
+	if b.ctx != nil {
+		closeErr(b.ctx.Release(), &err)
+		b.ctx = nil
+	}
+	return err
+}
+
+// clStaged is one chunk's device state: the per-chunk buffers created at
+// stage time, the comparer output buffers created once candidates are
+// known, and the raw entries accumulated across guides.
+type clStaged struct {
+	ch *genome.Chunk
+
+	chrBuf, lociBuf, flagsBuf, countBuf     *opencl.Mem
+	mmLociBuf, mmCountBuf, dirBuf, entryBuf *opencl.Mem
+
+	n       int
+	entries []rawHit
+}
+
+// Stage implements pipeline.Backend: create and fill the chunk's input and
+// finder output buffers (step 9 of the host lifecycle). This runs on the
+// stager goroutine while the scan worker drives kernels over the previous
+// chunk; a mid-stage failure leaves the earlier buffers to Close.
+func (b *clBackend) Stage(ctx context.Context, ch *genome.Chunk) (pipeline.Staged, error) {
+	s := &clStaged{ch: ch}
 	data := ch.Data
 	sites := ch.Body
+	var err error
+	if s.chrBuf, err = clCreate(b, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(data), data); err != nil {
+		return nil, err
+	}
+	if s.lociBuf, err = clCreate[uint32](b, opencl.MemReadWrite, sites, nil); err != nil {
+		return nil, err
+	}
+	if s.flagsBuf, err = clCreate[byte](b, opencl.MemReadWrite, sites, nil); err != nil {
+		return nil, err
+	}
+	if s.countBuf, err = clCreate[uint32](b, opencl.MemReadWrite, 1, nil); err != nil {
+		return nil, err
+	}
+	b.prof.addStagedChunk(int64(len(data)))
+	return s, nil
+}
 
-	chrBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(data), data)
-	if err != nil {
-		return nil, err
-	}
-	defer func() { closeErr(chrBuf.Release(), &err) }()
-	lociBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, sites, nil)
-	if err != nil {
-		return nil, err
-	}
-	defer func() { closeErr(lociBuf.Release(), &err) }()
-	flagsBuf, err := opencl.CreateBuffer[byte](ctx, opencl.MemReadWrite, sites, nil)
-	if err != nil {
-		return nil, err
-	}
-	defer func() { closeErr(flagsBuf.Release(), &err) }()
-	countBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, 1, nil)
-	if err != nil {
-		return nil, err
-	}
-	defer func() { closeErr(countBuf.Release(), &err) }()
-	prof.Chunks++
-	prof.BytesStaged += int64(len(data))
+// Find implements pipeline.Backend: set the finder arguments, enqueue it
+// over the padded site range and read back the candidate count and loci.
+func (b *clBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) {
+	s := st.(*clStaged)
+	plen := b.plan.Pattern.PatternLen
+	sites := s.ch.Body
 
-	// Step 9: finder arguments.
 	finderArgs := []any{
-		chrBuf, patBuf, patIdxBuf,
+		s.chrBuf, b.patBuf, b.patIdxBuf,
 		int32(plen), uint32(sites),
-		lociBuf, flagsBuf, countBuf,
+		s.lociBuf, s.flagsBuf, s.countBuf,
 	}
 	for i, a := range finderArgs {
-		if err := finder.SetArg(i, a); err != nil {
-			return nil, err
+		if err := b.finder.SetArg(i, a); err != nil {
+			return 0, err
 		}
 	}
-	if err := finder.SetArgLocal(kernels.FinderArgLocalPat, 2*plen); err != nil {
-		return nil, err
+	if err := b.finder.SetArgLocal(kernels.FinderArgLocalPat, 2*plen); err != nil {
+		return 0, err
 	}
-	if err := finder.SetArgLocal(kernels.FinderArgLocalPatIndex, 4*2*plen); err != nil {
-		return nil, err
+	if err := b.finder.SetArgLocal(kernels.FinderArgLocalPatIndex, 4*2*plen); err != nil {
+		return 0, err
 	}
 
-	// Step 10: enqueue the finder over the padded site range.
-	wg := e.WorkGroupSize
+	wg := b.e.WorkGroupSize
 	pad := wg
 	if pad <= 0 {
 		pad = 64
 	}
 	gws := (sites + pad - 1) / pad * pad
-	ev, err := queue.EnqueueNDRangeKernel(finder, gws, wg)
+	ev, err := b.queue.EnqueueNDRangeKernel(b.finder, gws, wg)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	if err := ev.Wait(); err != nil {
-		return nil, err
+		return 0, err
 	}
-	prof.addKernel("finder", ev.Stats(), gws/int(ev.Stats().WorkGroups))
+	b.prof.addKernel("finder", ev.Stats(), gws/int(ev.Stats().WorkGroups))
 
-	// Step 11: read the candidate count and loci.
 	countHost := make([]uint32, 1)
-	if _, err := opencl.EnqueueReadBuffer(queue, countBuf, true, 0, 1, countHost); err != nil {
-		return nil, err
+	if _, err := opencl.EnqueueReadBuffer(b.queue, s.countBuf, true, 0, 1, countHost); err != nil {
+		return 0, err
 	}
-	n := int(countHost[0])
-	prof.BytesRead += 4
-	prof.CandidateSites += int64(n)
-	if n == 0 {
-		return nil, nil
+	s.n = int(countHost[0])
+	b.prof.addRead(4)
+	b.prof.addCandidates(int64(s.n))
+	if s.n == 0 {
+		return 0, nil
 	}
-	lociHost := make([]uint32, n)
-	if _, err := opencl.EnqueueReadBuffer(queue, lociBuf, true, 0, n, lociHost); err != nil {
-		return nil, err
+	lociHost := make([]uint32, s.n)
+	if _, err := opencl.EnqueueReadBuffer(b.queue, s.lociBuf, true, 0, s.n, lociHost); err != nil {
+		return 0, err
 	}
-	prof.BytesRead += int64(4 * n)
+	b.prof.addRead(int64(4 * s.n))
 
 	// Comparer output buffers sized for both strands of every candidate.
-	mmLociBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemWriteOnly, 2*n, nil)
-	if err != nil {
-		return nil, err
+	if s.mmLociBuf, err = clCreate[uint32](b, opencl.MemWriteOnly, 2*s.n, nil); err != nil {
+		return 0, err
 	}
-	defer func() { closeErr(mmLociBuf.Release(), &err) }()
-	mmCountBuf, err := opencl.CreateBuffer[uint16](ctx, opencl.MemWriteOnly, 2*n, nil)
-	if err != nil {
-		return nil, err
+	if s.mmCountBuf, err = clCreate[uint16](b, opencl.MemWriteOnly, 2*s.n, nil); err != nil {
+		return 0, err
 	}
-	defer func() { closeErr(mmCountBuf.Release(), &err) }()
-	dirBuf, err := opencl.CreateBuffer[byte](ctx, opencl.MemWriteOnly, 2*n, nil)
-	if err != nil {
-		return nil, err
+	if s.dirBuf, err = clCreate[byte](b, opencl.MemWriteOnly, 2*s.n, nil); err != nil {
+		return 0, err
 	}
-	defer func() { closeErr(dirBuf.Release(), &err) }()
-	entryBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, 1, nil)
-	if err != nil {
-		return nil, err
+	if s.entryBuf, err = clCreate[uint32](b, opencl.MemReadWrite, 1, nil); err != nil {
+		return 0, err
 	}
-	defer func() { closeErr(entryBuf.Release(), &err) }()
-
-	for qi, g := range guides {
-		compBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(g.Codes), g.Codes)
-		if err != nil {
-			return nil, err
-		}
-		compIdxBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(g.Index), g.Index)
-		if err != nil {
-			closeErr(compBuf.Release(), &err)
-			return nil, err
-		}
-		prof.BytesStaged += int64(len(g.Codes) + 4*len(g.Index))
-		qHits, qErr := e.runComparer(queue, comparer, ch, data, g, qi, req.Queries[qi], n,
-			chrBuf, lociBuf, flagsBuf, compBuf, compIdxBuf, mmLociBuf, mmCountBuf, dirBuf, entryBuf)
-		closeErr(compBuf.Release(), &qErr)
-		closeErr(compIdxBuf.Release(), &qErr)
-		if qErr != nil {
-			return nil, qErr
-		}
-		hits = append(hits, qHits...)
-	}
-	return hits, nil
+	return s.n, nil
 }
 
-func (e *SimCL) runComparer(
-	queue *opencl.CommandQueue, comparer *opencl.Kernel,
-	ch *genome.Chunk, data []byte, g *kernels.PatternPair,
-	qi int, q Query, n int,
-	chrBuf, lociBuf, flagsBuf, compBuf, compIdxBuf, mmLociBuf, mmCountBuf, dirBuf, entryBuf *opencl.Mem,
-) ([]Hit, error) {
-	prof := e.profile
-	if _, err := opencl.EnqueueWriteBuffer(queue, entryBuf, true, 0, 1, []uint32{0}); err != nil {
-		return nil, err
+// Compare implements pipeline.Backend: upload one guide's tables, reset the
+// entry counter, enqueue the comparer and read back its entries. The
+// transient guide buffers are released here on success; an error leaves
+// them to Close.
+func (b *clBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) error {
+	s := st.(*clStaged)
+	g := b.plan.Guides[qi]
+	q := b.plan.Request.Queries[qi]
+
+	compBuf, err := clCreate(b, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(g.Codes), g.Codes)
+	if err != nil {
+		return err
 	}
-	prof.BytesStaged += 4
+	compIdxBuf, err := clCreate(b, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(g.Index), g.Index)
+	if err != nil {
+		return err
+	}
+	b.prof.addStaged(int64(len(g.Codes) + 4*len(g.Index)))
+
+	if _, err := opencl.EnqueueWriteBuffer(b.queue, s.entryBuf, true, 0, 1, []uint32{0}); err != nil {
+		return err
+	}
+	b.prof.addStaged(4)
 
 	comparerArgs := []any{
-		uint32(n), chrBuf, lociBuf, mmLociBuf,
+		uint32(s.n), s.chrBuf, s.lociBuf, s.mmLociBuf,
 		compBuf, compIdxBuf,
 		int32(g.PatternLen), uint16(q.MaxMismatches),
-		flagsBuf, mmCountBuf, dirBuf, entryBuf,
+		s.flagsBuf, s.mmCountBuf, s.dirBuf, s.entryBuf,
 	}
 	for i, a := range comparerArgs {
-		if err := comparer.SetArg(i, a); err != nil {
-			return nil, err
+		if err := b.comparer.SetArg(i, a); err != nil {
+			return err
 		}
 	}
-	if err := comparer.SetArgLocal(kernels.ComparerArgLocalComp, 2*g.PatternLen); err != nil {
-		return nil, err
+	if err := b.comparer.SetArgLocal(kernels.ComparerArgLocalComp, 2*g.PatternLen); err != nil {
+		return err
 	}
-	if err := comparer.SetArgLocal(kernels.ComparerArgLocalCompIndex, 4*2*g.PatternLen); err != nil {
-		return nil, err
+	if err := b.comparer.SetArgLocal(kernels.ComparerArgLocalCompIndex, 4*2*g.PatternLen); err != nil {
+		return err
 	}
-	wg := e.WorkGroupSize
+	wg := b.e.WorkGroupSize
 	pad := wg
 	if pad <= 0 {
 		pad = 64
 	}
-	cgws := (n + pad - 1) / pad * pad
-	ev, err := queue.EnqueueNDRangeKernel(comparer, cgws, wg)
+	cgws := (s.n + pad - 1) / pad * pad
+	ev, err := b.queue.EnqueueNDRangeKernel(b.comparer, cgws, wg)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := ev.Wait(); err != nil {
-		return nil, err
+		return err
 	}
-	prof.addKernel(comparer.Name(), ev.Stats(), cgws/int(ev.Stats().WorkGroups))
+	b.prof.addKernel(b.comparer.Name(), ev.Stats(), cgws/int(ev.Stats().WorkGroups))
 
-	entries := make([]uint32, 1)
-	if _, err := opencl.EnqueueReadBuffer(queue, entryBuf, true, 0, 1, entries); err != nil {
-		return nil, err
+	entryHost := make([]uint32, 1)
+	if _, err := opencl.EnqueueReadBuffer(b.queue, s.entryBuf, true, 0, 1, entryHost); err != nil {
+		return err
 	}
-	cnt := int(entries[0])
-	prof.BytesRead += 4
-	prof.Entries += int64(cnt)
-	if cnt == 0 {
-		return nil, nil
+	cnt := int(entryHost[0])
+	b.prof.addRead(4)
+	b.prof.addEntries(int64(cnt))
+	if cnt > 0 {
+		mmLoci := make([]uint32, cnt)
+		mmCount := make([]uint16, cnt)
+		dirs := make([]byte, cnt)
+		if _, err := opencl.EnqueueReadBuffer(b.queue, s.mmLociBuf, true, 0, cnt, mmLoci); err != nil {
+			return err
+		}
+		if _, err := opencl.EnqueueReadBuffer(b.queue, s.mmCountBuf, true, 0, cnt, mmCount); err != nil {
+			return err
+		}
+		if _, err := opencl.EnqueueReadBuffer(b.queue, s.dirBuf, true, 0, cnt, dirs); err != nil {
+			return err
+		}
+		b.prof.addRead(int64(cnt * (4 + 2 + 1)))
+		for i := 0; i < cnt; i++ {
+			s.entries = append(s.entries, rawHit{qi: qi, pos: int(mmLoci[i]), dir: dirs[i], mm: int(mmCount[i])})
+		}
 	}
-	mmLoci := make([]uint32, cnt)
-	mmCount := make([]uint16, cnt)
-	dirs := make([]byte, cnt)
-	if _, err := opencl.EnqueueReadBuffer(queue, mmLociBuf, true, 0, cnt, mmLoci); err != nil {
-		return nil, err
+	if err := b.releaseBuf(compBuf); err != nil {
+		return err
 	}
-	if _, err := opencl.EnqueueReadBuffer(queue, mmCountBuf, true, 0, cnt, mmCount); err != nil {
-		return nil, err
-	}
-	if _, err := opencl.EnqueueReadBuffer(queue, dirBuf, true, 0, cnt, dirs); err != nil {
-		return nil, err
-	}
-	prof.BytesRead += int64(cnt * (4 + 2 + 1))
+	return b.releaseBuf(compIdxBuf)
+}
 
-	hits := make([]Hit, 0, cnt)
-	for i := 0; i < cnt; i++ {
-		pos := int(mmLoci[i])
-		window := data[pos : pos+g.PatternLen]
-		hits = append(hits, Hit{
-			QueryIndex: qi,
-			SeqName:    ch.SeqName,
-			Pos:        ch.Start + pos,
-			Dir:        dirs[i],
-			Mismatches: int(mmCount[i]),
-			Site:       renderSite(window, g, dirs[i]),
-		})
+// Drain implements pipeline.Backend: render the accumulated entries and
+// release the chunk's buffers.
+func (b *clBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline.SiteRenderer) ([]Hit, error) {
+	s := st.(*clStaged)
+	hits := drainEntries(r, s.ch, b.plan.Guides, s.entries)
+	var err error
+	for _, m := range []*opencl.Mem{
+		s.chrBuf, s.lociBuf, s.flagsBuf, s.countBuf,
+		s.mmLociBuf, s.mmCountBuf, s.dirBuf, s.entryBuf,
+	} {
+		closeErr(b.releaseBuf(m), &err)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return hits, nil
 }

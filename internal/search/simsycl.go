@@ -1,11 +1,14 @@
 package search
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/pipeline"
 	"casoffinder/internal/sycl"
 )
 
@@ -45,124 +48,192 @@ func (e *SimSYCL) wgSize() int {
 
 // Run implements Engine.
 func (e *SimSYCL) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
-	if err := req.Validate(); err != nil {
-		return nil, err
-	}
-	if e.Device == nil {
-		return nil, fmt.Errorf("search: %s: nil device", e.Name())
-	}
-	prof := newProfile()
-	e.profile = prof
-
-	pattern, err := kernels.NewPatternPair([]byte(req.Pattern))
-	if err != nil {
-		return nil, fmt.Errorf("search: %w", err)
-	}
-	guides := make([]*kernels.PatternPair, len(req.Queries))
-	for i, q := range req.Queries {
-		if guides[i], err = kernels.NewPatternPair([]byte(q.Guide)); err != nil {
-			return nil, fmt.Errorf("search: query %d: %w", i, err)
-		}
-	}
-	chunker := &genome.Chunker{ChunkBytes: req.chunkBytes(), PatternLen: pattern.PatternLen}
-	chunks, err := chunker.Plan(asm)
-	if err != nil {
-		return nil, fmt.Errorf("search: %w", err)
-	}
-
-	// Device selector and queue (steps 1-2 of the SYCL column).
-	queue, err := sycl.NewQueue(sycl.GPUSelector{}, e.Device)
-	if err != nil {
-		return nil, err
-	}
-
-	// Pattern tables live for the whole run; the scaffold goes behind the
-	// constant address space as in the paper's finder kernel.
-	patBuf, err := sycl.NewConstantBuffer(pattern.Codes)
-	if err != nil {
-		return nil, err
-	}
-	defer patBuf.Destroy()
-	patIdxBuf, err := sycl.NewBufferFrom(pattern.Index)
-	if err != nil {
-		return nil, err
-	}
-	defer patIdxBuf.Destroy()
-	prof.BytesStaged += int64(len(pattern.Codes) + 4*len(pattern.Index))
-
-	var hits []Hit
-	for _, ch := range chunks {
-		chHits, err := e.runChunk(queue, pattern, guides, req, ch, patBuf, patIdxBuf)
-		if err != nil {
-			return nil, err
-		}
-		hits = append(hits, chHits...)
-	}
-	sortHits(hits)
-	return hits, nil
+	return Collect(context.Background(), e, asm, req)
 }
 
-func (e *SimSYCL) runChunk(
-	queue *sycl.Queue,
-	pattern *kernels.PatternPair, guides []*kernels.PatternPair,
-	req *Request, ch *genome.Chunk,
-	patBuf *sycl.Buffer[byte], patIdxBuf *sycl.Buffer[int32],
-) ([]Hit, error) {
-	prof := e.profile
-	plen := pattern.PatternLen
-	// The chunk is staged as-is: the kernels' IUPAC tables accept
-	// soft-masked lower-case bases, so no per-chunk upper-case copy is
-	// needed (renderSite normalizes case in the reported site).
-	data := ch.Data
-	sites := ch.Body
-	wg := e.wgSize()
+// Stream implements Engine by running the SYCL command groups behind the
+// shared pipeline: one scan worker submits kernels while the stager
+// creates the next chunk's buffers.
+func (e *SimSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
+	p := &pipeline.Pipeline{
+		Open: func(plan *pipeline.Plan) (pipeline.Backend, error) {
+			if e.Device == nil {
+				return nil, fmt.Errorf("search: %s: nil device", e.Name())
+			}
+			return newSYCLBackend(e, plan)
+		},
+		ScanWorkers: 1,
+	}
+	return p.Stream(ctx, asm, req, emit)
+}
 
-	chrBuf, err := sycl.NewBufferFrom(data)
-	if err != nil {
+// destroyer is the common teardown face of sycl.Buffer[T] across element
+// types, so one live set can hold them all.
+type destroyer interface{ Destroy() error }
+
+// syclBackend adapts the SYCL program to the pipeline Backend contract.
+// Every buffer is tracked in the live set so Close can destroy whatever an
+// aborted run left behind — a staging error can no longer leak simulator
+// buffers.
+type syclBackend struct {
+	e    *SimSYCL
+	plan *pipeline.Plan
+	prof *Profile
+
+	queue *sycl.Queue
+
+	patBuf    *sycl.Buffer[byte]
+	patIdxBuf *sycl.Buffer[int32]
+
+	// mu guards live: the stager creates buffers while the scan worker
+	// destroys others.
+	mu   sync.Mutex
+	live map[destroyer]struct{}
+}
+
+// track registers a freshly created buffer in the backend's live set.
+func (b *syclBackend) track(d destroyer) {
+	b.mu.Lock()
+	b.live[d] = struct{}{}
+	b.mu.Unlock()
+}
+
+// syclDestroy destroys a buffer and drops it from the live set, folding the
+// error; nil buffers are ignored so error paths can destroy unconditionally.
+func syclDestroy[T any](b *syclBackend, buf *sycl.Buffer[T], err *error) {
+	if buf == nil {
+		return
+	}
+	b.mu.Lock()
+	delete(b.live, buf)
+	b.mu.Unlock()
+	closeErr(buf.Destroy(), err)
+}
+
+// newSYCLBackend builds the queue (steps 1-2 of the SYCL column) and the
+// run-constant pattern tables; the scaffold goes behind the constant
+// address space as in the paper's finder kernel.
+func newSYCLBackend(e *SimSYCL, plan *pipeline.Plan) (_ *syclBackend, err error) {
+	b := &syclBackend{e: e, plan: plan, prof: newProfile(), live: make(map[destroyer]struct{})}
+	e.profile = b.prof
+	defer func() {
+		if err != nil {
+			b.Close()
+		}
+	}()
+	if b.queue, err = sycl.NewQueue(sycl.GPUSelector{}, e.Device); err != nil {
 		return nil, err
 	}
-	defer chrBuf.Destroy()
-	lociBuf, err := sycl.NewBuffer[uint32](sites)
-	if err != nil {
+	pattern := plan.Pattern
+	if b.patBuf, err = sycl.NewConstantBuffer(pattern.Codes); err != nil {
 		return nil, err
 	}
-	defer lociBuf.Destroy()
-	flagsBuf, err := sycl.NewBuffer[byte](sites)
-	if err != nil {
+	b.track(b.patBuf)
+	if b.patIdxBuf, err = sycl.NewBufferFrom(pattern.Index); err != nil {
 		return nil, err
 	}
-	defer flagsBuf.Destroy()
-	countBuf, err := sycl.NewBuffer[uint32](1)
-	if err != nil {
+	b.track(b.patIdxBuf)
+	b.prof.addStaged(int64(len(pattern.Codes) + 4*len(pattern.Index)))
+	return b, nil
+}
+
+// Close implements pipeline.Backend: destroy every still-live buffer (the
+// pattern tables plus whatever staged chunks never reached Drain), folding
+// the first error.
+func (b *syclBackend) Close() (err error) {
+	b.mu.Lock()
+	leaked := make([]destroyer, 0, len(b.live))
+	for d := range b.live {
+		leaked = append(leaked, d)
+	}
+	b.live = make(map[destroyer]struct{})
+	b.mu.Unlock()
+	for _, d := range leaked {
+		closeErr(d.Destroy(), &err)
+	}
+	b.patBuf, b.patIdxBuf = nil, nil
+	return err
+}
+
+// syclStaged is one chunk's device state: the buffers created at stage
+// time, the comparer output buffers created once candidates are known, and
+// the raw entries accumulated across guides.
+type syclStaged struct {
+	ch *genome.Chunk
+
+	chrBuf   *sycl.Buffer[byte]
+	lociBuf  *sycl.Buffer[uint32]
+	flagsBuf *sycl.Buffer[byte]
+	countBuf *sycl.Buffer[uint32]
+
+	mmLociBuf  *sycl.Buffer[uint32]
+	mmCountBuf *sycl.Buffer[uint16]
+	dirBuf     *sycl.Buffer[byte]
+
+	n       int
+	entries []rawHit
+}
+
+// Stage implements pipeline.Backend: create the chunk's input and finder
+// output buffers. The chunk is staged as-is: the kernels' IUPAC tables
+// accept soft-masked lower-case bases, so no per-chunk upper-case copy is
+// needed (site rendering normalizes case in the reported site). This runs
+// on the stager goroutine while the scan worker submits kernels for the
+// previous chunk; a mid-stage failure leaves the earlier buffers to Close.
+func (b *syclBackend) Stage(ctx context.Context, ch *genome.Chunk) (pipeline.Staged, error) {
+	s := &syclStaged{ch: ch}
+	var err error
+	if s.chrBuf, err = sycl.NewBufferFrom(ch.Data); err != nil {
 		return nil, err
 	}
-	defer countBuf.Destroy()
-	prof.Chunks++
-	prof.BytesStaged += int64(len(data))
+	b.track(s.chrBuf)
+	if s.lociBuf, err = sycl.NewBuffer[uint32](ch.Body); err != nil {
+		return nil, err
+	}
+	b.track(s.lociBuf)
+	if s.flagsBuf, err = sycl.NewBuffer[byte](ch.Body); err != nil {
+		return nil, err
+	}
+	b.track(s.flagsBuf)
+	if s.countBuf, err = sycl.NewBuffer[uint32](1); err != nil {
+		return nil, err
+	}
+	b.track(s.countBuf)
+	b.prof.addStagedChunk(int64(len(ch.Data)))
+	return s, nil
+}
+
+// Find implements pipeline.Backend: submit the finder command group (local
+// accessors, two phases) and read back the candidate count.
+func (b *syclBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) {
+	s := st.(*syclStaged)
+	plen := b.plan.Pattern.PatternLen
+	sites := s.ch.Body
+	wg := b.e.wgSize()
 
 	gws := (sites + wg - 1) / wg * wg
-	ev := queue.Submit(func(h *sycl.Handler) error {
-		chrAcc, err := sycl.Access(h, chrBuf, sycl.Read)
+	ev := b.queue.Submit(func(h *sycl.Handler) error {
+		chrAcc, err := sycl.Access(h, s.chrBuf, sycl.Read)
 		if err != nil {
 			return err
 		}
-		patAcc, err := sycl.Access(h, patBuf, sycl.Read)
+		patAcc, err := sycl.Access(h, b.patBuf, sycl.Read)
 		if err != nil {
 			return err
 		}
-		patIdxAcc, err := sycl.Access(h, patIdxBuf, sycl.Read)
+		patIdxAcc, err := sycl.Access(h, b.patIdxBuf, sycl.Read)
 		if err != nil {
 			return err
 		}
-		lociAcc, err := sycl.Access(h, lociBuf, sycl.Write)
+		lociAcc, err := sycl.Access(h, s.lociBuf, sycl.Write)
 		if err != nil {
 			return err
 		}
-		flagsAcc, err := sycl.Access(h, flagsBuf, sycl.Write)
+		flagsAcc, err := sycl.Access(h, s.flagsBuf, sycl.Write)
 		if err != nil {
 			return err
 		}
-		countAcc, err := sycl.Access(h, countBuf, sycl.ReadWrite)
+		countAcc, err := sycl.Access(h, s.countBuf, sycl.ReadWrite)
 		if err != nil {
 			return err
 		}
@@ -192,88 +263,80 @@ func (e *SimSYCL) runChunk(
 		})
 	})
 	if err := ev.Wait(); err != nil {
-		return nil, err
+		return 0, err
 	}
-	prof.addKernel("finder", ev.Stats(), wg)
+	b.prof.addKernel("finder", ev.Stats(), wg)
 
-	countHost, err := countBuf.Snapshot()
+	countHost, err := s.countBuf.Snapshot()
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	n := int(countHost[0])
-	prof.BytesRead += 4
-	prof.CandidateSites += int64(n)
-	if n == 0 {
-		return nil, nil
+	s.n = int(countHost[0])
+	b.prof.addRead(4)
+	b.prof.addCandidates(int64(s.n))
+	if s.n == 0 {
+		return 0, nil
 	}
 
-	mmLociBuf, err := sycl.NewBuffer[uint32](2 * n)
-	if err != nil {
-		return nil, err
+	// Comparer output buffers sized for both strands of every candidate.
+	if s.mmLociBuf, err = sycl.NewBuffer[uint32](2 * s.n); err != nil {
+		return 0, err
 	}
-	defer mmLociBuf.Destroy()
-	mmCountBuf, err := sycl.NewBuffer[uint16](2 * n)
-	if err != nil {
-		return nil, err
+	b.track(s.mmLociBuf)
+	if s.mmCountBuf, err = sycl.NewBuffer[uint16](2 * s.n); err != nil {
+		return 0, err
 	}
-	defer mmCountBuf.Destroy()
-	dirBuf, err := sycl.NewBuffer[byte](2 * n)
-	if err != nil {
-		return nil, err
+	b.track(s.mmCountBuf)
+	if s.dirBuf, err = sycl.NewBuffer[byte](2 * s.n); err != nil {
+		return 0, err
 	}
-	defer dirBuf.Destroy()
-
-	var hits []Hit
-	for qi, g := range guides {
-		qHits, err := e.runComparer(queue, ch, data, g, qi, req.Queries[qi], n,
-			chrBuf, lociBuf, flagsBuf, mmLociBuf, mmCountBuf, dirBuf)
-		if err != nil {
-			return nil, err
-		}
-		hits = append(hits, qHits...)
-	}
-	return hits, nil
+	b.track(s.dirBuf)
+	return s.n, nil
 }
 
-func (e *SimSYCL) runComparer(
-	queue *sycl.Queue,
-	ch *genome.Chunk, data []byte, g *kernels.PatternPair,
-	qi int, q Query, n int,
-	chrBuf *sycl.Buffer[byte], lociBuf *sycl.Buffer[uint32], flagsBuf *sycl.Buffer[byte],
-	mmLociBuf *sycl.Buffer[uint32], mmCountBuf *sycl.Buffer[uint16], dirBuf *sycl.Buffer[byte],
-) ([]Hit, error) {
-	prof := e.profile
-	wg := e.wgSize()
+// Compare implements pipeline.Backend: submit one guide's comparer command
+// group and read back its entries. The transient guide buffers are
+// destroyed here; an error leaves them to Close.
+func (b *syclBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) (err error) {
+	s := st.(*syclStaged)
+	g := b.plan.Guides[qi]
+	q := b.plan.Request.Queries[qi]
+	n := s.n
+	wg := b.e.wgSize()
+
 	compBuf, err := sycl.NewBufferFrom(g.Codes)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	defer compBuf.Destroy()
+	b.track(compBuf)
+	defer syclDestroy(b, compBuf, &err)
 	compIdxBuf, err := sycl.NewBufferFrom(g.Index)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	defer compIdxBuf.Destroy()
+	b.track(compIdxBuf)
+	defer syclDestroy(b, compIdxBuf, &err)
 	entryBuf, err := sycl.NewBuffer[uint32](1)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	defer entryBuf.Destroy()
-	prof.BytesStaged += int64(len(g.Codes)+4*len(g.Index)) + 4
+	b.track(entryBuf)
+	defer syclDestroy(b, entryBuf, &err)
+	b.prof.addStaged(int64(len(g.Codes)+4*len(g.Index)) + 4)
 
-	phases := kernels.ComparerPhases(e.Variant)
-	name := kernels.ComparerKernelName(e.Variant)
+	phases := kernels.ComparerPhases(b.e.Variant)
+	name := kernels.ComparerKernelName(b.e.Variant)
 	cgws := (n + wg - 1) / wg * wg
-	ev := queue.Submit(func(h *sycl.Handler) error {
-		chrAcc, err := sycl.Access(h, chrBuf, sycl.Read)
+	ev := b.queue.Submit(func(h *sycl.Handler) error {
+		chrAcc, err := sycl.Access(h, s.chrBuf, sycl.Read)
 		if err != nil {
 			return err
 		}
-		lociAcc, err := sycl.Access(h, lociBuf, sycl.Read)
+		lociAcc, err := sycl.Access(h, s.lociBuf, sycl.Read)
 		if err != nil {
 			return err
 		}
-		flagsAcc, err := sycl.Access(h, flagsBuf, sycl.Read)
+		flagsAcc, err := sycl.Access(h, s.flagsBuf, sycl.Read)
 		if err != nil {
 			return err
 		}
@@ -285,15 +348,15 @@ func (e *SimSYCL) runComparer(
 		if err != nil {
 			return err
 		}
-		mmLociAcc, err := sycl.Access(h, mmLociBuf, sycl.Write)
+		mmLociAcc, err := sycl.Access(h, s.mmLociBuf, sycl.Write)
 		if err != nil {
 			return err
 		}
-		mmCountAcc, err := sycl.Access(h, mmCountBuf, sycl.Write)
+		mmCountAcc, err := sycl.Access(h, s.mmCountBuf, sycl.Write)
 		if err != nil {
 			return err
 		}
-		dirAcc, err := sycl.Access(h, dirBuf, sycl.Write)
+		dirAcc, err := sycl.Access(h, s.dirBuf, sycl.Write)
 		if err != nil {
 			return err
 		}
@@ -331,46 +394,54 @@ func (e *SimSYCL) runComparer(
 		})
 	})
 	if err := ev.Wait(); err != nil {
-		return nil, err
+		return err
 	}
-	prof.addKernel(name, ev.Stats(), wg)
+	b.prof.addKernel(name, ev.Stats(), wg)
 
-	entries, err := entryBuf.Snapshot()
+	entryHost, err := entryBuf.Snapshot()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	cnt := int(entries[0])
-	prof.BytesRead += 4
-	prof.Entries += int64(cnt)
+	cnt := int(entryHost[0])
+	b.prof.addRead(4)
+	b.prof.addEntries(int64(cnt))
 	if cnt == 0 {
-		return nil, nil
+		return nil
 	}
-	mmLoci, err := mmLociBuf.Snapshot()
+	mmLoci, err := s.mmLociBuf.Snapshot()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	mmCount, err := mmCountBuf.Snapshot()
+	mmCount, err := s.mmCountBuf.Snapshot()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	dirs, err := dirBuf.Snapshot()
+	dirs, err := s.dirBuf.Snapshot()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	prof.BytesRead += int64(cnt * (4 + 2 + 1))
-
-	hits := make([]Hit, 0, cnt)
+	b.prof.addRead(int64(cnt * (4 + 2 + 1)))
 	for i := 0; i < cnt; i++ {
-		pos := int(mmLoci[i])
-		window := data[pos : pos+g.PatternLen]
-		hits = append(hits, Hit{
-			QueryIndex: qi,
-			SeqName:    ch.SeqName,
-			Pos:        ch.Start + pos,
-			Dir:        dirs[i],
-			Mismatches: int(mmCount[i]),
-			Site:       renderSite(window, g, dirs[i]),
-		})
+		s.entries = append(s.entries, rawHit{qi: qi, pos: int(mmLoci[i]), dir: dirs[i], mm: int(mmCount[i])})
+	}
+	return nil
+}
+
+// Drain implements pipeline.Backend: render the accumulated entries and
+// destroy the chunk's buffers.
+func (b *syclBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline.SiteRenderer) ([]Hit, error) {
+	s := st.(*syclStaged)
+	hits := drainEntries(r, s.ch, b.plan.Guides, s.entries)
+	var err error
+	syclDestroy(b, s.chrBuf, &err)
+	syclDestroy(b, s.lociBuf, &err)
+	syclDestroy(b, s.flagsBuf, &err)
+	syclDestroy(b, s.countBuf, &err)
+	syclDestroy(b, s.mmLociBuf, &err)
+	syclDestroy(b, s.mmCountBuf, &err)
+	syclDestroy(b, s.dirBuf, &err)
+	if err != nil {
+		return nil, err
 	}
 	return hits, nil
 }
