@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench-stat bench-snapshot bench-compare bench-pipeline ci
+.PHONY: all build fmt vet test race bench-stat bench-snapshot bench-compare bench-pipeline bench-swar ci
 
 all: build
 
@@ -36,12 +36,19 @@ bench-snapshot:
 	$(GO) run ./cmd/benchsnap -benchtime 200x
 
 # Regression gate: rerun the tracked benchmarks and fail when the geomean
-# ns/op ratio against the committed baseline exceeds 1.15x.
+# ns/op ratio against the committed baseline exceeds 1.15x. The second line
+# gates the SWAR benchmarks against their own snapshot (the baseline
+# predates them and benchmarks absent from a snapshot are ignored).
 bench-compare:
 	$(GO) run ./cmd/benchsnap -compare BENCH_baseline.json -benchtime 20x
+	$(GO) run ./cmd/benchsnap -compare BENCH_swar.json -bench 'SWARVsScalar|MultiPatternBatch' -pkgs . -benchtime 20x
 
 # Record the post-pipeline snapshot (includes BenchmarkStreamVsRun).
 bench-pipeline:
 	$(GO) run ./cmd/benchsnap -o BENCH_pipeline.json -benchtime 200x
+
+# Record the SWAR snapshot (BenchmarkSWARVsScalar, BenchmarkMultiPatternBatch).
+bench-swar:
+	$(GO) run ./cmd/benchsnap -o BENCH_swar.json -bench 'SWARVsScalar|MultiPatternBatch' -pkgs . -benchtime 200x
 
 ci: fmt vet build race bench-compare

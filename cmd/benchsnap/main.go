@@ -51,7 +51,7 @@ type Snapshot struct {
 }
 
 func main() {
-	bench := flag.String("bench", "LaunchOverhead|CPUScanTwoPhase|SimLaunch|CPUEngine$|StreamVsRun", "benchmark selection regexp")
+	bench := flag.String("bench", "LaunchOverhead|CPUScanTwoPhase|SimLaunch|CPUEngine$|StreamVsRun|SWARVsScalar|MultiPatternBatch", "benchmark selection regexp")
 	benchtime := flag.String("benchtime", "200x", "go test -benchtime value")
 	out := flag.String("o", "BENCH_baseline.json", "snapshot output path")
 	stat := flag.Bool("stat", false, "print the parsed results without writing the snapshot")

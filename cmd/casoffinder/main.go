@@ -10,11 +10,14 @@
 // Usage:
 //
 //	casoffinder [-engine cpu|opencl|sycl] [-device MI100] [-variant opt3]
+//	            [-packed] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	            [-o output.txt] input.txt
 //
-// The cpu engine is the production path; the opencl and sycl engines run
-// the paper's two applications on the device simulator and print a kernel
-// profile to stderr.
+// The cpu engine is the production path (-packed switches it to the
+// bit-parallel SWAR scan); the opencl and sycl engines run the paper's two
+// applications on the device simulator and print a kernel profile to
+// stderr. -cpuprofile and -memprofile write pprof profiles covering the
+// search.
 package main
 
 import (
@@ -25,6 +28,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"casoffinder/internal/bulge"
 	"casoffinder/internal/genome"
@@ -41,19 +46,42 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("casoffinder", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	engineName := fs.String("engine", "cpu", "search engine: cpu, indexed, opencl or sycl")
 	deviceName := fs.String("device", "MI100", "simulated device for the opencl/sycl engines")
-	variantName := fs.String("variant", "opt3", "comparer kernel variant: base, opt1..opt4")
+	variantName := fs.String("variant", "opt3", "comparer kernel variant: base, opt1..opt4 or bitparallel")
 	outPath := fs.String("o", "", "output file (default stdout)")
 	workers := fs.Int("workers", 0, "cpu engine workers (0 = all cores)")
+	packed := fs.Bool("packed", false, "cpu engine: scan the 2-bit packed genome with the bit-parallel SWAR core")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: casoffinder [flags] input.txt")
+	}
+
+	if *cpuProfile != "" {
+		f, ferr := os.Create(*cpuProfile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			return perr
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			werr := writeHeapProfile(*memProfile)
+			if err == nil {
+				err = werr
+			}
+		}()
 	}
 
 	inFile, err := os.Open(fs.Arg(0))
@@ -75,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	eng, profiler, err := buildEngine(*engineName, *deviceName, variant, *workers)
+	eng, profiler, err := buildEngine(*engineName, *deviceName, variant, *workers, *packed)
 	if err != nil {
 		return err
 	}
@@ -135,8 +163,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// writeHeapProfile snapshots the heap to path after a final collection, so
+// the profile reflects live allocations rather than garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 func parseVariant(name string) (kernels.ComparerVariant, error) {
-	for _, v := range kernels.Variants() {
+	for _, v := range kernels.AllVariants() {
 		if v.String() == name {
 			return v, nil
 		}
@@ -144,10 +187,10 @@ func parseVariant(name string) (kernels.ComparerVariant, error) {
 	return 0, fmt.Errorf("unknown comparer variant %q", name)
 }
 
-func buildEngine(engine, deviceName string, variant kernels.ComparerVariant, workers int) (search.Engine, search.Profiler, error) {
+func buildEngine(engine, deviceName string, variant kernels.ComparerVariant, workers int, packed bool) (search.Engine, search.Profiler, error) {
 	switch engine {
 	case "cpu":
-		return &search.CPU{Workers: workers}, nil, nil
+		return &search.CPU{Workers: workers, Packed: packed}, nil, nil
 	case "indexed":
 		return &search.Indexed{Workers: workers}, nil, nil
 	case "opencl", "sycl":

@@ -119,7 +119,69 @@ func TestParseVariant(t *testing.T) {
 	if err != nil || v.String() != "opt2" {
 		t.Errorf("parseVariant(opt2) = %v, %v", v, err)
 	}
+	if v, err := parseVariant("bitparallel"); err != nil || v.String() != "bitparallel" {
+		t.Errorf("parseVariant(bitparallel) = %v, %v", v, err)
+	}
 	if _, err := parseVariant("fast"); err == nil {
 		t.Error("unknown variant accepted")
+	}
+}
+
+func TestRunPackedEngine(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	plain, packed := new(bytes.Buffer), new(bytes.Buffer)
+	var errOut bytes.Buffer
+	if err := run([]string{input}, plain, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-packed", input}, packed, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != packed.String() {
+		t.Errorf("-packed changed the output:\n%s\nvs\n%s", packed.String(), plain.String())
+	}
+	if !strings.Contains(packed.String(), "chr1\t4\t") {
+		t.Errorf("packed output missing the planted site:\n%s", packed.String())
+	}
+}
+
+func TestRunBitParallelSimVariant(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-engine", "opencl", "-variant", "bitparallel", input}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "chr1\t4\t") {
+		t.Errorf("output missing the planted site:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "comparer_bitparallel") {
+		t.Errorf("profile should name the bitparallel comparer: %s", errOut.String())
+	}
+}
+
+func TestRunProfileFlags(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-cpuprofile", cpuPath, "-memprofile", memPath, input}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if err := run([]string{"-cpuprofile", filepath.Join(dir, "no", "dir.pprof"), input}, &out, &errOut); err == nil {
+		t.Error("unwritable -cpuprofile path should fail")
+	}
+	if err := run([]string{"-memprofile", filepath.Join(dir, "no", "dir.pprof"), input}, &out, &errOut); err == nil {
+		t.Error("unwritable -memprofile path should fail")
 	}
 }

@@ -39,6 +39,44 @@ func FuzzReadFASTA(f *testing.F) {
 	})
 }
 
+// FuzzWordView checks the word view against the scalar accessors for
+// arbitrary sequences: every window lane must agree with Code, and every
+// lane at or past the end must be marked unknown.
+func FuzzWordView(f *testing.F) {
+	f.Add([]byte("ACGT"))
+	f.Add([]byte("acgtnACGTN"))
+	f.Add(bytes.Repeat([]byte("ACGTNRY"), 20))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		p, err := Pack(in)
+		if err != nil {
+			return
+		}
+		v := p.WordView(nil)
+		n := p.Len()
+		for pos := 0; pos < n; pos++ {
+			code, unk := v.Window(pos)
+			for lane := 0; lane < 32; lane++ {
+				i := pos + lane
+				laneUnk := unk>>(2*lane)&1 != 0
+				if i >= n {
+					if !laneUnk {
+						t.Fatalf("Window(%d) lane %d past end not unknown", pos, lane)
+					}
+					continue
+				}
+				wantCode, wantKnown := p.Code(i)
+				if laneUnk == wantKnown {
+					t.Fatalf("Window(%d) lane %d unknown=%v, want known=%v", pos, lane, laneUnk, wantKnown)
+				}
+				if wantKnown && byte(code>>(2*lane)&3) != wantCode {
+					t.Fatalf("Window(%d) lane %d wrong code", pos, lane)
+				}
+			}
+		}
+	})
+}
+
 // FuzzPack checks the 2-bit codec never panics and that valid sequences
 // round-trip modulo ambiguity collapse.
 func FuzzPack(f *testing.F) {

@@ -45,18 +45,54 @@ func Pack(seq []byte) (*Packed, error) {
 		codes:   make([]byte, (len(seq)+3)/4),
 		unknown: make([]byte, (len(seq)+7)/8),
 	}
+	if err := p.fill(seq); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Repack refills p from seq, reusing the code and unknown buffers when they
+// are large enough. Streaming scanners call it once per chunk so the hot
+// path packs without allocating. On error p is left partially filled and
+// must be repacked before use.
+func (p *Packed) Repack(seq []byte) error {
+	nc, nu := (len(seq)+3)/4, (len(seq)+7)/8
+	if cap(p.codes) < nc {
+		p.codes = make([]byte, nc)
+	} else {
+		p.codes = p.codes[:nc]
+		clear(p.codes)
+	}
+	if cap(p.unknown) < nu {
+		p.unknown = make([]byte, nu)
+	} else {
+		p.unknown = p.unknown[:nu]
+		clear(p.unknown)
+	}
+	p.n = len(seq)
+	return p.fill(seq)
+}
+
+// fill packs seq into the (zeroed, correctly sized) code and unknown
+// buffers. The padding bits of the last unknown byte are set so positions
+// past Len read as ambiguous rather than silently decoding the padding as
+// 'A' — the word view depends on out-of-range lanes being marked unknown.
+func (p *Packed) fill(seq []byte) error {
 	for i, b := range seq {
 		c := packTable[b]
 		if c == 0xFF {
 			if !IsCode(b) {
-				return nil, fmt.Errorf("genome: cannot pack invalid code %q at offset %d", b, i)
+				return fmt.Errorf("genome: cannot pack invalid code %q at offset %d", b, i)
 			}
 			p.unknown[i>>3] |= 1 << (i & 7)
 			c = codeA
 		}
 		p.codes[i>>2] |= c << ((i & 3) * 2)
 	}
-	return p, nil
+	if r := len(seq) & 7; r != 0 {
+		p.unknown[len(p.unknown)-1] |= byte(0xFF) << uint(r)
+	}
+	return nil
 }
 
 // Len returns the number of bases.
@@ -95,8 +131,13 @@ func (p *Packed) Unpack() []byte {
 }
 
 // AppendRange appends bases [from, to) to dst as ASCII codes and returns the
-// extended slice.
+// extended slice. The range must lie within [0, Len]; before this was
+// enforced, a range that spilled past Len read the packing padding and
+// silently appended 'A's.
 func (p *Packed) AppendRange(dst []byte, from, to int) []byte {
+	if from < 0 || to < from || to > p.n {
+		panic(fmt.Sprintf("genome: AppendRange [%d,%d) out of range for %d bases", from, to, p.n))
+	}
 	for i := from; i < to; i++ {
 		dst = append(dst, p.Base(i))
 	}

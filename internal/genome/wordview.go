@@ -1,0 +1,108 @@
+package genome
+
+import "encoding/binary"
+
+// LaneMask has the low bit of every 2-bit base lane set. SWAR routines use
+// it to broadcast a 2-bit code across a word and to collapse per-lane
+// comparison planes into one bit per base.
+const LaneMask = 0x5555555555555555
+
+// WordView is a word-parallel view of a Packed sequence: 32 bases per
+// uint64 (base i at bits 2·(i mod 32) and up), plus a parallel array of
+// unknown lanes where bit 2·(i mod 32) is set when base i was ambiguous.
+// Both arrays carry one padding word, and every lane at or past Len is
+// marked unknown, so a shifted window load never needs a bounds branch and
+// out-of-range lanes can never match a concrete pattern position.
+type WordView struct {
+	n       int
+	codes   []uint64
+	unknown []uint64
+}
+
+// WordView builds (or rebuilds, reusing reuse's buffers when non-nil) the
+// word-parallel view of p. Scan workers keep one per scratch so the per-
+// chunk rebuild allocates nothing once warm.
+func (p *Packed) WordView(reuse *WordView) *WordView {
+	v := reuse
+	if v == nil {
+		v = new(WordView)
+	}
+	dw := (p.n + 31) / 32
+	words := dw + 1
+	if cap(v.codes) < words {
+		v.codes = make([]uint64, words)
+	} else {
+		v.codes = v.codes[:words]
+	}
+	if cap(v.unknown) < words {
+		v.unknown = make([]uint64, words)
+	} else {
+		v.unknown = v.unknown[:words]
+	}
+	v.n = p.n
+	for w := 0; w < dw; w++ {
+		// The byte packing is little-endian within each byte, so a
+		// little-endian 8-byte load lands base 32w+i exactly at lane i.
+		off := w * 8
+		var cw uint64
+		if off+8 <= len(p.codes) {
+			cw = binary.LittleEndian.Uint64(p.codes[off : off+8])
+		} else {
+			for j := off; j < len(p.codes); j++ {
+				cw |= uint64(p.codes[j]) << (8 * uint(j-off))
+			}
+		}
+		v.codes[w] = cw
+		// The unknown bitmap is 1 bit per base; spread the 32 bits
+		// covering this word onto the even (lane) bit positions.
+		uoff := w * 4
+		var ub uint32
+		if uoff+4 <= len(p.unknown) {
+			ub = binary.LittleEndian.Uint32(p.unknown[uoff : uoff+4])
+		} else {
+			for j := uoff; j < len(p.unknown); j++ {
+				ub |= uint32(p.unknown[j]) << (8 * uint(j-uoff))
+			}
+		}
+		v.unknown[w] = spread32(ub)
+	}
+	if r := p.n & 31; r != 0 {
+		v.unknown[dw-1] |= LaneMask << (uint(r) * 2)
+	}
+	v.codes[dw] = 0
+	v.unknown[dw] = LaneMask
+	return v
+}
+
+// Len returns the number of bases the view covers.
+func (v *WordView) Len() int { return v.n }
+
+// Words returns the number of data words (excluding the padding word).
+func (v *WordView) Words() int { return len(v.codes) - 1 }
+
+// Window returns the 32-base window starting at pos as a code word and an
+// unknown-lane word: lane i holds base pos+i. pos must be in [0, Len);
+// lanes that fall at or past Len come back marked unknown.
+func (v *WordView) Window(pos int) (code, unknown uint64) {
+	w := pos >> 5
+	sh := uint(pos&31) * 2
+	code = v.codes[w] >> sh
+	unknown = v.unknown[w] >> sh
+	if sh != 0 {
+		code |= v.codes[w+1] << (64 - sh)
+		unknown |= v.unknown[w+1] << (64 - sh)
+	}
+	return code, unknown
+}
+
+// spread32 interleaves a zero bit after every bit of x, moving bit i of the
+// unknown bitmap to lane position 2i.
+func spread32(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	v = (v | v<<8) & 0x00FF00FF00FF00FF
+	v = (v | v<<4) & 0x0F0F0F0F0F0F0F0F
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}

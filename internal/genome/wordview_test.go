@@ -1,0 +1,138 @@
+package genome
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randomSeq(rng *rand.Rand, n int) []byte {
+	alphabet := []byte("ACGTNacgtRY")
+	seq := make([]byte, n)
+	for i := range seq {
+		seq[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return seq
+}
+
+// checkView verifies every lane of every window against the scalar Code
+// accessors: in-range lanes carry the packed code and known bit, lanes at
+// or past Len are marked unknown.
+func checkView(t *testing.T, p *Packed, v *WordView) {
+	t.Helper()
+	n := p.Len()
+	if v.Len() != n {
+		t.Fatalf("view Len = %d, want %d", v.Len(), n)
+	}
+	if want := (n + 31) / 32; v.Words() != want {
+		t.Fatalf("view Words = %d, want %d", v.Words(), want)
+	}
+	for pos := 0; pos < n; pos++ {
+		code, unk := v.Window(pos)
+		for lane := 0; lane < 32; lane++ {
+			i := pos + lane
+			laneUnk := unk>>(2*lane)&1 != 0
+			if i >= n {
+				if !laneUnk {
+					t.Fatalf("Window(%d) lane %d (pos %d >= len %d) not unknown", pos, lane, i, n)
+				}
+				continue
+			}
+			wantCode, wantKnown := p.Code(i)
+			if laneUnk == wantKnown {
+				t.Fatalf("Window(%d) lane %d unknown=%v, want known=%v", pos, lane, laneUnk, wantKnown)
+			}
+			if wantKnown {
+				if got := byte(code >> (2 * lane) & 3); got != wantCode {
+					t.Fatalf("Window(%d) lane %d code=%d, want %d", pos, lane, got, wantCode)
+				}
+			}
+		}
+	}
+}
+
+// TestWordViewLengths is the word-boundary regression test: lengths that
+// are not a multiple of 32 (and straddle the code-byte and unknown-byte
+// boundaries) must still mark every tail lane unknown.
+func TestWordViewLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 3, 7, 8, 15, 31, 32, 33, 63, 64, 65, 83, 96, 127, 130} {
+		seq := randomSeq(rng, n)
+		p, err := Pack(seq)
+		if err != nil {
+			t.Fatalf("n=%d: Pack: %v", n, err)
+		}
+		checkView(t, p, p.WordView(nil))
+	}
+}
+
+// TestWordViewReuse rebuilds one view over sequences of different lengths;
+// shrinking then growing must not leak stale words into the new view.
+func TestWordViewReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var v *WordView
+	var p Packed
+	for _, n := range []int{130, 31, 64, 1, 97} {
+		seq := randomSeq(rng, n)
+		if err := p.Repack(seq); err != nil {
+			t.Fatalf("n=%d: Repack: %v", n, err)
+		}
+		v = p.WordView(v)
+		checkView(t, &p, v)
+	}
+}
+
+func TestRepackRoundTrip(t *testing.T) {
+	var p Packed
+	for _, in := range []string{"ACGTACGTACGTA", "NNN", "", "acgtRYacgt"} {
+		if err := p.Repack([]byte(in)); err != nil {
+			t.Fatalf("Repack(%q): %v", in, err)
+		}
+		fresh, err := Pack([]byte(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p.Unpack(), fresh.Unpack()) {
+			t.Errorf("Repack(%q) unpacks to %q, want %q", in, p.Unpack(), fresh.Unpack())
+		}
+	}
+	if err := p.Repack([]byte("AC-GT")); err == nil {
+		t.Error("Repack(invalid) = nil error, want failure")
+	}
+}
+
+// TestPackPaddingUnknown: the padding bits of the unknown bitmap are set at
+// pack time, so an accidental read past Len decodes as 'N' instead of
+// silently reporting the padding as a concrete 'A'.
+func TestPackPaddingUnknown(t *testing.T) {
+	p, err := Pack([]byte("ACGTA")) // 5 bases; bits 5..7 of the bitmap are padding
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 8; i++ {
+		if p.Known(i) {
+			t.Errorf("Known(%d) = true on padding, want false", i)
+		}
+	}
+}
+
+func TestAppendRangeBounds(t *testing.T) {
+	p, err := Pack([]byte("ACGTACGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{-1, 4}, {2, 9}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AppendRange(%d, %d) did not panic", r[0], r[1])
+				}
+			}()
+			p.AppendRange(nil, r[0], r[1])
+		}()
+	}
+	// The full range is still fine.
+	if got := p.AppendRange(nil, 0, 8); string(got) != "ACGTACGT" {
+		t.Errorf("AppendRange(0, 8) = %q", got)
+	}
+}

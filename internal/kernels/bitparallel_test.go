@@ -1,0 +1,129 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"casoffinder/internal/baseline"
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+)
+
+func TestAllVariantsIncludesBitParallel(t *testing.T) {
+	all := AllVariants()
+	if len(all) != len(Variants())+1 {
+		t.Fatalf("AllVariants has %d entries, want %d", len(all), len(Variants())+1)
+	}
+	if all[len(all)-1] != BitParallel {
+		t.Errorf("last variant = %s, want bitparallel", all[len(all)-1])
+	}
+	if BitParallel.String() != "bitparallel" {
+		t.Errorf("String() = %q", BitParallel)
+	}
+	if ComparerKernelName(BitParallel) != "comparer_bitparallel" {
+		t.Errorf("kernel name = %q", ComparerKernelName(BitParallel))
+	}
+	if !BitParallel.CooperativeFetch() {
+		t.Error("bitparallel should stage cooperatively like opt3+")
+	}
+	if _, ok := CLSource()["comparer_bitparallel"]; !ok {
+		t.Error("CLSource does not register comparer_bitparallel")
+	}
+}
+
+// TestBitParallelFunctionallyIdentical: the SWAR comparer variant returns
+// exactly the baseline variant's hits — the word-parallel accounting must
+// not change a single result.
+func TestBitParallelFunctionallyIdentical(t *testing.T) {
+	dev := gpu.New(device.MI100(), gpu.WithWorkers(4))
+	rng := rand.New(rand.NewSource(19))
+	seq := make([]byte, 4096)
+	alphabet := []byte("ACGTACGTACGTACGTN")
+	for i := range seq {
+		seq[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	const pattern, guide = "NNNNNNNNNNNNNNNNNNNNNGG", "GGCCGACCTGTCGCTGACGCNNN"
+	site := []byte("GGCCGACCTGTCGCTGACGCTGG")
+	for s := 0; s < 12; s++ {
+		mutated := append([]byte(nil), site...)
+		for m := 0; m < s%5; m++ {
+			mutated[rng.Intn(20)] = "ACGT"[rng.Intn(4)]
+		}
+		if s%3 == 0 {
+			genome.ReverseComplement(mutated)
+		}
+		copy(seq[64+s*320:], mutated)
+	}
+	ref, _, _ := runPipeline(t, dev, seq, pattern, guide, 4, Base, 64)
+	if len(ref) == 0 {
+		t.Fatal("expected hits from the randomized genome")
+	}
+	got, _, _ := runPipeline(t, dev, seq, pattern, guide, 4, BitParallel, 64)
+	if !hitsEqual(got, ref) {
+		t.Errorf("bitparallel: %d hits != base %d hits", len(got), len(ref))
+	}
+}
+
+// TestBitParallelPropertyVsBaseline: random genomes, guides and thresholds
+// against the naive reference, SWAR variant only.
+func TestBitParallelPropertyVsBaseline(t *testing.T) {
+	dev := gpu.New(device.RadeonVII(), gpu.WithWorkers(4))
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(900)
+		seq := make([]byte, n)
+		alphabet := []byte("ACGTacgtN")
+		for i := range seq {
+			seq[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		glen := 4 + rng.Intn(8)
+		pattern := make([]byte, glen+2)
+		guide := make([]byte, glen+2)
+		for i := 0; i < glen; i++ {
+			pattern[i] = 'N'
+			guide[i] = "ACGT"[rng.Intn(4)]
+		}
+		pattern[glen], pattern[glen+1] = 'G', 'G'
+		guide[glen], guide[glen+1] = 'N', 'N'
+		maxMM := rng.Intn(4)
+		want, err := baseline.Search(genome.Upper(seq), pattern, guide, maxMM)
+		if err != nil {
+			return false
+		}
+		got, _, _ := runPipeline(t, dev, seq, string(pattern), string(guide), maxMM, BitParallel, 32)
+		return hitsEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBitParallelTraffic pins the variant's cost-model story: fewer global
+// load operations than opt4, each load wider on average (the packed text
+// and unknown words replace byte-per-base reads), with atomics unchanged.
+func TestBitParallelTraffic(t *testing.T) {
+	dev := gpu.New(device.MI60(), gpu.WithWorkers(4))
+	rng := rand.New(rand.NewSource(7))
+	seq := make([]byte, 8192)
+	for i := range seq {
+		seq[i] = "ACGT"[rng.Intn(4)]
+	}
+	const pattern, guide = "NNNNNNNNNNNNNNNNNNNNNGG", "GGCCGACCTGTCGCTGACGCNNN"
+	_, _, opt4 := runPipeline(t, dev, seq, pattern, guide, 4, Opt4, 64)
+	_, _, bp := runPipeline(t, dev, seq, pattern, guide, 4, BitParallel, 64)
+	if !(bp.GlobalLoadOps < opt4.GlobalLoadOps) {
+		t.Errorf("bitparallel should cut global load ops: opt4 %d, bitparallel %d",
+			opt4.GlobalLoadOps, bp.GlobalLoadOps)
+	}
+	opt4Width := float64(opt4.GlobalLoadBytes) / float64(opt4.GlobalLoadOps)
+	bpWidth := float64(bp.GlobalLoadBytes) / float64(bp.GlobalLoadOps)
+	if !(bpWidth > opt4Width) {
+		t.Errorf("bitparallel loads should be wider on average: opt4 %.2f B/op, bitparallel %.2f B/op",
+			opt4Width, bpWidth)
+	}
+	if bp.AtomicOps != opt4.AtomicOps {
+		t.Errorf("bitparallel changed atomics: %d vs %d", bp.AtomicOps, opt4.AtomicOps)
+	}
+}

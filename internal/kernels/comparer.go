@@ -33,10 +33,24 @@ const (
 	// local memory in a register, halving LDS traffic but raising register
 	// pressure enough to cost a wave of occupancy (Table X).
 	Opt4
+	// BitParallel replaces the per-base ladder with the SWAR word core:
+	// the chunk is read as 2-bit packed words (32 bases plus an
+	// unknown-lane word per load) and each pattern word is tested with
+	// precompiled lane masks — equality planes, mask folds and one
+	// popcount. Fewer, wider global loads and a shorter inner loop, paid
+	// for with more live registers; it extends the paper's Table X
+	// trade-off one step past Opt4.
+	BitParallel
 )
 
-// Variants lists all comparer variants in cumulative order.
+// Variants lists the paper's comparer variants in cumulative order — the
+// five rows of Table X. BitParallel is this repository's extension and is
+// deliberately excluded; AllVariants includes it.
 func Variants() []ComparerVariant { return []ComparerVariant{Base, Opt1, Opt2, Opt3, Opt4} }
+
+// AllVariants lists every comparer variant the kernels build: the paper's
+// five plus the SWAR BitParallel extension.
+func AllVariants() []ComparerVariant { return append(Variants(), BitParallel) }
 
 func (v ComparerVariant) String() string {
 	switch v {
@@ -50,6 +64,8 @@ func (v ComparerVariant) String() string {
 		return "opt3"
 	case Opt4:
 		return "opt4"
+	case BitParallel:
+		return "bitparallel"
 	default:
 		return fmt.Sprintf("ComparerVariant(%d)", int(v))
 	}
@@ -70,6 +86,7 @@ type comparerCosts struct {
 	lociPerHalf  bool // loci[i] read once per strand loop (hoisted)
 	ldsPerTerm   bool // l_comp[k] read once per evaluated ladder term
 	coopPrefetch bool // all items stage the pattern arrays
+	wordParallel bool // SWAR core: two wide loads per 32-base pattern word
 }
 
 func (v ComparerVariant) costs() comparerCosts {
@@ -82,6 +99,8 @@ func (v ComparerVariant) costs() comparerCosts {
 		return comparerCosts{flagLoads: 1, ldsPerTerm: true}
 	case Opt3:
 		return comparerCosts{flagLoads: 1, ldsPerTerm: true, coopPrefetch: true}
+	case BitParallel:
+		return comparerCosts{flagLoads: 1, coopPrefetch: true, wordParallel: true}
 	default: // Opt4
 		return comparerCosts{flagLoads: 1, coopPrefetch: true}
 	}
@@ -224,6 +243,54 @@ func comparerCompare(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []i
 			}
 		}
 		return mm, true
+	}
+
+	// The bit-parallel variant swaps the per-base ladder for the SWAR word
+	// loop: per 32-base pattern word it issues two 8-byte global loads (the
+	// 2-bit packed text word and the unknown-lane word) and reads the five
+	// precompiled mask words from local memory, then a fixed ALU sequence —
+	// four equality planes, four mask folds, the bad-lane combine and a
+	// popcount — scores every base of the word at once. The mismatch
+	// arithmetic below stays byte-wise so results are bit-identical to the
+	// other variants; only the accounted traffic changes: ~1/16th the
+	// global load ops of a byte-per-base walk, each 8× wider, and the
+	// threshold early-exit moves to word granularity.
+	if c.wordParallel {
+		compareStrand = func(offset int) (uint16, bool) {
+			var mm uint16
+			j := 0
+			for base := 0; base < plen; base += 32 {
+				start := j
+				for j < plen {
+					k := lCompIndex[offset+j]
+					it.LoadLocal()
+					if k == -1 || int(k) >= base+32 {
+						break
+					}
+					j++
+				}
+				if j > start {
+					it.LoadGlobalN(2, 8) // packed text word + unknown lanes
+					it.LoadLocalN(5)     // lane word + four accumulator masks
+					it.ALU(18)
+					it.Branch(true)
+					for jj := start; jj < j; jj++ {
+						k := lCompIndex[offset+jj]
+						if mismatch(lComp[offset+int(k)], a.Chr[locus+int(k)]) {
+							mm++
+						}
+					}
+					if mm > a.Threshold {
+						it.Branch(true)
+						return mm, false
+					}
+				}
+				if j >= plen || lCompIndex[offset+j] == -1 {
+					break
+				}
+			}
+			return mm, true
+		}
 	}
 
 	// store compacts one passing entry (L19-L23 / L36-L40).

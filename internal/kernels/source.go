@@ -100,7 +100,7 @@ func CLSource() opencl.Source {
 			BuildPhases: buildFinderPhases,
 		},
 	}
-	for _, v := range Variants() {
+	for _, v := range AllVariants() {
 		src[ComparerKernelName(v)] = opencl.KernelBuilder{
 			NumArgs:     comparerNumArgs,
 			Build:       buildComparer(v),

@@ -96,6 +96,18 @@ type Backend interface {
 	Close() error
 }
 
+// BatchComparer is an optional Backend capability: a backend that can run
+// every query's comparer over a staged chunk in a single fused pass.
+// When the backend implements it, the pipeline calls CompareAll once per
+// chunk instead of looping Compare per query, letting the backend stage
+// each candidate window once and evaluate all compiled patterns against it
+// (the CPU SWAR path's multi-pattern batching). CompareAll must accumulate
+// exactly the entries the per-query Compare loop would have; per-chunk
+// hits are sorted afterwards, so entry order within the chunk is free.
+type BatchComparer interface {
+	CompareAll(ctx context.Context, st Staged) error
+}
+
 // Pipeline drives one Backend over an assembly.
 type Pipeline struct {
 	// Open builds the backend for a compiled plan (device setup, program
@@ -289,12 +301,18 @@ func (p *Pipeline) scanOne(ctx context.Context, be Backend, plan *Plan, st Stage
 		return nil, err
 	}
 	if n > 0 {
-		for qi := range plan.Guides {
-			if err := ctx.Err(); err != nil {
+		if bc, ok := be.(BatchComparer); ok {
+			if err := bc.CompareAll(ctx, st); err != nil {
 				return nil, err
 			}
-			if err := be.Compare(ctx, st, qi); err != nil {
-				return nil, err
+		} else {
+			for qi := range plan.Guides {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				if err := be.Compare(ctx, st, qi); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

@@ -278,3 +278,49 @@ func TestCompileErrors(t *testing.T) {
 		t.Errorf("backend opened %d times for invalid requests", opened)
 	}
 }
+
+// batchFakeBackend layers the BatchComparer capability over fakeBackend,
+// counting the fused calls and flagging any per-query Compare call, which
+// the pipeline must never make once the capability is present.
+type batchFakeBackend struct {
+	*fakeBackend
+	batchCalls  atomic.Int64
+	singleCalls atomic.Int64
+}
+
+func (b *batchFakeBackend) Compare(ctx context.Context, st Staged, qi int) error {
+	b.singleCalls.Add(1)
+	return nil
+}
+
+func (b *batchFakeBackend) CompareAll(ctx context.Context, st Staged) error {
+	b.batchCalls.Add(1)
+	return nil
+}
+
+// TestBatchComparerPreferred: a backend advertising CompareAll gets exactly
+// one fused compare per chunk, even with several queries, and the per-query
+// entry point is never used.
+func TestBatchComparerPreferred(t *testing.T) {
+	b := &batchFakeBackend{fakeBackend: newFakeBackend()}
+	p := &Pipeline{
+		Open:        func(*Plan) (Backend, error) { return b, nil },
+		ScanWorkers: 2,
+	}
+	req := testReq()
+	req.Queries = append(req.Queries, Query{Guide: "TTANN", MaxMismatches: 0})
+	if err := p.Stream(context.Background(), testAsm(500), req, func(Hit) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	staged := b.stageN.Load()
+	if staged == 0 {
+		t.Fatal("nothing staged")
+	}
+	if got := b.batchCalls.Load(); got != staged {
+		t.Errorf("CompareAll calls = %d, want one per %d chunks", got, staged)
+	}
+	if got := b.singleCalls.Load(); got != 0 {
+		t.Errorf("per-query Compare called %d times despite BatchComparer", got)
+	}
+	checkAccounting(t, b.fakeBackend)
+}

@@ -18,9 +18,19 @@ type CPU struct {
 	// Workers bounds the concurrent chunk scanners; 0 means NumCPU.
 	Workers int
 	// Packed scans chunks in the 2-bit packed format (the upstream
-	// optimization noted in the paper's related work [21]); results are
-	// byte-identical to the default path.
+	// optimization noted in the paper's related work [21]) using the SWAR
+	// word-parallel core — 32 bases per uint64 load — with all guides
+	// batched into one pass per chunk; results are byte-identical to the
+	// default path.
 	Packed bool
+	// Scalar forces the per-base packed compare (the pre-SWAR reference
+	// path kept for equivalence testing and ablation). Only meaningful
+	// with Packed.
+	Scalar bool
+	// NoBatch keeps the SWAR core but disables multi-pattern batching,
+	// comparing guides one pipeline Compare call at a time — the ablation
+	// arm of BenchmarkMultiPatternBatch. Only meaningful with Packed.
+	NoBatch bool
 }
 
 // Name implements Engine.
@@ -43,7 +53,7 @@ func (c *CPU) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 func (c *CPU) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
 	p := &pipeline.Pipeline{
 		Open: func(plan *pipeline.Plan) (pipeline.Backend, error) {
-			return newCPUBackend(plan, c.Packed), nil
+			return newCPUBackend(plan, c), nil
 		},
 		ScanWorkers: c.workers(),
 	}
@@ -56,22 +66,40 @@ func (c *CPU) Stream(ctx context.Context, asm *genome.Assembly, req *Request, em
 type cpuBackend struct {
 	plan   *pipeline.Plan
 	packed bool
-	// Packed-path pattern tables, compiled once per run.
+	scalar bool
+	// Scalar packed-path pattern tables, compiled once per run.
 	packedPattern *maskedPattern
 	packedGuides  []*maskedPattern
+	// SWAR-path compiled patterns.
+	bitPattern *BitPattern
+	bitGuides  []*BitPattern
 	// scratch pools one scanScratch per concurrent scan so the hot loops
 	// allocate nothing per chunk.
 	scratch sync.Pool
 }
 
-func newCPUBackend(plan *pipeline.Plan, packed bool) *cpuBackend {
-	b := &cpuBackend{plan: plan, packed: packed}
+// newCPUBackend builds the backend for the engine's configuration. The
+// default packed configuration returns the batching wrapper, which the
+// pipeline detects (via its BatchComparer interface) to fuse all guides
+// into one pass over each chunk's cached window words.
+func newCPUBackend(plan *pipeline.Plan, c *CPU) pipeline.Backend {
+	b := &cpuBackend{plan: plan, packed: c.Packed, scalar: c.Scalar}
 	b.scratch.New = func() any { return new(scanScratch) }
-	if packed {
+	switch {
+	case c.Packed && c.Scalar:
 		b.packedPattern = newMaskedPattern(plan.Pattern)
 		b.packedGuides = make([]*maskedPattern, len(plan.Guides))
 		for i, g := range plan.Guides {
 			b.packedGuides[i] = newMaskedPattern(g)
+		}
+	case c.Packed:
+		b.bitPattern = CompileBitPattern(plan.Pattern)
+		b.bitGuides = make([]*BitPattern, len(plan.Guides))
+		for i, g := range plan.Guides {
+			b.bitGuides[i] = CompileBitPattern(g)
+		}
+		if !c.NoBatch {
+			return &batchedCPUBackend{b}
 		}
 	}
 	return b
@@ -83,6 +111,7 @@ type cpuStaged struct {
 	ch     *genome.Chunk
 	sc     *scanScratch
 	packed *genome.Packed
+	view   *genome.WordView
 }
 
 // Stage implements pipeline.Backend. The CPU scans chunks in place, so
@@ -98,12 +127,17 @@ func (b *cpuBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) 
 	s := st.(*cpuStaged)
 	s.sc = b.scratch.Get().(*scanScratch)
 	if b.packed {
-		packed, err := genome.Pack(s.ch.Data)
-		if err != nil {
+		if err := s.sc.packed.Repack(s.ch.Data); err != nil {
 			return 0, fmt.Errorf("search: packing chunk at %s:%d: %w", s.ch.SeqName, s.ch.Start, err)
 		}
-		s.packed = packed
-		s.sc.findPackedCandidates(s.ch, packed, b.packedPattern)
+		s.packed = &s.sc.packed
+		if b.scalar {
+			s.sc.findPackedCandidates(s.ch, s.packed, b.packedPattern)
+		} else {
+			s.sc.view = s.packed.WordView(s.sc.view)
+			s.view = s.sc.view
+			s.sc.findSWARCandidates(s.ch, s.view, b.bitPattern)
+		}
 	} else {
 		s.sc.findCandidates(s.ch, b.plan.Pattern)
 	}
@@ -115,10 +149,57 @@ func (b *cpuBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) 
 func (b *cpuBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) error {
 	s := st.(*cpuStaged)
 	limit := b.plan.Request.Queries[qi].MaxMismatches
-	if b.packed {
+	switch {
+	case b.packed && !b.scalar:
+		s.sc.compareSWAR(s.view, b.bitGuides[qi], qi, limit)
+	case b.packed:
 		s.sc.comparePacked(s.packed, b.packedGuides[qi], qi, limit)
-	} else {
+	default:
 		s.sc.compare(s.ch.Data, b.plan.Guides[qi], qi, limit)
+	}
+	return nil
+}
+
+// batchedCPUBackend is the default packed backend: it layers the pipeline's
+// optional BatchComparer capability over cpuBackend, fusing all guides into
+// one candidate-major pass that stages each window's words once.
+type batchedCPUBackend struct {
+	*cpuBackend
+}
+
+// CompareAll implements pipeline.BatchComparer: for every surviving
+// candidate the window words are fetched once into pooled scratch, then
+// every guide's compiled pattern runs against the cached words
+// (pattern-major inner loop) — one genome pass per chunk instead of one
+// per guide.
+func (b *batchedCPUBackend) CompareAll(ctx context.Context, st pipeline.Staged) error {
+	s := st.(*cpuStaged)
+	sc := s.sc
+	words := b.bitPattern.words
+	plen := b.plan.Pattern.PatternLen
+	if cap(sc.winText) < words {
+		sc.winText = make([]uint64, words)
+		sc.winUnk = make([]uint64, words)
+	}
+	text, unk := sc.winText[:words], sc.winUnk[:words]
+	queries := b.plan.Request.Queries
+	for _, cd := range sc.cand {
+		for w := 0; w < words; w++ {
+			text[w], unk[w] = s.view.Window(cd.pos + 32*w)
+		}
+		for qi, g := range b.bitGuides {
+			limit := queries[qi].MaxMismatches
+			if cd.strand&strandFwd != 0 {
+				if mm, ok := g.MismatchesWords(text, unk, 0, limit); ok {
+					sc.entries = append(sc.entries, rawHit{qi: qi, pos: cd.pos, dir: kernels.DirForward, mm: mm})
+				}
+			}
+			if cd.strand&strandRev != 0 {
+				if mm, ok := g.MismatchesWords(text, unk, plen, limit); ok {
+					sc.entries = append(sc.entries, rawHit{qi: qi, pos: cd.pos, dir: kernels.DirReverse, mm: mm})
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -130,7 +211,7 @@ func (b *cpuBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline.
 	hits := drainEntries(r, s.ch, b.plan.Guides, s.sc.entries)
 	s.sc.entries = s.sc.entries[:0]
 	b.scratch.Put(s.sc)
-	s.sc, s.packed = nil, nil
+	s.sc, s.packed, s.view = nil, nil, nil
 	return hits, nil
 }
 
@@ -151,10 +232,16 @@ type candidate struct {
 }
 
 // scanScratch holds per-worker buffers reused across chunks so the scan
-// allocates nothing per position.
+// allocates nothing per position: candidate and entry accumulators, the
+// packed chunk and its word view (rebuilt in place each chunk), and the
+// cached window words of the batched compare.
 type scanScratch struct {
 	cand    []candidate
 	entries []rawHit
+	packed  genome.Packed
+	view    *genome.WordView
+	winText []uint64
+	winUnk  []uint64
 }
 
 // findCandidates runs the PAM prefilter over the chunk body (the finder

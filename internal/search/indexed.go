@@ -270,14 +270,16 @@ dispatch:
 		hits = append(hits, h...)
 	}
 
-	// Fallback queries use the plain scanning engine on a request
-	// restricted to them, then remap query indices.
+	// Fallback queries use the packed scanning engine on a request
+	// restricted to them — sharing the SWAR core's batched multi-pattern
+	// scan, so many fallback guides still cost one genome pass — then
+	// remap query indices.
 	if len(fallback) > 0 {
 		sub := &Request{Pattern: req.Pattern, ChunkBytes: req.ChunkBytes}
 		for _, qi := range fallback {
 			sub.Queries = append(sub.Queries, req.Queries[qi])
 		}
-		scanHits, err := Collect(ctx, &CPU{Workers: e.Workers}, asm, sub)
+		scanHits, err := Collect(ctx, &CPU{Workers: e.Workers, Packed: true}, asm, sub)
 		if err != nil {
 			return nil, err
 		}
