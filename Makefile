@@ -1,10 +1,11 @@
 # Build and verification entry points. `make ci` is the full gate: format
-# check, vet, build, race-enabled tests, and a benchmark comparison against
-# BENCH_baseline.json that fails on a >15% geomean ns/op regression.
+# check, vet, build, race-enabled tests, the seeded fault-matrix smoke, and
+# a benchmark comparison against BENCH_baseline.json that fails on a >15%
+# geomean ns/op regression.
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench-stat bench-snapshot bench-compare bench-pipeline bench-swar ci
+.PHONY: all build fmt vet test race faultcheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar ci
 
 all: build
 
@@ -25,6 +26,25 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Seeded fault-matrix smoke: replay the deterministic fault schedules
+# (engines x sites, watchdog, corruption re-verification, quarantine, CLI
+# recovery) fresh rather than from the test cache.
+faultcheck:
+	$(GO) test ./internal/search/ -count 1 -run 'TestFaultMatrix|TestFaultDeterminism|TestWatchdogReapsHungKernel|TestCorruptionReverification|TestQuarantineReportsPartial'
+	$(GO) test ./cmd/casoffinder/ -count 1 -run 'TestRunFault'
+
+# Fuzz regression mode: the seed corpora (f.Add entries) replay on every
+# plain `go test`; this target additionally fuzzes each target briefly to
+# grow the corpus and shake out fresh inputs. Not part of `ci` — fuzzing is
+# open-ended by nature.
+FUZZTIME ?= 10s
+fuzz-regress:
+	$(GO) test ./internal/search/ -run '^$$' -fuzz '^FuzzSWARMismatch$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/search/ -run '^$$' -fuzz '^FuzzParseInput$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/genome/ -run '^$$' -fuzz '^FuzzReadFASTA$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/genome/ -run '^$$' -fuzz '^FuzzWordView$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/genome/ -run '^$$' -fuzz '^FuzzPack$$' -fuzztime $(FUZZTIME)
 
 # Run the tracked micro-benchmarks briefly and print the parsed results
 # without touching the committed snapshot.
@@ -51,4 +71,4 @@ bench-pipeline:
 bench-swar:
 	$(GO) run ./cmd/benchsnap -o BENCH_swar.json -bench 'SWARVsScalar|MultiPatternBatch' -pkgs . -benchtime 200x
 
-ci: fmt vet build race bench-compare
+ci: fmt vet build race faultcheck bench-compare

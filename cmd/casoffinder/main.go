@@ -11,6 +11,7 @@
 //
 //	casoffinder [-engine cpu|opencl|sycl] [-device MI100] [-variant opt3]
 //	            [-packed] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-fault-rate 0.05 -fault-seed 42] [-watchdog 5s]
 //	            [-o output.txt] input.txt
 //
 // The cpu engine is the production path (-packed switches it to the
@@ -18,11 +19,21 @@
 // applications on the device simulator and print a kernel profile to
 // stderr. -cpuprofile and -memprofile write pprof profiles covering the
 // search.
+//
+// The fault flags drive the simulator engines through seeded deterministic
+// fault injection with the resilient pipeline enabled: transient failures
+// retry with backoff, hung kernels are reaped by -watchdog, and chunks the
+// simulated device cannot complete fail over to the CPU engine, preserving
+// the output byte-for-byte. A degradation summary goes to stderr.
+//
+// Exit codes: 0 on success, 1 on a runtime error, 2 on a usage error, 3
+// when quarantined chunks made the result partial.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,20 +41,54 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 
 	"casoffinder/internal/bulge"
+	"casoffinder/internal/fault"
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/gpu/device"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/pipeline"
 	"casoffinder/internal/search"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
-		fmt.Fprintln(os.Stderr, "casoffinder:", err)
-		os.Exit(1)
+// Exit codes, so scripts can tell a bad invocation (2) from a failed run
+// (1) and a run that completed with quarantined chunks (3).
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+	exitPartial = 3
+)
+
+// usageError marks a command-line mistake so main exits with exitUsage.
+type usageError struct{ error }
+
+func (e usageError) Unwrap() error { return e.error }
+
+// exitCode maps a run error to the process exit code.
+func exitCode(err error) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return exitOK
 	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		return exitUsage
+	}
+	var pe *pipeline.PartialError
+	if errors.As(err, &pe) {
+		return exitPartial
+	}
+	return exitRuntime
+}
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "casoffinder:", err)
+	}
+	os.Exit(exitCode(err))
 }
 
 func run(args []string, stdout, stderr io.Writer) (err error) {
@@ -57,11 +102,35 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	packed := fs.Bool("packed", false, "cpu engine: scan the 2-bit packed genome with the bit-parallel SWAR core")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	faultRate := fs.Float64("fault-rate", 0, "simulator fault injection probability in [0, 1] (0 = off)")
+	faultSeed := fs.Uint64("fault-seed", 1, "seed for the deterministic fault schedule and retry jitter")
+	faultSite := fs.String("fault-site", "", "restrict injection to one fault site (default: all sites)")
+	faultAfter := fs.Int("fault-after", 0, "skip the first N eligible events per site before injecting")
+	watchdog := fs.Duration("watchdog", 0, "deadline per backend phase; a hung simulated kernel is cancelled and retried (0 = off)")
+	maxRetries := fs.Int("max-retries", 0, "chunk retries before CPU failover (0 = default 2, negative = none)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageError{err}
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: casoffinder [flags] input.txt")
+		return usageError{fmt.Errorf("usage: casoffinder [flags] input.txt")}
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		return usageError{fmt.Errorf("-fault-rate %v outside [0, 1]", *faultRate)}
+	}
+	faultPlan := fault.Plan{Seed: *faultSeed, Rate: *faultRate, After: *faultAfter}
+	if *faultSite != "" {
+		site, serr := fault.ParseSite(*faultSite)
+		if serr != nil {
+			return usageError{serr}
+		}
+		faultPlan.Site = site
+	}
+	var res *pipeline.Resilience
+	if *faultRate > 0 || *watchdog > 0 {
+		res = &pipeline.Resilience{MaxRetries: *maxRetries, Watchdog: *watchdog, Seed: *faultSeed}
 	}
 
 	if *cpuProfile != "" {
@@ -101,9 +170,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 
 	variant, err := parseVariant(*variantName)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
-	eng, profiler, err := buildEngine(*engineName, *deviceName, variant, *workers, *packed)
+	eng, profiler, err := buildEngine(*engineName, *deviceName, variant, *workers, *packed, faultPlan, res)
 	if err != nil {
 		return err
 	}
@@ -118,6 +187,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		out = f
 	}
 
+	var runErr error
 	if input.DNABulge > 0 || input.RNABulge > 0 {
 		hits, err := bulge.Search(eng, asm, &input.Request, bulge.Options{
 			MaxDNABulge: input.DNABulge,
@@ -138,17 +208,19 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		defer stop()
 		bw := bufio.NewWriter(out)
 		count := 0
-		err := eng.Stream(ctx, asm, &input.Request, func(h search.Hit) error {
+		runErr = eng.Stream(ctx, asm, &input.Request, func(h search.Hit) error {
 			count++
 			return search.WriteHit(bw, &input.Request, h)
 		})
-		if ferr := bw.Flush(); err == nil {
-			err = ferr
+		if ferr := bw.Flush(); runErr == nil {
+			runErr = ferr
 		}
-		if err != nil {
-			return err
+		var pe *pipeline.PartialError
+		if runErr == nil || errors.As(runErr, &pe) {
+			// A partial run still emitted every non-quarantined chunk's
+			// hits; report the count alongside the exitPartial error.
+			fmt.Fprintf(stderr, "%d sites reported\n", count)
 		}
-		fmt.Fprintf(stderr, "%d sites reported\n", count)
 	}
 
 	if profiler != nil {
@@ -158,9 +230,32 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			for name, s := range p.Kernels {
 				fmt.Fprintf(stderr, "  kernel %-14s launches=%-4d %s\n", name, p.Launches[name], s.String())
 			}
+			printDegradation(stderr, p)
 		}
 	}
-	return nil
+	return runErr
+}
+
+// printDegradation reports how far the run strayed from the clean path: the
+// resilience counters, the asynchronous exceptions the SYCL handler saw and
+// the injected fault events by site. Silent on a clean run.
+func printDegradation(stderr io.Writer, p *search.Profile) {
+	if p.Degraded() || p.AsyncExceptions > 0 {
+		fmt.Fprintf(stderr, "degraded: retries=%d failovers=%d watchdog-kills=%d quarantined=%d async-exceptions=%d\n",
+			p.Retries, p.Failovers, p.WatchdogKills, p.QuarantinedChunks, p.AsyncExceptions)
+	}
+	if len(p.Faults) > 0 {
+		sites := make([]string, 0, len(p.Faults))
+		for site := range p.Faults {
+			sites = append(sites, string(site))
+		}
+		sort.Strings(sites)
+		fmt.Fprintf(stderr, "faults:")
+		for _, site := range sites {
+			fmt.Fprintf(stderr, " %s=%d", site, p.Faults[fault.Site(site)])
+		}
+		fmt.Fprintln(stderr)
+	}
 }
 
 // writeHeapProfile snapshots the heap to path after a final collection, so
@@ -187,25 +282,36 @@ func parseVariant(name string) (kernels.ComparerVariant, error) {
 	return 0, fmt.Errorf("unknown comparer variant %q", name)
 }
 
-func buildEngine(engine, deviceName string, variant kernels.ComparerVariant, workers int, packed bool) (search.Engine, search.Profiler, error) {
+func buildEngine(engine, deviceName string, variant kernels.ComparerVariant, workers int, packed bool,
+	faultPlan fault.Plan, res *pipeline.Resilience) (search.Engine, search.Profiler, error) {
 	switch engine {
-	case "cpu":
-		return &search.CPU{Workers: workers, Packed: packed}, nil, nil
-	case "indexed":
+	case "cpu", "indexed":
+		// The fault sites all live in the simulated runtimes; a silent
+		// no-op here would make "-fault-rate 0.3 -engine cpu" look like a
+		// passing resilience run.
+		if faultPlan.Rate > 0 || res != nil {
+			return nil, nil, usageError{fmt.Errorf("fault injection flags need the opencl or sycl engine, not %q", engine)}
+		}
+		if engine == "cpu" {
+			return &search.CPU{Workers: workers, Packed: packed}, nil, nil
+		}
 		return &search.Indexed{Workers: workers}, nil, nil
 	case "opencl", "sycl":
 		spec, err := device.ByName(deviceName)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, usageError{err}
 		}
 		dev := gpu.New(spec)
+		if in := fault.NewInjector(faultPlan); in != nil {
+			dev.SetFaults(in)
+		}
 		if engine == "opencl" {
-			e := &search.SimCL{Device: dev, Variant: variant}
+			e := &search.SimCL{Device: dev, Variant: variant, Resilience: res}
 			return e, e, nil
 		}
-		e := &search.SimSYCL{Device: dev, Variant: variant}
+		e := &search.SimSYCL{Device: dev, Variant: variant, Resilience: res}
 		return e, e, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown engine %q (want cpu, opencl or sycl)", engine)
+		return nil, nil, usageError{fmt.Errorf("unknown engine %q (want cpu, indexed, opencl or sycl)", engine)}
 	}
 }

@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"casoffinder/internal/pipeline"
 )
 
 // writeTestData creates a genome directory with a planted site and an
@@ -111,6 +115,124 @@ func TestRunErrors(t *testing.T) {
 				t.Error("expected error")
 			}
 		})
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, exitOK},
+		{"help", flag.ErrHelp, exitOK},
+		{"runtime", errors.New("boom"), exitRuntime},
+		{"usage", usageError{errors.New("bad flag")}, exitUsage},
+		{"wrapped usage", errors.Join(errors.New("ctx"), usageError{errors.New("bad")}), exitUsage},
+		{"partial", &pipeline.PartialError{Report: &pipeline.Report{Chunks: 4}}, exitPartial},
+	}
+	for _, tt := range tests {
+		if got := exitCode(tt.err); got != tt.want {
+			t.Errorf("%s: exitCode(%v) = %d, want %d", tt.name, tt.err, got, tt.want)
+		}
+	}
+}
+
+func TestRunUsageErrorsExitUsage(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"no input", nil},
+		{"bad flag", []string{"-no-such-flag", input}},
+		{"bad engine", []string{"-engine", "cuda", input}},
+		{"bad variant", []string{"-variant", "opt9", input}},
+		{"bad device", []string{"-engine", "sycl", "-device", "H100", input}},
+		{"bad fault site", []string{"-engine", "opencl", "-fault-rate", "0.5", "-fault-site", "gpu.meltdown", input}},
+		{"fault rate out of range", []string{"-engine", "opencl", "-fault-rate", "1.5", input}},
+		{"fault flags on cpu engine", []string{"-engine", "cpu", "-fault-rate", "0.5", input}},
+		{"watchdog on indexed engine", []string{"-engine", "indexed", "-watchdog", "1s", input}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			err := run(tt.args, &out, &errOut)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if got := exitCode(err); got != exitUsage {
+				t.Errorf("exitCode = %d, want %d (err: %v)", got, exitUsage, err)
+			}
+		})
+	}
+}
+
+// TestRunFaultRecovery injects a certain failure (rate 1) at one site per
+// sim engine and checks the run still reports the planted site — retries or
+// the CPU failover keep the output identical to the fault-free run — while
+// the degradation summary lands on stderr.
+func TestRunFaultRecovery(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	tests := []struct {
+		engine, site string
+	}{
+		{"opencl", "opencl.enqueue"},
+		{"opencl", "gpu.readback"},
+		{"sycl", "sycl.async"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.engine+"/"+tt.site, func(t *testing.T) {
+			var golden, out, errOut bytes.Buffer
+			if err := run([]string{"-engine", tt.engine, input}, &golden, &errOut); err != nil {
+				t.Fatal(err)
+			}
+			errOut.Reset()
+			err := run([]string{"-engine", tt.engine, "-fault-rate", "1",
+				"-fault-seed", "42", "-fault-site", tt.site, input}, &out, &errOut)
+			if err != nil {
+				t.Fatalf("faulted run: %v (stderr: %s)", err, errOut.String())
+			}
+			if out.String() != golden.String() {
+				t.Errorf("faulted output differs from golden:\n%s\nvs\n%s", out.String(), golden.String())
+			}
+			if !strings.Contains(errOut.String(), "degraded:") {
+				t.Errorf("stderr missing degradation summary: %s", errOut.String())
+			}
+			if !strings.Contains(errOut.String(), "faults: "+tt.site+"=") {
+				t.Errorf("stderr missing fault counts: %s", errOut.String())
+			}
+		})
+	}
+}
+
+// TestRunFaultDeterminism replays the same plan twice: stdout and the fault
+// summary must match byte for byte.
+func TestRunFaultDeterminism(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	faultLine := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "faults:") {
+				return line
+			}
+		}
+		return ""
+	}
+	var out1, out2, err1, err2 bytes.Buffer
+	// The watchdog keeps an injected gpu.hang from stalling the run; an
+	// actual hang always overruns it, so the kill count stays deterministic.
+	args := []string{"-engine", "sycl", "-fault-rate", "0.3", "-fault-seed", "7", "-watchdog", "2s", input}
+	if err := run(args, &out1, &err1); err != nil {
+		t.Fatalf("first run: %v (stderr: %s)", err, err1.String())
+	}
+	if err := run(args, &out2, &err2); err != nil {
+		t.Fatalf("second run: %v (stderr: %s)", err, err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("same seed produced different hits:\n%s\nvs\n%s", out1.String(), out2.String())
+	}
+	if f1, f2 := faultLine(err1.String()), faultLine(err2.String()); f1 != f2 {
+		t.Errorf("same seed produced different fault schedules:\n%q\nvs\n%q", f1, f2)
 	}
 }
 

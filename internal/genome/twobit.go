@@ -130,13 +130,38 @@ func (p *Packed) Unpack() []byte {
 	return out
 }
 
+// RangeError reports a base range that does not lie within a packed
+// sequence. It is the value AppendRange panics with and the error CheckRange
+// returns, so callers working from untrusted coordinates — a hit locus read
+// back from a simulated device, a user-supplied region — can validate with a
+// typed error instead of recovering a panic.
+type RangeError struct {
+	From, To, Len int
+}
+
+// Error implements error.
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("genome: range [%d,%d) out of range for %d bases", e.From, e.To, e.Len)
+}
+
+// CheckRange validates that [from, to) lies within [0, Len], returning a
+// *RangeError describing the violation otherwise.
+func (p *Packed) CheckRange(from, to int) error {
+	if from < 0 || to < from || to > p.n {
+		return &RangeError{From: from, To: to, Len: p.n}
+	}
+	return nil
+}
+
 // AppendRange appends bases [from, to) to dst as ASCII codes and returns the
 // extended slice. The range must lie within [0, Len]; before this was
 // enforced, a range that spilled past Len read the packing padding and
-// silently appended 'A's.
+// silently appended 'A's. An out-of-range call is a programmer error and
+// panics with a *RangeError; callers holding untrusted coordinates should
+// screen them with CheckRange first.
 func (p *Packed) AppendRange(dst []byte, from, to int) []byte {
-	if from < 0 || to < from || to > p.n {
-		panic(fmt.Sprintf("genome: AppendRange [%d,%d) out of range for %d bases", from, to, p.n))
+	if err := p.CheckRange(from, to); err != nil {
+		panic(err)
 	}
 	for i := from; i < to; i++ {
 		dst = append(dst, p.Base(i))

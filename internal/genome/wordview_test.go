@@ -122,14 +122,25 @@ func TestAppendRangeBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range [][2]int{{-1, 4}, {2, 9}, {5, 4}} {
+		if _, ok := p.CheckRange(r[0], r[1]).(*RangeError); !ok {
+			t.Errorf("CheckRange(%d, %d) did not return a *RangeError", r[0], r[1])
+		}
 		func() {
 			defer func() {
-				if recover() == nil {
+				v := recover()
+				if v == nil {
 					t.Errorf("AppendRange(%d, %d) did not panic", r[0], r[1])
+					return
+				}
+				if _, ok := v.(*RangeError); !ok {
+					t.Errorf("AppendRange(%d, %d) panicked with %T, want *RangeError", r[0], r[1], v)
 				}
 			}()
 			p.AppendRange(nil, r[0], r[1])
 		}()
+	}
+	if err := p.CheckRange(0, 8); err != nil {
+		t.Errorf("CheckRange(0, 8) = %v, want nil", err)
 	}
 	// The full range is still fine.
 	if got := p.AppendRange(nil, 0, 8); string(got) != "ACGTACGT" {

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/gpu/device"
 )
 
@@ -15,6 +16,7 @@ import (
 type Device struct {
 	spec    device.Spec
 	workers int
+	faults  *fault.Injector
 
 	mu        sync.Mutex
 	allocated int64
@@ -51,6 +53,22 @@ func New(spec device.Spec, opts ...Option) *Device {
 
 // Spec returns the device specification.
 func (d *Device) Spec() device.Spec { return d.spec }
+
+// WithFaults attaches a fault injector at construction time.
+func WithFaults(in *fault.Injector) Option {
+	return func(d *Device) { d.faults = in }
+}
+
+// SetFaults attaches (or, with nil, removes) the device's fault injector.
+// It must be called before work is submitted; the injector is then read
+// without locking on the launch path.
+func (d *Device) SetFaults(in *fault.Injector) { d.faults = in }
+
+// Faults returns the device's fault injector; nil means no injection. The
+// runtime frontends sample it for their own fault sites (enqueue errors,
+// readback corruption, async exceptions) so one seeded schedule covers the
+// whole simulated stack.
+func (d *Device) Faults() *fault.Injector { return d.faults }
 
 func (d *Device) recordLaunch(name string, s *Stats) {
 	d.mu.Lock()

@@ -1,9 +1,12 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"casoffinder/internal/fault"
 )
 
 // LocalArg marks an OpenCL-style __local kernel argument — the result of
@@ -40,6 +43,11 @@ type LaunchSpec struct {
 	// uses; it is carried into the launch record for the occupancy model
 	// and validated against the device limit.
 	LDSBytesPerWG int
+	// Ctx, when set, bounds the launch: an injected hang blocks on it until
+	// the caller's watchdog cancels, instead of wedging the process. A nil
+	// Ctx keeps the historical synchronous contract (and converts injected
+	// hangs into immediate launch failures, so nothing can block forever).
+	Ctx context.Context
 }
 
 // launchState is the per-launch context shared by all groups.
@@ -64,6 +72,9 @@ const inlineLaunchItems = 2048
 // semantics. Launch blocks until the kernel completes (the frontends add
 // their own asynchronous-queue semantics on top).
 func (d *Device) Launch(spec LaunchSpec) (*Stats, error) {
+	if err := d.injectLaunchFault(&spec); err != nil {
+		return nil, err
+	}
 	if spec.Kernel == nil && spec.Phases == nil {
 		return nil, fmt.Errorf("gpu: launch %q: nil kernel", spec.Name)
 	}
@@ -112,6 +123,33 @@ func (d *Device) Launch(spec LaunchSpec) (*Stats, error) {
 	total.WorkItems = int64(spec.Global.Total())
 	d.recordLaunch(spec.Name, &total)
 	return &total, nil
+}
+
+// injectLaunchFault samples the device's fault injector at the two kernel
+// fault sites. A launch fault fails fast, before any work-group runs. A
+// hang fault parks the launch on the spec's context — the simulated kernel
+// is wedged and only the caller's watchdog deadline can reap it; launches
+// submitted without a context degrade the hang to an immediate failure so
+// an unwatched launch can never block forever.
+func (d *Device) injectLaunchFault(spec *LaunchSpec) error {
+	in := d.faults
+	if in == nil {
+		return nil
+	}
+	if in.Fire(fault.SiteLaunch) {
+		return fault.Errorf(fault.SiteLaunch, fault.Transient,
+			"gpu: launch %q: injected launch failure", spec.Name)
+	}
+	if in.Fire(fault.SiteHang) {
+		if spec.Ctx == nil {
+			return fault.Errorf(fault.SiteHang, fault.Transient,
+				"gpu: launch %q: injected hang with no launch context", spec.Name)
+		}
+		<-spec.Ctx.Done()
+		return fault.Errorf(fault.SiteHang, fault.Transient,
+			"gpu: launch %q: hung work-group cancelled: %w", spec.Name, spec.Ctx.Err())
+	}
+	return nil
 }
 
 // coopWorker is the pooled per-worker execution state of the cooperative

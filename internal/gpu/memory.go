@@ -31,6 +31,10 @@ type Allocation struct {
 // Bytes returns the allocation size.
 func (a *Allocation) Bytes() int64 { return a.bytes }
 
+// Device returns the device the allocation was reserved on; the runtime
+// frontends use it to reach the device's fault injector at readback time.
+func (a *Allocation) Device() *Device { return a.dev }
+
 // Kind returns the address space of the allocation.
 func (a *Allocation) Kind() MemKind { return a.kind }
 

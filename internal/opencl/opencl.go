@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sync"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/gpu"
 )
 
@@ -38,6 +39,16 @@ var (
 	ErrProgramNotBuilt = errors.New("opencl: program has not been built")
 	// ErrInvalidBufferRange mirrors CL_INVALID_VALUE on buffer transfers.
 	ErrInvalidBufferRange = errors.New("opencl: buffer transfer range out of bounds")
+	// ErrEnqueueFailed mirrors a transient CL_OUT_OF_RESOURCES-style status
+	// from clEnqueueNDRangeKernel; injected by the fault layer.
+	ErrEnqueueFailed = errors.New("opencl: enqueue failed")
+	// ErrTransferFailed mirrors a transient error status from
+	// clEnqueueReadBuffer/clEnqueueWriteBuffer; injected by the fault layer.
+	ErrTransferFailed = errors.New("opencl: buffer transfer failed")
+	// ErrDeviceLost mirrors CL_DEVICE_NOT_AVAILABLE after a device loss: the
+	// first occurrence poisons the owning context and every later call on it
+	// repeats the error, as a real runtime behaves once the device is gone.
+	ErrDeviceLost = errors.New("opencl: device lost")
 )
 
 // DeviceType selects devices in a platform query, as in clGetDeviceIDs.
@@ -106,6 +117,7 @@ type Context struct {
 
 	mu       sync.Mutex
 	released bool
+	lost     bool
 }
 
 // CreateContext creates a context for the given devices (clCreateContext).
@@ -125,7 +137,34 @@ func (c *Context) use() error {
 	if c.released {
 		return fmt.Errorf("context: %w", ErrReleased)
 	}
+	if c.lost {
+		return fault.Errorf(fault.SiteCLDeviceLost, fault.Fatal, "context: %w", ErrDeviceLost)
+	}
 	return nil
+}
+
+// markLost poisons the context after a device loss: every later use of the
+// context, its queues or its memory objects fails with ErrDeviceLost.
+// Release still works, so teardown of a lost context stays clean.
+func (c *Context) markLost() {
+	c.mu.Lock()
+	c.lost = true
+	c.mu.Unlock()
+}
+
+// Lost reports whether the context has been poisoned by a device loss.
+func (c *Context) Lost() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lost
+}
+
+// faults returns the fault injector of the context's first device.
+func (c *Context) faults() *fault.Injector {
+	if len(c.devices) == 0 {
+		return nil
+	}
+	return c.devices[0].sim.Faults()
 }
 
 // Release releases the context — part of step 13 of Table I. Releasing

@@ -1,9 +1,11 @@
 package opencl
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/gpu"
 )
 
@@ -123,8 +125,30 @@ func defaultLocalSize(global int) int {
 // Table I. Passing lws <= 0 lets the runtime choose the work-group size,
 // as Cas-OFFinder's OpenCL host program does.
 func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, gws, lws int) (*Event, error) {
+	return q.EnqueueNDRangeKernelCtx(nil, k, gws, lws)
+}
+
+// EnqueueNDRangeKernelCtx is EnqueueNDRangeKernel with a launch-bounding
+// context: an injected kernel hang blocks on ctx until the caller's
+// watchdog cancels it, instead of wedging the queue. A nil ctx keeps the
+// plain synchronous contract.
+func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, gws, lws int) (*Event, error) {
 	if err := q.use(); err != nil {
 		return nil, err
+	}
+	if err := q.ctx.use(); err != nil {
+		return nil, err
+	}
+	if in := q.ctx.faults(); in != nil {
+		if in.Fire(fault.SiteCLDeviceLost) {
+			q.ctx.markLost()
+			return nil, fault.Errorf(fault.SiteCLDeviceLost, fault.Fatal,
+				"opencl: enqueue %s: %w", k.name, ErrDeviceLost)
+		}
+		if in.Fire(fault.SiteCLEnqueue) {
+			return nil, fault.Errorf(fault.SiteCLEnqueue, fault.Transient,
+				"opencl: enqueue %s: %w", k.name, ErrEnqueueFailed)
+		}
 	}
 	args, lds, err := k.bind()
 	if err != nil {
@@ -138,6 +162,7 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, gws, lws int) (*Event, er
 		Global:        gpu.R1(gws),
 		Local:         gpu.R1(lws),
 		LDSBytesPerWG: lds,
+		Ctx:           ctx,
 	}
 	if err := buildSpec(k.builder, k.name, args, &spec); err != nil {
 		return nil, err
@@ -149,12 +174,28 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, gws, lws int) (*Event, er
 	return &Event{kernelName: k.name, stats: stats}, nil
 }
 
+// injectTransferFault samples the transfer fault site for one buffer
+// command, returning the injected error-code result if it fires.
+func (q *CommandQueue) injectTransferFault(op string) error {
+	if in := q.ctx.faults(); in != nil && in.Fire(fault.SiteCLTransfer) {
+		return fault.Errorf(fault.SiteCLTransfer, fault.Transient,
+			"opencl: %s: %w", op, ErrTransferFailed)
+	}
+	return nil
+}
+
 // EnqueueReadBuffer reads n elements starting at element offset from the
 // buffer object into dst — the first row of Table III. The blocking flag is
 // accepted for fidelity; the in-order schedule makes both forms complete at
 // return.
 func EnqueueReadBuffer[T any](q *CommandQueue, src *Mem, blocking bool, offset, n int, dst []T) (*Event, error) {
 	if err := q.use(); err != nil {
+		return nil, err
+	}
+	if err := q.ctx.use(); err != nil {
+		return nil, err
+	}
+	if err := q.injectTransferFault("clEnqueueReadBuffer"); err != nil {
 		return nil, err
 	}
 	data, err := Slice[T](src)
@@ -168,6 +209,13 @@ func EnqueueReadBuffer[T any](q *CommandQueue, src *Mem, blocking bool, offset, 
 		return nil, fmt.Errorf("%w: destination holds %d of %d elements", ErrInvalidBufferRange, len(dst), n)
 	}
 	copy(dst[:n], data[offset:offset+n])
+	// Readback corruption happens after a successful copy: the device's
+	// global memory (or the bus) handed back damaged data, and only the
+	// host-side copy sees it. The MSB flips are loud enough that the
+	// engines' bounds validation detects and classifies them.
+	if in := q.ctx.faults(); in != nil && in.Fire(fault.SiteReadback) {
+		fault.CorruptAny(any(dst[:n]))
+	}
 	return &Event{}, nil
 }
 
@@ -175,6 +223,12 @@ func EnqueueReadBuffer[T any](q *CommandQueue, src *Mem, blocking bool, offset, 
 // element offset — the second row of Table III.
 func EnqueueWriteBuffer[T any](q *CommandQueue, dst *Mem, blocking bool, offset, n int, src []T) (*Event, error) {
 	if err := q.use(); err != nil {
+		return nil, err
+	}
+	if err := q.ctx.use(); err != nil {
+		return nil, err
+	}
+	if err := q.injectTransferFault("clEnqueueWriteBuffer"); err != nil {
 		return nil, err
 	}
 	data, err := Slice[T](dst)

@@ -17,6 +17,7 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -117,6 +118,12 @@ type Pipeline struct {
 	// one worker (the double-buffered schedule of the simulator engines).
 	// The CPU engine raises it to scan chunks in parallel.
 	ScanWorkers int
+	// Resilience, when non-nil, switches Stream to the serial
+	// fault-tolerant executor (see resilience.go): per-chunk retry with
+	// backoff, watchdog deadlines, failover to a fallback backend, and
+	// quarantine with a PartialError instead of aborting on the first
+	// backend failure. ScanWorkers is ignored in that mode.
+	Resilience *Resilience
 }
 
 // Stream executes the request, calling emit sequentially for every hit.
@@ -133,7 +140,12 @@ func (p *Pipeline) Stream(ctx context.Context, asm *genome.Assembly, req *Reques
 	if err != nil {
 		return err
 	}
-	runErr := p.run(ctx, be, plan, asm, emit)
+	var runErr error
+	if p.Resilience != nil {
+		runErr = p.runResilient(ctx, be, plan, asm, emit)
+	} else {
+		runErr = p.run(ctx, be, plan, asm, emit)
+	}
 	if cerr := be.Close(); runErr == nil {
 		runErr = cerr
 	}
@@ -141,14 +153,20 @@ func (p *Pipeline) Stream(ctx context.Context, asm *genome.Assembly, req *Reques
 }
 
 // Collect executes the request and returns all hits in the deterministic
-// output order; on error the partial results are dropped and nil is
-// returned.
+// output order. On error the partial results are dropped and nil is
+// returned — except for a PartialError from the resilient executor, where
+// the hits outside the quarantined chunks are returned alongside it.
 func (p *Pipeline) Collect(ctx context.Context, asm *genome.Assembly, req *Request) ([]Hit, error) {
 	var hits []Hit
 	if err := p.Stream(ctx, asm, req, func(h Hit) error {
 		hits = append(hits, h)
 		return nil
 	}); err != nil {
+		var pe *PartialError
+		if errors.As(err, &pe) {
+			SortHits(hits)
+			return hits, err
+		}
 		return nil, err
 	}
 	SortHits(hits)

@@ -1,0 +1,413 @@
+// Resilient execution: the fault-tolerant chunk executor the pipeline
+// switches to when a Resilience policy is configured. Where the default
+// topology treats the first backend error as fatal to the whole run, the
+// resilient executor treats errors as per-chunk events: transient failures
+// are retried with capped exponential backoff, hung kernels are reaped by a
+// per-phase watchdog deadline, and chunks that keep failing — or fail
+// fatally, or return corrupted data — are re-staged on a fallback backend.
+// Only a chunk that fails on the fallback too is quarantined; the run then
+// completes with a structured PartialError instead of aborting.
+//
+// Determinism contract: the resilient executor runs strictly serially — one
+// goroutine stages, scans and emits each chunk before touching the next.
+// This deliberately gives up the double-buffered stage/scan overlap of the
+// default topology, because overlapping enqueues would race the per-site
+// fault-injection counters and make the injection schedule depend on thread
+// interleaving. Serial execution makes the whole failure schedule, the
+// retry/failover trace and the emitted hit stream a pure function of
+// (request, assembly, fault seed), which is what lets a fault run be
+// replayed byte-identically.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"casoffinder/internal/fault"
+	"casoffinder/internal/genome"
+)
+
+// Default resilience parameters, used when the corresponding Resilience
+// field is zero.
+const (
+	// DefaultMaxRetries is the per-chunk transient retry budget on the
+	// primary backend.
+	DefaultMaxRetries = 2
+	// DefaultBackoffBase is the first retry delay.
+	DefaultBackoffBase = 1 * time.Millisecond
+	// DefaultBackoffMax caps the exponential backoff growth.
+	DefaultBackoffMax = 50 * time.Millisecond
+)
+
+// Resilience configures the fault-tolerant executor. Setting a non-nil
+// Resilience on a Pipeline switches Stream from the concurrent
+// double-buffered topology to the serial resilient one (see the package
+// comment on determinism).
+type Resilience struct {
+	// MaxRetries is how many times a chunk is retried on the primary
+	// backend after a transient failure before failing over. Zero means
+	// DefaultMaxRetries; negative means no retries.
+	MaxRetries int
+	// Watchdog bounds every backend phase call (Stage, Find, Compare,
+	// Drain). A phase that exceeds it — a hung simulated kernel — is
+	// cancelled through its context and treated as a transient failure.
+	// Zero disables the watchdog.
+	Watchdog time.Duration
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// between retries: attempt k waits base·2^k, capped at max, scaled by
+	// a deterministic jitter in [0.5, 1.0). Zero values take the package
+	// defaults.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed feeds the backoff jitter so retry timing is reproducible.
+	Seed uint64
+	// Fallback opens the failover backend for a plan. It is called at
+	// most once per Stream, lazily, the first time a chunk exhausts the
+	// primary; the backend is closed with the run. A nil Fallback
+	// disables failover: chunks that exhaust the primary are quarantined
+	// directly.
+	Fallback func(plan *Plan) (Backend, error)
+	// OnReport, when set, receives the run's resilience report exactly
+	// once, after the last chunk settles and before backends close.
+	OnReport func(*Report)
+}
+
+func (r *Resilience) maxRetries() int {
+	if r.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	if r.MaxRetries < 0 {
+		return 0
+	}
+	return r.MaxRetries
+}
+
+func (r *Resilience) backoffBase() time.Duration {
+	if r.BackoffBase <= 0 {
+		return DefaultBackoffBase
+	}
+	return r.BackoffBase
+}
+
+func (r *Resilience) backoffMax() time.Duration {
+	if r.BackoffMax <= 0 {
+		return DefaultBackoffMax
+	}
+	return r.BackoffMax
+}
+
+// backoff returns the deterministic delay before retry attempt (1-based)
+// of the given chunk: capped exponential growth scaled by a jitter in
+// [0.5, 1.0) derived from (Seed, chunk, attempt), so two runs with the
+// same seed retry on the same schedule.
+func (r *Resilience) backoff(chunk, attempt int) time.Duration {
+	d := r.backoffBase()
+	max := r.backoffMax()
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max {
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	j := fault.Jitter(r.Seed, uint64(chunk), uint64(attempt)) // [0.5, 1.0)
+	return time.Duration(float64(d) * j)
+}
+
+// Report summarises the resilience events of one run. It is attached to a
+// PartialError when chunks were quarantined and delivered through
+// Resilience.OnReport in every case.
+type Report struct {
+	// Chunks is the number of chunks the plan produced.
+	Chunks int
+	// Retries counts primary-backend retry attempts across all chunks.
+	Retries int64
+	// Failovers counts chunks re-staged on the fallback backend.
+	Failovers int64
+	// WatchdogKills counts phases cancelled by the watchdog deadline.
+	WatchdogKills int64
+	// FallbackUsed reports whether the fallback backend was opened.
+	FallbackUsed bool
+	// Quarantined lists the chunks that failed on every arm, in chunk
+	// order. Their hits are missing from the emitted stream.
+	Quarantined []ChunkFailure
+}
+
+// Degraded reports whether the run deviated from the clean path at all.
+func (r *Report) Degraded() bool {
+	return r.Retries > 0 || r.Failovers > 0 || r.WatchdogKills > 0 || len(r.Quarantined) > 0
+}
+
+// ChunkFailure records one quarantined chunk: which part of the assembly is
+// missing from the results and why.
+type ChunkFailure struct {
+	// Index is the chunk's position in plan order.
+	Index int
+	// SeqName and Start locate the chunk in the assembly; Body is how
+	// many site-start positions its loss removes from the search.
+	SeqName string
+	Start   int
+	Body    int
+	// Attempts is the total number of scan attempts across both arms.
+	Attempts int
+	// Err is the error that exhausted the last arm.
+	Err error
+}
+
+func (f *ChunkFailure) String() string {
+	return fmt.Sprintf("chunk %d (%s:%d, %d sites) after %d attempts: %v",
+		f.Index, f.SeqName, f.Start, f.Body, f.Attempts, f.Err)
+}
+
+// PartialError is returned by Stream when the run completed but one or more
+// chunks were quarantined: every hit outside the quarantined chunks was
+// emitted in the deterministic order, and the report says exactly which
+// genome regions are missing.
+type PartialError struct {
+	Report *Report
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	n := len(e.Report.Quarantined)
+	return fmt.Sprintf("pipeline: partial results: %d of %d chunks quarantined", n, e.Report.Chunks)
+}
+
+// Releaser is an optional Backend capability: backends that can release the
+// per-chunk resources of an abandoned staged handle implement it, so the
+// resilient executor returns device memory as soon as a scan attempt is
+// abandoned instead of holding every orphaned handle until Close.
+type Releaser interface {
+	Release(st Staged)
+}
+
+// runResilient is the serial fault-tolerant executor (see the package
+// comment for the topology and determinism rationale). Hits are emitted in
+// chunk order as each chunk settles; a context cancellation or emit error
+// aborts the run, while chunk-level failures degrade it.
+func (p *Pipeline) runResilient(ctx context.Context, be Backend, plan *Plan, asm *genome.Assembly, emit func(Hit) error) error {
+	res := p.Resilience
+	rep := &Report{}
+	var fallback Backend
+	defer func() {
+		if res.OnReport != nil {
+			res.OnReport(rep)
+		}
+	}()
+	defer func() {
+		if fallback != nil {
+			fallback.Close()
+		}
+	}()
+
+	// openFallback opens the failover backend on first use.
+	openFallback := func() (Backend, error) {
+		if fallback != nil {
+			return fallback, nil
+		}
+		if res.Fallback == nil {
+			return nil, nil
+		}
+		fb, err := res.Fallback(plan)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: opening fallback backend: %w", err)
+		}
+		fallback = fb
+		rep.FallbackUsed = true
+		return fb, nil
+	}
+
+	r := &SiteRenderer{}
+	index := 0
+	err := plan.Chunker.Each(asm, func(ch *genome.Chunk) error {
+		hits, cf, err := p.scanResilient(ctx, be, openFallback, plan, index, ch, r, rep)
+		if err != nil {
+			return err // cancellation: abort the walk
+		}
+		rep.Chunks++
+		if cf != nil {
+			rep.Quarantined = append(rep.Quarantined, *cf)
+		} else {
+			for _, h := range hits {
+				if err := emit(h); err != nil {
+					return err
+				}
+			}
+		}
+		index++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(rep.Quarantined) > 0 {
+		return &PartialError{Report: rep}
+	}
+	return nil
+}
+
+// scanResilient settles one chunk: primary attempts with transient retry,
+// then a failover attempt on the fallback backend, then quarantine. The
+// returned error is non-nil only for run-aborting conditions (context
+// cancellation); chunk-level failures come back as a ChunkFailure.
+func (p *Pipeline) scanResilient(ctx context.Context, primary Backend, openFallback func() (Backend, error), plan *Plan, index int, ch *genome.Chunk, r *SiteRenderer, rep *Report) ([]Hit, *ChunkFailure, error) {
+	res := p.Resilience
+	attempts := 0
+	var lastErr error
+
+	// Primary arm: first attempt plus the transient retry budget.
+	for try := 0; ; try++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		hits, err := p.attemptChunk(ctx, primary, plan, ch, r, rep)
+		attempts++
+		if err == nil {
+			return hits, nil, nil
+		}
+		if ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
+		lastErr = err
+		if fault.ClassOf(err) != fault.Transient || try >= res.maxRetries() {
+			break // fatal, corrupted, or out of retries: fail over
+		}
+		rep.Retries++
+		if err := sleepCtx(ctx, res.backoff(index, try+1)); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Failover arm: one attempt on the fallback backend.
+	if fb, err := openFallback(); err != nil {
+		lastErr = err
+	} else if fb != nil {
+		rep.Failovers++
+		hits, err := p.attemptChunk(ctx, fb, plan, ch, r, rep)
+		attempts++
+		if err == nil {
+			return hits, nil, nil
+		}
+		if ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
+		lastErr = err
+	}
+
+	return nil, &ChunkFailure{
+		Index:    index,
+		SeqName:  ch.SeqName,
+		Start:    ch.Start,
+		Body:     ch.Body,
+		Attempts: attempts,
+		Err:      lastErr,
+	}, nil
+}
+
+// attemptChunk runs one full scan attempt — Stage through Drain — on one
+// backend, each phase bounded by the watchdog deadline. The staged handle
+// is released (when the backend supports it) if any phase fails, so a
+// retried chunk always re-stages fresh.
+func (p *Pipeline) attemptChunk(ctx context.Context, be Backend, plan *Plan, ch *genome.Chunk, r *SiteRenderer, rep *Report) (hits []Hit, err error) {
+	guard := p.watchdogGuard(rep)
+
+	var st Staged
+	err = guard(ctx, func(pctx context.Context) error {
+		var serr error
+		st, serr = be.Stage(pctx, ch)
+		return serr
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			if rel, ok := be.(Releaser); ok {
+				rel.Release(st)
+			}
+		}
+	}()
+
+	var n int
+	err = guard(ctx, func(pctx context.Context) error {
+		var ferr error
+		n, ferr = be.Find(pctx, st)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		if bc, ok := be.(BatchComparer); ok {
+			err = guard(ctx, func(pctx context.Context) error {
+				return bc.CompareAll(pctx, st)
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			for qi := range plan.Guides {
+				err = guard(ctx, func(pctx context.Context) error {
+					return be.Compare(pctx, st, qi)
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	err = guard(ctx, func(pctx context.Context) error {
+		var derr error
+		hits, derr = be.Drain(pctx, st, r)
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	SortHits(hits)
+	return hits, nil
+}
+
+// watchdogGuard wraps one backend phase call in the watchdog deadline: the
+// phase receives a context that is cancelled when the deadline passes, so a
+// hung simulated kernel parked on it is reaped. A deadline hit is reported
+// as a transient watchdog fault and counted; cancellation of the parent
+// context passes through untouched.
+func (p *Pipeline) watchdogGuard(rep *Report) func(ctx context.Context, phase func(context.Context) error) error {
+	wd := p.Resilience.Watchdog
+	return func(ctx context.Context, phase func(context.Context) error) error {
+		pctx := ctx
+		if wd > 0 {
+			var cancel context.CancelFunc
+			pctx, cancel = context.WithTimeout(ctx, wd)
+			defer cancel()
+		}
+		err := phase(pctx)
+		if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			rep.WatchdogKills++
+			return fault.New(fault.SiteWatchdog, fault.Transient,
+				fmt.Errorf("pipeline: watchdog deadline (%v) reaped phase: %w", wd, err))
+		}
+		return err
+	}
+}
+
+// sleepCtx sleeps for d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,364 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"casoffinder/internal/fault"
+	"casoffinder/internal/genome"
+)
+
+// flakyBackend layers a scripted per-chunk failure policy and the Releaser
+// capability over fakeBackend. failFind receives the phase context, the
+// chunk key and the 0-based attempt number for that chunk on this backend.
+type flakyBackend struct {
+	*fakeBackend
+	mu       sync.Mutex
+	attempts map[string]int
+	released int
+	failFind func(ctx context.Context, key string, attempt int) error
+}
+
+func newFlakyBackend() *flakyBackend {
+	return &flakyBackend{fakeBackend: newFakeBackend(), attempts: map[string]int{}}
+}
+
+func (b *flakyBackend) Find(ctx context.Context, st Staged) (int, error) {
+	s := st.(*fakeStaged)
+	key := chunkKey(s.ch)
+	b.mu.Lock()
+	attempt := b.attempts[key]
+	b.attempts[key] = attempt + 1
+	b.mu.Unlock()
+	if b.failFind != nil {
+		if err := b.failFind(ctx, key, attempt); err != nil {
+			return 0, err
+		}
+	}
+	return b.fakeBackend.Find(ctx, st)
+}
+
+func (b *flakyBackend) Release(st Staged) {
+	s := st.(*fakeStaged)
+	b.fakeBackend.mu.Lock()
+	delete(b.fakeBackend.live, s)
+	b.fakeBackend.mu.Unlock()
+	b.mu.Lock()
+	b.released++
+	b.mu.Unlock()
+}
+
+func (b *flakyBackend) attemptsFor(key string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempts[key]
+}
+
+// checkFlakyAccounting asserts every staged handle was drained, released
+// after an abandoned attempt, or swept by Close.
+func checkFlakyAccounting(t *testing.T, b *flakyBackend) {
+	t.Helper()
+	b.fakeBackend.mu.Lock()
+	staged := int(b.stageN.Load())
+	drained := b.drained
+	atClose := b.liveAtClose
+	closed := b.closed
+	b.fakeBackend.mu.Unlock()
+	b.mu.Lock()
+	released := b.released
+	b.mu.Unlock()
+	if closed != 1 {
+		t.Errorf("Close called %d times, want 1", closed)
+	}
+	if drained+released+atClose != staged {
+		t.Errorf("handle leak: staged %d, drained %d, released %d, at close %d",
+			staged, drained, released, atClose)
+	}
+}
+
+func resilientPipeline(primary Backend, fallback Backend, res Resilience) *Pipeline {
+	if fallback != nil {
+		res.Fallback = func(*Plan) (Backend, error) { return fallback, nil }
+	}
+	return &Pipeline{
+		Open:       func(*Plan) (Backend, error) { return primary, nil },
+		Resilience: &res,
+	}
+}
+
+// goldenStream runs the same request through a clean pipeline and returns
+// the expected hit stream.
+func goldenStream(t *testing.T, asm *genome.Assembly) []string {
+	t.Helper()
+	var want []string
+	err := pipelineFor(newFakeBackend(), 1).Stream(context.Background(), asm, testReq(), func(h Hit) error {
+		want = append(want, fmt.Sprintf("%s:%d", h.SeqName, h.Pos))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 3 {
+		t.Fatalf("golden stream too small: %v", want)
+	}
+	return want
+}
+
+func streamResilient(t *testing.T, p *Pipeline, asm *genome.Assembly) ([]string, error) {
+	t.Helper()
+	var got []string
+	err := p.Stream(context.Background(), asm, testReq(), func(h Hit) error {
+		got = append(got, fmt.Sprintf("%s:%d", h.SeqName, h.Pos))
+		return nil
+	})
+	return got, err
+}
+
+// TestResilientRetryRecovers: a transient failure on one chunk's first
+// attempt is retried on the primary and the full stream still comes out in
+// order, without touching the fallback.
+func TestResilientRetryRecovers(t *testing.T) {
+	asm := testAsm(500)
+	want := goldenStream(t, asm)
+
+	b := newFlakyBackend()
+	b.failFind = func(_ context.Context, key string, attempt int) error {
+		if key == "seq0:28" && attempt == 0 {
+			return fault.Errorf(fault.SiteCLEnqueue, fault.Transient, "scripted transient")
+		}
+		return nil
+	}
+	var rep *Report
+	p := resilientPipeline(b, nil, Resilience{OnReport: func(r *Report) { rep = r }})
+	got, err := streamResilient(t, p, asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("degraded stream diverges:\n got %v\nwant %v", got, want)
+	}
+	if rep == nil || rep.Retries != 1 || rep.Failovers != 0 || len(rep.Quarantined) != 0 {
+		t.Errorf("report = %+v, want exactly one retry", rep)
+	}
+	if rep.FallbackUsed {
+		t.Error("fallback opened for a recoverable transient")
+	}
+	checkFlakyAccounting(t, b)
+}
+
+// TestResilientFailover: a chunk that exhausts its transient retries on the
+// primary is re-staged on the fallback backend and its hits slot back into
+// the ordered stream.
+func TestResilientFailover(t *testing.T) {
+	asm := testAsm(500)
+	want := goldenStream(t, asm)
+
+	b := newFlakyBackend()
+	b.failFind = func(_ context.Context, key string, _ int) error {
+		if key == "seq0:56" {
+			return fault.Errorf(fault.SiteCLEnqueue, fault.Transient, "scripted persistent transient")
+		}
+		return nil
+	}
+	fb := newFakeBackend()
+	var rep *Report
+	p := resilientPipeline(b, fb, Resilience{MaxRetries: 2, OnReport: func(r *Report) { rep = r }})
+	got, err := streamResilient(t, p, asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("failover stream diverges:\n got %v\nwant %v", got, want)
+	}
+	if rep.Retries != 2 || rep.Failovers != 1 || !rep.FallbackUsed || len(rep.Quarantined) != 0 {
+		t.Errorf("report = %+v, want 2 retries then 1 failover", rep)
+	}
+	if got := b.attemptsFor("seq0:56"); got != 3 {
+		t.Errorf("primary attempts = %d, want 1 + 2 retries", got)
+	}
+	checkFlakyAccounting(t, b)
+}
+
+// TestCorruptionSkipsRetry: a corruption-classed failure must never be
+// retried on the backend that produced it — it goes straight to the
+// fallback for re-verification.
+func TestCorruptionSkipsRetry(t *testing.T) {
+	asm := testAsm(500)
+	want := goldenStream(t, asm)
+
+	b := newFlakyBackend()
+	b.failFind = func(_ context.Context, key string, _ int) error {
+		if key == "seq0:28" {
+			return fault.Errorf(fault.SiteReadback, fault.Corruption, "scripted corruption")
+		}
+		return nil
+	}
+	fb := newFakeBackend()
+	var rep *Report
+	p := resilientPipeline(b, fb, Resilience{MaxRetries: 5, OnReport: func(r *Report) { rep = r }})
+	got, err := streamResilient(t, p, asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("re-verified stream diverges:\n got %v\nwant %v", got, want)
+	}
+	if got := b.attemptsFor("seq0:28"); got != 1 {
+		t.Errorf("corrupted chunk attempted %d times on the primary, want 1", got)
+	}
+	if rep.Retries != 0 || rep.Failovers != 1 {
+		t.Errorf("report = %+v, want zero retries and one failover", rep)
+	}
+}
+
+// TestResilientQuarantine: with no fallback, a persistently failing chunk is
+// quarantined; every other chunk's hits are emitted and the run returns a
+// structured PartialError naming the missing region.
+func TestResilientQuarantine(t *testing.T) {
+	asm := testAsm(500)
+	want := goldenStream(t, asm)
+
+	b := newFlakyBackend()
+	b.failFind = func(_ context.Context, key string, _ int) error {
+		if key == "seq0:28" {
+			return fault.Errorf(fault.SiteCLDeviceLost, fault.Fatal, "scripted fatal")
+		}
+		return nil
+	}
+	var rep *Report
+	p := resilientPipeline(b, nil, Resilience{OnReport: func(r *Report) { rep = r }})
+	got, err := streamResilient(t, p, asm)
+
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if len(pe.Report.Quarantined) != 1 {
+		t.Fatalf("quarantined = %+v, want one chunk", pe.Report.Quarantined)
+	}
+	q := pe.Report.Quarantined[0]
+	if q.SeqName != "seq0" || q.Start != 28 || q.Attempts != 1 {
+		t.Errorf("quarantine record = %+v", q)
+	}
+	if fault.ClassOf(q.Err) != fault.Fatal {
+		t.Errorf("quarantine error class = %v, want fatal", fault.ClassOf(q.Err))
+	}
+	var wantDegraded []string
+	for _, h := range want {
+		if h != "seq0:28" {
+			wantDegraded = append(wantDegraded, h)
+		}
+	}
+	if strings.Join(got, ",") != strings.Join(wantDegraded, ",") {
+		t.Errorf("degraded stream:\n got %v\nwant %v", got, wantDegraded)
+	}
+	if rep == nil || !rep.Degraded() {
+		t.Errorf("report = %+v, want degraded", rep)
+	}
+	checkFlakyAccounting(t, b)
+}
+
+// TestCollectKeepsPartialHits: Collect returns the surviving hits alongside
+// the PartialError, unlike other errors which drop everything.
+func TestCollectKeepsPartialHits(t *testing.T) {
+	asm := testAsm(500)
+	b := newFlakyBackend()
+	b.failFind = func(_ context.Context, key string, _ int) error {
+		if key == "seq0:0" {
+			return fault.Errorf(fault.SiteCLDeviceLost, fault.Fatal, "scripted fatal")
+		}
+		return nil
+	}
+	p := resilientPipeline(b, nil, Resilience{})
+	hits, err := p.Collect(context.Background(), asm, testReq())
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if len(hits) == 0 {
+		t.Error("partial hits dropped")
+	}
+}
+
+// TestWatchdogReapsHang: a scan phase that parks on its context — the
+// injected hung kernel — must be cancelled by the watchdog deadline,
+// classified transient, and recovered by the retry, all well inside the
+// test timeout.
+func TestWatchdogReapsHang(t *testing.T) {
+	asm := testAsm(500)
+	want := goldenStream(t, asm)
+
+	b := newFlakyBackend()
+	b.failFind = func(ctx context.Context, key string, attempt int) error {
+		if key == "seq0:84" && attempt == 0 {
+			<-ctx.Done() // wedged kernel: only the watchdog can reap it
+			return ctx.Err()
+		}
+		return nil
+	}
+	var rep *Report
+	p := resilientPipeline(b, nil, Resilience{Watchdog: 25 * time.Millisecond, OnReport: func(r *Report) { rep = r }})
+	start := time.Now()
+	got, err := streamResilient(t, p, asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("run took %v; the watchdog did not reap the hang promptly", elapsed)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("stream diverges after watchdog recovery:\n got %v\nwant %v", got, want)
+	}
+	if rep.WatchdogKills != 1 || rep.Retries != 1 {
+		t.Errorf("report = %+v, want one watchdog kill and one retry", rep)
+	}
+	checkFlakyAccounting(t, b)
+}
+
+// TestResilientEmitErrorAborts: an emit error still aborts the run
+// immediately in resilient mode.
+func TestResilientEmitErrorAborts(t *testing.T) {
+	b := newFlakyBackend()
+	sentinel := errors.New("emit failed")
+	p := resilientPipeline(b, nil, Resilience{})
+	err := p.Stream(context.Background(), testAsm(500), testReq(), func(Hit) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+}
+
+// TestBackoffDeterministic: the retry schedule is a pure function of
+// (seed, chunk, attempt), grows exponentially, and respects the cap.
+func TestBackoffDeterministic(t *testing.T) {
+	res := &Resilience{Seed: 42, BackoffBase: time.Millisecond, BackoffMax: 8 * time.Millisecond}
+	for chunk := 0; chunk < 4; chunk++ {
+		for attempt := 1; attempt <= 6; attempt++ {
+			d1 := res.backoff(chunk, attempt)
+			d2 := res.backoff(chunk, attempt)
+			if d1 != d2 {
+				t.Fatalf("backoff(%d,%d) nondeterministic: %v vs %v", chunk, attempt, d1, d2)
+			}
+			if d1 > res.BackoffMax {
+				t.Errorf("backoff(%d,%d) = %v exceeds cap %v", chunk, attempt, d1, res.BackoffMax)
+			}
+			if d1 < res.BackoffBase/2 {
+				t.Errorf("backoff(%d,%d) = %v below jittered floor", chunk, attempt, d1)
+			}
+		}
+	}
+	other := &Resilience{Seed: 43, BackoffBase: time.Millisecond, BackoffMax: 8 * time.Millisecond}
+	same := true
+	for attempt := 1; attempt <= 6; attempt++ {
+		if res.backoff(0, attempt) != other.backoff(0, attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical backoff schedule")
+	}
+}

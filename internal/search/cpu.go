@@ -208,11 +208,23 @@ func (b *batchedCPUBackend) CompareAll(ctx context.Context, st pipeline.Staged) 
 // return the scratch to the pool.
 func (b *cpuBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline.SiteRenderer) ([]Hit, error) {
 	s := st.(*cpuStaged)
-	hits := drainEntries(r, s.ch, b.plan.Guides, s.sc.entries)
+	hits, err := drainEntries(r, s.ch, b.plan.Guides, s.sc.entries)
 	s.sc.entries = s.sc.entries[:0]
 	b.scratch.Put(s.sc)
 	s.sc, s.packed, s.view = nil, nil, nil
-	return hits, nil
+	return hits, err
+}
+
+// Release implements pipeline.Releaser: return an abandoned handle's
+// scratch to the pool so a retried or failed-over chunk does not strand it.
+func (b *cpuBackend) Release(st pipeline.Staged) {
+	s, ok := st.(*cpuStaged)
+	if !ok || s == nil || s.sc == nil {
+		return
+	}
+	s.sc.entries = s.sc.entries[:0]
+	b.scratch.Put(s.sc)
+	s.sc, s.packed, s.view = nil, nil, nil
 }
 
 // Close implements pipeline.Backend; the CPU holds no run-wide resources.

@@ -9,6 +9,7 @@ import (
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/pipeline"
 )
 
 // MultiSYCL extends the SYCL application to several devices — the paper's
@@ -24,6 +25,10 @@ type MultiSYCL struct {
 	Variant kernels.ComparerVariant
 	// WorkGroupSize overrides the launch local size (0 means 256).
 	WorkGroupSize int
+	// Resilience, when set, is applied to every per-device sub-engine:
+	// each device retries, reaps hangs and fails over to the CPU engine
+	// independently, and the merged profile carries the combined counters.
+	Resilience *pipeline.Resilience
 
 	profile *Profile
 }
@@ -85,7 +90,7 @@ func (e *MultiSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Reque
 	errs := make([]error, len(e.Devices))
 	var wg sync.WaitGroup
 	for i, dev := range e.Devices {
-		subEngines[i] = &SimSYCL{Device: dev, Variant: e.Variant, WorkGroupSize: e.WorkGroupSize}
+		subEngines[i] = &SimSYCL{Device: dev, Variant: e.Variant, WorkGroupSize: e.WorkGroupSize, Resilience: e.Resilience}
 		if len(parts[i].Sequences) == 0 {
 			continue
 		}
@@ -97,12 +102,23 @@ func (e *MultiSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Reque
 	}
 	wg.Wait()
 
+	// A device that quarantined chunks still produced exact hits for every
+	// other chunk (Collect returns them alongside the PartialError), so
+	// partial devices degrade the merged run instead of failing it; any
+	// other error is fatal.
+	var partial *pipeline.PartialError
+	for i := range e.Devices {
+		var pe *pipeline.PartialError
+		if errs[i] != nil && !errors.As(errs[i], &pe) {
+			return fmt.Errorf("search: sycl-multi device %d: %w", i, errs[i])
+		}
+		if pe != nil && partial == nil {
+			partial = pe
+		}
+	}
 	merged := newProfile()
 	var hits []Hit
 	for i := range e.Devices {
-		if errs[i] != nil {
-			return fmt.Errorf("search: sycl-multi device %d: %w", i, errs[i])
-		}
 		hits = append(hits, results[i]...)
 		if p := subEngines[i].LastProfile(); p != nil && len(parts[i].Sequences) > 0 {
 			merged.merge(p)
@@ -117,6 +133,9 @@ func (e *MultiSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Reque
 		if err := emit(h); err != nil {
 			return err
 		}
+	}
+	if partial != nil {
+		return partial
 	}
 	return nil
 }

@@ -3,7 +3,9 @@ package search
 import (
 	"sync"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/pipeline"
 )
 
 // Profile records what a simulator-backed engine did during one Run: the
@@ -34,6 +36,28 @@ type Profile struct {
 	CandidateSites int64
 	// Entries is the total number of comparer output entries.
 	Entries int64
+
+	// Resilience counters, filled by the fault-tolerant executor when the
+	// engine runs with a pipeline.Resilience policy.
+
+	// Retries counts primary-backend retry attempts.
+	Retries int64
+	// Failovers counts chunks re-staged on the fallback backend.
+	Failovers int64
+	// WatchdogKills counts phases reaped by the watchdog deadline.
+	WatchdogKills int64
+	// QuarantinedChunks counts chunks that failed on every arm.
+	QuarantinedChunks int
+	// AsyncExceptions counts errors delivered to the SYCL queue's
+	// asynchronous exception handler.
+	AsyncExceptions int64
+	// Faults counts injected fault events by site; nil when no injector
+	// was active.
+	Faults map[fault.Site]int64
+	// FaultLog is the injector's fired-event log sorted by (site, seq) —
+	// the replay evidence: two runs with the same plan produce identical
+	// logs.
+	FaultLog []fault.Event
 
 	mu sync.Mutex
 }
@@ -93,6 +117,49 @@ func (p *Profile) addEntries(n int64) {
 	p.mu.Unlock()
 }
 
+// addResilience folds one run's resilience report into the profile.
+func (p *Profile) addResilience(rep *pipeline.Report) {
+	p.mu.Lock()
+	p.Retries += rep.Retries
+	p.Failovers += rep.Failovers
+	p.WatchdogKills += rep.WatchdogKills
+	p.QuarantinedChunks += len(rep.Quarantined)
+	p.mu.Unlock()
+}
+
+// addAsync counts one delivery to the SYCL async exception handler.
+func (p *Profile) addAsync() {
+	p.mu.Lock()
+	p.AsyncExceptions++
+	p.mu.Unlock()
+}
+
+// addFaults copies the injector's fired-event counts and log into the
+// profile; a nil injector is a no-op.
+func (p *Profile) addFaults(in *fault.Injector) {
+	counts := in.Counts()
+	log := in.Log()
+	if counts == nil && log == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.Faults == nil {
+		p.Faults = make(map[fault.Site]int64)
+	}
+	for site, n := range counts {
+		p.Faults[site] += n
+	}
+	p.FaultLog = append(p.FaultLog, log...)
+	p.mu.Unlock()
+}
+
+// Degraded reports whether the run deviated from the clean path.
+func (p *Profile) Degraded() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Retries > 0 || p.Failovers > 0 || p.WatchdogKills > 0 || p.QuarantinedChunks > 0
+}
+
 // merge folds o into p. o must be quiescent (its run finished).
 func (p *Profile) merge(o *Profile) {
 	p.mu.Lock()
@@ -109,6 +176,20 @@ func (p *Profile) merge(o *Profile) {
 	p.BytesRead += o.BytesRead
 	p.CandidateSites += o.CandidateSites
 	p.Entries += o.Entries
+	p.Retries += o.Retries
+	p.Failovers += o.Failovers
+	p.WatchdogKills += o.WatchdogKills
+	p.QuarantinedChunks += o.QuarantinedChunks
+	p.AsyncExceptions += o.AsyncExceptions
+	if o.Faults != nil {
+		if p.Faults == nil {
+			p.Faults = make(map[fault.Site]int64)
+		}
+		for site, n := range o.Faults {
+			p.Faults[site] += n
+		}
+	}
+	p.FaultLog = append(p.FaultLog, o.FaultLog...)
 }
 
 // KernelNames returns the profiled kernel names ("finder" plus the comparer

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/kernels"
@@ -25,6 +26,12 @@ type SimCL struct {
 	// WorkGroupSize forces a local size; 0 lets the runtime choose, as the
 	// upstream OpenCL host program does.
 	WorkGroupSize int
+	// Resilience, when set, runs the engine under the pipeline's
+	// fault-tolerant executor: transient errors retry with backoff, hung
+	// kernels are reaped by the watchdog, and chunks the device cannot
+	// complete fail over to the CPU SWAR engine (unless a custom Fallback
+	// is configured), preserving the byte-identical hit stream.
+	Resilience *pipeline.Resilience
 
 	profile *Profile
 }
@@ -52,8 +59,13 @@ func (e *SimCL) Stream(ctx context.Context, asm *genome.Assembly, req *Request, 
 			return newCLBackend(e, plan)
 		},
 		ScanWorkers: 1,
+		Resilience:  resilienceFor(e.Resilience, func() *Profile { return e.profile }),
 	}
-	return p.Stream(ctx, asm, req, emit)
+	err := p.Stream(ctx, asm, req, emit)
+	if e.Device != nil && e.profile != nil {
+		e.profile.addFaults(e.Device.Faults())
+	}
+	return err
 }
 
 // clBackend adapts the OpenCL host program to the pipeline Backend
@@ -262,7 +274,7 @@ func (b *clBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) {
 		pad = 64
 	}
 	gws := (sites + pad - 1) / pad * pad
-	ev, err := b.queue.EnqueueNDRangeKernel(b.finder, gws, wg)
+	ev, err := b.queue.EnqueueNDRangeKernelCtx(ctx, b.finder, gws, wg)
 	if err != nil {
 		return 0, err
 	}
@@ -276,6 +288,14 @@ func (b *clBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) {
 		return 0, err
 	}
 	s.n = int(countHost[0])
+	// Validate before sizing any allocation on it: a corrupted count
+	// readback (MSB flip → ~2^31) must be rejected, not used to size the
+	// loci read or the comparer output buffers.
+	if s.n > sites {
+		s.n = 0
+		return 0, fault.Errorf(fault.SiteReadback, fault.Corruption,
+			"search: %s: finder count %d exceeds the %d scanned sites", b.e.Name(), countHost[0], sites)
+	}
 	b.prof.addRead(4)
 	b.prof.addCandidates(int64(s.n))
 	if s.n == 0 {
@@ -350,7 +370,7 @@ func (b *clBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) err
 		pad = 64
 	}
 	cgws := (s.n + pad - 1) / pad * pad
-	ev, err := b.queue.EnqueueNDRangeKernel(b.comparer, cgws, wg)
+	ev, err := b.queue.EnqueueNDRangeKernelCtx(ctx, b.comparer, cgws, wg)
 	if err != nil {
 		return err
 	}
@@ -364,6 +384,13 @@ func (b *clBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) err
 		return err
 	}
 	cnt := int(entryHost[0])
+	// The comparer emits at most one entry per strand per candidate; a
+	// larger count can only be a corrupted readback — reject it before
+	// sizing the entry reads on it.
+	if cnt > 2*s.n {
+		return fault.Errorf(fault.SiteReadback, fault.Corruption,
+			"search: %s: comparer entry count %d exceeds 2×%d candidates", b.e.Name(), cnt, s.n)
+	}
 	b.prof.addRead(4)
 	b.prof.addEntries(int64(cnt))
 	if cnt > 0 {
@@ -390,11 +417,16 @@ func (b *clBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) err
 	return b.releaseBuf(compIdxBuf)
 }
 
-// Drain implements pipeline.Backend: render the accumulated entries and
-// release the chunk's buffers.
+// Drain implements pipeline.Backend: render the accumulated entries
+// (rejecting corrupted readbacks) and release the chunk's buffers.
 func (b *clBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline.SiteRenderer) ([]Hit, error) {
 	s := st.(*clStaged)
-	hits := drainEntries(r, s.ch, b.plan.Guides, s.entries)
+	hits, derr := drainEntries(r, s.ch, b.plan.Guides, s.entries)
+	if derr != nil {
+		// Corrupted entries: keep the buffers for Release/Close and hand
+		// the corruption class to the resilient executor.
+		return nil, derr
+	}
 	var err error
 	for _, m := range []*opencl.Mem{
 		s.chrBuf, s.lociBuf, s.flagsBuf, s.countBuf,
@@ -406,4 +438,21 @@ func (b *clBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline.S
 		return nil, err
 	}
 	return hits, nil
+}
+
+// Release implements pipeline.Releaser: free an abandoned staged handle's
+// buffers as soon as the resilient executor gives up on an attempt, rather
+// than holding them (against the device memory budget) until Close. A lost
+// context makes the releases fail; Close's sweep stays the backstop.
+func (b *clBackend) Release(st pipeline.Staged) {
+	s, ok := st.(*clStaged)
+	if !ok || s == nil {
+		return
+	}
+	for _, m := range []*opencl.Mem{
+		s.chrBuf, s.lociBuf, s.flagsBuf, s.countBuf,
+		s.mmLociBuf, s.mmCountBuf, s.dirBuf, s.entryBuf,
+	} {
+		_ = b.releaseBuf(m) // best effort; Close sweeps leftovers
+	}
 }

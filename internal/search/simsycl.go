@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/kernels"
@@ -24,6 +25,13 @@ type SimSYCL struct {
 	Variant kernels.ComparerVariant
 	// WorkGroupSize overrides the launch local size; 0 means 256.
 	WorkGroupSize int
+	// Resilience, when set, runs the engine under the pipeline's
+	// fault-tolerant executor: transient errors (including asynchronous
+	// exceptions) retry with backoff, hung kernels are reaped by the
+	// watchdog, and chunks the device cannot complete fail over to the
+	// CPU SWAR engine (unless a custom Fallback is configured),
+	// preserving the byte-identical hit stream.
+	Resilience *pipeline.Resilience
 
 	profile *Profile
 }
@@ -63,8 +71,13 @@ func (e *SimSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Request
 			return newSYCLBackend(e, plan)
 		},
 		ScanWorkers: 1,
+		Resilience:  resilienceFor(e.Resilience, func() *Profile { return e.profile }),
 	}
-	return p.Stream(ctx, asm, req, emit)
+	err := p.Stream(ctx, asm, req, emit)
+	if e.Device != nil && e.profile != nil {
+		e.profile.addFaults(e.Device.Faults())
+	}
+	return err
 }
 
 // destroyer is the common teardown face of sycl.Buffer[T] across element
@@ -124,6 +137,10 @@ func newSYCLBackend(e *SimSYCL, plan *pipeline.Plan) (_ *syclBackend, err error)
 	if b.queue, err = sycl.NewQueue(sycl.GPUSelector{}, e.Device); err != nil {
 		return nil, err
 	}
+	// The async handler is how the migrated program observes asynchronous
+	// exceptions (§III): every delivery is counted in the profile; the
+	// errors themselves still surface on the events the backend waits on.
+	b.queue.SetAsyncHandler(func(*sycl.AsyncError) { b.prof.addAsync() })
 	pattern := plan.Pattern
 	if b.patBuf, err = sycl.NewConstantBuffer(pattern.Codes); err != nil {
 		return nil, err
@@ -212,7 +229,7 @@ func (b *syclBackend) Find(ctx context.Context, st pipeline.Staged) (int, error)
 	wg := b.e.wgSize()
 
 	gws := (sites + wg - 1) / wg * wg
-	ev := b.queue.Submit(func(h *sycl.Handler) error {
+	ev := b.queue.SubmitCtx(ctx, func(h *sycl.Handler) error {
 		chrAcc, err := sycl.Access(h, s.chrBuf, sycl.Read)
 		if err != nil {
 			return err
@@ -272,6 +289,13 @@ func (b *syclBackend) Find(ctx context.Context, st pipeline.Staged) (int, error)
 		return 0, err
 	}
 	s.n = int(countHost[0])
+	// Validate before sizing the output buffers: a corrupted count readback
+	// (MSB flip, ~2^31) would otherwise drive the allocations below.
+	if s.n > sites {
+		s.n = 0
+		return 0, fault.Errorf(fault.SiteReadback, fault.Corruption,
+			"search: %s: finder count %d exceeds the %d scanned sites", b.e.Name(), countHost[0], sites)
+	}
 	b.prof.addRead(4)
 	b.prof.addCandidates(int64(s.n))
 	if s.n == 0 {
@@ -327,7 +351,7 @@ func (b *syclBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) (
 	phases := kernels.ComparerPhases(b.e.Variant)
 	name := kernels.ComparerKernelName(b.e.Variant)
 	cgws := (n + wg - 1) / wg * wg
-	ev := b.queue.Submit(func(h *sycl.Handler) error {
+	ev := b.queue.SubmitCtx(ctx, func(h *sycl.Handler) error {
 		chrAcc, err := sycl.Access(h, s.chrBuf, sycl.Read)
 		if err != nil {
 			return err
@@ -403,6 +427,12 @@ func (b *syclBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) (
 		return err
 	}
 	cnt := int(entryHost[0])
+	// Validate before reading cnt entries from the output snapshots: the
+	// comparer writes at most two entries (one per strand) per candidate.
+	if cnt > 2*s.n {
+		return fault.Errorf(fault.SiteReadback, fault.Corruption,
+			"search: %s: comparer entry count %d exceeds the %d possible entries", b.e.Name(), entryHost[0], 2*s.n)
+	}
 	b.prof.addRead(4)
 	b.prof.addEntries(int64(cnt))
 	if cnt == 0 {
@@ -428,10 +458,14 @@ func (b *syclBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) (
 }
 
 // Drain implements pipeline.Backend: render the accumulated entries and
-// destroy the chunk's buffers.
+// destroy the chunk's buffers. A corruption error keeps the buffers for
+// Release or Close to destroy.
 func (b *syclBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline.SiteRenderer) ([]Hit, error) {
 	s := st.(*syclStaged)
-	hits := drainEntries(r, s.ch, b.plan.Guides, s.entries)
+	hits, derr := drainEntries(r, s.ch, b.plan.Guides, s.entries)
+	if derr != nil {
+		return nil, derr
+	}
 	var err error
 	syclDestroy(b, s.chrBuf, &err)
 	syclDestroy(b, s.lociBuf, &err)
@@ -444,4 +478,22 @@ func (b *syclBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline
 		return nil, err
 	}
 	return hits, nil
+}
+
+// Release implements pipeline.Releaser: destroy a staged chunk's buffers
+// after a failed attempt so a retry can re-stage without leaking. Destroy
+// errors are swallowed — Close sweeps whatever remains live.
+func (b *syclBackend) Release(st pipeline.Staged) {
+	s, ok := st.(*syclStaged)
+	if !ok {
+		return
+	}
+	var err error
+	syclDestroy(b, s.chrBuf, &err)
+	syclDestroy(b, s.lociBuf, &err)
+	syclDestroy(b, s.flagsBuf, &err)
+	syclDestroy(b, s.countBuf, &err)
+	syclDestroy(b, s.mmLociBuf, &err)
+	syclDestroy(b, s.mmCountBuf, &err)
+	syclDestroy(b, s.dirBuf, &err)
 }

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sync"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/gpu"
 )
 
@@ -165,12 +166,13 @@ func (b *Buffer[T]) markWritten() {
 // the buffer has completed, copies the contents back to the host memory the
 // buffer was constructed over (if any work wrote to it), and returns the
 // device storage. It reproduces the destruction semantics §III.A describes
-// and is idempotent, unlike an OpenCL double release.
+// and is idempotent, unlike an OpenCL double release. Like the SYCL buffer
+// destructor it does not throw for failed producers: a dependent command
+// group's error was already delivered on its event and to the queue's
+// asynchronous handler, so the wait here is a completion barrier only.
 func (b *Buffer[T]) Destroy() error {
 	for _, e := range b.deps.settled() {
-		if err := e.Wait(); err != nil {
-			return fmt.Errorf("sycl: waiting for work on buffer: %w", err)
-		}
+		_ = e.Wait()
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -205,6 +207,15 @@ func (b *Buffer[T]) Snapshot() ([]T, error) {
 	}
 	out := make([]T, b.length)
 	copy(out, b.data) // data may be nil (never materialised): zeros
+	// Readback corruption strikes the host copy only, after the device
+	// contents were read: the buffer itself stays intact, as when a bus
+	// flips bits on the way back. Only materialised device buffers are
+	// eligible — a never-used buffer has no device traffic to corrupt.
+	if b.alloc != nil {
+		if in := b.alloc.Device().Faults(); in != nil && in.Fire(fault.SiteReadback) {
+			fault.CorruptAny(any(out))
+		}
+	}
 	return out, nil
 }
 

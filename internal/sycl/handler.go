@@ -1,9 +1,11 @@
 package sycl
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/gpu"
 )
 
@@ -19,12 +21,14 @@ type bufAccess struct {
 // Table III). The handler is only valid during its Submit call.
 type Handler struct {
 	q      *Queue
+	ctx    context.Context
 	usable bool
 
 	accesses []bufAccess
 	locals   []func() any
 	ldsBytes int
 
+	opName string
 	action func(dev *gpu.Device) (*gpu.Stats, error)
 }
 
@@ -59,6 +63,8 @@ func (h *Handler) ParallelFor(name string, global, local gpu.Range, body func(it
 	}
 	locals := h.locals
 	lds := h.ldsBytes
+	lctx := h.ctx
+	h.opName = name
 	return h.setAction(func(dev *gpu.Device) (*gpu.Stats, error) {
 		return dev.Launch(gpu.LaunchSpec{
 			Name:   name,
@@ -76,6 +82,7 @@ func (h *Handler) ParallelFor(name string, global, local gpu.Range, body func(it
 				}
 			},
 			LDSBytesPerWG: lds,
+			Ctx:           lctx,
 		})
 	})
 }
@@ -101,6 +108,8 @@ func (h *Handler) ParallelForPhases(name string, global, local gpu.Range, phases
 	}
 	locals := h.locals
 	lds := h.ldsBytes
+	lctx := h.ctx
+	h.opName = name
 	return h.setAction(func(dev *gpu.Device) (*gpu.Stats, error) {
 		return dev.Launch(gpu.LaunchSpec{
 			Name:   name,
@@ -127,6 +136,7 @@ func (h *Handler) ParallelForPhases(name string, global, local gpu.Range, phases
 				return out
 			},
 			LDSBytesPerWG: lds,
+			Ctx:           lctx,
 		})
 	})
 }
@@ -192,14 +202,23 @@ func (la *LocalAccessor[T]) Slice(it *NDItem) []T {
 // action has run; buffer-access dependencies order it against previously
 // submitted groups. Errors returned by the command-group function, or
 // raised asynchronously by the action, surface on the event (and on
-// Queue.Wait), mirroring SYCL's async exception handler.
+// Queue.Wait) and are delivered to the queue's async handler, mirroring
+// SYCL's async exception machinery.
 func (q *Queue) Submit(cg func(h *Handler) error) *Event {
+	return q.SubmitCtx(nil, cg)
+}
+
+// SubmitCtx is Submit with a launch-bounding context: kernels launched by
+// the command group carry ctx into the simulator, so an injected hang
+// blocks on it until the caller's watchdog cancels instead of wedging the
+// queue. A nil ctx keeps the plain Submit contract.
+func (q *Queue) SubmitCtx(ctx context.Context, cg func(h *Handler) error) *Event {
 	ev := newEvent()
 	q.mu.Lock()
 	q.events = append(q.events, ev)
 	q.mu.Unlock()
 
-	h := &Handler{q: q, usable: true}
+	h := &Handler{q: q, ctx: ctx, usable: true}
 	if err := cg(h); err != nil {
 		ev.complete(nil, err)
 		return ev
@@ -207,6 +226,23 @@ func (q *Queue) Submit(cg func(h *Handler) error) *Event {
 	h.usable = false
 	if h.action == nil {
 		ev.complete(nil, ErrNoAction)
+		return ev
+	}
+	op := h.opName
+	if op == "" {
+		op = "command-group"
+	}
+
+	// The async-exception fault site fires synchronously at submission so
+	// the per-site event sequence depends only on submission order, which
+	// the engines keep deterministic. The failure itself stays
+	// asynchronous in character: it surfaces on the event and through the
+	// installed handler, never as a Submit return value.
+	if in := q.dev.Faults(); in != nil && in.Fire(fault.SiteSYCLAsync) {
+		err := fault.New(fault.SiteSYCLAsync, fault.Transient,
+			&AsyncError{Op: op, Err: fmt.Errorf("injected asynchronous exception")})
+		ev.complete(nil, err)
+		q.deliverAsync(op, err)
 		return ev
 	}
 
@@ -227,18 +263,24 @@ func (q *Queue) Submit(cg func(h *Handler) error) *Event {
 	go func() {
 		for _, d := range deps {
 			if err := d.Wait(); err != nil {
-				ev.complete(nil, fmt.Errorf("sycl: dependency failed: %w", err))
+				err = fmt.Errorf("sycl: dependency failed: %w", err)
+				ev.complete(nil, err)
+				q.deliverAsync(op, err)
 				return
 			}
 		}
 		for _, b := range buffers {
 			if err := b.ensureAlloc(q.dev); err != nil {
 				ev.complete(nil, err)
+				q.deliverAsync(op, err)
 				return
 			}
 		}
 		stats, err := h.action(q.dev)
 		ev.complete(stats, err)
+		if err != nil {
+			q.deliverAsync(op, err)
+		}
 	}()
 	return ev
 }

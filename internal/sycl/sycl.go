@@ -96,14 +96,67 @@ func (DefaultSelector) Select(candidates []*gpu.Device) (*gpu.Device, error) {
 	return candidates[0], nil
 }
 
+// AsyncError is an asynchronous SYCL exception: an error raised by a
+// command group after Submit returned, surfaced on the event, on
+// Queue.Wait, and — when one is installed — through the queue's async
+// handler. It is the simulator's sycl::exception for the async_handler
+// path the paper contrasts with OpenCL's per-call error codes.
+type AsyncError struct {
+	// Op names the command group that failed (the kernel name, or the
+	// copy/alloc operation).
+	Op string
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *AsyncError) Error() string {
+	return fmt.Sprintf("sycl: async exception in %s: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *AsyncError) Unwrap() error { return e.Err }
+
+// AsyncHandler receives asynchronous exceptions, mirroring the
+// sycl::async_handler a queue is constructed with. Handlers run on the
+// command group's completion goroutine and must be safe for concurrent
+// calls.
+type AsyncHandler func(*AsyncError)
+
 // Queue encapsulates a device command queue — step 2 of the SYCL column of
 // Table I. Command groups submitted to it execute asynchronously, ordered
 // only by their buffer access dependencies.
 type Queue struct {
 	dev *gpu.Device
 
-	mu     sync.Mutex
-	events []*Event
+	mu      sync.Mutex
+	events  []*Event
+	handler AsyncHandler
+}
+
+// SetAsyncHandler installs the queue's asynchronous exception handler.
+// Every command-group error raised after Submit returns is delivered to it
+// (in addition to surfacing on the event and Queue.Wait), the way a SYCL
+// runtime invokes the async_handler at wait_and_throw points.
+func (q *Queue) SetAsyncHandler(h AsyncHandler) {
+	q.mu.Lock()
+	q.handler = h
+	q.mu.Unlock()
+}
+
+// deliverAsync routes a command-group error to the installed handler.
+func (q *Queue) deliverAsync(op string, err error) {
+	q.mu.Lock()
+	h := q.handler
+	q.mu.Unlock()
+	if h == nil || err == nil {
+		return
+	}
+	ae, ok := err.(*AsyncError)
+	if !ok {
+		ae = &AsyncError{Op: op, Err: err}
+	}
+	h(ae)
 }
 
 // NewQueue selects a device from the candidates and builds a queue for it.

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sync"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/gpu"
 )
 
@@ -62,6 +63,10 @@ type USM[T any] struct {
 func Malloc[T any](q *Queue, kind USMKind, n int) (*USM[T], error) {
 	if n < 0 {
 		return nil, fmt.Errorf("sycl: negative USM size %d", n)
+	}
+	if in := q.dev.Faults(); in != nil && in.Fire(fault.SiteSYCLUSM) {
+		return nil, fault.Errorf(fault.SiteSYCLUSM, fault.Transient,
+			"sycl: USM %s allocation of %d elements: injected allocation failure", kind, n)
 	}
 	var zero T
 	size := int64(n) * int64(reflect.TypeOf(zero).Size())
