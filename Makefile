@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race faultcheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar ci
+.PHONY: all build fmt vet test race faultcheck tracecheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar bench-obs ci
 
 all: build
 
@@ -33,6 +33,13 @@ race:
 faultcheck:
 	$(GO) test ./internal/search/ -count 1 -run 'TestFaultMatrix|TestFaultDeterminism|TestWatchdogReapsHungKernel|TestCorruptionReverification|TestQuarantineReportsPartial'
 	$(GO) test ./cmd/casoffinder/ -count 1 -run 'TestRunFault'
+
+# Observability smoke: a seeded fault run through -trace/-metrics must leave
+# a parseable Chrome trace and a metrics snapshot that agrees with the
+# profile, and the trace must cover every chunk's stage/launch/drain spans.
+tracecheck:
+	$(GO) test ./cmd/casoffinder/ -count 1 -run 'TestTraceMetricsSmoke'
+	$(GO) test ./internal/search/ -count 1 -run 'TestTraceCovers|TestMetricsAgreeWithProfile'
 
 # Fuzz regression mode: the seed corpora (f.Add entries) replay on every
 # plain `go test`; this target additionally fuzzes each target briefly to
@@ -62,6 +69,7 @@ bench-snapshot:
 bench-compare:
 	$(GO) run ./cmd/benchsnap -compare BENCH_baseline.json -benchtime 20x
 	$(GO) run ./cmd/benchsnap -compare BENCH_swar.json -bench 'SWARVsScalar|MultiPatternBatch' -pkgs . -benchtime 20x
+	$(GO) run ./cmd/benchsnap -compare BENCH_obs.json -bench 'StreamVsRun|ObsOverhead' -pkgs . -benchtime 20x
 
 # Record the post-pipeline snapshot (includes BenchmarkStreamVsRun).
 bench-pipeline:
@@ -71,4 +79,10 @@ bench-pipeline:
 bench-swar:
 	$(GO) run ./cmd/benchsnap -o BENCH_swar.json -bench 'SWARVsScalar|MultiPatternBatch' -pkgs . -benchtime 200x
 
-ci: fmt vet build race faultcheck bench-compare
+# Record the observability snapshot (BenchmarkStreamVsRun with the obs hooks
+# compiled in, plus the off/traced overhead pair). The off rows are the
+# <=2%-overhead contract for the disabled path.
+bench-obs:
+	$(GO) run ./cmd/benchsnap -o BENCH_obs.json -bench 'StreamVsRun|ObsOverhead' -pkgs . -benchtime 200x
+
+ci: fmt vet build race faultcheck tracecheck bench-compare

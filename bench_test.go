@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"casoffinder/internal/baseline"
 	"casoffinder/internal/bench"
@@ -24,6 +25,7 @@ import (
 	"casoffinder/internal/gpu/device"
 	"casoffinder/internal/isa"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/obs"
 	"casoffinder/internal/search"
 )
 
@@ -495,5 +497,54 @@ func BenchmarkIndexedVsScan(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkObsOverhead measures the observability layer's cost on the
+// multi-chunk streaming search: "off" is the production configuration (nil
+// tracer and registry — the contract is that this row stays within noise of
+// BenchmarkStreamVsRun's cpu/stream), "traced" records every span and
+// counter. The off row rides the bench-compare gate through BENCH_obs.json.
+func BenchmarkObsOverhead(b *testing.B) {
+	asm := benchAssembly(b, 1<<21)
+	req := benchRequest()
+	req.ChunkBytes = 1 << 16
+	stream := func(b *testing.B, eng *search.CPU) {
+		b.Helper()
+		b.SetBytes(asm.TotalLen())
+		var sink int
+		for i := 0; i < b.N; i++ {
+			err := eng.Stream(context.Background(), asm, req, func(search.Hit) error {
+				sink++
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		_ = sink
+	}
+	b.Run("off", func(b *testing.B) {
+		stream(b, &search.CPU{})
+	})
+	b.Run("traced", func(b *testing.B) {
+		stream(b, &search.CPU{Trace: obs.NewTracer(), Metrics: obs.NewMetrics()})
+	})
+}
+
+// BenchmarkNilObs pins the disabled fast path at the call level: a span and
+// a counter emission against nil receivers must stay a pointer check —
+// no allocation, no lock, no map touch.
+func BenchmarkNilObs(b *testing.B) {
+	var tr *obs.Tracer
+	var m *obs.Metrics
+	b.ReportAllocs()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		tr.Complete("track", "stage", i, start, 0)
+		tr.Instant("track", "retry", i)
+		m.Count(obs.MetricChunks, 1)
+		m.Observe(obs.MetricStageSeconds, 0.001)
+		m.GaugeAdd(obs.MetricQueueOccupancy, 1)
 	}
 }

@@ -12,6 +12,7 @@
 //	casoffinder [-engine cpu|opencl|sycl] [-device MI100] [-variant opt3]
 //	            [-packed] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	            [-fault-rate 0.05 -fault-seed 42] [-watchdog 5s]
+//	            [-trace trace.json] [-metrics metrics.prom]
 //	            [-o output.txt] input.txt
 //
 // The cpu engine is the production path (-packed switches it to the
@@ -26,6 +27,12 @@
 // simulated device cannot complete fail over to the CPU engine, preserving
 // the output byte-for-byte. A degradation summary goes to stderr.
 //
+// -trace records every pipeline stage, kernel launch and resilience event
+// as Chrome trace-event JSON (load it in chrome://tracing or Perfetto);
+// -metrics writes the run's counters and latency histograms as Prometheus
+// text exposition plus a JSON snapshot merged with the engine profile at
+// FILE.json. Both are off (and cost nothing) by default.
+//
 // Exit codes: 0 on success, 1 on a runtime error, 2 on a usage error, 3
 // when quarantined chunks made the result partial.
 package main
@@ -33,6 +40,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -49,6 +57,7 @@ import (
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/gpu/device"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
 	"casoffinder/internal/search"
 )
@@ -108,6 +117,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	faultAfter := fs.Int("fault-after", 0, "skip the first N eligible events per site before injecting")
 	watchdog := fs.Duration("watchdog", 0, "deadline per backend phase; a hung simulated kernel is cancelled and retried (0 = off)")
 	maxRetries := fs.Int("max-retries", 0, "chunk retries before CPU failover (0 = default 2, negative = none)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or Perfetto)")
+	metricsPath := fs.String("metrics", "", "write run metrics to this file (Prometheus text; a merged JSON snapshot goes to FILE.json)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -172,7 +183,16 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if err != nil {
 		return usageError{err}
 	}
-	eng, profiler, err := buildEngine(*engineName, *deviceName, variant, *workers, *packed, faultPlan, res)
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	var metrics *obs.Metrics
+	if *metricsPath != "" {
+		metrics = obs.NewMetrics()
+	}
+
+	eng, profiler, err := buildEngine(*engineName, *deviceName, variant, *workers, *packed, faultPlan, res, tracer, metrics)
 	if err != nil {
 		return err
 	}
@@ -233,7 +253,71 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			printDegradation(stderr, p)
 		}
 	}
+
+	// Observability artifacts are written even on a partial run — a trace
+	// of a degraded run is exactly what the flags exist for.
+	if tracer != nil {
+		if werr := writeTrace(*tracePath, tracer); runErr == nil && err == nil {
+			err = werr
+		} else if werr != nil {
+			fmt.Fprintln(stderr, "casoffinder: trace:", werr)
+		}
+	}
+	if metrics != nil {
+		var prof *search.Profile
+		if profiler != nil {
+			prof = profiler.LastProfile()
+		}
+		if werr := writeMetrics(*metricsPath, metrics, prof); runErr == nil && err == nil {
+			err = werr
+		} else if werr != nil {
+			fmt.Fprintln(stderr, "casoffinder: metrics:", werr)
+		}
+	}
+	if err != nil {
+		return err
+	}
 	return runErr
+}
+
+// writeTrace dumps the run's spans as Chrome trace-event JSON.
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = t.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeMetrics dumps the run's metric registry twice: Prometheus text
+// exposition at path, and a JSON document at path+".json" merging the
+// snapshot with the engine's search.Profile (when one exists) so the two
+// accountings sit side by side.
+func writeMetrics(path string, m *obs.Metrics, prof *search.Profile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = m.WritePrometheus(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	doc := struct {
+		Metrics *obs.Snapshot   `json:"metrics"`
+		Profile *search.Profile `json:"profile,omitempty"`
+	}{Metrics: m.Snapshot(), Profile: prof}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path+".json", append(data, '\n'), 0o644)
 }
 
 // printDegradation reports how far the run strayed from the clean path: the
@@ -283,7 +367,7 @@ func parseVariant(name string) (kernels.ComparerVariant, error) {
 }
 
 func buildEngine(engine, deviceName string, variant kernels.ComparerVariant, workers int, packed bool,
-	faultPlan fault.Plan, res *pipeline.Resilience) (search.Engine, search.Profiler, error) {
+	faultPlan fault.Plan, res *pipeline.Resilience, tracer *obs.Tracer, metrics *obs.Metrics) (search.Engine, search.Profiler, error) {
 	switch engine {
 	case "cpu", "indexed":
 		// The fault sites all live in the simulated runtimes; a silent
@@ -293,9 +377,9 @@ func buildEngine(engine, deviceName string, variant kernels.ComparerVariant, wor
 			return nil, nil, usageError{fmt.Errorf("fault injection flags need the opencl or sycl engine, not %q", engine)}
 		}
 		if engine == "cpu" {
-			return &search.CPU{Workers: workers, Packed: packed}, nil, nil
+			return &search.CPU{Workers: workers, Packed: packed, Trace: tracer, Metrics: metrics}, nil, nil
 		}
-		return &search.Indexed{Workers: workers}, nil, nil
+		return &search.Indexed{Workers: workers, Trace: tracer, Metrics: metrics}, nil, nil
 	case "opencl", "sycl":
 		spec, err := device.ByName(deviceName)
 		if err != nil {
@@ -306,10 +390,10 @@ func buildEngine(engine, deviceName string, variant kernels.ComparerVariant, wor
 			dev.SetFaults(in)
 		}
 		if engine == "opencl" {
-			e := &search.SimCL{Device: dev, Variant: variant, Resilience: res}
+			e := &search.SimCL{Device: dev, Variant: variant, Resilience: res, Trace: tracer, Metrics: metrics}
 			return e, e, nil
 		}
-		e := &search.SimSYCL{Device: dev, Variant: variant, Resilience: res}
+		e := &search.SimSYCL{Device: dev, Variant: variant, Resilience: res, Trace: tracer, Metrics: metrics}
 		return e, e, nil
 	default:
 		return nil, nil, usageError{fmt.Errorf("unknown engine %q (want cpu, indexed, opencl or sycl)", engine)}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"os"
@@ -305,5 +306,81 @@ func TestRunProfileFlags(t *testing.T) {
 	}
 	if err := run([]string{"-memprofile", filepath.Join(dir, "no", "dir.pprof"), input}, &out, &errOut); err == nil {
 		t.Error("unwritable -memprofile path should fail")
+	}
+}
+
+// TestTraceMetricsSmoke is the tracecheck gate: a seeded fault run with
+// -trace and -metrics must leave behind a parseable Chrome trace, Prometheus
+// text, and a JSON snapshot whose counters agree with the profile block.
+func TestTraceMetricsSmoke(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-engine", "sycl", "-fault-rate", "0.3", "-fault-seed", "7",
+		"-watchdog", "2s", "-trace", tracePath, "-metrics", metricsPath, input}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "chr1\t4\t") {
+		t.Errorf("output missing the planted site:\n%s", out.String())
+	}
+
+	traceData, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceData, &trace); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"stage", "drain", "emit"} {
+		if !names[want] {
+			t.Errorf("trace missing %q spans; has %v", want, names)
+		}
+	}
+
+	promData, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(promData), "# TYPE casoffinder_chunks_total counter") {
+		t.Errorf("-metrics output missing Prometheus TYPE lines:\n%s", promData)
+	}
+
+	jsonData, err := os.ReadFile(metricsPath + ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+		Profile struct {
+			Chunks  int   `json:"Chunks"`
+			Entries int64 `json:"Entries"`
+		} `json:"profile"`
+	}
+	if err := json.Unmarshal(jsonData, &doc); err != nil {
+		t.Fatalf("metrics JSON snapshot is not valid JSON: %v", err)
+	}
+	if doc.Profile.Chunks == 0 {
+		t.Error("merged JSON snapshot has no profile block")
+	}
+	if got, want := doc.Metrics.Counters["casoffinder_chunks_total"], int64(doc.Profile.Chunks); got != want {
+		t.Errorf("chunks counter %d disagrees with profile %d", got, want)
+	}
+	if got, want := doc.Metrics.Counters["casoffinder_entries_total"], doc.Profile.Entries; got != want {
+		t.Errorf("entries counter %d disagrees with profile %d", got, want)
 	}
 }

@@ -239,20 +239,51 @@ func (in *Injector) decide(site Site, seq int) bool {
 // append order; the cross-site sort removes any scheduler-dependent
 // interleaving, so two runs with the same plan produce identical logs.
 func (in *Injector) Log() []Event {
+	return in.LogSince(0)
+}
+
+// Mark returns a cursor over the fired-event log: the number of events fired
+// so far. Pass it to LogSince to read only the events fired after the mark.
+// A nil injector marks 0.
+func (in *Injector) Mark() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.log)
+}
+
+// LogSince returns the events fired after mark (a cursor from Mark), sorted
+// by (site, seq) like Log. It lets a reused engine attribute to each run its
+// own fault delta rather than the injector's cumulative history.
+func (in *Injector) LogSince(mark int) []Event {
 	if in == nil {
 		return nil
 	}
 	in.mu.Lock()
-	out := make([]Event, len(in.log))
-	copy(out, in.log)
+	if mark < 0 {
+		mark = 0
+	}
+	if mark > len(in.log) {
+		mark = len(in.log)
+	}
+	out := make([]Event, len(in.log)-mark)
+	copy(out, in.log[mark:])
 	in.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Site != out[j].Site {
-			return out[i].Site < out[j].Site
-		}
-		return out[i].Seq < out[j].Seq
-	})
+	SortEvents(out)
 	return out
+}
+
+// SortEvents sorts a fault-event slice by (site, seq), the canonical order of
+// Log and of Profile.FaultLog.
+func SortEvents(events []Event) {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Site != events[j].Site {
+			return events[i].Site < events[j].Site
+		}
+		return events[i].Seq < events[j].Seq
+	})
 }
 
 // Counts returns the number of fired events per site.

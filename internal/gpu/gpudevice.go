@@ -6,6 +6,7 @@ import (
 
 	"casoffinder/internal/fault"
 	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/obs"
 )
 
 // Device is one simulated GPU: a spec from the Table VII registry, a
@@ -17,6 +18,13 @@ type Device struct {
 	spec    device.Spec
 	workers int
 	faults  *fault.Injector
+
+	// Observability sinks, attached by SetObs before work is submitted and
+	// then read without locking on the launch path. Both are nil-safe, so
+	// an unobserved device pays one pointer check per launch.
+	obsTrace   *obs.Tracer
+	obsMetrics *obs.Metrics
+	obsTrack   string
 
 	mu        sync.Mutex
 	allocated int64
@@ -69,6 +77,31 @@ func (d *Device) SetFaults(in *fault.Injector) { d.faults = in }
 // readback corruption, async exceptions) so one seeded schedule covers the
 // whole simulated stack.
 func (d *Device) Faults() *fault.Injector { return d.faults }
+
+// SetObs attaches the run's observability sinks: every kernel launch is
+// recorded as a span on the given trace track and into the per-kernel
+// latency histogram. Like SetFaults it must be called before work is
+// submitted; an empty track defaults to "gpu:<device name>". Pass nils to
+// detach.
+func (d *Device) SetObs(t *obs.Tracer, m *obs.Metrics, track string) {
+	if track == "" {
+		track = "gpu:" + d.spec.Name
+	}
+	d.obsTrace, d.obsMetrics, d.obsTrack = t, m, track
+}
+
+// Trace returns the attached tracer; nil means launches are untraced.
+func (d *Device) Trace() *obs.Tracer { return d.obsTrace }
+
+// Instant records a run-scoped instant marker on the device's trace track;
+// the frontends use it for events without a duration (a lost device, an
+// async exception). No-op when no tracer is attached.
+func (d *Device) Instant(name string, attrs ...obs.Attr) {
+	d.obsTrace.Instant(d.obsTrack, name, -1, attrs...)
+}
+
+// Metrics returns the attached metrics registry; nil means unmetered.
+func (d *Device) Metrics() *obs.Metrics { return d.obsMetrics }
 
 func (d *Device) recordLaunch(name string, s *Stats) {
 	d.mu.Lock()

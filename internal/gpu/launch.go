@@ -3,10 +3,13 @@ package gpu
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"casoffinder/internal/fault"
+	"casoffinder/internal/obs"
 )
 
 // LocalArg marks an OpenCL-style __local kernel argument — the result of
@@ -72,7 +75,31 @@ const inlineLaunchItems = 2048
 // semantics. Launch blocks until the kernel completes (the frontends add
 // their own asynchronous-queue semantics on top).
 func (d *Device) Launch(spec LaunchSpec) (*Stats, error) {
-	if err := d.injectLaunchFault(&spec); err != nil {
+	if d.obsTrace == nil && d.obsMetrics == nil {
+		return d.launch(&spec)
+	}
+	// The clock starts before fault injection so a hung launch's span covers
+	// the time it sat wedged until the watchdog reaped it.
+	t0 := time.Now()
+	stats, err := d.launch(&spec)
+	dur := time.Since(t0)
+	attrs := []obs.Attr{{Key: "kernel", Value: spec.Name}}
+	if stats != nil {
+		attrs = append(attrs,
+			obs.Attr{Key: "work_items", Value: strconv.FormatInt(stats.WorkItems, 10)},
+			obs.Attr{Key: "work_groups", Value: strconv.FormatInt(stats.WorkGroups, 10)})
+	} else {
+		attrs = append(attrs, obs.Attr{Key: "error", Value: err.Error()})
+	}
+	d.obsTrace.Complete(d.obsTrack, "launch:"+spec.Name, -1, t0, dur, attrs...)
+	d.obsMetrics.Observe(obs.L(obs.MetricKernelLaunchSeconds, "kernel", spec.Name), dur.Seconds())
+	d.obsMetrics.Count(obs.L(obs.MetricKernelLaunches, "kernel", spec.Name), 1)
+	return stats, err
+}
+
+// launch is the uninstrumented launch body.
+func (d *Device) launch(spec *LaunchSpec) (*Stats, error) {
+	if err := d.injectLaunchFault(spec); err != nil {
 		return nil, err
 	}
 	if spec.Kernel == nil && spec.Phases == nil {
@@ -113,9 +140,9 @@ func (d *Device) Launch(spec LaunchSpec) (*Stats, error) {
 	var total Stats
 	var err error
 	if cooperative {
-		err = d.runCooperative(&spec, ls, gridDim, numGroups, groupSize, workers, &total)
+		err = d.runCooperative(spec, ls, gridDim, numGroups, groupSize, workers, &total)
 	} else {
-		err = d.runConcurrent(&spec, ls, gridDim, numGroups, groupSize, workers, &total)
+		err = d.runConcurrent(spec, ls, gridDim, numGroups, groupSize, workers, &total)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("gpu: launch %q: %w", spec.Name, err)

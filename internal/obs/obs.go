@@ -1,0 +1,60 @@
+// Package obs is the run-wide observability layer: a span tracer whose log
+// exports as Chrome trace-event JSON (openable in chrome://tracing and
+// Perfetto) and a metrics registry whose counters, gauges and histograms
+// dump as a Prometheus-style text page or a JSON snapshot. The paper's whole
+// method rests on observing the run — profiling identifies the comparer as
+// the hotspot (§IV.B) and per-kernel counters explain why each optimization
+// helps (Tables VII–X) — and this package is the host-side equivalent: a
+// timeline of every pipeline stage, kernel launch and resilience event, plus
+// machine-readable rates the search.Profile totals can be cross-checked
+// against.
+//
+// Disabled-path contract: both *Tracer and *Metrics are valid as nil
+// receivers, and every recording method begins with a nil pointer check and
+// no other work. Call sites that need a timestamp guard the time.Now() pair
+// behind the same pointer check, so a run without -trace/-metrics executes
+// no clock reads, no allocations and no locked sections — the benchmark gate
+// (BenchmarkObsOverhead, BENCH_obs.json) holds the disabled path within 2%
+// of the uninstrumented pipeline.
+package obs
+
+// Attr is one key/value annotation on a span, carried into the Chrome trace
+// "args" object.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Metric names, shared by every layer that emits them so the Prometheus page
+// and the JSON snapshot stay consistent. Names ending in _total are
+// counters; _seconds names are histograms; the rest are gauges.
+const (
+	// Emitted by search.Profile mutators — these mirror the Profile fields
+	// one-to-one, so a -metrics dump always agrees with the profile totals.
+	MetricChunks          = "casoffinder_chunks_total"
+	MetricStagedBytes     = "casoffinder_staged_bytes_total"
+	MetricReadBytes       = "casoffinder_read_bytes_total"
+	MetricCandidateSites  = "casoffinder_candidate_sites_total"
+	MetricEntries         = "casoffinder_entries_total"
+	MetricRetries         = "casoffinder_retries_total"
+	MetricFailovers       = "casoffinder_failovers_total"
+	MetricWatchdogKills   = "casoffinder_watchdog_kills_total"
+	MetricQuarantined     = "casoffinder_quarantined_chunks_total"
+	MetricAsyncExceptions = "casoffinder_async_exceptions_total"
+	// MetricFaults carries a site="..." label per fault site.
+	MetricFaults = "casoffinder_faults_total"
+
+	// Emitted by the pipeline topologies.
+	MetricStageSeconds   = "casoffinder_stage_seconds"
+	MetricScanSeconds    = "casoffinder_scan_seconds"
+	MetricQueueOccupancy = "casoffinder_queue_occupancy"
+	MetricHits           = "casoffinder_hits_total"
+	MetricPipelineChunks = "casoffinder_pipeline_chunks_total"
+
+	// Emitted by the gpu simulator's launch hook, labelled kernel="...".
+	MetricKernelLaunchSeconds = "casoffinder_kernel_launch_seconds"
+	MetricKernelLaunches      = "casoffinder_kernel_launches_total"
+
+	// Emitted by the opencl frontend, labelled dir="read"|"write".
+	MetricCLTransfers = "casoffinder_cl_transfers_total"
+)

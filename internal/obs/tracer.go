@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one recorded event: a completed duration on a track, or (with
+// Instant set) a zero-length marker. Chunk is the pipeline chunk index the
+// span belongs to, or -1 for run-scoped spans; tracks group spans into
+// timeline rows (one per pipeline worker or device).
+type Span struct {
+	Track    string
+	Name     string
+	Chunk    int
+	Start    time.Time
+	Duration time.Duration
+	Instant  bool
+	Attrs    []Attr
+}
+
+// Tracer accumulates spans for one run. A nil *Tracer is valid and records
+// nothing — every method is a pointer check on the disabled path, so engines
+// thread it unconditionally. Recording methods are safe for concurrent use.
+type Tracer struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTracer starts a tracer; its epoch (trace time zero) is now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Complete records a finished span. The caller measures the interval itself
+// (start from time.Now() before the work, dur from time.Since after), so a
+// disabled tracer costs no clock reads at the call site.
+func (t *Tracer) Complete(track, name string, chunk int, start time.Time, dur time.Duration, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Track: track, Name: name, Chunk: chunk, Start: start, Duration: dur, Attrs: attrs})
+	t.mu.Unlock()
+}
+
+// Instant records a zero-length marker (a retry, a watchdog kill, an async
+// exception) at the current time.
+func (t *Tracer) Instant(track, name string, chunk int, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Track: track, Name: name, Chunk: chunk, Start: now, Instant: true, Attrs: attrs})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans; 0 on a nil tracer.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}

@@ -7,6 +7,14 @@ import (
 
 	"casoffinder/internal/fault"
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/obs"
+)
+
+// Precomputed transfer-counter series names, so the hot enqueue paths never
+// rebuild the label strings.
+var (
+	clTransferReadSeries  = obs.L(obs.MetricCLTransfers, "dir", "read")
+	clTransferWriteSeries = obs.L(obs.MetricCLTransfers, "dir", "write")
 )
 
 // CommandQueue is an in-order OpenCL command queue — step 4 of Table I.
@@ -142,6 +150,7 @@ func (q *CommandQueue) EnqueueNDRangeKernelCtx(ctx context.Context, k *Kernel, g
 	if in := q.ctx.faults(); in != nil {
 		if in.Fire(fault.SiteCLDeviceLost) {
 			q.ctx.markLost()
+			q.dev.sim.Instant("device-lost", obs.Attr{Key: "kernel", Value: k.name})
 			return nil, fault.Errorf(fault.SiteCLDeviceLost, fault.Fatal,
 				"opencl: enqueue %s: %w", k.name, ErrDeviceLost)
 		}
@@ -209,6 +218,7 @@ func EnqueueReadBuffer[T any](q *CommandQueue, src *Mem, blocking bool, offset, 
 		return nil, fmt.Errorf("%w: destination holds %d of %d elements", ErrInvalidBufferRange, len(dst), n)
 	}
 	copy(dst[:n], data[offset:offset+n])
+	q.dev.sim.Metrics().Count(clTransferReadSeries, 1)
 	// Readback corruption happens after a successful copy: the device's
 	// global memory (or the bus) handed back damaged data, and only the
 	// host-side copy sees it. The MSB flips are loud enough that the
@@ -242,6 +252,7 @@ func EnqueueWriteBuffer[T any](q *CommandQueue, dst *Mem, blocking bool, offset,
 		return nil, fmt.Errorf("%w: source holds %d of %d elements", ErrInvalidBufferRange, len(src), n)
 	}
 	copy(data[offset:offset+n], src[:n])
+	q.dev.sim.Metrics().Count(clTransferWriteSeries, 1)
 	return &Event{}, nil
 }
 

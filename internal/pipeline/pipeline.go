@@ -19,10 +19,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"casoffinder/internal/genome"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/obs"
 )
 
 // Plan is a compiled request: the validated pattern and guide tables plus
@@ -44,6 +47,12 @@ func Compile(req *Request) (*Plan, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	return compileValidated(req)
+}
+
+// compileValidated compiles an already-validated request, so a traced Stream
+// can record validation and compilation as separate spans.
+func compileValidated(req *Request) (*Plan, error) {
 	pattern, err := kernels.NewPatternPair([]byte(req.Pattern))
 	if err != nil {
 		return nil, fmt.Errorf("search: %w", err)
@@ -124,6 +133,33 @@ type Pipeline struct {
 	// quarantine with a PartialError instead of aborting on the first
 	// backend failure. ScanWorkers is ignored in that mode.
 	Resilience *Resilience
+
+	// Trace, when non-nil, records a span for every pipeline stage
+	// (validate, compile, stage, find, compare, drain, emit) and every
+	// resilience event (retry, backoff, watchdog kill, failover,
+	// quarantine). Nil tracing costs one pointer check per call site.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives the pipeline's stage/scan latency
+	// histograms, the staged-queue occupancy gauge and the chunk/hit
+	// counters.
+	Metrics *obs.Metrics
+	// Track prefixes the trace rows this pipeline emits (usually the engine
+	// name); empty means "pipeline".
+	Track string
+}
+
+// track returns the base trace-track name.
+func (p *Pipeline) track() string {
+	if p.Track != "" {
+		return p.Track
+	}
+	return "pipeline"
+}
+
+// observed reports whether any observability sink is attached; call sites
+// use it to skip the time.Now() pair on the disabled path.
+func (p *Pipeline) observed() bool {
+	return p.Trace != nil || p.Metrics != nil
 }
 
 // Stream executes the request, calling emit sequentially for every hit.
@@ -132,7 +168,21 @@ type Pipeline struct {
 // aborts staging and in-flight dispatch and is returned. emit must not be
 // nil.
 func (p *Pipeline) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
-	plan, err := Compile(req)
+	var plan *Plan
+	var err error
+	if p.Trace != nil {
+		t0 := time.Now()
+		err = req.Validate()
+		p.Trace.Complete(p.track(), "validate", -1, t0, time.Since(t0))
+		if err != nil {
+			return err
+		}
+		t0 = time.Now()
+		plan, err = compileValidated(req)
+		p.Trace.Complete(p.track(), "compile", -1, t0, time.Since(t0))
+	} else {
+		plan, err = Compile(req)
+	}
 	if err != nil {
 		return err
 	}
@@ -217,22 +267,36 @@ func (p *Pipeline) run(ctx context.Context, be Backend, plan *Plan, asm *genome.
 	stagedCh := make(chan stagedChunk)
 	results := make(chan scannedChunk, workers)
 
+	observed := p.observed()
 	var stagerWG sync.WaitGroup
 	stagerWG.Add(1)
 	go func() {
 		defer stagerWG.Done()
 		defer close(stagedCh)
+		track := p.track() + "/stager"
 		index := 0
 		if err := plan.Chunker.Each(asm, func(ch *genome.Chunk) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			st, err := be.Stage(ctx, ch)
+			var st Staged
+			var err error
+			if observed {
+				t0 := time.Now()
+				st, err = be.Stage(ctx, ch)
+				dur := time.Since(t0)
+				p.Trace.Complete(track, "stage", index, t0, dur,
+					obs.Attr{Key: "bytes", Value: strconv.Itoa(len(ch.Data))})
+				p.Metrics.Observe(obs.MetricStageSeconds, dur.Seconds())
+			} else {
+				st, err = be.Stage(ctx, ch)
+			}
 			if err != nil {
 				return err
 			}
 			select {
 			case stagedCh <- stagedChunk{index: index, st: st}:
+				p.Metrics.GaugeAdd(obs.MetricQueueOccupancy, 1)
 				index++
 				return nil
 			case <-ctx.Done():
@@ -247,11 +311,23 @@ func (p *Pipeline) run(ctx context.Context, be Backend, plan *Plan, asm *genome.
 	var scanWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		scanWG.Add(1)
-		go func() {
+		go func(w int) {
 			defer scanWG.Done()
+			track := p.track() + "/worker" + strconv.Itoa(w)
 			r := &SiteRenderer{}
 			for sc := range stagedCh {
-				hits, err := p.scanOne(ctx, be, plan, sc.st, r)
+				p.Metrics.GaugeAdd(obs.MetricQueueOccupancy, -1)
+				var hits []Hit
+				var err error
+				if observed {
+					t0 := time.Now()
+					hits, err = p.scanOne(ctx, be, plan, sc.st, r, sc.index, track)
+					dur := time.Since(t0)
+					p.Trace.Complete(track, "scan", sc.index, t0, dur)
+					p.Metrics.Observe(obs.MetricScanSeconds, dur.Seconds())
+				} else {
+					hits, err = p.scanOne(ctx, be, plan, sc.st, r, sc.index, track)
+				}
 				if err != nil {
 					// Keep draining stagedCh so the stager is never
 					// stranded on a send; after fail the scans below
@@ -265,7 +341,7 @@ func (p *Pipeline) run(ctx context.Context, be Backend, plan *Plan, asm *genome.
 				case <-ctx.Done():
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		scanWG.Wait()
@@ -274,6 +350,7 @@ func (p *Pipeline) run(ctx context.Context, be Backend, plan *Plan, asm *genome.
 
 	// The collector runs on the caller's goroutine so emit is always
 	// sequential, reordering out-of-order scans back into chunk order.
+	collectTrack := p.track() + "/collect"
 	pending := make(map[int][]Hit)
 	next := 0
 	emitting := true
@@ -285,9 +362,14 @@ func (p *Pipeline) run(ctx context.Context, be Backend, plan *Plan, asm *genome.
 				break
 			}
 			delete(pending, next)
+			chunk := next
 			next++
 			if !emitting {
 				continue
+			}
+			var t0 time.Time
+			if observed {
+				t0 = time.Now()
 			}
 			for _, h := range hits {
 				if err := ctx.Err(); err != nil {
@@ -301,6 +383,12 @@ func (p *Pipeline) run(ctx context.Context, be Backend, plan *Plan, asm *genome.
 					break
 				}
 			}
+			if observed {
+				p.Trace.Complete(collectTrack, "emit", chunk, t0, time.Since(t0),
+					obs.Attr{Key: "hits", Value: strconv.Itoa(len(hits))})
+				p.Metrics.Count(obs.MetricHits, int64(len(hits)))
+				p.Metrics.Count(obs.MetricPipelineChunks, 1)
+			}
 		}
 	}
 	stagerWG.Wait()
@@ -309,32 +397,55 @@ func (p *Pipeline) run(ctx context.Context, be Backend, plan *Plan, asm *genome.
 
 // scanOne drives one staged chunk through the backend's kernel phases and
 // returns its hits sorted. The context is checked at every phase boundary
-// so cancellation takes effect within one kernel launch.
-func (p *Pipeline) scanOne(ctx context.Context, be Backend, plan *Plan, st Staged, r *SiteRenderer) ([]Hit, error) {
+// so cancellation takes effect within one kernel launch. chunk and track
+// label the phase spans when tracing is on.
+func (p *Pipeline) scanOne(ctx context.Context, be Backend, plan *Plan, st Staged, r *SiteRenderer, chunk int, track string) ([]Hit, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	traced := p.Trace != nil
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	n, err := be.Find(ctx, st)
+	if traced {
+		p.Trace.Complete(track, "find", chunk, t0, time.Since(t0),
+			obs.Attr{Key: "candidates", Value: strconv.Itoa(n)})
+	}
 	if err != nil {
 		return nil, err
 	}
 	if n > 0 {
+		if traced {
+			t0 = time.Now()
+		}
 		if bc, ok := be.(BatchComparer); ok {
-			if err := bc.CompareAll(ctx, st); err != nil {
-				return nil, err
-			}
+			err = bc.CompareAll(ctx, st)
 		} else {
 			for qi := range plan.Guides {
-				if err := ctx.Err(); err != nil {
-					return nil, err
+				if err = ctx.Err(); err != nil {
+					break
 				}
-				if err := be.Compare(ctx, st, qi); err != nil {
-					return nil, err
+				if err = be.Compare(ctx, st, qi); err != nil {
+					break
 				}
 			}
 		}
+		if traced {
+			p.Trace.Complete(track, "compare", chunk, t0, time.Since(t0))
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if traced {
+		t0 = time.Now()
 	}
 	hits, err := be.Drain(ctx, st, r)
+	if traced {
+		p.Trace.Complete(track, "drain", chunk, t0, time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -23,10 +23,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"casoffinder/internal/fault"
 	"casoffinder/internal/genome"
+	"casoffinder/internal/obs"
 )
 
 // Default resilience parameters, used when the corresponding Resilience
@@ -222,6 +224,8 @@ func (p *Pipeline) runResilient(ctx context.Context, be Backend, plan *Plan, asm
 		return fb, nil
 	}
 
+	observed := p.observed()
+	track := p.track() + "/resilient"
 	r := &SiteRenderer{}
 	index := 0
 	err := plan.Chunker.Each(asm, func(ch *genome.Chunk) error {
@@ -231,14 +235,26 @@ func (p *Pipeline) runResilient(ctx context.Context, be Backend, plan *Plan, asm
 		}
 		rep.Chunks++
 		if cf != nil {
+			p.Trace.Instant(track, "quarantine", index,
+				obs.Attr{Key: "error", Value: cf.Err.Error()})
 			rep.Quarantined = append(rep.Quarantined, *cf)
 		} else {
+			var t0 time.Time
+			if observed {
+				t0 = time.Now()
+			}
 			for _, h := range hits {
 				if err := emit(h); err != nil {
 					return err
 				}
 			}
+			if observed {
+				p.Trace.Complete(track, "emit", index, t0, time.Since(t0),
+					obs.Attr{Key: "hits", Value: strconv.Itoa(len(hits))})
+				p.Metrics.Count(obs.MetricHits, int64(len(hits)))
+			}
 		}
+		p.Metrics.Count(obs.MetricPipelineChunks, 1)
 		index++
 		return nil
 	})
@@ -257,15 +273,29 @@ func (p *Pipeline) runResilient(ctx context.Context, be Backend, plan *Plan, asm
 // cancellation); chunk-level failures come back as a ChunkFailure.
 func (p *Pipeline) scanResilient(ctx context.Context, primary Backend, openFallback func() (Backend, error), plan *Plan, index int, ch *genome.Chunk, r *SiteRenderer, rep *Report) ([]Hit, *ChunkFailure, error) {
 	res := p.Resilience
+	observed := p.observed()
+	track := p.track() + "/resilient"
 	attempts := 0
 	var lastErr error
+
+	// attempt runs one Stage→Drain pass on a backend, timing it for the
+	// scan-latency histogram when observed.
+	attempt := func(be Backend) ([]Hit, error) {
+		if !observed {
+			return p.attemptChunk(ctx, be, plan, index, ch, r, rep)
+		}
+		t0 := time.Now()
+		hits, err := p.attemptChunk(ctx, be, plan, index, ch, r, rep)
+		p.Metrics.Observe(obs.MetricScanSeconds, time.Since(t0).Seconds())
+		return hits, err
+	}
 
 	// Primary arm: first attempt plus the transient retry budget.
 	for try := 0; ; try++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		hits, err := p.attemptChunk(ctx, primary, plan, ch, r, rep)
+		hits, err := attempt(primary)
 		attempts++
 		if err == nil {
 			return hits, nil, nil
@@ -278,7 +308,18 @@ func (p *Pipeline) scanResilient(ctx context.Context, primary Backend, openFallb
 			break // fatal, corrupted, or out of retries: fail over
 		}
 		rep.Retries++
-		if err := sleepCtx(ctx, res.backoff(index, try+1)); err != nil {
+		p.Trace.Instant(track, "retry", index,
+			obs.Attr{Key: "try", Value: strconv.Itoa(try + 1)},
+			obs.Attr{Key: "error", Value: err.Error()})
+		delay := res.backoff(index, try+1)
+		if observed {
+			t0 := time.Now()
+			err = sleepCtx(ctx, delay)
+			p.Trace.Complete(track, "backoff", index, t0, time.Since(t0))
+		} else {
+			err = sleepCtx(ctx, delay)
+		}
+		if err != nil {
 			return nil, nil, err
 		}
 	}
@@ -288,7 +329,9 @@ func (p *Pipeline) scanResilient(ctx context.Context, primary Backend, openFallb
 		lastErr = err
 	} else if fb != nil {
 		rep.Failovers++
-		hits, err := p.attemptChunk(ctx, fb, plan, ch, r, rep)
+		p.Trace.Instant(track, "failover", index,
+			obs.Attr{Key: "error", Value: lastErr.Error()})
+		hits, err := attempt(fb)
 		attempts++
 		if err == nil {
 			return hits, nil, nil
@@ -312,12 +355,13 @@ func (p *Pipeline) scanResilient(ctx context.Context, primary Backend, openFallb
 // attemptChunk runs one full scan attempt — Stage through Drain — on one
 // backend, each phase bounded by the watchdog deadline. The staged handle
 // is released (when the backend supports it) if any phase fails, so a
-// retried chunk always re-stages fresh.
-func (p *Pipeline) attemptChunk(ctx context.Context, be Backend, plan *Plan, ch *genome.Chunk, r *SiteRenderer, rep *Report) (hits []Hit, err error) {
-	guard := p.watchdogGuard(rep)
+// retried chunk always re-stages fresh. index labels the phase spans when
+// tracing is on.
+func (p *Pipeline) attemptChunk(ctx context.Context, be Backend, plan *Plan, index int, ch *genome.Chunk, r *SiteRenderer, rep *Report) (hits []Hit, err error) {
+	guard := p.watchdogGuard(rep, index)
 
 	var st Staged
-	err = guard(ctx, func(pctx context.Context) error {
+	err = guard(ctx, "stage", func(pctx context.Context) error {
 		var serr error
 		st, serr = be.Stage(pctx, ch)
 		return serr
@@ -334,7 +378,7 @@ func (p *Pipeline) attemptChunk(ctx context.Context, be Backend, plan *Plan, ch 
 	}()
 
 	var n int
-	err = guard(ctx, func(pctx context.Context) error {
+	err = guard(ctx, "find", func(pctx context.Context) error {
 		var ferr error
 		n, ferr = be.Find(pctx, st)
 		return ferr
@@ -344,7 +388,7 @@ func (p *Pipeline) attemptChunk(ctx context.Context, be Backend, plan *Plan, ch 
 	}
 	if n > 0 {
 		if bc, ok := be.(BatchComparer); ok {
-			err = guard(ctx, func(pctx context.Context) error {
+			err = guard(ctx, "compare", func(pctx context.Context) error {
 				return bc.CompareAll(pctx, st)
 			})
 			if err != nil {
@@ -352,7 +396,7 @@ func (p *Pipeline) attemptChunk(ctx context.Context, be Backend, plan *Plan, ch 
 			}
 		} else {
 			for qi := range plan.Guides {
-				err = guard(ctx, func(pctx context.Context) error {
+				err = guard(ctx, "compare", func(pctx context.Context) error {
 					return be.Compare(pctx, st, qi)
 				})
 				if err != nil {
@@ -361,7 +405,7 @@ func (p *Pipeline) attemptChunk(ctx context.Context, be Backend, plan *Plan, ch 
 			}
 		}
 	}
-	err = guard(ctx, func(pctx context.Context) error {
+	err = guard(ctx, "drain", func(pctx context.Context) error {
 		var derr error
 		hits, derr = be.Drain(pctx, st, r)
 		return derr
@@ -376,20 +420,37 @@ func (p *Pipeline) attemptChunk(ctx context.Context, be Backend, plan *Plan, ch 
 // watchdogGuard wraps one backend phase call in the watchdog deadline: the
 // phase receives a context that is cancelled when the deadline passes, so a
 // hung simulated kernel parked on it is reaped. A deadline hit is reported
-// as a transient watchdog fault and counted; cancellation of the parent
-// context passes through untouched.
-func (p *Pipeline) watchdogGuard(rep *Report) func(ctx context.Context, phase func(context.Context) error) error {
+// as a transient watchdog fault and counted. Each guarded phase is recorded
+// as a span named after it (stage phases also feed the staging-latency
+// histogram); a reaped phase additionally records a watchdog-kill instant.
+// Cancellation of the parent context passes through untouched.
+func (p *Pipeline) watchdogGuard(rep *Report, chunk int) func(ctx context.Context, name string, phase func(context.Context) error) error {
 	wd := p.Resilience.Watchdog
-	return func(ctx context.Context, phase func(context.Context) error) error {
+	observed := p.observed()
+	track := p.track() + "/resilient"
+	return func(ctx context.Context, name string, phase func(context.Context) error) error {
 		pctx := ctx
 		if wd > 0 {
 			var cancel context.CancelFunc
 			pctx, cancel = context.WithTimeout(ctx, wd)
 			defer cancel()
 		}
-		err := phase(pctx)
+		var err error
+		if observed {
+			t0 := time.Now()
+			err = phase(pctx)
+			dur := time.Since(t0)
+			p.Trace.Complete(track, name, chunk, t0, dur)
+			if name == "stage" {
+				p.Metrics.Observe(obs.MetricStageSeconds, dur.Seconds())
+			}
+		} else {
+			err = phase(pctx)
+		}
 		if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
 			rep.WatchdogKills++
+			p.Trace.Instant(track, "watchdog-kill", chunk,
+				obs.Attr{Key: "phase", Value: name})
 			return fault.New(fault.SiteWatchdog, fault.Transient,
 				fmt.Errorf("pipeline: watchdog deadline (%v) reaped phase: %w", wd, err))
 		}

@@ -8,6 +8,7 @@ import (
 
 	"casoffinder/internal/genome"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
 )
 
@@ -31,6 +32,12 @@ type CPU struct {
 	// comparing guides one pipeline Compare call at a time — the ablation
 	// arm of BenchmarkMultiPatternBatch. Only meaningful with Packed.
 	NoBatch bool
+	// Trace and Metrics, when set, record pipeline spans and counters for
+	// the run; nil leaves the hot path untouched.
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
+	// Track overrides the trace track prefix (default the engine name).
+	Track string
 }
 
 // Name implements Engine.
@@ -51,11 +58,18 @@ func (c *CPU) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 // Stream implements Engine by running the shared pipeline over the in-place
 // chunk scan, one scan worker per configured CPU.
 func (c *CPU) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
+	track := c.Track
+	if track == "" {
+		track = c.Name()
+	}
 	p := &pipeline.Pipeline{
 		Open: func(plan *pipeline.Plan) (pipeline.Backend, error) {
 			return newCPUBackend(plan, c), nil
 		},
 		ScanWorkers: c.workers(),
+		Trace:       c.Trace,
+		Metrics:     c.Metrics,
+		Track:       track,
 	}
 	return p.Stream(ctx, asm, req, emit)
 }

@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"casoffinder/internal/genome"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
 )
 
@@ -27,10 +30,28 @@ type Indexed struct {
 	Workers int
 	// MinSeedLen rejects seeds too short to be selective (default 6).
 	MinSeedLen int
+	// Trace and Metrics, when set, record coarse spans for the run
+	// (validate, index, scan, emit — the engine is per-sequence, not
+	// per-chunk, so spans are run- and sequence-granular); nil leaves the
+	// hot path untouched. Both are forwarded to the fallback CPU engine.
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
+	// Track overrides the trace track prefix (default the engine name).
+	Track string
 }
 
 // Name implements Engine.
 func (e *Indexed) Name() string { return "cpu-indexed" }
+
+func (e *Indexed) track() string {
+	if e.Track != "" {
+		return e.Track
+	}
+	return e.Name()
+}
+
+// observed reports whether the run should time its phases at all.
+func (e *Indexed) observed() bool { return e.Trace != nil || e.Metrics != nil }
 
 // DefaultMinSeedLen is the shortest usable seed.
 const DefaultMinSeedLen = 6
@@ -196,6 +217,11 @@ func (e *Indexed) Stream(ctx context.Context, asm *genome.Assembly, req *Request
 	if err != nil {
 		return err
 	}
+	observed := e.observed()
+	var t0 time.Time
+	if observed {
+		t0 = time.Now()
+	}
 	for _, h := range hits {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -204,13 +230,28 @@ func (e *Indexed) Stream(ctx context.Context, asm *genome.Assembly, req *Request
 			return err
 		}
 	}
+	if observed {
+		e.Trace.Complete(e.track(), "emit", -1, t0, time.Since(t0),
+			obs.Attr{Key: "hits", Value: strconv.Itoa(len(hits))})
+		e.Metrics.Count(obs.MetricHits, int64(len(hits)))
+	}
 	return nil
 }
 
 // run is the shared body of Run and Stream.
 func (e *Indexed) run(ctx context.Context, asm *genome.Assembly, req *Request) ([]Hit, error) {
+	observed := e.observed()
+	track := e.track()
+	var t0 time.Time
+	if observed {
+		t0 = time.Now()
+	}
 	if err := req.Validate(); err != nil {
 		return nil, err
+	}
+	if observed {
+		e.Trace.Complete(track, "validate", -1, t0, time.Since(t0))
+		t0 = time.Now()
 	}
 	pattern, err := kernels.NewPatternPair([]byte(req.Pattern))
 	if err != nil {
@@ -223,6 +264,11 @@ func (e *Indexed) run(ctx context.Context, asm *genome.Assembly, req *Request) (
 		}
 	}
 	indexes, fallback := e.buildIndexes(guides, req.Queries)
+	if observed {
+		e.Trace.Complete(track, "index", -1, t0, time.Since(t0),
+			obs.Attr{Key: "seed_lengths", Value: strconv.Itoa(len(indexes))},
+			obs.Attr{Key: "fallback_queries", Value: strconv.Itoa(len(fallback))})
+	}
 
 	workers := e.Workers
 	if workers <= 0 {
@@ -240,16 +286,27 @@ func (e *Indexed) run(ctx context.Context, asm *genome.Assembly, req *Request) (
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			workerTrack := track + "/worker" + strconv.Itoa(w)
 			r := &pipeline.SiteRenderer{}
 			for si := range work {
 				if ctx.Err() != nil {
 					continue
 				}
+				if observed {
+					st := time.Now()
+					perSeq[si] = e.scanSequence(asm.Sequences[si], pattern, guides, req.Queries, indexes, r)
+					d := time.Since(st)
+					e.Trace.Complete(workerTrack, "scan", si, st, d,
+						obs.Attr{Key: "sequence", Value: asm.Sequences[si].Name},
+						obs.Attr{Key: "hits", Value: strconv.Itoa(len(perSeq[si]))})
+					e.Metrics.Observe(obs.MetricScanSeconds, d.Seconds())
+					continue
+				}
 				perSeq[si] = e.scanSequence(asm.Sequences[si], pattern, guides, req.Queries, indexes, r)
 			}
-		}()
+		}(w)
 	}
 dispatch:
 	for si := range asm.Sequences {
@@ -279,7 +336,10 @@ dispatch:
 		for _, qi := range fallback {
 			sub.Queries = append(sub.Queries, req.Queries[qi])
 		}
-		scanHits, err := Collect(ctx, &CPU{Workers: e.Workers, Packed: true}, asm, sub)
+		scanHits, err := Collect(ctx, &CPU{
+			Workers: e.Workers, Packed: true,
+			Trace: e.Trace, Metrics: e.Metrics, Track: track + "/fallback",
+		}, asm, sub)
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
 )
 
@@ -29,6 +30,11 @@ type MultiSYCL struct {
 	// each device retries, reaps hangs and fails over to the CPU engine
 	// independently, and the merged profile carries the combined counters.
 	Resilience *pipeline.Resilience
+	// Trace and Metrics, when set, are shared by every per-device
+	// sub-engine: each device's spans land on its own "sycl-sim[i]" tracks
+	// and the counters sum across devices in one registry.
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
 
 	profile *Profile
 }
@@ -90,7 +96,10 @@ func (e *MultiSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Reque
 	errs := make([]error, len(e.Devices))
 	var wg sync.WaitGroup
 	for i, dev := range e.Devices {
-		subEngines[i] = &SimSYCL{Device: dev, Variant: e.Variant, WorkGroupSize: e.WorkGroupSize, Resilience: e.Resilience}
+		subEngines[i] = &SimSYCL{
+			Device: dev, Variant: e.Variant, WorkGroupSize: e.WorkGroupSize, Resilience: e.Resilience,
+			Trace: e.Trace, Metrics: e.Metrics, Track: fmt.Sprintf("sycl-sim[%d]", i),
+		}
 		if len(parts[i].Sequences) == 0 {
 			continue
 		}
@@ -116,7 +125,10 @@ func (e *MultiSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Reque
 			partial = pe
 		}
 	}
-	merged := newProfile()
+	// The merged profile carries no metrics registry of its own: every
+	// sub-profile already streamed its counts into the shared registry, so
+	// folding them again here would double-count.
+	merged := newProfile(nil)
 	var hits []Hit
 	for i := range e.Devices {
 		hits = append(hits, results[i]...)

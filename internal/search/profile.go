@@ -1,10 +1,12 @@
 package search
 
 import (
+	"sort"
 	"sync"
 
 	"casoffinder/internal/fault"
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
 )
 
@@ -60,13 +62,19 @@ type Profile struct {
 	FaultLog []fault.Event
 
 	mu sync.Mutex
+
+	// metrics mirrors the counters above into the run's metrics registry as
+	// they accumulate, so a -metrics dump always agrees with the profile
+	// totals. Nil when the run is unobserved; obs methods are nil-safe.
+	metrics *obs.Metrics
 }
 
-func newProfile() *Profile {
+func newProfile(m *obs.Metrics) *Profile {
 	return &Profile{
 		Kernels:        make(map[string]gpu.Stats),
 		Launches:       make(map[string]int),
 		WorkGroupSizes: make(map[string]int),
+		metrics:        m,
 	}
 }
 
@@ -87,6 +95,8 @@ func (p *Profile) addStagedChunk(n int64) {
 	p.Chunks++
 	p.BytesStaged += n
 	p.mu.Unlock()
+	p.metrics.Count(obs.MetricChunks, 1)
+	p.metrics.Count(obs.MetricStagedBytes, n)
 }
 
 // addStaged counts n bytes of host-to-device traffic.
@@ -94,6 +104,7 @@ func (p *Profile) addStaged(n int64) {
 	p.mu.Lock()
 	p.BytesStaged += n
 	p.mu.Unlock()
+	p.metrics.Count(obs.MetricStagedBytes, n)
 }
 
 // addRead counts n bytes of device-to-host traffic.
@@ -101,6 +112,7 @@ func (p *Profile) addRead(n int64) {
 	p.mu.Lock()
 	p.BytesRead += n
 	p.mu.Unlock()
+	p.metrics.Count(obs.MetricReadBytes, n)
 }
 
 // addCandidates counts finder-reported candidate sites.
@@ -108,6 +120,7 @@ func (p *Profile) addCandidates(n int64) {
 	p.mu.Lock()
 	p.CandidateSites += n
 	p.mu.Unlock()
+	p.metrics.Count(obs.MetricCandidateSites, n)
 }
 
 // addEntries counts comparer output entries.
@@ -115,6 +128,7 @@ func (p *Profile) addEntries(n int64) {
 	p.mu.Lock()
 	p.Entries += n
 	p.mu.Unlock()
+	p.metrics.Count(obs.MetricEntries, n)
 }
 
 // addResilience folds one run's resilience report into the profile.
@@ -125,6 +139,10 @@ func (p *Profile) addResilience(rep *pipeline.Report) {
 	p.WatchdogKills += rep.WatchdogKills
 	p.QuarantinedChunks += len(rep.Quarantined)
 	p.mu.Unlock()
+	p.metrics.Count(obs.MetricRetries, rep.Retries)
+	p.metrics.Count(obs.MetricFailovers, rep.Failovers)
+	p.metrics.Count(obs.MetricWatchdogKills, rep.WatchdogKills)
+	p.metrics.Count(obs.MetricQuarantined, int64(len(rep.Quarantined)))
 }
 
 // addAsync counts one delivery to the SYCL async exception handler.
@@ -132,25 +150,31 @@ func (p *Profile) addAsync() {
 	p.mu.Lock()
 	p.AsyncExceptions++
 	p.mu.Unlock()
+	p.metrics.Count(obs.MetricAsyncExceptions, 1)
 }
 
-// addFaults copies the injector's fired-event counts and log into the
-// profile; a nil injector is a no-op.
-func (p *Profile) addFaults(in *fault.Injector) {
-	counts := in.Counts()
-	log := in.Log()
-	if counts == nil && log == nil {
+// addFaults folds one run's fired fault events — the delta the engine read
+// with Injector.Mark/LogSince, not the injector's cumulative log — into the
+// profile, keeping FaultLog in its documented (site, seq) order.
+func (p *Profile) addFaults(events []fault.Event) {
+	if len(events) == 0 {
 		return
 	}
 	p.mu.Lock()
 	if p.Faults == nil {
 		p.Faults = make(map[fault.Site]int64)
 	}
-	for site, n := range counts {
-		p.Faults[site] += n
+	for _, e := range events {
+		p.Faults[e.Site]++
 	}
-	p.FaultLog = append(p.FaultLog, log...)
+	p.FaultLog = append(p.FaultLog, events...)
+	fault.SortEvents(p.FaultLog)
 	p.mu.Unlock()
+	if p.metrics != nil {
+		for _, e := range events {
+			p.metrics.Count(obs.L(obs.MetricFaults, "site", string(e.Site)), 1)
+		}
+	}
 }
 
 // Degraded reports whether the run deviated from the clean path.
@@ -169,7 +193,14 @@ func (p *Profile) merge(o *Profile) {
 		agg.Add(&s)
 		p.Kernels[name] = agg
 		p.Launches[name] += o.Launches[name]
-		p.WorkGroupSizes[name] = o.WorkGroupSizes[name]
+		// A merged profile keeps a kernel's work-group size only while every
+		// device agrees on it; a conflict records 0 ("mixed") rather than
+		// whichever device merged last.
+		if prev, ok := p.WorkGroupSizes[name]; !ok {
+			p.WorkGroupSizes[name] = o.WorkGroupSizes[name]
+		} else if prev != o.WorkGroupSizes[name] {
+			p.WorkGroupSizes[name] = 0
+		}
 	}
 	p.Chunks += o.Chunks
 	p.BytesStaged += o.BytesStaged
@@ -190,15 +221,20 @@ func (p *Profile) merge(o *Profile) {
 		}
 	}
 	p.FaultLog = append(p.FaultLog, o.FaultLog...)
+	// Per-device logs arrive individually sorted; the concatenation is not.
+	// Re-sort so multi-device merges keep the documented replay order.
+	fault.SortEvents(p.FaultLog)
 }
 
 // KernelNames returns the profiled kernel names ("finder" plus the comparer
-// variant that ran).
+// variant that ran), sorted so reports and the timing model iterate
+// deterministically.
 func (p *Profile) KernelNames() []string {
 	names := make([]string, 0, len(p.Kernels))
 	for n := range p.Kernels {
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 

@@ -1,0 +1,328 @@
+package search
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"casoffinder/internal/fault"
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/obs"
+	"casoffinder/internal/pipeline"
+)
+
+// faultLogSorted reports whether the log is in the documented (site, seq)
+// replay order.
+func faultLogSorted(log []fault.Event) bool {
+	return sort.SliceIsSorted(log, func(i, j int) bool {
+		if log[i].Site != log[j].Site {
+			return log[i].Site < log[j].Site
+		}
+		return log[i].Seq < log[j].Seq
+	})
+}
+
+// TestKernelNamesSorted pins the KernelNames contract: names come back
+// sorted regardless of insertion order, so reports and the timing model
+// iterate deterministically.
+func TestKernelNamesSorted(t *testing.T) {
+	p := newProfile(nil)
+	for _, name := range []string{"comparer.opt3", "finder", "comparer.base", "aligner"} {
+		p.addKernel(name, &gpu.Stats{WorkItems: 1}, 64)
+	}
+	names := p.KernelNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("KernelNames() = %v, want sorted", names)
+	}
+	if len(names) != 4 {
+		t.Errorf("KernelNames() returned %d names, want 4", len(names))
+	}
+}
+
+// TestProfileMergeAggregates pins merge's summing behaviour for kernel
+// stats, launch counts, pipeline counters and the fault map.
+func TestProfileMergeAggregates(t *testing.T) {
+	a := newProfile(nil)
+	a.addKernel("finder", &gpu.Stats{WorkItems: 100, WorkGroups: 2}, 64)
+	a.addStagedChunk(1000)
+	a.addCandidates(5)
+	a.addEntries(3)
+	a.addFaults([]fault.Event{{Site: fault.SiteReadback, Seq: 0}})
+
+	b := newProfile(nil)
+	b.addKernel("finder", &gpu.Stats{WorkItems: 50, WorkGroups: 1}, 64)
+	b.addKernel("comparer.base", &gpu.Stats{WorkItems: 10, WorkGroups: 1}, 128)
+	b.addStagedChunk(500)
+	b.addRead(200)
+	b.addCandidates(2)
+	b.addEntries(1)
+	b.addFaults([]fault.Event{{Site: fault.SiteReadback, Seq: 1}, {Site: fault.SiteHang, Seq: 0}})
+
+	m := newProfile(nil)
+	m.merge(a)
+	m.merge(b)
+
+	if got := m.Kernels["finder"]; got.WorkItems != 150 || got.WorkGroups != 3 {
+		t.Errorf("merged finder stats = %+v, want WorkItems=150 WorkGroups=3", got)
+	}
+	if m.Launches["finder"] != 2 || m.Launches["comparer.base"] != 1 {
+		t.Errorf("merged launches = %v", m.Launches)
+	}
+	if m.Chunks != 2 || m.BytesStaged != 1500 || m.BytesRead != 200 {
+		t.Errorf("merged traffic: chunks=%d staged=%d read=%d", m.Chunks, m.BytesStaged, m.BytesRead)
+	}
+	if m.CandidateSites != 7 || m.Entries != 4 {
+		t.Errorf("merged counters: candidates=%d entries=%d", m.CandidateSites, m.Entries)
+	}
+	if m.Faults[fault.SiteReadback] != 2 || m.Faults[fault.SiteHang] != 1 {
+		t.Errorf("merged fault map = %v", m.Faults)
+	}
+	if len(m.FaultLog) != 3 || !faultLogSorted(m.FaultLog) {
+		t.Errorf("merged fault log = %v, want 3 events sorted by (site, seq)", m.FaultLog)
+	}
+}
+
+// TestProfileMergeWorkGroupSizes pins the multi-device work-group-size rule:
+// agreement keeps the size, disagreement records 0 ("mixed") instead of
+// whichever device merged last.
+func TestProfileMergeWorkGroupSizes(t *testing.T) {
+	a := newProfile(nil)
+	a.addKernel("finder", &gpu.Stats{}, 64)
+	a.addKernel("comparer.base", &gpu.Stats{}, 256)
+
+	b := newProfile(nil)
+	b.addKernel("finder", &gpu.Stats{}, 64)
+	b.addKernel("comparer.base", &gpu.Stats{}, 128)
+
+	m := newProfile(nil)
+	m.merge(a)
+	m.merge(b)
+	if m.WorkGroupSizes["finder"] != 64 {
+		t.Errorf("agreeing kernel: WorkGroupSizes[finder] = %d, want 64", m.WorkGroupSizes["finder"])
+	}
+	if m.WorkGroupSizes["comparer.base"] != 0 {
+		t.Errorf("conflicting kernel: WorkGroupSizes[comparer.base] = %d, want 0 (mixed)", m.WorkGroupSizes["comparer.base"])
+	}
+}
+
+// TestProfileMergeFaultLogSorted pins the fix for the merge ordering bug:
+// per-device logs arrive individually sorted, but their concatenation is
+// not — merge must restore the (site, seq) invariant.
+func TestProfileMergeFaultLogSorted(t *testing.T) {
+	a := newProfile(nil)
+	a.addFaults([]fault.Event{{Site: fault.SiteSYCLAsync, Seq: 0}, {Site: fault.SiteSYCLAsync, Seq: 1}})
+	b := newProfile(nil)
+	b.addFaults([]fault.Event{{Site: fault.SiteReadback, Seq: 0}})
+
+	m := newProfile(nil)
+	m.merge(a) // sycl.async events first...
+	m.merge(b) // ...then readback, which sorts before them
+	if !faultLogSorted(m.FaultLog) {
+		t.Errorf("merged FaultLog out of order: %v", m.FaultLog)
+	}
+}
+
+// TestMultiSYCLFaultLogSorted is the end-to-end pin for the merge ordering
+// fix: a multi-device run where each device fires a different fault site
+// must still hand back a (site, seq)-sorted merged FaultLog.
+func TestMultiSYCLFaultLogSorted(t *testing.T) {
+	asm := testAssembly(t, 13, []int{500, 400, 300}, testSite)
+	req := testRequest(2)
+	devs := make([]*gpu.Device, 2)
+	for i, plan := range []fault.Plan{
+		{Seed: 42, Rate: 1, Site: fault.SiteSYCLAsync},
+		{Seed: 42, Rate: 1, Site: fault.SiteReadback},
+	} {
+		devs[i] = gpu.New(device.MI100(), gpu.WithWorkers(4))
+		devs[i].SetFaults(fault.NewInjector(plan))
+	}
+	eng := &MultiSYCL{
+		Devices: devs, Variant: kernels.Base, WorkGroupSize: 64,
+		Resilience: &pipeline.Resilience{Seed: 42},
+	}
+	if _, err := eng.Run(asm, req); err != nil {
+		t.Fatalf("faulted run: %v", err)
+	}
+	p := eng.LastProfile()
+	if len(p.FaultLog) < 2 {
+		t.Fatalf("only %d fault events; test needs both devices to fire", len(p.FaultLog))
+	}
+	if !faultLogSorted(p.FaultLog) {
+		t.Errorf("merged FaultLog out of order: %v", p.FaultLog)
+	}
+	var sum int64
+	for _, n := range p.Faults {
+		sum += n
+	}
+	if int(sum) != len(p.FaultLog) {
+		t.Errorf("fault map total %d != log length %d", sum, len(p.FaultLog))
+	}
+}
+
+// TestReusedEngineFaultDelta pins the cumulative-log fix: a simulator engine
+// reused for a second run must attribute to that run only the faults it
+// fired, not the injector's whole history.
+func TestReusedEngineFaultDelta(t *testing.T) {
+	asm := testAssembly(t, 7, []int{600, 300}, testSite)
+	req := testRequest(2)
+	for _, se := range simEngines() {
+		t.Run(se.name, func(t *testing.T) {
+			plan := fault.Plan{Seed: 1234, Rate: 0.3}
+			eng := se.build(plan, &pipeline.Resilience{Seed: plan.Seed, Watchdog: 500 * time.Millisecond})
+			if _, err := eng.Run(asm, req); err != nil {
+				t.Fatalf("run 1: %v", err)
+			}
+			log1 := append([]fault.Event(nil), eng.(Profiler).LastProfile().FaultLog...)
+			if len(log1) == 0 {
+				t.Fatal("run 1 fired no faults; rate too low for the test to mean anything")
+			}
+			if _, err := eng.Run(asm, req); err != nil {
+				t.Fatalf("run 2: %v", err)
+			}
+			log2 := eng.(Profiler).LastProfile().FaultLog
+
+			var dev *gpu.Device
+			switch e := eng.(type) {
+			case *SimCL:
+				dev = e.Device
+			case *SimSYCL:
+				dev = e.Device
+			}
+			cumulative := dev.Faults().Log()
+			if len(log2) == len(cumulative) && len(log1) > 0 {
+				t.Fatalf("run 2 profile carries the injector's cumulative log (%d events); want only run 2's delta", len(log2))
+			}
+			if got, want := len(log1)+len(log2), len(cumulative); got != want {
+				t.Errorf("run deltas sum to %d events, injector fired %d", got, want)
+			}
+			for _, e := range log2 {
+				for _, e1 := range log1 {
+					if e == e1 {
+						t.Fatalf("run 2 log re-reports run 1 event %+v", e)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultiSYCLMergeParity checks the merged profile against the sum of
+// independent single-device runs over the same partition: every additive
+// field must agree, device by device.
+func TestMultiSYCLMergeParity(t *testing.T) {
+	asm := testAssembly(t, 11, []int{600, 300}, testSite)
+	req := testRequest(2)
+	newDev := func() *gpu.Device { return gpu.New(device.MI100(), gpu.WithWorkers(4)) }
+
+	multi := &MultiSYCL{Devices: []*gpu.Device{newDev(), newDev()}, Variant: kernels.Opt3, WorkGroupSize: 64}
+	if _, err := multi.Run(asm, req); err != nil {
+		t.Fatal(err)
+	}
+	merged := multi.LastProfile()
+
+	// Replicate the engine's partition: round-robin by descending length.
+	// With two sequences and two devices, device 0 gets the longer one.
+	seqs := append([]*genome.Sequence(nil), asm.Sequences...)
+	sort.Slice(seqs, func(i, j int) bool { return len(seqs[i].Data) > len(seqs[j].Data) })
+	subProfiles := make([]*Profile, len(seqs))
+	for i, seq := range seqs {
+		sub := &SimSYCL{Device: newDev(), Variant: kernels.Opt3, WorkGroupSize: 64}
+		part := &genome.Assembly{Name: asm.Name, Sequences: []*genome.Sequence{seq}}
+		if _, err := sub.Run(part, req); err != nil {
+			t.Fatalf("device %d: %v", i, err)
+		}
+		subProfiles[i] = sub.LastProfile()
+	}
+
+	var chunks, quarantined int
+	var staged, read, candidates, entries int64
+	wantKernels := map[string]gpu.Stats{}
+	wantLaunches := map[string]int{}
+	for _, p := range subProfiles {
+		chunks += p.Chunks
+		quarantined += p.QuarantinedChunks
+		staged += p.BytesStaged
+		read += p.BytesRead
+		candidates += p.CandidateSites
+		entries += p.Entries
+		for name, s := range p.Kernels {
+			agg := wantKernels[name]
+			agg.Add(&s)
+			wantKernels[name] = agg
+			wantLaunches[name] += p.Launches[name]
+		}
+	}
+	if merged.Chunks != chunks || merged.QuarantinedChunks != quarantined {
+		t.Errorf("chunks: merged %d/%d, sum %d/%d", merged.Chunks, merged.QuarantinedChunks, chunks, quarantined)
+	}
+	if merged.BytesStaged != staged || merged.BytesRead != read {
+		t.Errorf("traffic: merged %d/%d, sum %d/%d", merged.BytesStaged, merged.BytesRead, staged, read)
+	}
+	if merged.CandidateSites != candidates || merged.Entries != entries {
+		t.Errorf("counters: merged %d/%d, sum %d/%d", merged.CandidateSites, merged.Entries, candidates, entries)
+	}
+	for name, want := range wantKernels {
+		if got := merged.Kernels[name]; got != want {
+			t.Errorf("kernel %s: merged %+v, sum %+v", name, got, want)
+		}
+		if merged.Launches[name] != wantLaunches[name] {
+			t.Errorf("kernel %s: merged %d launches, sum %d", name, merged.Launches[name], wantLaunches[name])
+		}
+	}
+	for name, size := range merged.WorkGroupSizes {
+		if size == 0 {
+			t.Errorf("kernel %s: merged work-group size 0 though every device used the same size", name)
+		}
+	}
+}
+
+// TestMetricsAgreeWithProfile is the acceptance check for the counter
+// mirror: on a seeded fault run the metrics registry and the engine profile
+// must report the same totals.
+func TestMetricsAgreeWithProfile(t *testing.T) {
+	asm := testAssembly(t, 7, []int{600, 300}, testSite)
+	req := testRequest(2)
+	plan := fault.Plan{Seed: 1234, Rate: 0.3}
+	dev := gpu.New(device.MI100(), gpu.WithWorkers(4))
+	dev.SetFaults(fault.NewInjector(plan))
+	m := obs.NewMetrics()
+	eng := &SimSYCL{
+		Device: dev, Variant: kernels.Base, WorkGroupSize: 64,
+		Resilience: &pipeline.Resilience{Seed: plan.Seed, Watchdog: 500 * time.Millisecond},
+		Metrics:    m,
+	}
+	if _, err := eng.Run(asm, req); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	p := eng.LastProfile()
+	if p.Retries == 0 && p.Failovers == 0 {
+		t.Fatal("run was not degraded; raise the fault rate for the test to mean anything")
+	}
+	snap := m.Snapshot()
+	counters := map[string]int64{
+		obs.MetricChunks:          int64(p.Chunks),
+		obs.MetricStagedBytes:     p.BytesStaged,
+		obs.MetricReadBytes:       p.BytesRead,
+		obs.MetricCandidateSites:  p.CandidateSites,
+		obs.MetricEntries:         p.Entries,
+		obs.MetricRetries:         p.Retries,
+		obs.MetricFailovers:       p.Failovers,
+		obs.MetricWatchdogKills:   p.WatchdogKills,
+		obs.MetricQuarantined:     int64(p.QuarantinedChunks),
+		obs.MetricAsyncExceptions: p.AsyncExceptions,
+	}
+	for name, want := range counters {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, profile says %d", name, got, want)
+		}
+	}
+	for site, want := range p.Faults {
+		series := obs.L(obs.MetricFaults, "site", string(site))
+		if got := snap.Counters[series]; got != want {
+			t.Errorf("counter %s = %d, profile says %d", series, got, want)
+		}
+	}
+}

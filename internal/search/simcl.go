@@ -9,6 +9,7 @@ import (
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/obs"
 	"casoffinder/internal/opencl"
 	"casoffinder/internal/pipeline"
 )
@@ -32,12 +33,26 @@ type SimCL struct {
 	// complete fail over to the CPU SWAR engine (unless a custom Fallback
 	// is configured), preserving the byte-identical hit stream.
 	Resilience *pipeline.Resilience
+	// Trace and Metrics, when set, observe the run: pipeline-stage and
+	// kernel-launch spans, latency histograms and profile-mirroring
+	// counters. Track overrides the trace row prefix (the engine name by
+	// default); MultiSYCL sets it to tell its sub-engines apart.
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
+	Track   string
 
 	profile *Profile
 }
 
 // Name implements Engine.
 func (e *SimCL) Name() string { return "opencl-sim" }
+
+func (e *SimCL) track() string {
+	if e.Track != "" {
+		return e.Track
+	}
+	return e.Name()
+}
 
 // LastProfile implements Profiler.
 func (e *SimCL) LastProfile() *Profile { return e.profile }
@@ -60,10 +75,21 @@ func (e *SimCL) Stream(ctx context.Context, asm *genome.Assembly, req *Request, 
 		},
 		ScanWorkers: 1,
 		Resilience:  resilienceFor(e.Resilience, func() *Profile { return e.profile }),
+		Trace:       e.Trace,
+		Metrics:     e.Metrics,
+		Track:       e.track(),
+	}
+	// Mark the injector before the run so only this run's fault delta is
+	// folded into the profile — a reused engine must not re-count earlier
+	// runs' faults.
+	var mark int
+	if e.Device != nil {
+		e.Device.SetObs(e.Trace, e.Metrics, e.track()+"/gpu")
+		mark = e.Device.Faults().Mark()
 	}
 	err := p.Stream(ctx, asm, req, emit)
 	if e.Device != nil && e.profile != nil {
-		e.profile.addFaults(e.Device.Faults())
+		e.profile.addFaults(e.Device.Faults().LogSince(mark))
 	}
 	return err
 }
@@ -109,7 +135,7 @@ func clCreate[T any](b *clBackend, flags opencl.MemFlags, n int, host []T) (*ope
 // context, queue, program, build, kernels) plus the run-constant pattern
 // upload. On any failure the partially built state is torn down via Close.
 func newCLBackend(e *SimCL, plan *pipeline.Plan) (_ *clBackend, err error) {
-	b := &clBackend{e: e, plan: plan, prof: newProfile(), live: make(map[*opencl.Mem]struct{})}
+	b := &clBackend{e: e, plan: plan, prof: newProfile(e.Metrics), live: make(map[*opencl.Mem]struct{})}
 	e.profile = b.prof
 	defer func() {
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/kernels"
+	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
 	"casoffinder/internal/sycl"
 )
@@ -32,6 +33,13 @@ type SimSYCL struct {
 	// CPU SWAR engine (unless a custom Fallback is configured),
 	// preserving the byte-identical hit stream.
 	Resilience *pipeline.Resilience
+	// Trace and Metrics, when set, observe the run: pipeline-stage and
+	// kernel-launch spans, latency histograms and profile-mirroring
+	// counters. Track overrides the trace row prefix (the engine name by
+	// default); MultiSYCL sets it to tell its sub-engines apart.
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
+	Track   string
 
 	profile *Profile
 }
@@ -43,6 +51,13 @@ const DefaultSYCLWorkGroup = 256
 
 // Name implements Engine.
 func (e *SimSYCL) Name() string { return "sycl-sim" }
+
+func (e *SimSYCL) track() string {
+	if e.Track != "" {
+		return e.Track
+	}
+	return e.Name()
+}
 
 // LastProfile implements Profiler.
 func (e *SimSYCL) LastProfile() *Profile { return e.profile }
@@ -72,10 +87,21 @@ func (e *SimSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Request
 		},
 		ScanWorkers: 1,
 		Resilience:  resilienceFor(e.Resilience, func() *Profile { return e.profile }),
+		Trace:       e.Trace,
+		Metrics:     e.Metrics,
+		Track:       e.track(),
+	}
+	// Mark the injector before the run so only this run's fault delta is
+	// folded into the profile — a reused engine must not re-count earlier
+	// runs' faults.
+	var mark int
+	if e.Device != nil {
+		e.Device.SetObs(e.Trace, e.Metrics, e.track()+"/gpu")
+		mark = e.Device.Faults().Mark()
 	}
 	err := p.Stream(ctx, asm, req, emit)
 	if e.Device != nil && e.profile != nil {
-		e.profile.addFaults(e.Device.Faults())
+		e.profile.addFaults(e.Device.Faults().LogSince(mark))
 	}
 	return err
 }
@@ -127,7 +153,7 @@ func syclDestroy[T any](b *syclBackend, buf *sycl.Buffer[T], err *error) {
 // run-constant pattern tables; the scaffold goes behind the constant
 // address space as in the paper's finder kernel.
 func newSYCLBackend(e *SimSYCL, plan *pipeline.Plan) (_ *syclBackend, err error) {
-	b := &syclBackend{e: e, plan: plan, prof: newProfile(), live: make(map[destroyer]struct{})}
+	b := &syclBackend{e: e, plan: plan, prof: newProfile(e.Metrics), live: make(map[destroyer]struct{})}
 	e.profile = b.prof
 	defer func() {
 		if err != nil {

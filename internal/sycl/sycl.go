@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/obs"
 )
 
 // Frontend errors.
@@ -144,7 +145,8 @@ func (q *Queue) SetAsyncHandler(h AsyncHandler) {
 	q.mu.Unlock()
 }
 
-// deliverAsync routes a command-group error to the installed handler.
+// deliverAsync routes a command-group error to the installed handler,
+// marking the delivery on the device's trace track.
 func (q *Queue) deliverAsync(op string, err error) {
 	q.mu.Lock()
 	h := q.handler
@@ -156,6 +158,7 @@ func (q *Queue) deliverAsync(op string, err error) {
 	if !ok {
 		ae = &AsyncError{Op: op, Err: err}
 	}
+	q.dev.Instant("async-exception", obs.Attr{Key: "op", Value: ae.Op})
 	h(ae)
 }
 
