@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race faultcheck tracecheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar bench-obs ci
+.PHONY: all build fmt vet test race faultcheck tracecheck schedcheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar bench-obs bench-sched ci
 
 all: build
 
@@ -41,6 +41,15 @@ tracecheck:
 	$(GO) test ./cmd/casoffinder/ -count 1 -run 'TestTraceMetricsSmoke'
 	$(GO) test ./internal/search/ -count 1 -run 'TestTraceCovers|TestMetricsAgreeWithProfile'
 
+# Work-stealing scheduler smoke under the race detector: the deque/steal/
+# eviction machinery, the scheduler-backed MultiSYCL determinism contract
+# (fleet output byte-identical to a single device, including seeded-fault
+# eviction runs) and the -devices CLI path.
+schedcheck:
+	$(GO) test -race -count 1 ./internal/sched/
+	$(GO) test -race -count 1 ./internal/search/ -run 'TestMultiSYCL'
+	$(GO) test -race -count 1 ./cmd/casoffinder/ -run 'TestRunFleet|TestParseFleet'
+
 # Fuzz regression mode: the seed corpora (f.Add entries) replay on every
 # plain `go test`; this target additionally fuzzes each target briefly to
 # grow the corpus and shake out fresh inputs. Not part of `ci` — fuzzing is
@@ -70,6 +79,7 @@ bench-compare:
 	$(GO) run ./cmd/benchsnap -compare BENCH_baseline.json -benchtime 20x
 	$(GO) run ./cmd/benchsnap -compare BENCH_swar.json -bench 'SWARVsScalar|MultiPatternBatch' -pkgs . -benchtime 20x
 	$(GO) run ./cmd/benchsnap -compare BENCH_obs.json -bench 'StreamVsRun|ObsOverhead' -pkgs . -benchtime 20x
+	$(GO) run ./cmd/benchsnap -compare BENCH_sched.json -bench 'WorkStealing' -pkgs . -benchtime 20x
 
 # Record the post-pipeline snapshot (includes BenchmarkStreamVsRun).
 bench-pipeline:
@@ -85,4 +95,10 @@ bench-swar:
 bench-obs:
 	$(GO) run ./cmd/benchsnap -o BENCH_obs.json -bench 'StreamVsRun|ObsOverhead' -pkgs . -benchtime 200x
 
-ci: fmt vet build race faultcheck tracecheck bench-compare
+# Record the scheduler snapshot (BenchmarkWorkStealing: static split vs
+# work-stealing on homogeneous/heterogeneous/straggler fleets). The straggler
+# steal-vs-static ratio is the scheduler's headline speedup.
+bench-sched:
+	$(GO) run ./cmd/benchsnap -o BENCH_sched.json -bench 'WorkStealing' -pkgs . -benchtime 20x
+
+ci: fmt vet build race faultcheck tracecheck schedcheck bench-compare

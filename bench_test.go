@@ -20,12 +20,14 @@ import (
 
 	"casoffinder/internal/baseline"
 	"casoffinder/internal/bench"
+	"casoffinder/internal/fault"
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/gpu/device"
 	"casoffinder/internal/isa"
 	"casoffinder/internal/kernels"
 	"casoffinder/internal/obs"
+	"casoffinder/internal/pipeline"
 	"casoffinder/internal/search"
 )
 
@@ -530,6 +532,76 @@ func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("traced", func(b *testing.B) {
 		stream(b, &search.CPU{Trace: obs.NewTracer(), Metrics: obs.NewMetrics()})
 	})
+}
+
+// BenchmarkWorkStealing pits the work-stealing scheduler against the static
+// cost-model split on a multi-device fleet. Three fleets: homogeneous
+// (3x MI100), heterogeneous (the paper's Table VII trio), and the
+// heterogeneous fleet with a straggler — the fastest device hangs on every
+// kernel launch and only the watchdog reaps it. The static split pays the
+// watchdog deadline for every chunk in the straggler's shard, serially; the
+// stealing scheduler pays it once, evicts the device, and redistributes the
+// shard — the steal/static ratio on the straggler rows is the headline
+// speedup. Fresh devices per iteration so injector state never carries over.
+func BenchmarkWorkStealing(b *testing.B) {
+	asm := benchAssembly(b, 1<<18)
+	req := benchRequest()
+	req.ChunkBytes = 1 << 13 // many chunks, so the schedule matters
+
+	homogeneous := func() []*gpu.Device {
+		return []*gpu.Device{
+			gpu.New(device.MI100(), gpu.WithWorkers(2)),
+			gpu.New(device.MI100(), gpu.WithWorkers(2)),
+			gpu.New(device.MI100(), gpu.WithWorkers(2)),
+		}
+	}
+	heterogeneous := func() []*gpu.Device {
+		return []*gpu.Device{
+			gpu.New(device.RadeonVII(), gpu.WithWorkers(2)),
+			gpu.New(device.MI60(), gpu.WithWorkers(2)),
+			gpu.New(device.MI100(), gpu.WithWorkers(2)),
+		}
+	}
+	straggler := func() []*gpu.Device {
+		devs := heterogeneous()
+		// The MI100 draws the largest shard from the cost model, then hangs
+		// on every launch — the worst case for a static assignment.
+		devs[2].SetFaults(fault.NewInjector(fault.Plan{Seed: 1, Rate: 1, Site: fault.SiteHang}))
+		return devs
+	}
+	watchdog := func() *pipeline.Resilience {
+		return &pipeline.Resilience{Watchdog: 15 * time.Millisecond, MaxRetries: -1, Seed: 1}
+	}
+
+	cases := []struct {
+		name  string
+		fleet func() []*gpu.Device
+		res   func() *pipeline.Resilience
+	}{
+		{"homogeneous", homogeneous, nil},
+		{"heterogeneous", heterogeneous, nil},
+		{"straggler", straggler, watchdog},
+	}
+	for _, c := range cases {
+		for _, static := range []bool{true, false} {
+			mode := "steal"
+			if static {
+				mode = "static"
+			}
+			b.Run(c.name+"/"+mode, func(b *testing.B) {
+				b.SetBytes(asm.TotalLen())
+				for i := 0; i < b.N; i++ {
+					eng := &search.MultiSYCL{Devices: c.fleet(), Variant: kernels.Base, Static: static}
+					if c.res != nil {
+						eng.Resilience = c.res()
+					}
+					if _, err := eng.Run(asm, req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkNilObs pins the disabled fast path at the call level: a span and

@@ -10,7 +10,8 @@
 // Usage:
 //
 //	casoffinder [-engine cpu|opencl|sycl] [-device MI100] [-variant opt3]
-//	            [-packed] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-devices radeonvii,mi60,mi100] [-packed]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	            [-fault-rate 0.05 -fault-seed 42] [-watchdog 5s]
 //	            [-trace trace.json] [-metrics metrics.prom]
 //	            [-o output.txt] input.txt
@@ -20,6 +21,15 @@
 // applications on the device simulator and print a kernel profile to
 // stderr. -cpuprofile and -memprofile write pprof profiles covering the
 // search.
+//
+// -devices runs the sycl engine across a simulated multi-GPU fleet behind
+// the work-stealing scheduler: a comma-separated list of device names
+// (radeonvii, mi60, mi100 — repeats allowed), each fleet slot seeded with a
+// cost-model-proportional shard of the chunk plan and idle devices stealing
+// from the most loaded one. Output stays byte-identical to a single-device
+// run. With fault injection, each slot gets its own schedule (seeded
+// -fault-seed + slot index) and a device that exhausts its retries is
+// evicted, its queue redistributed to the survivors.
 //
 // The fault flags drive the simulator engines through seeded deterministic
 // fault injection with the resilient pipeline enabled: transient failures
@@ -50,6 +60,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 
 	"casoffinder/internal/bulge"
 	"casoffinder/internal/fault"
@@ -105,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs.SetOutput(stderr)
 	engineName := fs.String("engine", "cpu", "search engine: cpu, indexed, opencl or sycl")
 	deviceName := fs.String("device", "MI100", "simulated device for the opencl/sycl engines")
+	devicesFlag := fs.String("devices", "", "comma-separated device fleet for the sycl engine (radeonvii, mi60, mi100; repeats allowed) — runs the work-stealing multi-device scheduler")
 	variantName := fs.String("variant", "opt3", "comparer kernel variant: base, opt1..opt4 or bitparallel")
 	outPath := fs.String("o", "", "output file (default stdout)")
 	workers := fs.Int("workers", 0, "cpu engine workers (0 = all cores)")
@@ -192,7 +204,12 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		metrics = obs.NewMetrics()
 	}
 
-	eng, profiler, err := buildEngine(*engineName, *deviceName, variant, *workers, *packed, faultPlan, res, tracer, metrics)
+	fleet, err := parseFleet(*devicesFlag)
+	if err != nil {
+		return err
+	}
+
+	eng, profiler, err := buildEngine(*engineName, *deviceName, fleet, variant, *workers, *packed, faultPlan, res, tracer, metrics)
 	if err != nil {
 		return err
 	}
@@ -328,6 +345,17 @@ func printDegradation(stderr io.Writer, p *search.Profile) {
 		fmt.Fprintf(stderr, "degraded: retries=%d failovers=%d watchdog-kills=%d quarantined=%d async-exceptions=%d\n",
 			p.Retries, p.Failovers, p.WatchdogKills, p.QuarantinedChunks, p.AsyncExceptions)
 	}
+	if len(p.DeviceChunks) > 0 {
+		fmt.Fprintf(stderr, "scheduler: steals=%d evictions=%d\n", p.Steals, p.Evictions)
+		names := make([]string, 0, len(p.DeviceChunks))
+		for name := range p.DeviceChunks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(stderr, "  device %-14s chunks=%-4d steals=%d\n", name, p.DeviceChunks[name], p.DeviceSteals[name])
+		}
+	}
 	if len(p.Faults) > 0 {
 		sites := make([]string, 0, len(p.Faults))
 		for site := range p.Faults {
@@ -357,6 +385,29 @@ func writeHeapProfile(path string) error {
 	return err
 }
 
+// parseFleet maps the -devices list to simulated device specs. Names are
+// case-insensitive; the empty flag means "no fleet" (single-device path).
+func parseFleet(list string) ([]device.Spec, error) {
+	if list == "" {
+		return nil, nil
+	}
+	names := strings.Split(list, ",")
+	fleet := make([]device.Spec, 0, len(names))
+	for _, name := range names {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "radeonvii", "rvii":
+			fleet = append(fleet, device.RadeonVII())
+		case "mi60":
+			fleet = append(fleet, device.MI60())
+		case "mi100":
+			fleet = append(fleet, device.MI100())
+		default:
+			return nil, usageError{fmt.Errorf("unknown device %q in -devices (want radeonvii, mi60 or mi100)", strings.TrimSpace(name))}
+		}
+	}
+	return fleet, nil
+}
+
 func parseVariant(name string) (kernels.ComparerVariant, error) {
 	for _, v := range kernels.AllVariants() {
 		if v.String() == name {
@@ -366,8 +417,11 @@ func parseVariant(name string) (kernels.ComparerVariant, error) {
 	return 0, fmt.Errorf("unknown comparer variant %q", name)
 }
 
-func buildEngine(engine, deviceName string, variant kernels.ComparerVariant, workers int, packed bool,
+func buildEngine(engine, deviceName string, fleet []device.Spec, variant kernels.ComparerVariant, workers int, packed bool,
 	faultPlan fault.Plan, res *pipeline.Resilience, tracer *obs.Tracer, metrics *obs.Metrics) (search.Engine, search.Profiler, error) {
+	if len(fleet) > 0 && engine != "sycl" {
+		return nil, nil, usageError{fmt.Errorf("-devices runs the multi-device scheduler, which needs -engine sycl, not %q", engine)}
+	}
 	switch engine {
 	case "cpu", "indexed":
 		// The fault sites all live in the simulated runtimes; a silent
@@ -381,6 +435,23 @@ func buildEngine(engine, deviceName string, variant kernels.ComparerVariant, wor
 		}
 		return &search.Indexed{Workers: workers, Trace: tracer, Metrics: metrics}, nil, nil
 	case "opencl", "sycl":
+		if len(fleet) > 0 {
+			devs := make([]*gpu.Device, len(fleet))
+			for i, spec := range fleet {
+				devs[i] = gpu.New(spec)
+				if faultPlan.Rate > 0 {
+					// Each fleet slot gets its own deterministic schedule:
+					// same plan, seed offset by the slot index.
+					plan := faultPlan
+					plan.Seed += uint64(i)
+					if in := fault.NewInjector(plan); in != nil {
+						devs[i].SetFaults(in)
+					}
+				}
+			}
+			e := &search.MultiSYCL{Devices: devs, Variant: variant, Resilience: res, Trace: tracer, Metrics: metrics}
+			return e, e, nil
+		}
 		spec, err := device.ByName(deviceName)
 		if err != nil {
 			return nil, nil, usageError{err}

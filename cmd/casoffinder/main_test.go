@@ -154,6 +154,10 @@ func TestRunUsageErrorsExitUsage(t *testing.T) {
 		{"fault rate out of range", []string{"-engine", "opencl", "-fault-rate", "1.5", input}},
 		{"fault flags on cpu engine", []string{"-engine", "cpu", "-fault-rate", "0.5", input}},
 		{"watchdog on indexed engine", []string{"-engine", "indexed", "-watchdog", "1s", input}},
+		{"unknown fleet device", []string{"-engine", "sycl", "-devices", "mi60,h100", input}},
+		{"empty fleet device", []string{"-engine", "sycl", "-devices", "mi60,,mi100", input}},
+		{"fleet on cpu engine", []string{"-engine", "cpu", "-devices", "mi60", input}},
+		{"fleet on opencl engine", []string{"-engine", "opencl", "-devices", "mi60,mi100", input}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -234,6 +238,79 @@ func TestRunFaultDeterminism(t *testing.T) {
 	}
 	if f1, f2 := faultLine(err1.String()), faultLine(err2.String()); f1 != f2 {
 		t.Errorf("same seed produced different fault schedules:\n%q\nvs\n%q", f1, f2)
+	}
+}
+
+// TestRunFleet drives the -devices flag: a heterogeneous fleet behind the
+// work-stealing scheduler must print the same hits as a single-device run
+// and report the per-device schedule on stderr.
+func TestRunFleet(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	var golden, out, errOut bytes.Buffer
+	if err := run([]string{"-engine", "sycl", "-device", "MI60", "-variant", "base", input}, &golden, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	err := run([]string{"-engine", "sycl", "-devices", "RadeonVII,mi60,MI100", "-variant", "base", input}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("fleet run: %v (stderr: %s)", err, errOut.String())
+	}
+	if out.String() != golden.String() {
+		t.Errorf("fleet output differs from single device:\n%s\nvs\n%s", out.String(), golden.String())
+	}
+	if !strings.Contains(errOut.String(), "scheduler: steals=") {
+		t.Errorf("stderr missing scheduler summary: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "device sycl-sim[0]") {
+		t.Errorf("stderr missing per-device breakdown: %s", errOut.String())
+	}
+}
+
+// TestRunFleetEviction kills every fleet device with rate-1 launch faults:
+// the whole fleet evicts, the stranded chunks drain through the CPU
+// fallback, and the hits still match the clean run.
+func TestRunFleetEviction(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	var golden, out, errOut bytes.Buffer
+	if err := run([]string{"-engine", "sycl", "-variant", "base", input}, &golden, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	err := run([]string{"-engine", "sycl", "-devices", "mi60,mi100", "-variant", "base",
+		"-fault-rate", "1", "-fault-seed", "9", "-fault-site", "gpu.launch", "-max-retries", "-1", input}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("eviction run: %v (stderr: %s)", err, errOut.String())
+	}
+	if out.String() != golden.String() {
+		t.Errorf("eviction output differs from golden:\n%s\nvs\n%s", out.String(), golden.String())
+	}
+	if !strings.Contains(errOut.String(), "evictions=2") {
+		t.Errorf("stderr missing eviction count: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "degraded:") {
+		t.Errorf("stderr missing degradation summary: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "faults: gpu.launch=") {
+		t.Errorf("stderr missing fault counts: %s", errOut.String())
+	}
+}
+
+func TestParseFleet(t *testing.T) {
+	fleet, err := parseFleet("radeonvii, MI60 ,rvii,mi100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 4 {
+		t.Fatalf("parseFleet returned %d specs, want 4", len(fleet))
+	}
+	if fleet[0].Name != fleet[2].Name {
+		t.Errorf("radeonvii and rvii aliases disagree: %q vs %q", fleet[0].Name, fleet[2].Name)
+	}
+	if fleet, err := parseFleet(""); fleet != nil || err != nil {
+		t.Errorf("empty flag = %v, %v; want nil, nil", fleet, err)
+	}
+	if _, err := parseFleet("mi60,vega64"); err == nil {
+		t.Error("unknown device accepted")
 	}
 }
 

@@ -58,10 +58,15 @@ const (
 	// SiteWatchdog is not injected: it labels errors the pipeline's
 	// watchdog synthesises when a backend call exceeds its deadline.
 	SiteWatchdog Site = "pipeline.watchdog"
+	// SiteEviction is not injected either: it labels the errors the
+	// multi-device scheduler synthesises when it quarantines chunks
+	// stranded by a fully evicted fleet.
+	SiteEviction Site = "sched.evict"
 )
 
 // Sites lists the injectable sites, for flag validation and fault-matrix
-// sweeps. SiteWatchdog is synthesised, never injected, so it is not listed.
+// sweeps. SiteWatchdog and SiteEviction are synthesised, never injected, so
+// they are not listed.
 func Sites() []Site {
 	return []Site{
 		SiteLaunch, SiteHang, SiteReadback,

@@ -57,4 +57,10 @@ const (
 
 	// Emitted by the opencl frontend, labelled dir="read"|"write".
 	MetricCLTransfers = "casoffinder_cl_transfers_total"
+
+	// Emitted by the work-stealing multi-device scheduler (internal/sched).
+	// MetricDeviceQueueDepth carries a device="..." label per deque.
+	MetricSteals           = "casoffinder_steals_total"
+	MetricEvictions        = "casoffinder_evictions_total"
+	MetricDeviceQueueDepth = "casoffinder_device_queue_depth"
 )

@@ -118,11 +118,29 @@ type BatchComparer interface {
 	CompareAll(ctx context.Context, st Staged) error
 }
 
+// An Executor is a pluggable chunk-execution topology. Given a compiled
+// plan it owns everything between compilation and the emit callback:
+// backend lifecycle, chunk scheduling across however many backends it
+// manages, retry/failover policy, and reordering results into the
+// ordered-emit contract (hits grouped by chunk in plan order, sorted within
+// each chunk). The work-stealing multi-device scheduler in internal/sched
+// is the canonical implementation; the built-in double-buffered and serial
+// resilient topologies remain the single-backend defaults.
+type Executor interface {
+	Execute(ctx context.Context, plan *Plan, asm *genome.Assembly, emit func(Hit) error) error
+}
+
 // Pipeline drives one Backend over an assembly.
 type Pipeline struct {
 	// Open builds the backend for a compiled plan (device setup, program
 	// build, pattern upload). It is called once per Stream.
 	Open func(plan *Plan) (Backend, error)
+	// Executor, when non-nil, replaces the built-in topologies entirely:
+	// Stream validates and compiles the request, then delegates chunk
+	// execution, backend lifecycle and ordered emission to it. Open,
+	// ScanWorkers and Resilience are ignored in that mode (the executor
+	// carries its own backends and policy).
+	Executor Executor
 	// ScanWorkers bounds the concurrent scan workers; values below 1 mean
 	// one worker (the double-buffered schedule of the simulator engines).
 	// The CPU engine raises it to scan chunks in parallel.
@@ -185,6 +203,9 @@ func (p *Pipeline) Stream(ctx context.Context, asm *genome.Assembly, req *Reques
 	}
 	if err != nil {
 		return err
+	}
+	if p.Executor != nil {
+		return p.Executor.Execute(ctx, plan, asm, emit)
 	}
 	be, err := p.Open(plan)
 	if err != nil {

@@ -100,10 +100,21 @@ func (r *Resilience) backoffMax() time.Duration {
 	return r.BackoffMax
 }
 
-// backoff returns the deterministic delay before retry attempt (1-based)
-// of the given chunk: capped exponential growth scaled by a jitter in
-// [0.5, 1.0) derived from (Seed, chunk, attempt), so two runs with the
-// same seed retry on the same schedule.
+// RetryBudget returns the effective per-chunk transient retry budget on the
+// primary arm: MaxRetries with the documented zero/negative semantics
+// resolved. Exported for executors outside this package (internal/sched)
+// that run their own retry loop over Attempt.
+func (r *Resilience) RetryBudget() int { return r.maxRetries() }
+
+// RetryBackoff returns the deterministic delay before retry attempt
+// (1-based) of the given chunk: capped exponential growth scaled by a
+// jitter in [0.5, 1.0) derived from (Seed, chunk, attempt), so two runs
+// with the same seed retry on the same schedule.
+func (r *Resilience) RetryBackoff(chunk, attempt int) time.Duration {
+	return r.backoff(chunk, attempt)
+}
+
+// backoff implements RetryBackoff.
 func (r *Resilience) backoff(chunk, attempt int) time.Duration {
 	d := r.backoffBase()
 	max := r.backoffMax()
@@ -352,13 +363,67 @@ func (p *Pipeline) scanResilient(ctx context.Context, primary Backend, openFallb
 	}, nil
 }
 
-// attemptChunk runs one full scan attempt — Stage through Drain — on one
-// backend, each phase bounded by the watchdog deadline. The staged handle
-// is released (when the backend supports it) if any phase fails, so a
-// retried chunk always re-stages fresh. index labels the phase spans when
-// tracing is on.
-func (p *Pipeline) attemptChunk(ctx context.Context, be Backend, plan *Plan, index int, ch *genome.Chunk, r *SiteRenderer, rep *Report) (hits []Hit, err error) {
-	guard := p.watchdogGuard(rep, index)
+// attemptChunk runs one full scan attempt on one backend through Attempt,
+// counting any watchdog kill into the run report.
+func (p *Pipeline) attemptChunk(ctx context.Context, be Backend, plan *Plan, index int, ch *genome.Chunk, r *SiteRenderer, rep *Report) ([]Hit, error) {
+	o := AttemptObs{Trace: p.Trace, Metrics: p.Metrics, Track: p.track() + "/resilient"}
+	hits, err := Attempt(ctx, be, plan, index, ch, r, p.Resilience.Watchdog, o)
+	if IsWatchdogKill(err) {
+		rep.WatchdogKills++
+	}
+	return hits, err
+}
+
+// AttemptObs carries the observability sinks the phase spans and latency
+// histograms of one Attempt land on. The zero value disables observation
+// (the obs types are nil-safe).
+type AttemptObs struct {
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
+	// Track names the trace track the phase spans are recorded on.
+	Track string
+}
+
+// Attempt runs one full scan attempt — Stage through Drain — of one chunk
+// on one backend: the shared building block under both the serial resilient
+// executor and the multi-device scheduler (internal/sched). Each phase is
+// bounded by the watchdog deadline (zero disables it): a phase that exceeds
+// it — a hung simulated kernel — is cancelled through its context and comes
+// back as a transient SiteWatchdog fault (IsWatchdogKill), with a
+// "watchdog-kill" instant on the track; counting kills and classifying the
+// error for retry is the caller's job. The staged handle is released (when
+// the backend implements Releaser) if any later phase fails, so a retried
+// chunk always re-stages fresh. Cancellation of the parent context passes
+// through untouched.
+func Attempt(ctx context.Context, be Backend, plan *Plan, index int, ch *genome.Chunk, r *SiteRenderer, watchdog time.Duration, o AttemptObs) (hits []Hit, err error) {
+	observed := o.Trace != nil || o.Metrics != nil
+	guard := func(ctx context.Context, name string, phase func(context.Context) error) error {
+		pctx := ctx
+		if watchdog > 0 {
+			var cancel context.CancelFunc
+			pctx, cancel = context.WithTimeout(ctx, watchdog)
+			defer cancel()
+		}
+		var err error
+		if observed {
+			t0 := time.Now()
+			err = phase(pctx)
+			dur := time.Since(t0)
+			o.Trace.Complete(o.Track, name, index, t0, dur)
+			if name == "stage" {
+				o.Metrics.Observe(obs.MetricStageSeconds, dur.Seconds())
+			}
+		} else {
+			err = phase(pctx)
+		}
+		if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			o.Trace.Instant(o.Track, "watchdog-kill", index,
+				obs.Attr{Key: "phase", Value: name})
+			return fault.New(fault.SiteWatchdog, fault.Transient,
+				fmt.Errorf("pipeline: watchdog deadline (%v) reaped phase: %w", watchdog, err))
+		}
+		return err
+	}
 
 	var st Staged
 	err = guard(ctx, "stage", func(pctx context.Context) error {
@@ -417,45 +482,11 @@ func (p *Pipeline) attemptChunk(ctx context.Context, be Backend, plan *Plan, ind
 	return hits, nil
 }
 
-// watchdogGuard wraps one backend phase call in the watchdog deadline: the
-// phase receives a context that is cancelled when the deadline passes, so a
-// hung simulated kernel parked on it is reaped. A deadline hit is reported
-// as a transient watchdog fault and counted. Each guarded phase is recorded
-// as a span named after it (stage phases also feed the staging-latency
-// histogram); a reaped phase additionally records a watchdog-kill instant.
-// Cancellation of the parent context passes through untouched.
-func (p *Pipeline) watchdogGuard(rep *Report, chunk int) func(ctx context.Context, name string, phase func(context.Context) error) error {
-	wd := p.Resilience.Watchdog
-	observed := p.observed()
-	track := p.track() + "/resilient"
-	return func(ctx context.Context, name string, phase func(context.Context) error) error {
-		pctx := ctx
-		if wd > 0 {
-			var cancel context.CancelFunc
-			pctx, cancel = context.WithTimeout(ctx, wd)
-			defer cancel()
-		}
-		var err error
-		if observed {
-			t0 := time.Now()
-			err = phase(pctx)
-			dur := time.Since(t0)
-			p.Trace.Complete(track, name, chunk, t0, dur)
-			if name == "stage" {
-				p.Metrics.Observe(obs.MetricStageSeconds, dur.Seconds())
-			}
-		} else {
-			err = phase(pctx)
-		}
-		if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
-			rep.WatchdogKills++
-			p.Trace.Instant(track, "watchdog-kill", chunk,
-				obs.Attr{Key: "phase", Value: name})
-			return fault.New(fault.SiteWatchdog, fault.Transient,
-				fmt.Errorf("pipeline: watchdog deadline (%v) reaped phase: %w", wd, err))
-		}
-		return err
-	}
+// IsWatchdogKill reports whether err is a watchdog-synthesised kill from
+// Attempt (a reaped phase rather than a backend failure).
+func IsWatchdogKill(err error) bool {
+	var fe *fault.Error
+	return errors.As(err, &fe) && fe.Site == fault.SiteWatchdog
 }
 
 // sleepCtx sleeps for d or until the context is cancelled.

@@ -1,0 +1,780 @@
+// Package sched is the work-stealing multi-device executor: it runs the
+// chunks of one compiled pipeline plan across a fleet of backends (one per
+// simulated GPU), replacing both the static even split of the original
+// MultiSYCL engine and the serial per-chunk loop of the resilient pipeline
+// for multi-device topologies (DESIGN.md §11).
+//
+// Topology. Every device owns a deque seeded with a contiguous span of the
+// chunk plan, sized proportionally to the device's cost-model weight
+// (ShardCounts), so an MI100 starts with more genome than a Radeon VII. A
+// device worker pops its own deque from the front; when it runs dry it
+// steals half the tail of the most loaded deque. All deques share one
+// mutex — chunk counts are modest (hundreds, not millions) and each task
+// spans a simulated kernel launch, so contention is negligible and the
+// single lock keeps eviction/redistribution trivially race-free.
+//
+// Resilience is device-level, not chunk-level. With a Policy set, a chunk
+// that fails transiently retries on its owning device with the policy's
+// deterministic backoff; a chunk that exhausts the budget (or fails
+// fatally, or returns corrupted data) evicts the device — its remaining
+// deque redistributes to the survivors — and only a fully evicted fleet
+// routes the stranded chunks through the policy's fallback backend, one at
+// a time in chunk order. With Static set, stealing and eviction are off:
+// every device keeps its initial shard and failed chunks fail over
+// individually (the pre-scheduler behaviour, kept as the benchmark
+// baseline). A nil Policy keeps the pipeline's fail-fast contract.
+//
+// Determinism contract. Chunk indices are assigned at plan time and the
+// collector reorders settled chunks back into plan order before emitting,
+// exactly like the single-backend topologies — so the hit stream is
+// byte-identical to a serial run no matter which device ran which chunk or
+// how the steal schedule interleaved. Steal and eviction *counts* are
+// scheduling artifacts and deliberately not deterministic; per-device
+// fault-injection schedules stay deterministic because each backend is
+// driven by exactly one goroutine.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"casoffinder/internal/fault"
+	"casoffinder/internal/genome"
+	"casoffinder/internal/obs"
+	"casoffinder/internal/pipeline"
+)
+
+// Device is one fleet slot: a named backend factory with a scheduling
+// weight. Open is called lazily, on the slot's worker goroutine, the first
+// time the slot has a task — eagerly at start when its initial shard is
+// non-empty — so an idle slot costs nothing.
+type Device struct {
+	// Name labels the slot's trace track, queue-depth gauge and report row.
+	Name string
+	// Weight sizes the initial shard; non-positive weights fall back to an
+	// even split across the fleet.
+	Weight float64
+	// Open builds the slot's backend for the compiled plan.
+	Open func(plan *pipeline.Plan) (pipeline.Backend, error)
+}
+
+// DeviceReport is the per-slot accounting of one run.
+type DeviceReport struct {
+	// Name is the slot name.
+	Name string
+	// Chunks counts the chunks this slot settled successfully.
+	Chunks int
+	// Steals counts the steal operations this slot performed as the thief.
+	Steals int
+	// Evicted reports whether the slot was evicted, and EvictErr why.
+	Evicted  bool
+	EvictErr string
+}
+
+// Report extends the pipeline resilience report with the scheduler's
+// steal/eviction accounting. The embedded Report fields keep their
+// meanings; Failovers counts chunks settled (or quarantined) on the
+// fallback arm.
+type Report struct {
+	pipeline.Report
+	// Steals counts steal operations across the fleet.
+	Steals int64
+	// Evictions counts devices evicted from the fleet.
+	Evictions int64
+	// Devices holds one row per fleet slot, in slot order.
+	Devices []DeviceReport
+}
+
+// Executor runs pipeline plans across a device fleet. It implements
+// pipeline.Executor.
+type Executor struct {
+	// Devices is the fleet; at least one slot is required.
+	Devices []Device
+	// Policy enables device-level resilience (see the package comment).
+	// Nil means fail-fast: the first chunk error aborts the run.
+	Policy *pipeline.Resilience
+	// Static disables stealing and eviction, pinning every chunk to its
+	// cost-model shard with per-chunk failover.
+	Static bool
+	// Trace and Metrics observe the run; phase spans land on each slot's
+	// Name track, scheduler events (steal, evict, failover, quarantine)
+	// as instants, and deque depths as per-device gauges.
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
+	// Track prefixes the scheduler's own trace rows (collector, fallback
+	// arm); empty means "sched".
+	Track string
+	// OnReport, when set, receives the run report exactly once, after the
+	// last chunk settles.
+	OnReport func(*Report)
+}
+
+func (x *Executor) track() string {
+	if x.Track != "" {
+		return x.Track
+	}
+	return "sched"
+}
+
+// ShardCounts splits n chunks across len(weights) deques proportionally to
+// the weights, rounding by largest remainder so no shard deviates from its
+// exact proportional share by a full chunk — in particular the remainder of
+// an even split spreads one chunk at a time across the fleet instead of
+// piling onto the last device (the old static-split skew). Non-positive or
+// non-finite weights fall back to an even split.
+func ShardCounts(n int, weights []float64) []int {
+	k := len(weights)
+	counts := make([]int, k)
+	if n <= 0 || k == 0 {
+		return counts
+	}
+	sum := 0.0
+	usable := true
+	for _, w := range weights {
+		if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+			usable = false
+			break
+		}
+		sum += w
+	}
+	if !usable || sum <= 0 || math.IsInf(sum, 0) {
+		for i := range counts {
+			counts[i] = n / k
+		}
+		for i := 0; i < n%k; i++ {
+			counts[i]++
+		}
+		return counts
+	}
+	type share struct {
+		i    int
+		frac float64
+	}
+	shares := make([]share, k)
+	rem := n
+	for i, w := range weights {
+		exact := float64(n) * w / sum
+		counts[i] = int(exact)
+		rem -= counts[i]
+		shares[i] = share{i: i, frac: exact - float64(counts[i])}
+	}
+	sort.SliceStable(shares, func(a, b int) bool { return shares[a].frac > shares[b].frac })
+	for j := 0; j < rem; j++ {
+		counts[shares[j%k].i]++
+	}
+	return counts
+}
+
+// task is one chunk's scheduling state; it moves between deques by value.
+type task struct {
+	index    int
+	ch       *genome.Chunk
+	attempts int
+	lastErr  error
+}
+
+// settled is one chunk's terminal result, sent to the collector.
+type settled struct {
+	index       int
+	hits        []pipeline.Hit
+	quarantined bool
+}
+
+// run is the shared state of one Execute call.
+type run struct {
+	x        *Executor
+	plan     *pipeline.Plan
+	ctx      context.Context
+	cancel   context.CancelFunc
+	observed bool
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	deques      [][]task
+	seeded      []bool
+	evicted     []bool
+	orphans     []task
+	outstanding int
+	failed      bool
+	firstErr    error
+	closeErr    error
+	rep         *Report
+
+	// fbMu serialises the fallback arm: the backend is shared and serial
+	// execution keeps failover deterministic (one chunk at a time, like
+	// the serial resilient executor).
+	fbMu       sync.Mutex
+	fbOpened   bool
+	fb         pipeline.Backend
+	fbErr      error
+	fbRenderer *pipeline.SiteRenderer
+
+	results chan settled
+	wg      sync.WaitGroup
+}
+
+// Execute implements pipeline.Executor.
+func (x *Executor) Execute(ctx context.Context, plan *pipeline.Plan, asm *genome.Assembly, emit func(pipeline.Hit) error) error {
+	if len(x.Devices) == 0 {
+		return errors.New("sched: no devices")
+	}
+	chunks, err := plan.Chunker.Plan(asm)
+	if err != nil {
+		return err
+	}
+
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	r := &run{
+		x:           x,
+		plan:        plan,
+		ctx:         rctx,
+		cancel:      cancel,
+		observed:    x.Trace != nil || x.Metrics != nil,
+		deques:      make([][]task, len(x.Devices)),
+		seeded:      make([]bool, len(x.Devices)),
+		evicted:     make([]bool, len(x.Devices)),
+		outstanding: len(chunks),
+		rep:         &Report{Devices: make([]DeviceReport, len(x.Devices))},
+		fbRenderer:  &pipeline.SiteRenderer{},
+		results:     make(chan settled, len(chunks)),
+	}
+	r.cond = sync.NewCond(&r.mu)
+
+	// Seed each deque with its contiguous cost-model shard.
+	weights := make([]float64, len(x.Devices))
+	for i, d := range x.Devices {
+		weights[i] = d.Weight
+		r.rep.Devices[i].Name = r.deviceTrack(i)
+	}
+	counts := ShardCounts(len(chunks), weights)
+	start := 0
+	for i, c := range counts {
+		r.seeded[i] = c > 0
+		for k := start; k < start+c; k++ {
+			r.deques[i] = append(r.deques[i], task{index: k, ch: chunks[k]})
+		}
+		start += c
+		r.gaugeLocked(i)
+	}
+
+	for i := range x.Devices {
+		r.wg.Add(1)
+		go func(i int) {
+			defer r.wg.Done()
+			r.worker(i)
+		}(i)
+	}
+	// Wake cond waiters on external cancellation; exits with the run.
+	go func() {
+		<-rctx.Done()
+		r.cond.Broadcast()
+	}()
+	go func() {
+		r.wg.Wait()
+		r.drainOrphans()
+		if r.fb != nil {
+			r.foldClose(r.fb.Close())
+		}
+		close(r.results)
+	}()
+
+	r.collect(emit)
+
+	sort.Slice(r.rep.Quarantined, func(a, b int) bool {
+		return r.rep.Quarantined[a].Index < r.rep.Quarantined[b].Index
+	})
+	if x.OnReport != nil {
+		x.OnReport(r.rep)
+	}
+	r.mu.Lock()
+	ferr, cerr := r.firstErr, r.closeErr
+	r.mu.Unlock()
+	if ferr != nil {
+		return ferr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if cerr != nil {
+		return cerr
+	}
+	if len(r.rep.Quarantined) > 0 {
+		return &pipeline.PartialError{Report: &r.rep.Report}
+	}
+	return nil
+}
+
+// collect reorders settled chunks back into plan order on the caller's
+// goroutine and emits their hits — the same ordered-emit contract as the
+// single-backend topologies. Quarantined chunks advance the cursor with no
+// hits.
+func (r *run) collect(emit func(pipeline.Hit) error) {
+	x := r.x
+	track := x.track() + "/collect"
+	pending := make(map[int]settled)
+	next := 0
+	emitting := true
+	for res := range r.results {
+		pending[res.index] = res
+		for {
+			rec, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			chunk := next
+			next++
+			if !rec.quarantined && emitting {
+				var t0 time.Time
+				if r.observed {
+					t0 = time.Now()
+				}
+				for _, h := range rec.hits {
+					if err := r.ctx.Err(); err != nil {
+						r.fail(err)
+						emitting = false
+						break
+					}
+					if err := emit(h); err != nil {
+						r.fail(err)
+						emitting = false
+						break
+					}
+				}
+				if r.observed {
+					x.Trace.Complete(track, "emit", chunk, t0, time.Since(t0),
+						obs.Attr{Key: "hits", Value: strconv.Itoa(len(rec.hits))})
+					x.Metrics.Count(obs.MetricHits, int64(len(rec.hits)))
+				}
+			}
+			x.Metrics.Count(obs.MetricPipelineChunks, 1)
+		}
+	}
+}
+
+// worker drives one device slot: open the backend when there is work, then
+// settle tasks until the run is over for this slot.
+func (r *run) worker(i int) {
+	dev := &r.x.Devices[i]
+	var be pipeline.Backend
+	defer func() {
+		if be != nil {
+			r.foldClose(be.Close())
+		}
+	}()
+	sr := &pipeline.SiteRenderer{}
+
+	// Open eagerly when the initial shard was non-empty: per-run device
+	// setup (pattern-table staging) then happens exactly once per seeded
+	// slot regardless of how the steal schedule plays out — the shard
+	// could already be stolen away by the time this worker starts — so
+	// profile accounting stays deterministic. Slots seeded empty open
+	// lazily on their first stolen task.
+	if r.seeded[i] {
+		var err error
+		if be, err = dev.Open(r.plan); err != nil {
+			r.deviceFailed(i, nil, fmt.Errorf("sched: opening device %s: %w", r.deviceTrack(i), err))
+			return
+		}
+	}
+
+	for {
+		t, ok := r.next(i)
+		if !ok {
+			return
+		}
+		if be == nil {
+			var err error
+			if be, err = dev.Open(r.plan); err != nil {
+				r.deviceFailed(i, &t, fmt.Errorf("sched: opening device %s: %w", r.deviceTrack(i), err))
+				return
+			}
+		}
+		hits, err := r.runTask(i, be, &t, sr)
+		switch {
+		case err == nil:
+			r.settle(i, t, hits, false)
+		case r.ctx.Err() != nil:
+			return
+		case r.x.Policy == nil:
+			r.fail(fmt.Errorf("sched: device %s: %w", r.deviceTrack(i), err))
+			return
+		case r.x.Static:
+			r.settleViaFallback(i, t, err)
+		default:
+			r.evict(i, &t, err)
+			return
+		}
+	}
+}
+
+// next blocks until slot i has a task, stealing from the most loaded deque
+// when its own runs dry, and reports false when the run is over for this
+// slot: no task can ever arrive again, the run failed, or the context was
+// cancelled.
+func (r *run) next(i int) (task, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.failed || r.ctx.Err() != nil {
+			return task{}, false
+		}
+		if d := r.deques[i]; len(d) > 0 {
+			t := d[0]
+			r.deques[i] = d[1:]
+			r.gaugeLocked(i)
+			return t, true
+		}
+		if r.outstanding == 0 {
+			return task{}, false
+		}
+		if r.x.Static {
+			// Static split: nothing ever refills an empty deque.
+			return task{}, false
+		}
+		if r.stealLocked(i) {
+			continue
+		}
+		r.cond.Wait()
+	}
+}
+
+// stealLocked moves half the tail (rounded up) of the most loaded deque to
+// slot i. Caller holds r.mu.
+func (r *run) stealLocked(i int) bool {
+	victim, best := -1, 0
+	for j := range r.deques {
+		if j != i && len(r.deques[j]) > best {
+			victim, best = j, len(r.deques[j])
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	n := (best + 1) / 2
+	d := r.deques[victim]
+	stolen := d[len(d)-n:]
+	r.deques[victim] = d[:len(d)-n]
+	r.deques[i] = append(r.deques[i], stolen...)
+	r.rep.Steals++
+	r.rep.Devices[i].Steals++
+	r.gaugeLocked(i)
+	r.gaugeLocked(victim)
+	r.x.Metrics.Count(obs.MetricSteals, 1)
+	r.x.Trace.Instant(r.deviceTrack(i), "steal", stolen[0].index,
+		obs.Attr{Key: "victim", Value: r.deviceTrack(victim)},
+		obs.Attr{Key: "tasks", Value: strconv.Itoa(n)})
+	// The thief's refilled deque is itself a steal target now.
+	r.cond.Broadcast()
+	return true
+}
+
+// runTask settles one task on slot i's backend: one attempt plus the
+// policy's transient retry budget with its deterministic backoff — the same
+// retry classification as the serial resilient executor's primary arm.
+func (r *run) runTask(i int, be pipeline.Backend, t *task, sr *pipeline.SiteRenderer) ([]pipeline.Hit, error) {
+	res := r.x.Policy
+	for try := 0; ; try++ {
+		hits, err := r.attemptOn(be, t, sr, r.deviceTrack(i))
+		if err == nil {
+			return hits, nil
+		}
+		if r.ctx.Err() != nil {
+			return nil, r.ctx.Err()
+		}
+		if res == nil || fault.ClassOf(err) != fault.Transient || try >= res.RetryBudget() {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.rep.Retries++
+		r.mu.Unlock()
+		r.x.Metrics.Count(obs.MetricRetries, 1)
+		r.x.Trace.Instant(r.deviceTrack(i), "retry", t.index,
+			obs.Attr{Key: "try", Value: strconv.Itoa(try + 1)},
+			obs.Attr{Key: "error", Value: err.Error()})
+		if serr := sleepCtx(r.ctx, res.RetryBackoff(t.index, try+1)); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// attemptOn runs one watchdog-guarded scan attempt of t on be, counting the
+// attempt, the scan-latency sample and any watchdog kill.
+func (r *run) attemptOn(be pipeline.Backend, t *task, sr *pipeline.SiteRenderer, track string) ([]pipeline.Hit, error) {
+	o := pipeline.AttemptObs{Trace: r.x.Trace, Metrics: r.x.Metrics, Track: track}
+	var wd time.Duration
+	if r.x.Policy != nil {
+		wd = r.x.Policy.Watchdog
+	}
+	var hits []pipeline.Hit
+	var err error
+	if r.observed {
+		t0 := time.Now()
+		hits, err = pipeline.Attempt(r.ctx, be, r.plan, t.index, t.ch, sr, wd, o)
+		r.x.Metrics.Observe(obs.MetricScanSeconds, time.Since(t0).Seconds())
+	} else {
+		hits, err = pipeline.Attempt(r.ctx, be, r.plan, t.index, t.ch, sr, wd, o)
+	}
+	t.attempts++
+	if err != nil {
+		t.lastErr = err
+		if pipeline.IsWatchdogKill(err) {
+			r.mu.Lock()
+			r.rep.WatchdogKills++
+			r.mu.Unlock()
+			r.x.Metrics.Count(obs.MetricWatchdogKills, 1)
+		}
+	}
+	return hits, err
+}
+
+// deviceFailed handles a slot-level failure (backend open error, or an
+// exhausted chunk in stealing mode): fail-fast without a policy, eviction
+// with one. failed is the task in flight, if any.
+func (r *run) deviceFailed(i int, failed *task, cause error) {
+	if r.x.Policy == nil {
+		r.fail(cause)
+		return
+	}
+	r.evict(i, failed, cause)
+}
+
+// evict removes slot i from the fleet: the failed task plus the slot's
+// unfinished deque move to the survivors round-robin — or to the orphan
+// list for the fallback arm when no survivor is left (always, in Static
+// mode, where chunks never migrate between devices).
+func (r *run) evict(i int, failed *task, cause error) {
+	r.mu.Lock()
+	r.evicted[i] = true
+	dr := &r.rep.Devices[i]
+	dr.Evicted = true
+	dr.EvictErr = cause.Error()
+	r.rep.Evictions++
+	var moved []task
+	if failed != nil {
+		moved = append(moved, *failed)
+	}
+	moved = append(moved, r.deques[i]...)
+	r.deques[i] = nil
+	var survivors []int
+	if !r.x.Static {
+		for j := range r.deques {
+			if j != i && !r.evicted[j] {
+				survivors = append(survivors, j)
+			}
+		}
+	}
+	if len(survivors) == 0 {
+		r.orphans = append(r.orphans, moved...)
+	} else {
+		for k, mt := range moved {
+			j := survivors[k%len(survivors)]
+			r.deques[j] = append(r.deques[j], mt)
+		}
+		for _, j := range survivors {
+			r.gaugeLocked(j)
+		}
+	}
+	r.gaugeLocked(i)
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	r.x.Metrics.Count(obs.MetricEvictions, 1)
+	index := -1
+	if failed != nil {
+		index = failed.index
+	}
+	r.x.Trace.Instant(r.deviceTrack(i), "evict", index,
+		obs.Attr{Key: "error", Value: cause.Error()},
+		obs.Attr{Key: "requeued", Value: strconv.Itoa(len(moved))})
+}
+
+// settle reports slot i's (or the fallback arm's, i < 0) terminal result
+// for t to the collector.
+func (r *run) settle(i int, t task, hits []pipeline.Hit, quarantined bool) {
+	r.mu.Lock()
+	r.rep.Chunks++
+	if i >= 0 && !quarantined {
+		r.rep.Devices[i].Chunks++
+	}
+	r.outstanding--
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	select {
+	case r.results <- settled{index: t.index, hits: hits, quarantined: quarantined}:
+	case <-r.ctx.Done():
+	}
+}
+
+// quarantine records t as lost and settles it with no hits, advancing the
+// collector's cursor past the gap.
+func (r *run) quarantine(i int, t task, err error) {
+	r.mu.Lock()
+	r.rep.Quarantined = append(r.rep.Quarantined, pipeline.ChunkFailure{
+		Index:    t.index,
+		SeqName:  t.ch.SeqName,
+		Start:    t.ch.Start,
+		Body:     t.ch.Body,
+		Attempts: t.attempts,
+		Err:      err,
+	})
+	r.mu.Unlock()
+	r.x.Metrics.Count(obs.MetricQuarantined, 1)
+	r.x.Trace.Instant(r.x.track(), "quarantine", t.index,
+		obs.Attr{Key: "error", Value: err.Error()})
+	r.settle(i, t, nil, true)
+}
+
+// fallbackAttempt tries t once on the shared fallback backend, opening it
+// on first use. ok is false when the policy has no fallback or it failed to
+// open (err then carries the open error, if any).
+func (r *run) fallbackAttempt(from string, t *task, cause error) (hits []pipeline.Hit, err error, ok bool) {
+	r.fbMu.Lock()
+	defer r.fbMu.Unlock()
+	if !r.fbOpened {
+		r.fbOpened = true
+		if res := r.x.Policy; res != nil && res.Fallback != nil {
+			fb, oerr := res.Fallback(r.plan)
+			if oerr != nil {
+				r.fbErr = fmt.Errorf("sched: opening fallback backend: %w", oerr)
+			} else {
+				r.fb = fb
+				r.mu.Lock()
+				r.rep.FallbackUsed = true
+				r.mu.Unlock()
+			}
+		}
+	}
+	if r.fb == nil {
+		return nil, r.fbErr, false
+	}
+	r.mu.Lock()
+	r.rep.Failovers++
+	r.mu.Unlock()
+	r.x.Metrics.Count(obs.MetricFailovers, 1)
+	r.x.Trace.Instant(from, "failover", t.index,
+		obs.Attr{Key: "error", Value: cause.Error()})
+	hits, err = r.attemptOn(r.fb, t, r.fbRenderer, r.x.track()+"/fallback")
+	return hits, err, true
+}
+
+// settleViaFallback is the Static-mode per-chunk failover: the chunk that
+// exhausted its device is re-staged on the shared fallback, quarantined if
+// that fails too.
+func (r *run) settleViaFallback(i int, t task, cause error) {
+	hits, err, ok := r.fallbackAttempt(r.deviceTrack(i), &t, cause)
+	if !ok {
+		if err == nil {
+			err = cause
+		}
+		r.quarantine(i, t, err)
+		return
+	}
+	if err != nil {
+		if r.ctx.Err() != nil {
+			return
+		}
+		r.quarantine(i, t, err)
+		return
+	}
+	r.settle(i, t, hits, false)
+}
+
+// drainOrphans settles the tasks stranded by a fully evicted fleet (or by
+// a statically split device that could not open) on the fallback backend —
+// strictly serially, in chunk order, like the serial resilient executor.
+func (r *run) drainOrphans() {
+	r.mu.Lock()
+	orphans := r.orphans
+	r.orphans = nil
+	failed := r.failed
+	r.mu.Unlock()
+	if len(orphans) == 0 || failed || r.ctx.Err() != nil {
+		return
+	}
+	sort.Slice(orphans, func(a, b int) bool { return orphans[a].index < orphans[b].index })
+	track := r.x.track() + "/fallback"
+	for _, t := range orphans {
+		t := t
+		cause := t.lastErr
+		if cause == nil {
+			cause = fault.Errorf(fault.SiteEviction, fault.Fatal,
+				"sched: all %d devices evicted", len(r.x.Devices))
+		}
+		hits, err, ok := r.fallbackAttempt(track, &t, cause)
+		if !ok {
+			if err == nil {
+				err = cause
+			}
+			r.quarantine(-1, t, err)
+			continue
+		}
+		if err != nil {
+			if r.ctx.Err() != nil {
+				return
+			}
+			r.quarantine(-1, t, err)
+			continue
+		}
+		r.settle(-1, t, hits, false)
+	}
+}
+
+// fail records the run's first fatal error and cancels everything.
+func (r *run) fail(err error) {
+	r.mu.Lock()
+	if !r.failed {
+		r.failed = true
+		r.firstErr = err
+	}
+	r.mu.Unlock()
+	r.cancel()
+	r.cond.Broadcast()
+}
+
+// foldClose folds a backend Close error without masking an earlier one.
+func (r *run) foldClose(err error) {
+	if err == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.closeErr == nil {
+		r.closeErr = err
+	}
+	r.mu.Unlock()
+}
+
+// gaugeLocked publishes slot i's deque depth. Caller holds r.mu.
+func (r *run) gaugeLocked(i int) {
+	r.x.Metrics.Gauge(obs.L(obs.MetricDeviceQueueDepth, "device", r.deviceTrack(i)),
+		float64(len(r.deques[i])))
+}
+
+// deviceTrack names slot i's trace track and report row.
+func (r *run) deviceTrack(i int) string {
+	if n := r.x.Devices[i].Name; n != "" {
+		return n
+	}
+	return r.x.track() + "/dev" + strconv.Itoa(i)
+}
+
+// sleepCtx sleeps for d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,621 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"casoffinder/internal/fault"
+	"casoffinder/internal/genome"
+	"casoffinder/internal/pipeline"
+)
+
+// --- fake backend -----------------------------------------------------------
+
+// fakeBackend is a minimal pipeline.Backend whose hits are a pure function
+// of the chunk (one hit at the chunk's start position), so the emitted
+// stream depends only on plan order, never on which device ran what.
+type fakeBackend struct {
+	// delay slows every Find, simulating a slow device.
+	delay time.Duration
+	// failFind, when set, decides the error of the n-th Find call (n
+	// counts from 0) for the given chunk start.
+	failFind func(start, call int) error
+	// hangFind makes every Find block until its context is cancelled.
+	hangFind bool
+	// stageHook, when set, runs at the top of every Stage call.
+	stageHook func()
+
+	mu     sync.Mutex
+	finds  int
+	staged int
+	closed int
+}
+
+func (b *fakeBackend) Stage(ctx context.Context, ch *genome.Chunk) (pipeline.Staged, error) {
+	if b.stageHook != nil {
+		b.stageHook()
+	}
+	b.mu.Lock()
+	b.staged++
+	b.mu.Unlock()
+	return ch, nil
+}
+
+func (b *fakeBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) {
+	b.mu.Lock()
+	call := b.finds
+	b.finds++
+	b.mu.Unlock()
+	if b.hangFind {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}
+	if b.delay > 0 {
+		select {
+		case <-time.After(b.delay):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	if b.failFind != nil {
+		if err := b.failFind(st.(*genome.Chunk).Start, call); err != nil {
+			return 0, err
+		}
+	}
+	return 1, nil
+}
+
+func (b *fakeBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) error { return nil }
+
+func (b *fakeBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline.SiteRenderer) ([]pipeline.Hit, error) {
+	ch := st.(*genome.Chunk)
+	return []pipeline.Hit{{
+		QueryIndex: 0,
+		SeqName:    ch.SeqName,
+		Pos:        ch.Start,
+		Dir:        '+',
+		Site:       fmt.Sprintf("chunk@%d", ch.Start),
+	}}, nil
+}
+
+func (b *fakeBackend) Close() error {
+	b.mu.Lock()
+	b.closed++
+	b.mu.Unlock()
+	return nil
+}
+
+// fatalAlways fails every Find with a fatal fault.
+func fatalAlways(start, call int) error {
+	return fault.Errorf(fault.SiteLaunch, fault.Fatal, "injected fatal at %d", start)
+}
+
+// --- plan/assembly fixtures -------------------------------------------------
+
+// testPlan compiles a tiny all-N plan whose chunker cuts the assembly into
+// ~nChunks chunks of 12 site positions each.
+func testPlan(t *testing.T, nChunks int) (*pipeline.Plan, *genome.Assembly) {
+	t.Helper()
+	req := &pipeline.Request{
+		Pattern:    "NNNNN",
+		Queries:    []pipeline.Query{{Guide: "NNNNN", MaxMismatches: 5}},
+		ChunkBytes: 16, // body = 16 - (5-1) = 12 positions per chunk
+	}
+	plan, err := pipeline.Compile(req)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	seqLen := 12*nChunks + 4
+	data := make([]byte, seqLen)
+	for i := range data {
+		data[i] = "ACGT"[i%4]
+	}
+	asm := &genome.Assembly{Sequences: []*genome.Sequence{{Name: "chr1", Data: data}}}
+	chunks, err := plan.Chunker.Plan(asm)
+	if err != nil {
+		t.Fatalf("chunk plan: %v", err)
+	}
+	if len(chunks) != nChunks {
+		t.Fatalf("fixture produced %d chunks, want %d", len(chunks), nChunks)
+	}
+	return plan, asm
+}
+
+// runExec executes x over a fresh nChunks-fixture and returns the emitted
+// hits, the report, and Execute's error.
+func runExec(t *testing.T, x *Executor, nChunks int) ([]pipeline.Hit, *Report, error) {
+	t.Helper()
+	plan, asm := testPlan(t, nChunks)
+	var rep *Report
+	prev := x.OnReport
+	x.OnReport = func(r *Report) {
+		if rep != nil {
+			t.Error("OnReport called twice")
+		}
+		rep = r
+		if prev != nil {
+			prev(r)
+		}
+	}
+	var hits []pipeline.Hit
+	err := x.Execute(context.Background(), plan, asm, func(h pipeline.Hit) error {
+		hits = append(hits, h)
+		return nil
+	})
+	if rep == nil {
+		t.Fatal("OnReport never called")
+	}
+	return hits, rep, err
+}
+
+// wantOrdered asserts the hit stream is exactly one hit per chunk, in plan
+// order — the determinism contract shared with the serial topologies.
+func wantOrdered(t *testing.T, hits []pipeline.Hit, nChunks int) {
+	t.Helper()
+	if len(hits) != nChunks {
+		t.Fatalf("got %d hits, want %d", len(hits), nChunks)
+	}
+	for i, h := range hits {
+		if want := 12 * i; h.Pos != want {
+			t.Fatalf("hit %d at pos %d, want %d (out-of-order emit)", i, h.Pos, want)
+		}
+	}
+}
+
+// --- ShardCounts ------------------------------------------------------------
+
+func TestShardCountsProportional(t *testing.T) {
+	cases := []struct {
+		n       int
+		weights []float64
+		want    []int
+	}{
+		{10, []float64{1, 1}, []int{5, 5}},
+		{8, []float64{3, 1}, []int{6, 2}},
+		{7, []float64{2, 1}, []int{5, 2}},              // 4.67, 2.33 → remainder to the larger fraction
+		{10, []float64{1, 1, 1, 1}, []int{3, 3, 2, 2}}, // remainder spreads round-robin
+		{2, []float64{1, 1, 1, 1}, []int{1, 1, 0, 0}},
+		{0, []float64{1, 1}, []int{0, 0}},
+		{5, nil, nil},
+	}
+	for _, c := range cases {
+		got := ShardCounts(c.n, c.weights)
+		if len(c.weights) == 0 {
+			if len(got) != 0 {
+				t.Errorf("ShardCounts(%d, %v) = %v, want empty", c.n, c.weights, got)
+			}
+			continue
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("ShardCounts(%d, %v) = %v, want %v", c.n, c.weights, got, c.want)
+		}
+	}
+}
+
+// TestShardCountsRemainderNotSkewed pins the fix for the old static-split
+// remainder bug: the last device used to absorb the entire remainder
+// ([2,2,2,4] for 10 chunks over 4 equal devices); now the remainder spreads
+// one chunk at a time.
+func TestShardCountsRemainderNotSkewed(t *testing.T) {
+	got := ShardCounts(10, []float64{1, 1, 1, 1})
+	if fmt.Sprint(got) == fmt.Sprint([]int{2, 2, 2, 4}) {
+		t.Fatal("remainder still piles onto the last shard (old skew)")
+	}
+	max, min := 0, 10
+	for _, c := range got {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("equal-weight shards deviate by more than one chunk: %v", got)
+	}
+}
+
+func TestShardCountsBadWeights(t *testing.T) {
+	// Zero, negative, NaN or infinite weights fall back to an even split.
+	for _, weights := range [][]float64{
+		{0, 0, 0},
+		{-1, 2, 3},
+		{1, 0, 1},
+	} {
+		got := ShardCounts(7, weights)
+		if fmt.Sprint(got) != fmt.Sprint([]int{3, 2, 2}) {
+			t.Errorf("ShardCounts(7, %v) = %v, want even split [3 2 2]", weights, got)
+		}
+	}
+}
+
+func TestShardCountsConserveTotal(t *testing.T) {
+	for n := 0; n < 50; n++ {
+		for _, weights := range [][]float64{{1}, {1, 2}, {5, 3, 2}, {0.3, 0.3, 0.3, 0.1}} {
+			total := 0
+			for _, c := range ShardCounts(n, weights) {
+				total += c
+			}
+			if total != n {
+				t.Fatalf("ShardCounts(%d, %v) loses chunks: total %d", n, weights, total)
+			}
+		}
+	}
+}
+
+// --- Executor ---------------------------------------------------------------
+
+func fleet(bes ...*fakeBackend) []Device {
+	devs := make([]Device, len(bes))
+	for i, be := range bes {
+		be := be
+		devs[i] = Device{
+			Name:   fmt.Sprintf("dev%d", i),
+			Weight: 1,
+			Open:   func(*pipeline.Plan) (pipeline.Backend, error) { return be, nil },
+		}
+	}
+	return devs
+}
+
+func TestExecutorOrderedEmit(t *testing.T) {
+	// Three devices with staggered speeds: the emit order must still be
+	// plan order, whatever the settle interleaving was.
+	b0 := &fakeBackend{}
+	b1 := &fakeBackend{delay: 200 * time.Microsecond}
+	b2 := &fakeBackend{delay: 500 * time.Microsecond}
+	x := &Executor{Devices: fleet(b0, b1, b2)}
+	hits, rep, err := runExec(t, x, 12)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wantOrdered(t, hits, 12)
+	if rep.Chunks != 12 {
+		t.Errorf("report chunks = %d, want 12", rep.Chunks)
+	}
+	settled := 0
+	for _, d := range rep.Devices {
+		settled += d.Chunks
+	}
+	if settled != 12 {
+		t.Errorf("per-device chunks sum to %d, want 12", settled)
+	}
+	if b0.closed != 1 || b1.closed != 1 || b2.closed != 1 {
+		t.Errorf("backends closed %d/%d/%d times, want 1 each", b0.closed, b1.closed, b2.closed)
+	}
+}
+
+func TestExecutorSteals(t *testing.T) {
+	// One fast and one slow device, even initial split: the fast device
+	// must drain its shard and then steal from the slow one's tail.
+	fast := &fakeBackend{}
+	slow := &fakeBackend{delay: 2 * time.Millisecond}
+	x := &Executor{Devices: fleet(fast, slow)}
+	hits, rep, err := runExec(t, x, 16)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wantOrdered(t, hits, 16)
+	if rep.Steals == 0 {
+		t.Error("fast device never stole from the slow one")
+	}
+	if rep.Devices[0].Chunks <= 8 {
+		t.Errorf("fast device settled %d chunks, want > its initial shard of 8", rep.Devices[0].Chunks)
+	}
+}
+
+func TestExecutorStaticNoSteal(t *testing.T) {
+	fast := &fakeBackend{}
+	slow := &fakeBackend{delay: 2 * time.Millisecond}
+	x := &Executor{Devices: fleet(fast, slow), Static: true}
+	hits, rep, err := runExec(t, x, 16)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wantOrdered(t, hits, 16)
+	if rep.Steals != 0 {
+		t.Errorf("static split stole %d times, want 0", rep.Steals)
+	}
+	if rep.Devices[0].Chunks != 8 || rep.Devices[1].Chunks != 8 {
+		t.Errorf("static shards settled %d/%d, want the even 8/8 split",
+			rep.Devices[0].Chunks, rep.Devices[1].Chunks)
+	}
+}
+
+func TestExecutorWeightedShards(t *testing.T) {
+	// A 3:1 weight ratio must show up in the static settle counts.
+	b0, b1 := &fakeBackend{}, &fakeBackend{}
+	devs := fleet(b0, b1)
+	devs[0].Weight = 3
+	x := &Executor{Devices: devs, Static: true}
+	_, rep, err := runExec(t, x, 16)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if rep.Devices[0].Chunks != 12 || rep.Devices[1].Chunks != 4 {
+		t.Errorf("weighted shards settled %d/%d, want 12/4",
+			rep.Devices[0].Chunks, rep.Devices[1].Chunks)
+	}
+}
+
+func TestExecutorTransientRetries(t *testing.T) {
+	// The first two Find calls fail transiently; the policy budget covers
+	// them, so the run stays clean apart from the retry count.
+	be := &fakeBackend{failFind: func(start, call int) error {
+		if call < 2 {
+			return fault.Errorf(fault.SiteCLEnqueue, fault.Transient, "flaky enqueue")
+		}
+		return nil
+	}}
+	x := &Executor{
+		Devices: fleet(be),
+		Policy:  &pipeline.Resilience{MaxRetries: 3, BackoffBase: time.Microsecond, BackoffMax: time.Microsecond},
+	}
+	hits, rep, err := runExec(t, x, 6)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wantOrdered(t, hits, 6)
+	if rep.Retries != 2 {
+		t.Errorf("retries = %d, want 2", rep.Retries)
+	}
+	if rep.Evictions != 0 || rep.Failovers != 0 {
+		t.Errorf("clean retry run reports evictions=%d failovers=%d", rep.Evictions, rep.Failovers)
+	}
+}
+
+func TestExecutorEvictionRedistributes(t *testing.T) {
+	// Device 0 fails fatally on first touch: it must be evicted and its
+	// whole shard — including the failed chunk — must finish on device 1.
+	// The survivor waits at the gate until device 0 has a chunk in
+	// flight, so the failure cannot be stolen away before it happens.
+	var once sync.Once
+	badStaged := make(chan struct{})
+	bad := &fakeBackend{
+		failFind:  fatalAlways,
+		stageHook: func() { once.Do(func() { close(badStaged) }) },
+	}
+	good := &fakeBackend{stageHook: func() { <-badStaged }}
+	x := &Executor{
+		Devices: fleet(bad, good),
+		Policy:  &pipeline.Resilience{MaxRetries: -1},
+	}
+	hits, rep, err := runExec(t, x, 10)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wantOrdered(t, hits, 10)
+	if rep.Evictions != 1 || !rep.Devices[0].Evicted {
+		t.Fatalf("evictions = %d, dev0 evicted = %v; want 1/true", rep.Evictions, rep.Devices[0].Evicted)
+	}
+	if rep.Devices[1].Evicted {
+		t.Error("survivor marked evicted")
+	}
+	if rep.Devices[1].Chunks != 10 {
+		t.Errorf("survivor settled %d chunks, want all 10", rep.Devices[1].Chunks)
+	}
+	if rep.Failovers != 0 {
+		t.Errorf("failovers = %d, want 0 (survivor absorbed the shard)", rep.Failovers)
+	}
+	if !strings.Contains(rep.Devices[0].EvictErr, "injected fatal") {
+		t.Errorf("eviction cause %q does not carry the fault", rep.Devices[0].EvictErr)
+	}
+}
+
+func TestExecutorAllEvictedFallsBack(t *testing.T) {
+	// Both devices die: every chunk must drain serially, in order, through
+	// the policy's fallback backend.
+	fb := &fakeBackend{}
+	x := &Executor{
+		Devices: fleet(&fakeBackend{failFind: fatalAlways}, &fakeBackend{failFind: fatalAlways}),
+		Policy: &pipeline.Resilience{
+			MaxRetries: -1,
+			Fallback:   func(*pipeline.Plan) (pipeline.Backend, error) { return fb, nil },
+		},
+	}
+	hits, rep, err := runExec(t, x, 8)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wantOrdered(t, hits, 8)
+	if rep.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", rep.Evictions)
+	}
+	if !rep.FallbackUsed {
+		t.Error("fallback not marked used")
+	}
+	if rep.Failovers != 8 {
+		t.Errorf("failovers = %d, want one per stranded chunk (8)", rep.Failovers)
+	}
+	if fb.closed != 1 {
+		t.Errorf("fallback closed %d times, want 1", fb.closed)
+	}
+}
+
+func TestExecutorQuarantineWithoutFallback(t *testing.T) {
+	// A dead fleet and no fallback: the run completes with every chunk
+	// quarantined and a PartialError, not a hard failure.
+	x := &Executor{
+		Devices: fleet(&fakeBackend{failFind: fatalAlways}),
+		Policy:  &pipeline.Resilience{MaxRetries: -1},
+	}
+	hits, rep, err := runExec(t, x, 5)
+	var pe *pipeline.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Execute: %v, want PartialError", err)
+	}
+	if len(hits) != 0 {
+		t.Errorf("quarantined run emitted %d hits", len(hits))
+	}
+	if len(rep.Quarantined) != 5 {
+		t.Fatalf("quarantined %d chunks, want 5", len(rep.Quarantined))
+	}
+	for i, q := range rep.Quarantined {
+		if q.Index != i {
+			t.Fatalf("quarantine list out of order: entry %d has index %d", i, q.Index)
+		}
+	}
+	// The chunk that actually failed carries the fault; the stranded rest
+	// carry the scheduler's eviction label.
+	var fe *fault.Error
+	if !errors.As(rep.Quarantined[1].Err, &fe) || fe.Site != fault.SiteEviction {
+		t.Errorf("stranded chunk error %v, want site %s", rep.Quarantined[1].Err, fault.SiteEviction)
+	}
+}
+
+func TestExecutorStaticFailover(t *testing.T) {
+	// Static mode keeps the old per-chunk failover: the bad device's shard
+	// fails over chunk by chunk, no eviction, no migration to device 1.
+	fb := &fakeBackend{}
+	good := &fakeBackend{}
+	devs := fleet(&fakeBackend{failFind: fatalAlways}, good)
+	x := &Executor{
+		Devices: devs,
+		Static:  true,
+		Policy: &pipeline.Resilience{
+			MaxRetries: -1,
+			Fallback:   func(*pipeline.Plan) (pipeline.Backend, error) { return fb, nil },
+		},
+	}
+	hits, rep, err := runExec(t, x, 10)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wantOrdered(t, hits, 10)
+	if rep.Evictions != 0 {
+		t.Errorf("static mode evicted %d devices, want 0", rep.Evictions)
+	}
+	if rep.Failovers != 5 {
+		t.Errorf("failovers = %d, want 5 (device 0's shard)", rep.Failovers)
+	}
+	if rep.Devices[1].Chunks != 5 {
+		t.Errorf("device 1 settled %d chunks, want its own 5", rep.Devices[1].Chunks)
+	}
+}
+
+func TestExecutorWatchdogEvicts(t *testing.T) {
+	// A hung device is reaped by the watchdog; with no retry budget the
+	// kill evicts it and the survivor finishes the run. The survivor is
+	// held at the gate until the hung device has a chunk in flight, so
+	// the hang cannot be stolen away before it happens.
+	var once sync.Once
+	hungStaged := make(chan struct{})
+	hung := &fakeBackend{
+		hangFind:  true,
+		stageHook: func() { once.Do(func() { close(hungStaged) }) },
+	}
+	good := &fakeBackend{stageHook: func() { <-hungStaged }}
+	x := &Executor{
+		Devices: fleet(hung, good),
+		Policy:  &pipeline.Resilience{MaxRetries: -1, Watchdog: 5 * time.Millisecond},
+	}
+	hits, rep, err := runExec(t, x, 8)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wantOrdered(t, hits, 8)
+	if rep.WatchdogKills == 0 {
+		t.Error("hung device never watchdog-killed")
+	}
+	if rep.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", rep.Evictions)
+	}
+}
+
+func TestExecutorFailFastWithoutPolicy(t *testing.T) {
+	// Hold the healthy device at the gate until the failing one has a
+	// chunk in flight, so the failure cannot be stolen away.
+	var once sync.Once
+	badStaged := make(chan struct{})
+	bad := &fakeBackend{
+		failFind:  fatalAlways,
+		stageHook: func() { once.Do(func() { close(badStaged) }) },
+	}
+	x := &Executor{Devices: fleet(bad, &fakeBackend{stageHook: func() { <-badStaged }})}
+	_, rep, err := runExec(t, x, 8)
+	if err == nil {
+		t.Fatal("Execute succeeded, want fail-fast error")
+	}
+	if !strings.Contains(err.Error(), "injected fatal") {
+		t.Errorf("error %v does not carry the cause", err)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Errorf("fail-fast run quarantined %d chunks", len(rep.Quarantined))
+	}
+}
+
+func TestExecutorOpenFailure(t *testing.T) {
+	// A device whose backend cannot open is evicted like any other
+	// failure; its shard migrates to the survivor.
+	good := &fakeBackend{}
+	devs := []Device{
+		{Name: "broken", Weight: 1, Open: func(*pipeline.Plan) (pipeline.Backend, error) {
+			return nil, errors.New("no such device")
+		}},
+		{Name: "ok", Weight: 1, Open: func(*pipeline.Plan) (pipeline.Backend, error) { return good, nil }},
+	}
+	x := &Executor{Devices: devs, Policy: &pipeline.Resilience{MaxRetries: -1}}
+	hits, rep, err := runExec(t, x, 10)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wantOrdered(t, hits, 10)
+	if rep.Evictions != 1 || !rep.Devices[0].Evicted {
+		t.Errorf("open failure did not evict: evictions=%d", rep.Evictions)
+	}
+	if rep.Devices[1].Chunks != 10 {
+		t.Errorf("survivor settled %d chunks, want 10 (got: %+v)", rep.Devices[1].Chunks, rep.Devices)
+	}
+}
+
+func TestExecutorNoDevices(t *testing.T) {
+	x := &Executor{}
+	plan, asm := testPlan(t, 1)
+	err := x.Execute(context.Background(), plan, asm, func(pipeline.Hit) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "no devices") {
+		t.Fatalf("Execute: %v, want no-devices error", err)
+	}
+}
+
+func TestExecutorEmitError(t *testing.T) {
+	x := &Executor{Devices: fleet(&fakeBackend{})}
+	plan, asm := testPlan(t, 6)
+	sentinel := errors.New("sink full")
+	n := 0
+	err := x.Execute(context.Background(), plan, asm, func(pipeline.Hit) error {
+		n++
+		if n == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Execute: %v, want emit error", err)
+	}
+}
+
+func TestExecutorContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	slow := &fakeBackend{delay: 5 * time.Millisecond}
+	x := &Executor{Devices: fleet(slow)}
+	plan, asm := testPlan(t, 10)
+	done := make(chan error, 1)
+	go func() {
+		done <- x.Execute(ctx, plan, asm, func(pipeline.Hit) error { return nil })
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Execute: %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Execute did not return after cancel")
+	}
+}

@@ -4,21 +4,34 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/isa"
 	"casoffinder/internal/kernels"
 	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
+	"casoffinder/internal/sched"
+	"casoffinder/internal/timing"
 )
 
 // MultiSYCL extends the SYCL application to several devices — the paper's
 // stated limitation ("The SYCL application currently executes on a single
-// GPU device", §IV.A) turned future work. Sequences are distributed
-// round-robin across one SimSYCL engine per device, engines run
-// concurrently (each streaming through the shared pipeline), and hits
-// merge into the usual deterministic order.
+// GPU device", §IV.A) turned future work. The fleet runs behind the
+// work-stealing scheduler (internal/sched): each device's deque is seeded
+// with a cost-model-proportional shard of the chunk plan — the per-chunk
+// estimate from internal/timing for the device's Table VII spec and the
+// selected comparer variant — and idle devices steal half the tail of the
+// most loaded deque, so a heterogeneous fleet stays busy end to end
+// instead of waiting on its slowest member.
+//
+// Resilience is device-level: with a policy set, a chunk that exhausts its
+// retries (or trips the watchdog, or returns corrupted data) evicts its
+// device and the device's remaining work redistributes to the survivors;
+// only a fully evicted fleet falls back to the CPU SWAR engine, chunk by
+// chunk. Hits still flow through the pipeline's ordered-emit contract, so
+// the stream is byte-identical to a single-device run regardless of which
+// device ran which chunk.
 type MultiSYCL struct {
 	// Devices are the simulated GPUs to spread the search over.
 	Devices []*gpu.Device
@@ -26,13 +39,19 @@ type MultiSYCL struct {
 	Variant kernels.ComparerVariant
 	// WorkGroupSize overrides the launch local size (0 means 256).
 	WorkGroupSize int
-	// Resilience, when set, is applied to every per-device sub-engine:
-	// each device retries, reaps hangs and fails over to the CPU engine
-	// independently, and the merged profile carries the combined counters.
+	// Resilience, when set, is the fleet's device-level policy: per-chunk
+	// transient retries on the owning device, then eviction; a fully
+	// evicted fleet fails over to the CPU engine (unless a custom
+	// Fallback is configured).
 	Resilience *pipeline.Resilience
+	// Static pins every chunk to its cost-model shard — no stealing, no
+	// eviction, per-chunk failover — the pre-scheduler behaviour, kept
+	// for comparison benchmarks.
+	Static bool
 	// Trace and Metrics, when set, are shared by every per-device
-	// sub-engine: each device's spans land on its own "sycl-sim[i]" tracks
-	// and the counters sum across devices in one registry.
+	// sub-engine: each device's spans land on its own "sycl-sim[i]"
+	// track, scheduler events (steal, evict, failover) on the same
+	// tracks, and the counters sum across devices in one registry.
 	Trace   *obs.Tracer
 	Metrics *obs.Metrics
 
@@ -42,7 +61,8 @@ type MultiSYCL struct {
 // Name implements Engine.
 func (e *MultiSYCL) Name() string { return "sycl-multi" }
 
-// LastProfile implements Profiler: the merged profile of all devices.
+// LastProfile implements Profiler: the merged profile of all devices, with
+// the scheduler's steal/eviction accounting folded in.
 func (e *MultiSYCL) LastProfile() *Profile { return e.profile }
 
 // Run implements Engine.
@@ -50,9 +70,80 @@ func (e *MultiSYCL) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 	return Collect(context.Background(), e, asm, req)
 }
 
-// Stream implements Engine. Hits can only be emitted once every device has
-// finished (the merge is what makes the order deterministic), so this
-// engine streams per-device internally and emits the merged result.
+func (e *MultiSYCL) wgSize() int {
+	if e.WorkGroupSize > 0 {
+		return e.WorkGroupSize
+	}
+	return DefaultSYCLWorkGroup
+}
+
+// deviceWeights derives each device's scheduling weight from the timing
+// model: the inverse of the estimated cost of one chunk on that device,
+// with the finder/comparer launch contexts (occupancy, register pressure)
+// compiled by internal/isa exactly as the calibration harness builds them.
+// A faster device gets a proportionally larger initial shard.
+func (e *MultiSYCL) deviceWeights(req *Request) []float64 {
+	plen := len(req.Pattern)
+	chunkBytes := req.ChunkBytes
+	if chunkBytes <= 0 {
+		chunkBytes = pipeline.DefaultChunkBytes
+	}
+	wg := e.wgSize()
+	weights := make([]float64, len(e.Devices))
+	for i, d := range e.Devices {
+		spec := d.Spec()
+		fm := isa.FinderMetrics(spec, plen)
+		cm := isa.ComparerMetrics(e.Variant, spec, plen)
+		est := timing.ChunkEstimate{
+			Finder: timing.KernelConfig{
+				Spec:                spec,
+				OccupancyWaves:      fm.Occupancy,
+				VGPRs:               fm.VGPRs,
+				WorkGroupSize:       wg,
+				LeaderPrefetch:      true,
+				PrefetchOpsPerGroup: 4 * plen,
+				ScatterFactor:       0.02,
+			},
+			Comparer: timing.KernelConfig{
+				Spec:                spec,
+				OccupancyWaves:      cm.Occupancy,
+				VGPRs:               cm.VGPRs,
+				WorkGroupSize:       wg,
+				LeaderPrefetch:      !e.Variant.CooperativeFetch(),
+				PrefetchOpsPerGroup: 4 * plen,
+				ScatterFactor:       1.0,
+			},
+			PatternLen: plen,
+			Queries:    len(req.Queries),
+		}
+		if sec := est.Seconds(chunkBytes); sec > 0 {
+			weights[i] = 1 / sec
+		}
+	}
+	return weights
+}
+
+// schedPolicy copies the engine policy for the scheduler, defaulting the
+// fallback to the CPU SWAR engine (byte-identical hit stream, so a
+// failed-over chunk preserves the golden output). Unlike resilienceFor it
+// does not chain OnReport: the scheduler reports through sched.Report.
+func (e *MultiSYCL) schedPolicy() *pipeline.Resilience {
+	if e.Resilience == nil {
+		return nil
+	}
+	r := *e.Resilience
+	if r.Fallback == nil {
+		r.Fallback = func(plan *pipeline.Plan) (pipeline.Backend, error) {
+			return newCPUBackend(plan, &CPU{Packed: true}), nil
+		}
+	}
+	return &r
+}
+
+// Stream implements Engine: compile once, then run the chunk plan across
+// the fleet through the work-stealing executor. Hits are emitted in chunk
+// order as chunks settle — the pipeline's ordered-emit contract — so the
+// stream matches a single-device run byte for byte.
 func (e *MultiSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
 	if err := req.Validate(); err != nil {
 		return err
@@ -66,88 +157,69 @@ func (e *MultiSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Reque
 		}
 	}
 
-	// Partition sequences round-robin by descending length so device loads
-	// balance even when chromosome sizes are skewed.
-	parts := make([]*genome.Assembly, len(e.Devices))
-	for i := range parts {
-		parts[i] = &genome.Assembly{Name: fmt.Sprintf("%s.part%d", asm.Name, i)}
-	}
-	order := make([]int, len(asm.Sequences))
-	for i := range order {
-		order[i] = i
-	}
-	// Simple length-descending selection sort (sequence counts are small).
-	for i := 0; i < len(order); i++ {
-		maxAt := i
-		for j := i + 1; j < len(order); j++ {
-			if len(asm.Sequences[order[j]].Data) > len(asm.Sequences[order[maxAt]].Data) {
-				maxAt = j
-			}
-		}
-		order[i], order[maxAt] = order[maxAt], order[i]
-	}
-	for rank, si := range order {
-		p := parts[rank%len(parts)]
-		p.Sequences = append(p.Sequences, asm.Sequences[si])
-	}
-
+	// One SimSYCL shell per device: the scheduler opens its syclBackend
+	// (at most once per run), and the shell's profile collects what that
+	// device did. Sub-engines share the run's tracer and metrics.
 	subEngines := make([]*SimSYCL, len(e.Devices))
-	results := make([][]Hit, len(e.Devices))
-	errs := make([]error, len(e.Devices))
-	var wg sync.WaitGroup
+	marks := make([]int, len(e.Devices))
+	fleet := make([]sched.Device, len(e.Devices))
+	weights := e.deviceWeights(req)
 	for i, dev := range e.Devices {
-		subEngines[i] = &SimSYCL{
-			Device: dev, Variant: e.Variant, WorkGroupSize: e.WorkGroupSize, Resilience: e.Resilience,
+		sub := &SimSYCL{
+			Device: dev, Variant: e.Variant, WorkGroupSize: e.WorkGroupSize,
 			Trace: e.Trace, Metrics: e.Metrics, Track: fmt.Sprintf("sycl-sim[%d]", i),
 		}
-		if len(parts[i].Sequences) == 0 {
+		subEngines[i] = sub
+		dev.SetObs(e.Trace, e.Metrics, sub.track()+"/gpu")
+		// Mark each injector before the run so only this run's fault
+		// delta is folded into the profile.
+		marks[i] = dev.Faults().Mark()
+		fleet[i] = sched.Device{
+			Name:   sub.track(),
+			Weight: weights[i],
+			Open: func(plan *pipeline.Plan) (pipeline.Backend, error) {
+				return newSYCLBackend(sub, plan)
+			},
+		}
+	}
+
+	var schedRep *sched.Report
+	exec := &sched.Executor{
+		Devices:  fleet,
+		Policy:   e.schedPolicy(),
+		Static:   e.Static,
+		Trace:    e.Trace,
+		Metrics:  e.Metrics,
+		Track:    e.Name(),
+		OnReport: func(rep *sched.Report) { schedRep = rep },
+	}
+	p := &pipeline.Pipeline{
+		Executor: exec,
+		Trace:    e.Trace,
+		Metrics:  e.Metrics,
+		Track:    e.Name(),
+	}
+	err := p.Stream(ctx, asm, req, emit)
+
+	// Fold each device's fault delta into that device's own profile —
+	// which carries the shared metrics registry, so MetricFaults stays in
+	// step — then merge everything. The merged profile carries no
+	// registry of its own: every count already streamed in live, and
+	// folding again here would double-count.
+	merged := newProfile(nil)
+	for i, sub := range subEngines {
+		prof := sub.LastProfile()
+		if prof == nil {
+			// The scheduler never opened this device (empty shard, no
+			// steal); it cannot have fired faults either.
 			continue
 		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i], errs[i] = Collect(ctx, subEngines[i], parts[i], req)
-		}(i)
+		prof.addFaults(e.Devices[i].Faults().LogSince(marks[i]))
+		merged.merge(prof)
 	}
-	wg.Wait()
-
-	// A device that quarantined chunks still produced exact hits for every
-	// other chunk (Collect returns them alongside the PartialError), so
-	// partial devices degrade the merged run instead of failing it; any
-	// other error is fatal.
-	var partial *pipeline.PartialError
-	for i := range e.Devices {
-		var pe *pipeline.PartialError
-		if errs[i] != nil && !errors.As(errs[i], &pe) {
-			return fmt.Errorf("search: sycl-multi device %d: %w", i, errs[i])
-		}
-		if pe != nil && partial == nil {
-			partial = pe
-		}
-	}
-	// The merged profile carries no metrics registry of its own: every
-	// sub-profile already streamed its counts into the shared registry, so
-	// folding them again here would double-count.
-	merged := newProfile(nil)
-	var hits []Hit
-	for i := range e.Devices {
-		hits = append(hits, results[i]...)
-		if p := subEngines[i].LastProfile(); p != nil && len(parts[i].Sequences) > 0 {
-			merged.merge(p)
-		}
+	if schedRep != nil {
+		merged.addSched(schedRep)
 	}
 	e.profile = merged
-	sortHits(hits)
-	for _, h := range hits {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if err := emit(h); err != nil {
-			return err
-		}
-	}
-	if partial != nil {
-		return partial
-	}
-	return nil
+	return err
 }

@@ -8,6 +8,7 @@ import (
 	"casoffinder/internal/gpu"
 	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
+	"casoffinder/internal/sched"
 )
 
 // Profile records what a simulator-backed engine did during one Run: the
@@ -53,6 +54,19 @@ type Profile struct {
 	// AsyncExceptions counts errors delivered to the SYCL queue's
 	// asynchronous exception handler.
 	AsyncExceptions int64
+
+	// Scheduler counters, filled by the work-stealing multi-device
+	// executor (internal/sched) when the engine runs a fleet.
+
+	// Steals counts deque steal operations across the fleet.
+	Steals int64
+	// Evictions counts devices quarantined out of the fleet.
+	Evictions int64
+	// DeviceChunks and DeviceSteals break chunk settles and steals down
+	// by device slot name; nil outside scheduler runs.
+	DeviceChunks map[string]int
+	DeviceSteals map[string]int
+
 	// Faults counts injected fault events by site; nil when no injector
 	// was active.
 	Faults map[fault.Site]int64
@@ -145,6 +159,31 @@ func (p *Profile) addResilience(rep *pipeline.Report) {
 	p.metrics.Count(obs.MetricQuarantined, int64(len(rep.Quarantined)))
 }
 
+// addSched folds one scheduler run's report into the profile. Unlike
+// addResilience it does NOT mirror into the metrics registry: the scheduler
+// emits its counters live (steal by steal), so mirroring the folded totals
+// here would double-count them in the -metrics dump.
+func (p *Profile) addSched(rep *sched.Report) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.Retries += rep.Retries
+	p.Failovers += rep.Failovers
+	p.WatchdogKills += rep.WatchdogKills
+	p.QuarantinedChunks += len(rep.Quarantined)
+	p.Steals += rep.Steals
+	p.Evictions += rep.Evictions
+	if len(rep.Devices) > 0 {
+		if p.DeviceChunks == nil {
+			p.DeviceChunks = make(map[string]int)
+			p.DeviceSteals = make(map[string]int)
+		}
+		for _, d := range rep.Devices {
+			p.DeviceChunks[d.Name] += d.Chunks
+			p.DeviceSteals[d.Name] += d.Steals
+		}
+	}
+}
+
 // addAsync counts one delivery to the SYCL async exception handler.
 func (p *Profile) addAsync() {
 	p.mu.Lock()
@@ -181,7 +220,8 @@ func (p *Profile) addFaults(events []fault.Event) {
 func (p *Profile) Degraded() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.Retries > 0 || p.Failovers > 0 || p.WatchdogKills > 0 || p.QuarantinedChunks > 0
+	return p.Retries > 0 || p.Failovers > 0 || p.WatchdogKills > 0 ||
+		p.QuarantinedChunks > 0 || p.Evictions > 0
 }
 
 // merge folds o into p. o must be quiescent (its run finished).
@@ -212,6 +252,20 @@ func (p *Profile) merge(o *Profile) {
 	p.WatchdogKills += o.WatchdogKills
 	p.QuarantinedChunks += o.QuarantinedChunks
 	p.AsyncExceptions += o.AsyncExceptions
+	p.Steals += o.Steals
+	p.Evictions += o.Evictions
+	if o.DeviceChunks != nil {
+		if p.DeviceChunks == nil {
+			p.DeviceChunks = make(map[string]int)
+			p.DeviceSteals = make(map[string]int)
+		}
+		for name, n := range o.DeviceChunks {
+			p.DeviceChunks[name] += n
+		}
+		for name, n := range o.DeviceSteals {
+			p.DeviceSteals[name] += n
+		}
+	}
 	if o.Faults != nil {
 		if p.Faults == nil {
 			p.Faults = make(map[fault.Site]int64)

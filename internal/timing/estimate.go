@@ -1,0 +1,100 @@
+// Per-device chunk-cost estimation for the work-stealing scheduler
+// (internal/sched): how long one staged chunk of the search costs on a
+// given device, composed from the same roofline terms as KernelSeconds over
+// synthetic per-site access statistics. The scheduler divides a fixed chunk
+// count proportionally to 1/Seconds, so only the cross-device ratios
+// matter; the synthetic stats only need the right shape — a coalesced
+// single-pass finder and a scattered per-candidate comparer (the §IV.B
+// hotspot) — not calibrated magnitudes.
+
+package timing
+
+import "casoffinder/internal/gpu"
+
+// DefaultCandidateRate is the assumed fraction of chunk positions that
+// survive the PAM prefilter when the caller has no measured rate.
+const DefaultCandidateRate = 0.05
+
+// estimateDefaultChunkBytes sizes the synthetic chunk when the caller
+// passes no budget; it matches the pipeline's default staging budget.
+const estimateDefaultChunkBytes = 1 << 20
+
+// ChunkEstimate models the cost of one staged chunk on one device.
+type ChunkEstimate struct {
+	// Finder and Comparer carry the launch contexts of the two kernels on
+	// the device (spec, occupancy, register pressure, scatter — built the
+	// same way internal/bench costs measured runs, from internal/isa).
+	Finder   KernelConfig
+	Comparer KernelConfig
+	// PatternLen and Queries describe the search; non-positive values mean
+	// a 23-base pattern and one guide.
+	PatternLen int
+	Queries    int
+	// CandidateRate is the PAM survival fraction; non-positive means
+	// DefaultCandidateRate.
+	CandidateRate float64
+}
+
+// launchGroups is the work-group count of a launch over n items.
+func launchGroups(n int64, cfg KernelConfig) int64 {
+	wg := int64(cfg.WorkGroupSize)
+	if wg <= 0 {
+		wg = 256
+	}
+	return (n + wg - 1) / wg
+}
+
+// Seconds estimates the full cost of one chunkBytes-sized chunk: the finder
+// pass over every position, the comparer over the surviving candidates on
+// both strands per query, plus the per-chunk host and transfer overhead.
+func (e ChunkEstimate) Seconds(chunkBytes int) float64 {
+	if chunkBytes <= 0 {
+		chunkBytes = estimateDefaultChunkBytes
+	}
+	plen := int64(e.PatternLen)
+	if plen <= 0 {
+		plen = 23
+	}
+	q := int64(e.Queries)
+	if q <= 0 {
+		q = 1
+	}
+	rate := e.CandidateRate
+	if rate <= 0 {
+		rate = DefaultCandidateRate
+	}
+
+	// Finder: one work-item per position, a coalesced sequential window
+	// read plus a constant-cache scaffold fetch and a few ALU ops.
+	sites := int64(chunkBytes)
+	finder := gpu.Stats{
+		WorkItems:       sites,
+		WorkGroups:      launchGroups(sites, e.Finder),
+		GlobalLoadOps:   2 * sites,
+		ConstantLoadOps: sites,
+		ALUOps:          10 * sites,
+		Branches:        2 * sites,
+	}
+
+	// Comparer: each surviving candidate window is re-read base by base on
+	// both strands — the scattered dependent loads that make this kernel
+	// the hotspot and the latency term the dominant cross-device ratio.
+	cand := int64(rate * float64(sites))
+	if cand < 1 {
+		cand = 1
+	}
+	loads := 2 * cand * plen
+	comparer := gpu.Stats{
+		WorkItems:     cand * q,
+		WorkGroups:    launchGroups(cand, e.Comparer) * q,
+		GlobalLoadOps: loads * q,
+		LocalLoadOps:  loads * q,
+		ALUOps:        4 * loads * q,
+		Branches:      loads * q,
+	}
+
+	return KernelSeconds(e.Finder, &finder) +
+		KernelSeconds(e.Comparer, &comparer) +
+		hostPerChunkSec +
+		float64(chunkBytes)*(1/hostStageBytesPerSec+1/pcieBytesPerSec)
+}
