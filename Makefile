@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race faultcheck tracecheck schedcheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar bench-obs bench-sched ci
+.PHONY: all build fmt vet test race faultcheck tracecheck schedcheck coldcheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar bench-obs bench-sched bench-artifact ci
 
 all: build
 
@@ -50,6 +50,16 @@ schedcheck:
 	$(GO) test -race -count 1 ./internal/search/ -run 'TestMultiSYCL'
 	$(GO) test -race -count 1 ./cmd/casoffinder/ -run 'TestRunFleet|TestParseFleet'
 
+# Persistent-artifact smoke under the race detector: the codec round-trip
+# and corruption refusals, the duplicate-name/single-file load contracts,
+# the five-engine FASTA-vs-artifact equivalence matrix with the corrupt-
+# shard rejections, and the cold-start acceptance ratio (first hit from a
+# warm artifact must come >= 10x faster than from FASTA parse+pack).
+coldcheck:
+	$(GO) test -race -count 1 ./internal/genome/ -run 'TestArtifact|TestBuildArtifact|TestLoadDir'
+	$(GO) test -race -count 1 ./internal/search/ -run 'TestArtifact|TestBuildArtifact'
+	$(GO) test -count 1 -run 'TestColdStartRatio' .
+
 # Fuzz regression mode: the seed corpora (f.Add entries) replay on every
 # plain `go test`; this target additionally fuzzes each target briefly to
 # grow the corpus and shake out fresh inputs. Not part of `ci` — fuzzing is
@@ -74,12 +84,16 @@ bench-snapshot:
 # Regression gate: rerun the tracked benchmarks and fail when the geomean
 # ns/op ratio against the committed baseline exceeds 1.15x. The second line
 # gates the SWAR benchmarks against their own snapshot (the baseline
-# predates them and benchmarks absent from a snapshot are ignored).
+# predates them and benchmarks absent from a snapshot are ignored). The
+# cold-start pair is load-bound and inherently noisier (disk cache, chunk
+# cancellation timing), so its gate runs at 1.3x — still far under the ~2x
+# jump that losing the mmap load or the PAM-shard path would cost.
 bench-compare:
 	$(GO) run ./cmd/benchsnap -compare BENCH_baseline.json -benchtime 20x
 	$(GO) run ./cmd/benchsnap -compare BENCH_swar.json -bench 'SWARVsScalar|MultiPatternBatch' -pkgs . -benchtime 20x
 	$(GO) run ./cmd/benchsnap -compare BENCH_obs.json -bench 'StreamVsRun|ObsOverhead' -pkgs . -benchtime 20x
 	$(GO) run ./cmd/benchsnap -compare BENCH_sched.json -bench 'WorkStealing' -pkgs . -benchtime 20x
+	$(GO) run ./cmd/benchsnap -compare BENCH_artifact.json -bench 'ColdStart' -pkgs . -benchtime 20x -threshold 1.3
 
 # Record the post-pipeline snapshot (includes BenchmarkStreamVsRun).
 bench-pipeline:
@@ -101,4 +115,10 @@ bench-obs:
 bench-sched:
 	$(GO) run ./cmd/benchsnap -o BENCH_sched.json -bench 'WorkStealing' -pkgs . -benchtime 20x
 
-ci: fmt vet build race faultcheck tracecheck schedcheck bench-compare
+# Record the artifact snapshot (BenchmarkColdStart: FASTA parse+pack vs
+# warm-artifact mmap load, each to first hit). The fasta/artifact ratio is
+# the persistent-artifact headline speedup.
+bench-artifact:
+	$(GO) run ./cmd/benchsnap -o BENCH_artifact.json -bench 'ColdStart' -pkgs . -benchtime 100x
+
+ci: fmt vet build race faultcheck tracecheck schedcheck coldcheck bench-compare

@@ -604,6 +604,38 @@ func BenchmarkWorkStealing(b *testing.B) {
 	}
 }
 
+// BenchmarkColdStart measures time-to-first-hit from cold storage: parse a
+// genome directory versus load the persistent artifact, then stream the
+// packed CPU engine until the first hit lands. The FASTA row pays a full
+// parse plus scan-time packing and prefiltering; the artifact row pays an
+// O(header) checksummed read and consumes the resident word views and the
+// precomputed PAM shards. The artifact row rides the bench-compare gate
+// through BENCH_artifact.json, and make coldcheck asserts the >=10x ratio.
+func BenchmarkColdStart(b *testing.B) {
+	fastaDir, artPath, req := coldStartFixture(b, 1<<22)
+	b.Run("fasta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			loaded, err := genome.LoadDir(fastaDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			coldFirstHit(b, loaded, req)
+		}
+	})
+	b.Run("artifact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			loaded, err := genome.LoadArtifact(artPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			coldFirstHit(b, loaded.Assembly(), req)
+			if err := loaded.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkNilObs pins the disabled fast path at the call level: a span and
 // a counter emission against nil receivers must stay a pointer check —
 // no allocation, no lock, no map touch.

@@ -11,6 +11,7 @@
 //
 //	casoffinder [-engine cpu|opencl|sycl] [-device MI100] [-variant opt3]
 //	            [-devices radeonvii,mi60,mi100] [-packed]
+//	            [-index build|use] [-index-file genome.cart]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	            [-fault-rate 0.05 -fault-seed 42] [-watchdog 5s]
 //	            [-trace trace.json] [-metrics metrics.prom]
@@ -21,6 +22,13 @@
 // applications on the device simulator and print a kernel profile to
 // stderr. -cpuprofile and -memprofile write pprof profiles covering the
 // search.
+//
+// -index persists the genome in its search-ready form: "build" parses the
+// FASTA once, writes a packed artifact (2-bit words, unknown-lane masks, a
+// precomputed PAM-site index for this input's pattern) next to the genome
+// (or at -index-file), and searches from it; "use" loads the artifact with
+// an O(header) zero-copy load, skipping FASTA parsing and packing entirely.
+// Output is byte-identical either way, on every engine.
 //
 // -devices runs the sycl engine across a simulated multi-GPU fleet behind
 // the work-stealing scheduler: a comma-separated list of device names
@@ -131,6 +139,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	maxRetries := fs.Int("max-retries", 0, "chunk retries before CPU failover (0 = default 2, negative = none)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or Perfetto)")
 	metricsPath := fs.String("metrics", "", "write run metrics to this file (Prometheus text; a merged JSON snapshot goes to FILE.json)")
+	indexMode := fs.String("index", "", "genome artifact mode: 'build' packs the genome (with a PAM-site index for this input's pattern) into the artifact file and searches from it; 'use' loads a previously built artifact instead of parsing FASTA")
+	indexFile := fs.String("index-file", "", "genome artifact path for -index (default: the input's genome path + \".cart\")")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -186,7 +196,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return err
 	}
 
-	asm, err := genome.LoadDir(input.GenomeDir)
+	asm, err := loadAssembly(input, *indexMode, *indexFile, stderr)
 	if err != nil {
 		return err
 	}
@@ -295,6 +305,50 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return err
 	}
 	return runErr
+}
+
+// loadAssembly resolves the input's genome through the -index flow: the
+// default parses FASTA per run; "build" parses once, packs the assembly
+// (with a PAM-site shard for the input's scaffold) into the artifact file
+// and searches from the resident artifact; "use" skips FASTA entirely and
+// loads the artifact — an O(header) load that maps the packed payload in
+// place. Either artifact path yields an assembly whose engines consume the
+// resident word views, and whose hit stream is byte-identical to a FASTA
+// run.
+func loadAssembly(input *search.Input, mode, path string, stderr io.Writer) (*genome.Assembly, error) {
+	if path == "" {
+		path = strings.TrimSuffix(input.GenomeDir, string(os.PathSeparator)) + ".cart"
+	}
+	switch mode {
+	case "":
+		return genome.LoadDir(input.GenomeDir)
+	case "build":
+		asm, err := genome.LoadDir(input.GenomeDir)
+		if err != nil {
+			return nil, err
+		}
+		art, err := search.BuildArtifact(asm, input.Request.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		if err := art.WriteFile(path); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "index: wrote %s (%d sequences, %d PAM candidates)\n", path, art.SeqCount(), art.PAMCount())
+		return art.Assembly(), nil
+	case "use":
+		art, err := genome.LoadArtifact(path)
+		if err != nil {
+			return nil, err
+		}
+		if !art.HasPAMIndex(input.Request.Pattern) {
+			fmt.Fprintf(stderr, "index: %s has no PAM index for pattern %s (built for %q); prefilter will run from the resident words\n",
+				path, input.Request.Pattern, art.Pattern())
+		}
+		return art.Assembly(), nil
+	default:
+		return nil, usageError{fmt.Errorf("unknown -index mode %q (want build or use)", mode)}
+	}
 }
 
 // writeTrace dumps the run's spans as Chrome trace-event JSON.

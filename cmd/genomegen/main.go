@@ -6,9 +6,14 @@
 //
 //	genomegen -profile hg38 -bases 10000000 -o genome.fa
 //	genomegen -profile hg19 -bases 1000000 -dir chromosomes/
+//	genomegen -bases 1000000 -artifact genome.cart -artifact-pattern NNNNNNNNNNNNNNNNNNNNNRG
 //
 // With -dir, each chromosome is written to its own .fa file, matching the
-// genome-directory layout the casoffinder command expects.
+// genome-directory layout the casoffinder command expects. With -artifact,
+// the assembly is additionally (or solely) packed into a persistent genome
+// artifact — the search-ready form casoffinder's -index flow loads with a
+// zero-copy O(header) read; -artifact-pattern also precomputes the PAM-site
+// index for that scaffold at build time.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"path/filepath"
 
 	"casoffinder/internal/genome"
+	"casoffinder/internal/search"
 )
 
 func main() {
@@ -33,12 +39,20 @@ func run(args []string) error {
 	bases := fs.Int("bases", 1<<20, "total bases to generate")
 	out := fs.String("o", "", "write one multi-sequence FASTA file")
 	dir := fs.String("dir", "", "write one FASTA file per chromosome into this directory")
+	artifact := fs.String("artifact", "", "write the packed genome artifact (casoffinder -index use loads it) to this file")
+	artifactPattern := fs.String("artifact-pattern", "", "also precompute the artifact's PAM-site index for this scaffold pattern")
 	seed := fs.Int64("seed", 0, "override the profile seed (0 keeps the default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*out == "") == (*dir == "") {
-		return fmt.Errorf("exactly one of -o or -dir is required")
+	if *out != "" && *dir != "" {
+		return fmt.Errorf("-o and -dir are mutually exclusive")
+	}
+	if *out == "" && *dir == "" && *artifact == "" {
+		return fmt.Errorf("at least one of -o, -dir or -artifact is required")
+	}
+	if *artifactPattern != "" && *artifact == "" {
+		return fmt.Errorf("-artifact-pattern needs -artifact")
 	}
 
 	var profile genome.Profile
@@ -60,11 +74,24 @@ func run(args []string) error {
 	}
 
 	comp := genome.Compose(asm)
+	if *artifact != "" {
+		art, err := search.BuildArtifact(asm, *artifactPattern)
+		if err != nil {
+			return err
+		}
+		if err := art.WriteFile(*artifact); err != nil {
+			return err
+		}
+		fmt.Printf("wrote artifact %s (%d sequences, %d PAM candidates)\n", *artifact, art.SeqCount(), art.PAMCount())
+	}
 	if *out != "" {
 		if err := genome.WriteFASTAFile(*out, asm.Sequences, 0); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s to %s\n", comp, *out)
+		return nil
+	}
+	if *dir == "" {
 		return nil
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {

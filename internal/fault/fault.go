@@ -62,6 +62,10 @@ const (
 	// multi-device scheduler synthesises when it quarantines chunks
 	// stranded by a fully evicted fleet.
 	SiteEviction Site = "sched.evict"
+	// SiteArtifact is not injected either: it labels corruption the search
+	// layer detects in a persistent genome artifact's precomputed PAM
+	// shards (entries outside the chunk geometry, impossible strand bits).
+	SiteArtifact Site = "genome.artifact"
 )
 
 // Sites lists the injectable sites, for flag validation and fault-matrix

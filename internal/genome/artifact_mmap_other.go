@@ -1,0 +1,13 @@
+//go:build !unix
+
+package genome
+
+import "os"
+
+// mapFile on platforms without a memory-mapping path reads the whole file;
+// the load is then O(file) instead of O(header), but the parsed artifact
+// behaves identically.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	return data, nil, err
+}

@@ -1,0 +1,36 @@
+//go:build unix
+
+package genome
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile returns the file's bytes, preferring a read-only private mapping so
+// LoadArtifact touches only the header pages; the payload faults in lazily as
+// the engines walk it. The second return is the unmap hook (nil when the
+// bytes came from a plain read). Empty files and mmap failures fall back to
+// os.ReadFile so every path produces the same error shapes downstream.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || int64(int(size)) != size || !fi.Mode().IsRegular() {
+		data, err := os.ReadFile(path)
+		return data, nil, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		data, err := os.ReadFile(path)
+		return data, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

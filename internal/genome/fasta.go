@@ -30,7 +30,17 @@ func (s *Sequence) Len() int { return len(s.Data) }
 type Assembly struct {
 	Name      string
 	Sequences []*Sequence
+
+	// art links back to the persistent artifact this assembly was
+	// reconstructed from (nil for FASTA-loaded assemblies). Engines use it
+	// to discover resident word views and PAM shards without any change to
+	// their public surface.
+	art *Artifact
 }
+
+// Artifact returns the persistent artifact backing this assembly, or nil
+// when the assembly was parsed from FASTA.
+func (a *Assembly) Artifact() *Artifact { return a.art }
 
 // TotalLen returns the summed length of all sequences.
 func (a *Assembly) TotalLen() int64 {
@@ -145,11 +155,23 @@ func LoadDir(dir string) (*Assembly, error) {
 	}
 	asm := &Assembly{Name: filepath.Base(dir)}
 	if !info.IsDir() {
+		// Normalize single-file assembly names to the bare stem so the
+		// name matches what a directory load of the same content would
+		// produce (and artifact headers stay stable across both paths).
+		for _, ext := range fastaExtensions {
+			if strings.EqualFold(filepath.Ext(asm.Name), ext) {
+				asm.Name = strings.TrimSuffix(asm.Name, filepath.Ext(asm.Name))
+				break
+			}
+		}
 		seqs, err := ReadFASTAFile(dir)
 		if err != nil {
 			return nil, err
 		}
 		asm.Sequences = seqs
+		if err := checkUniqueNames(asm.Sequences); err != nil {
+			return nil, err
+		}
 		return asm, nil
 	}
 	entries, err := os.ReadDir(dir)
@@ -179,6 +201,9 @@ func LoadDir(dir string) (*Assembly, error) {
 			return nil, err
 		}
 		asm.Sequences = append(asm.Sequences, seqs...)
+	}
+	if err := checkUniqueNames(asm.Sequences); err != nil {
+		return nil, err
 	}
 	return asm, nil
 }

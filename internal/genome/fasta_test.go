@@ -156,6 +156,53 @@ func TestLoadDirSingleFile(t *testing.T) {
 	}
 }
 
+func TestLoadDirSingleFileNameNormalized(t *testing.T) {
+	dir := t.TempDir()
+	for _, ext := range []string{".fa", ".fasta", ".fna", ".FA"} {
+		path := filepath.Join(dir, "chr1"+ext)
+		if err := os.WriteFile(path, []byte(">only\nACGT\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		asm, err := LoadDir(path)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", path, err)
+		}
+		// Single-file loads must match what a directory load would name the
+		// assembly: the bare stem, so artifact headers are stable across
+		// both load paths.
+		if asm.Name != "chr1" {
+			t.Errorf("LoadDir(chr1%s).Name = %q, want chr1", ext, asm.Name)
+		}
+	}
+}
+
+func TestLoadDirDuplicateNames(t *testing.T) {
+	// Across files: two chromosomes claiming one name used to load
+	// silently, with Assembly.Sequence and every name-keyed consumer
+	// resolving to whichever came first.
+	dir := t.TempDir()
+	for _, f := range []string{"a.fa", "b.fa"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte(">chrDup\nACGT\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var dup *DuplicateNameError
+	if _, err := LoadDir(dir); !errors.As(err, &dup) {
+		t.Fatalf("LoadDir(dup across files) = %v, want DuplicateNameError", err)
+	} else if dup.Name != "chrDup" {
+		t.Errorf("DuplicateNameError.Name = %q, want chrDup", dup.Name)
+	}
+
+	// Within one file too.
+	path := filepath.Join(t.TempDir(), "genome.fa")
+	if err := os.WriteFile(path, []byte(">x\nAC\n>x\nGT\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(path); !errors.As(err, &dup) {
+		t.Fatalf("LoadDir(dup in file) = %v, want DuplicateNameError", err)
+	}
+}
+
 func TestLoadDirErrors(t *testing.T) {
 	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Error("LoadDir(missing) = nil error")

@@ -40,6 +40,13 @@ type Plan struct {
 	Guides []*kernels.PatternPair
 	// Chunker stages the assembly within the request's chunk budget.
 	Chunker *genome.Chunker
+	// Artifact is the persistent genome artifact backing the assembly, or
+	// nil for FASTA-loaded assemblies. Stream fills it from
+	// Assembly.Artifact after compilation; backends that can consume the
+	// resident word views and PAM shards (the CPU SWAR scan, and through it
+	// every resilience fallback) read it here, so artifact awareness needs
+	// no Backend interface change.
+	Artifact *genome.Artifact
 }
 
 // Compile validates the request and compiles its pattern tables.
@@ -204,6 +211,7 @@ func (p *Pipeline) Stream(ctx context.Context, asm *genome.Assembly, req *Reques
 	if err != nil {
 		return err
 	}
+	plan.Artifact = asm.Artifact()
 	if p.Executor != nil {
 		return p.Executor.Execute(ctx, plan, asm, emit)
 	}

@@ -81,6 +81,10 @@ type cpuBackend struct {
 	plan   *pipeline.Plan
 	packed bool
 	scalar bool
+	// shards is set when the plan's artifact carries PAM shards built for
+	// this request's scaffold: Find then skips the prefilter scan entirely
+	// and slices the chunk's candidates out of the precomputed index.
+	shards bool
 	// Scalar packed-path pattern tables, compiled once per run.
 	packedPattern *maskedPattern
 	packedGuides  []*maskedPattern
@@ -98,6 +102,9 @@ type cpuBackend struct {
 // into one pass over each chunk's cached window words.
 func newCPUBackend(plan *pipeline.Plan, c *CPU) pipeline.Backend {
 	b := &cpuBackend{plan: plan, packed: c.Packed, scalar: c.Scalar}
+	if plan.Artifact != nil {
+		b.shards = plan.Artifact.HasPAMIndex(plan.Request.Pattern)
+	}
 	b.scratch.New = func() any { return new(scanScratch) }
 	switch {
 	case c.Packed && c.Scalar:
@@ -126,6 +133,25 @@ type cpuStaged struct {
 	sc     *scanScratch
 	packed *genome.Packed
 	view   *genome.WordView
+	// base maps chunk-local positions into view's coordinates: ch.Start
+	// when view is an artifact's resident whole-sequence view, 0 when it
+	// was repacked from the chunk bytes.
+	base int
+}
+
+// artifactView returns the resident whole-sequence word view covering ch
+// when the plan's artifact has one, or nil to fall back to repacking. The
+// guard re-derives the match (sequence identity and bounds) from the chunk
+// itself, so a chunk from any other assembly simply takes the repack path.
+func (b *cpuBackend) artifactView(ch *genome.Chunk) *genome.WordView {
+	art := b.plan.Artifact
+	if art == nil || ch.SeqIndex < 0 || ch.SeqIndex >= art.SeqCount() {
+		return nil
+	}
+	if art.SeqName(ch.SeqIndex) != ch.SeqName || ch.Start+len(ch.Data) > art.SeqLen(ch.SeqIndex) {
+		return nil
+	}
+	return art.View(ch.SeqIndex)
 }
 
 // Stage implements pipeline.Backend. The CPU scans chunks in place, so
@@ -140,19 +166,37 @@ func (b *cpuBackend) Stage(ctx context.Context, ch *genome.Chunk) (pipeline.Stag
 func (b *cpuBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) {
 	s := st.(*cpuStaged)
 	s.sc = b.scratch.Get().(*scanScratch)
-	if b.packed {
+	switch {
+	case b.packed && !b.scalar:
+		// The SWAR path prefers the artifact's resident whole-sequence
+		// view: no per-chunk Repack/WordView rebuild, and with matching
+		// PAM shards no prefilter scan at all.
+		if av := b.artifactView(s.ch); av != nil {
+			s.view, s.base = av, s.ch.Start
+			if b.shards {
+				shard := b.plan.Artifact.PAMRange(s.ch.SeqIndex, s.ch.Start, s.ch.Start+s.ch.Body)
+				if err := s.sc.candidatesFromShard(s.ch, shard); err != nil {
+					return 0, err
+				}
+				break
+			}
+			s.sc.findSWARCandidates(s.ch, s.view, b.bitPattern, s.base)
+			break
+		}
 		if err := s.sc.packed.Repack(s.ch.Data); err != nil {
 			return 0, fmt.Errorf("search: packing chunk at %s:%d: %w", s.ch.SeqName, s.ch.Start, err)
 		}
 		s.packed = &s.sc.packed
-		if b.scalar {
-			s.sc.findPackedCandidates(s.ch, s.packed, b.packedPattern)
-		} else {
-			s.sc.view = s.packed.WordView(s.sc.view)
-			s.view = s.sc.view
-			s.sc.findSWARCandidates(s.ch, s.view, b.bitPattern)
+		s.sc.view = s.packed.WordView(s.sc.view)
+		s.view, s.base = s.sc.view, 0
+		s.sc.findSWARCandidates(s.ch, s.view, b.bitPattern, 0)
+	case b.packed:
+		if err := s.sc.packed.Repack(s.ch.Data); err != nil {
+			return 0, fmt.Errorf("search: packing chunk at %s:%d: %w", s.ch.SeqName, s.ch.Start, err)
 		}
-	} else {
+		s.packed = &s.sc.packed
+		s.sc.findPackedCandidates(s.ch, s.packed, b.packedPattern)
+	default:
 		s.sc.findCandidates(s.ch, b.plan.Pattern)
 	}
 	return len(s.sc.cand), nil
@@ -165,7 +209,7 @@ func (b *cpuBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) er
 	limit := b.plan.Request.Queries[qi].MaxMismatches
 	switch {
 	case b.packed && !b.scalar:
-		s.sc.compareSWAR(s.view, b.bitGuides[qi], qi, limit)
+		s.sc.compareSWAR(s.view, b.bitGuides[qi], qi, limit, s.base)
 	case b.packed:
 		s.sc.comparePacked(s.packed, b.packedGuides[qi], qi, limit)
 	default:
@@ -199,7 +243,7 @@ func (b *batchedCPUBackend) CompareAll(ctx context.Context, st pipeline.Staged) 
 	queries := b.plan.Request.Queries
 	for _, cd := range sc.cand {
 		for w := 0; w < words; w++ {
-			text[w], unk[w] = s.view.Window(cd.pos + 32*w)
+			text[w], unk[w] = s.view.Window(s.base + cd.pos + 32*w)
 		}
 		for qi, g := range b.bitGuides {
 			limit := queries[qi].MaxMismatches

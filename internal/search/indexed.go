@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/genome"
 	"casoffinder/internal/kernels"
 	"casoffinder/internal/obs"
@@ -263,11 +264,23 @@ func (e *Indexed) run(ctx context.Context, asm *genome.Assembly, req *Request) (
 			return nil, fmt.Errorf("search: query %d: %w", i, err)
 		}
 	}
-	indexes, fallback := e.buildIndexes(guides, req.Queries)
+	// An artifact with PAM shards for this scaffold replaces seeding
+	// entirely: candidates come precomputed per sequence, every query is
+	// verified directly at them (no per-query seedability constraint, so
+	// the fallback scan disappears too), and the genome.Upper copy plus
+	// the rolling k-mer pass are skipped.
+	art := asm.Artifact()
+	useShards := art != nil && art.HasPAMIndex(req.Pattern)
+	var indexes map[int]*seedIndex
+	var fallback []int
+	if !useShards {
+		indexes, fallback = e.buildIndexes(guides, req.Queries)
+	}
 	if observed {
 		e.Trace.Complete(track, "index", -1, t0, time.Since(t0),
 			obs.Attr{Key: "seed_lengths", Value: strconv.Itoa(len(indexes))},
-			obs.Attr{Key: "fallback_queries", Value: strconv.Itoa(len(fallback))})
+			obs.Attr{Key: "fallback_queries", Value: strconv.Itoa(len(fallback))},
+			obs.Attr{Key: "pam_shards", Value: strconv.FormatBool(useShards)})
 	}
 
 	workers := e.Workers
@@ -282,7 +295,11 @@ func (e *Indexed) run(ctx context.Context, asm *genome.Assembly, req *Request) (
 	}
 
 	perSeq := make([][]Hit, len(asm.Sequences))
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		scanOnce sync.Once
+		scanErr  error
+	)
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -290,13 +307,24 @@ func (e *Indexed) run(ctx context.Context, asm *genome.Assembly, req *Request) (
 			defer wg.Done()
 			workerTrack := track + "/worker" + strconv.Itoa(w)
 			r := &pipeline.SiteRenderer{}
+			scan := func(si int) []Hit {
+				if useShards {
+					hits, err := e.scanSequenceShards(art, si, asm.Sequences[si], pattern, guides, req.Queries, r)
+					if err != nil {
+						scanOnce.Do(func() { scanErr = err })
+						return nil
+					}
+					return hits
+				}
+				return e.scanSequence(asm.Sequences[si], pattern, guides, req.Queries, indexes, r)
+			}
 			for si := range work {
 				if ctx.Err() != nil {
 					continue
 				}
 				if observed {
 					st := time.Now()
-					perSeq[si] = e.scanSequence(asm.Sequences[si], pattern, guides, req.Queries, indexes, r)
+					perSeq[si] = scan(si)
 					d := time.Since(st)
 					e.Trace.Complete(workerTrack, "scan", si, st, d,
 						obs.Attr{Key: "sequence", Value: asm.Sequences[si].Name},
@@ -304,7 +332,7 @@ func (e *Indexed) run(ctx context.Context, asm *genome.Assembly, req *Request) (
 					e.Metrics.Observe(obs.MetricScanSeconds, d.Seconds())
 					continue
 				}
-				perSeq[si] = e.scanSequence(asm.Sequences[si], pattern, guides, req.Queries, indexes, r)
+				perSeq[si] = scan(si)
 			}
 		}(w)
 	}
@@ -320,6 +348,9 @@ dispatch:
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
 	}
 
 	var hits []Hit
@@ -349,6 +380,55 @@ dispatch:
 		}
 	}
 	sortHits(hits)
+	return hits, nil
+}
+
+// scanSequenceShards verifies every query directly at the sequence's
+// precomputed PAM candidates — the artifact-backed replacement for the
+// seed-and-extend scan. The shard already encodes the scaffold match (and
+// its strands), so no windowMatches re-check runs; entries that violate the
+// sequence geometry can only come from artifact damage and reject the run
+// with a corruption-classed error.
+func (e *Indexed) scanSequenceShards(art *genome.Artifact, si int, seq *genome.Sequence, pattern *kernels.PatternPair, guides []*kernels.PatternPair, queries []Query, r *pipeline.SiteRenderer) ([]Hit, error) {
+	plen := pattern.PatternLen
+	data := seq.Data
+	var hits []Hit
+	for _, entry := range art.PAMRange(si, 0, len(data)) {
+		pos := int(entry >> 2)
+		strand := entry & 3
+		if pos < 0 || pos+plen > len(data) || strand == 0 {
+			return nil, fault.Errorf(fault.SiteArtifact, fault.Corruption,
+				"search: sequence %s: PAM shard entry %#x outside the %d-base sequence", seq.Name, entry, len(data))
+		}
+		window := data[pos : pos+plen]
+		for qi, g := range guides {
+			limit := queries[qi].MaxMismatches
+			if strand&genome.PAMFwd != 0 {
+				if mm, ok := countMismatches(window, g, 0, limit); ok {
+					hits = append(hits, Hit{
+						QueryIndex: qi,
+						SeqName:    seq.Name,
+						Pos:        pos,
+						Dir:        kernels.DirForward,
+						Mismatches: mm,
+						Site:       r.Render(window, g, kernels.DirForward),
+					})
+				}
+			}
+			if strand&genome.PAMRev != 0 {
+				if mm, ok := countMismatches(window, g, plen, limit); ok {
+					hits = append(hits, Hit{
+						QueryIndex: qi,
+						SeqName:    seq.Name,
+						Pos:        pos,
+						Dir:        kernels.DirReverse,
+						Mismatches: mm,
+						Site:       r.Render(window, g, kernels.DirReverse),
+					})
+				}
+			}
+		}
+	}
 	return hits, nil
 }
 

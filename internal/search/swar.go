@@ -3,6 +3,7 @@ package search
 import (
 	"math/bits"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/genome"
 	"casoffinder/internal/kernels"
 )
@@ -218,13 +219,17 @@ func (b *BitPattern) ScalarMismatches(p *genome.Packed, pos, offset, limit int) 
 // findSWARCandidates is the word-parallel PAM prefilter: 32 candidate
 // positions per iteration, both strands, with the tail past the chunk body
 // clamped off. Candidate order matches the scalar finders (ascending
-// position), so downstream phases cannot tell which finder ran.
-func (sc *scanScratch) findSWARCandidates(ch *genome.Chunk, v *genome.WordView, b *BitPattern) {
+// position), so downstream phases cannot tell which finder ran. base maps
+// chunk-local positions into v's coordinates: 0 when v is the chunk's own
+// word view, ch.Start when v is a whole-sequence view resident in a genome
+// artifact (the chunk aliases sequence bytes, so the windows are the same
+// bases either way); candidate positions stay chunk-local.
+func (sc *scanScratch) findSWARCandidates(ch *genome.Chunk, v *genome.WordView, b *BitPattern, base int) {
 	plen := b.pair.PatternLen
 	cand := sc.cand[:0]
 	for pos0 := 0; pos0 < ch.Body; pos0 += 32 {
-		fw := b.MatchLanes(v, pos0, 0)
-		rv := b.MatchLanes(v, pos0, plen)
+		fw := b.MatchLanes(v, base+pos0, 0)
+		rv := b.MatchLanes(v, base+pos0, plen)
 		union := fw | rv
 		if union == 0 {
 			continue
@@ -249,19 +254,43 @@ func (sc *scanScratch) findSWARCandidates(ch *genome.Chunk, v *genome.WordView, 
 
 // compareSWAR tests one guide's compiled pattern at every surviving
 // candidate — the word-parallel counterpart of comparePacked, used when the
-// batched multi-pattern path is disabled.
-func (sc *scanScratch) compareSWAR(v *genome.WordView, g *BitPattern, qi, limit int) {
+// batched multi-pattern path is disabled. base shifts chunk-local candidate
+// positions into v's coordinates (see findSWARCandidates).
+func (sc *scanScratch) compareSWAR(v *genome.WordView, g *BitPattern, qi, limit, base int) {
 	plen := g.pair.PatternLen
 	for _, cd := range sc.cand {
 		if cd.strand&strandFwd != 0 {
-			if mm, ok := g.Mismatches(v, cd.pos, 0, limit); ok {
+			if mm, ok := g.Mismatches(v, base+cd.pos, 0, limit); ok {
 				sc.entries = append(sc.entries, rawHit{qi: qi, pos: cd.pos, dir: kernels.DirForward, mm: mm})
 			}
 		}
 		if cd.strand&strandRev != 0 {
-			if mm, ok := g.Mismatches(v, cd.pos, plen, limit); ok {
+			if mm, ok := g.Mismatches(v, base+cd.pos, plen, limit); ok {
 				sc.entries = append(sc.entries, rawHit{qi: qi, pos: cd.pos, dir: kernels.DirReverse, mm: mm})
 			}
 		}
 	}
+}
+
+// candidatesFromShard loads the chunk's candidates from a genome artifact's
+// precomputed PAM shard instead of scanning: entries carry absolute
+// positions, which become chunk-local here. The shard was built by the same
+// MatchLanes prefilter over the whole sequence, and chunk bodies tile the
+// sequence's candidate range exactly, so the resulting candidate set (and
+// its ascending order) is identical to a fresh scan. Entries that violate
+// the chunk geometry can only come from artifact damage and reject the
+// chunk with a corruption-classed error, mirroring drainEntries.
+func (sc *scanScratch) candidatesFromShard(ch *genome.Chunk, shard []uint64) error {
+	cand := sc.cand[:0]
+	for _, e := range shard {
+		pos := int(e>>2) - ch.Start
+		strand := uint8(e & 3)
+		if pos < 0 || pos >= ch.Body || strand == 0 {
+			return fault.Errorf(fault.SiteArtifact, fault.Corruption,
+				"search: chunk %s:%d: PAM shard entry %#x outside the %d-position chunk body", ch.SeqName, ch.Start, e, ch.Body)
+		}
+		cand = append(cand, candidate{pos: pos, strand: strand})
+	}
+	sc.cand = cand
+	return nil
 }

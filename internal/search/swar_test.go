@@ -87,7 +87,7 @@ func TestSWARFinderMatchesScalar(t *testing.T) {
 		}
 		var a, b scanScratch
 		a.findPackedCandidates(ch, packed, mp)
-		b.findSWARCandidates(ch, packed.WordView(nil), bp)
+		b.findSWARCandidates(ch, packed.WordView(nil), bp, 0)
 		if len(a.cand) != len(b.cand) {
 			t.Fatalf("n=%d: scalar found %d candidates, SWAR %d", n, len(a.cand), len(b.cand))
 		}
