@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race faultcheck tracecheck schedcheck coldcheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar bench-obs bench-sched bench-artifact ci
+.PHONY: all build fmt vet test race faultcheck tracecheck schedcheck coldcheck tunecheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar bench-obs bench-sched bench-artifact bench-tune ci
 
 all: build
 
@@ -60,6 +60,17 @@ coldcheck:
 	$(GO) test -race -count 1 ./internal/search/ -run 'TestArtifact|TestBuildArtifact'
 	$(GO) test -count 1 -run 'TestColdStartRatio' .
 
+# Autotuner smoke: the tune package's determinism/Table X/calibration
+# contracts, the engine wiring under the race detector (tuned runs stay
+# byte-identical to fixed-variant runs, including with calibration), the
+# -variant auto / -autotune CLI paths, and the root within-5%-of-best-fixed
+# acceptance gate.
+tunecheck:
+	$(GO) test -count 1 ./internal/tune/
+	$(GO) test -race -count 1 ./internal/search/ -run 'TestAuto|TestForcedVariant|TestMultiAuto'
+	$(GO) test -race -count 1 ./cmd/casoffinder/ -run 'TestRunAuto|TestRunAutotune|TestParseVariant'
+	$(GO) test -count 1 -run 'TestAutotuneWithinBestFixed' .
+
 # Fuzz regression mode: the seed corpora (f.Add entries) replay on every
 # plain `go test`; this target additionally fuzzes each target briefly to
 # grow the corpus and shake out fresh inputs. Not part of `ci` — fuzzing is
@@ -94,6 +105,7 @@ bench-compare:
 	$(GO) run ./cmd/benchsnap -compare BENCH_obs.json -bench 'StreamVsRun|ObsOverhead' -pkgs . -benchtime 20x
 	$(GO) run ./cmd/benchsnap -compare BENCH_sched.json -bench 'WorkStealing' -pkgs . -benchtime 20x
 	$(GO) run ./cmd/benchsnap -compare BENCH_artifact.json -bench 'ColdStart' -pkgs . -benchtime 20x -threshold 1.3
+	$(GO) run ./cmd/benchsnap -compare BENCH_tune.json -bench 'Autotune' -pkgs . -benchtime 20x -threshold 1.3
 
 # Record the post-pipeline snapshot (includes BenchmarkStreamVsRun).
 bench-pipeline:
@@ -121,4 +133,12 @@ bench-sched:
 bench-artifact:
 	$(GO) run ./cmd/benchsnap -o BENCH_artifact.json -bench 'ColdStart' -pkgs . -benchtime 100x
 
-ci: fmt vet build race faultcheck tracecheck schedcheck coldcheck bench-compare
+# Record the autotuner snapshot (BenchmarkAutotune: tuned vs best/worst
+# fixed (variant, work-group size) per device; the model's ms/chunk
+# prediction rides along as a custom metric). Gated at 1.3x like the
+# cold-start pair — the simulator rows are wall-time noisy; the tuned row
+# regressing past that against best-fixed means the Select path got slow.
+bench-tune:
+	$(GO) run ./cmd/benchsnap -o BENCH_tune.json -bench 'Autotune' -pkgs . -benchtime 50x
+
+ci: fmt vet build race faultcheck tracecheck schedcheck coldcheck tunecheck bench-compare

@@ -14,6 +14,7 @@ package casoffinder_bench
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
 	"casoffinder/internal/search"
+	"casoffinder/internal/tune"
 )
 
 // benchScale keeps each measurement fast; all reproduced quantities are
@@ -650,5 +652,77 @@ func BenchmarkNilObs(b *testing.B) {
 		m.Count(obs.MetricChunks, 1)
 		m.Observe(obs.MetricStageSeconds, 0.001)
 		m.GaugeAdd(obs.MetricQueueOccupancy, 1)
+	}
+}
+
+// BenchmarkAutotune runs the SYCL engine at the tuner's per-device selection
+// against the best and worst fixed (variant, work-group size) pairs the cost
+// model can name (via tune.Predict): the tuned row must track the best-fixed
+// row — it launches the same kernel plus one memoized Select — and the
+// worst-fixed row documents what a bad hand pick costs. The model's own
+// ms/chunk prediction rides along as a custom metric so the snapshot keeps
+// the tuned-vs-fixed ablation numbers.
+func BenchmarkAutotune(b *testing.B) {
+	asm := benchAssembly(b, 1<<17)
+	req := benchRequest()
+	req.ChunkBytes = 1 << 15
+	run := func(b *testing.B, eng *search.SimSYCL) {
+		b.SetBytes(asm.TotalLen())
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Run(asm, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, spec := range device.All() {
+		cfg := tune.Config{Spec: spec, PatternLen: len(req.Pattern), Queries: len(req.Queries), ChunkBytes: req.ChunkBytes}
+		d, err := tune.Select(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := d.Candidates[len(d.Candidates)-1]
+		b.Run(spec.Name+"/tuned", func(b *testing.B) {
+			b.ReportMetric(d.Predicted*1e3, "pred-ms/chunk")
+			run(b, &search.SimSYCL{Device: gpu.New(spec, gpu.WithWorkers(2)), Auto: true})
+		})
+		b.Run(spec.Name+"/best-fixed", func(b *testing.B) {
+			b.ReportMetric(tune.Predict(cfg, d.Variant, d.WGSize)*1e3, "pred-ms/chunk")
+			run(b, &search.SimSYCL{Device: gpu.New(spec, gpu.WithWorkers(2)), Variant: d.Variant, WorkGroupSize: d.WGSize})
+		})
+		b.Run(spec.Name+"/worst-fixed", func(b *testing.B) {
+			b.ReportMetric(worst.Predicted*1e3, "pred-ms/chunk")
+			run(b, &search.SimSYCL{Device: gpu.New(spec, gpu.WithWorkers(2)), Variant: worst.Variant, WorkGroupSize: worst.WGSize})
+		})
+	}
+}
+
+// TestAutotuneWithinBestFixed is the autotuner's acceptance gate at the
+// repository root: on every Table VII device the selected (variant,
+// work-group size) must score within 5% of the best fixed pair under the
+// same model — exact for the model pass by construction (argmin), and the
+// calibrated counterpart is gated in internal/tune.
+func TestAutotuneWithinBestFixed(t *testing.T) {
+	req := benchRequest()
+	for _, spec := range device.All() {
+		cfg := tune.Config{Spec: spec, PatternLen: len(req.Pattern), Queries: len(req.Queries)}
+		d, err := tune.Select(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		var bestV kernels.ComparerVariant
+		var bestWG int
+		for _, v := range kernels.AllVariants() {
+			for _, wg := range tune.DefaultWGSizes() {
+				if p := tune.Predict(cfg, v, wg); p > 0 && p < best {
+					best, bestV, bestWG = p, v, wg
+				}
+			}
+		}
+		got := tune.Predict(cfg, d.Variant, d.WGSize)
+		if got > best*1.05 {
+			t.Errorf("%s: tuned (%s, %d) predicts %.6gs, best fixed (%s, %d) %.6gs — beyond the 5%% gate",
+				spec.Name, d.Variant, d.WGSize, got, bestV, bestWG, best)
+		}
 	}
 }

@@ -9,7 +9,8 @@
 //
 // Usage:
 //
-//	casoffinder [-engine cpu|opencl|sycl] [-device MI100] [-variant opt3]
+//	casoffinder [-engine cpu|opencl|sycl] [-device MI100] [-variant auto]
+//	            [-autotune model|calibrate]
 //	            [-devices radeonvii,mi60,mi100] [-packed]
 //	            [-index build|use] [-index-file genome.cart]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -29,6 +30,18 @@
 // (or at -index-file), and searches from it; "use" loads the artifact with
 // an O(header) zero-copy load, skipping FASTA parsing and packing entirely.
 // Output is byte-identical either way, on every engine.
+//
+// -variant defaults to "auto": the occupancy autotuner (internal/tune)
+// compiles every comparer variant for the target device, scores each
+// (variant, work-group size) pair with the per-chunk cost model at the
+// occupancy the variant achieves, and launches the argmin — per device, so a
+// heterogeneous -devices fleet can run a different kernel on each member. A
+// named -variant (base, opt1..opt4, bitparallel) forces that kernel and
+// bypasses the tuner. -autotune calibrate additionally re-ranks the tuner's
+// finalists on real measured launches over a small synthetic chunk (on a
+// private simulated device, so fault schedules and metrics are untouched).
+// The selected kernel per device is reported on stderr with the profile;
+// output is byte-identical across all variants and both autotune modes.
 //
 // -devices runs the sycl engine across a simulated multi-GPU fleet behind
 // the work-stealing scheduler: a comma-separated list of device names
@@ -125,7 +138,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	engineName := fs.String("engine", "cpu", "search engine: cpu, indexed, opencl or sycl")
 	deviceName := fs.String("device", "MI100", "simulated device for the opencl/sycl engines")
 	devicesFlag := fs.String("devices", "", "comma-separated device fleet for the sycl engine (radeonvii, mi60, mi100; repeats allowed) — runs the work-stealing multi-device scheduler")
-	variantName := fs.String("variant", "opt3", "comparer kernel variant: base, opt1..opt4 or bitparallel")
+	variantName := fs.String("variant", "auto", "comparer kernel variant: auto (per-device occupancy autotuner), base, opt1..opt4 or bitparallel")
+	autotuneMode := fs.String("autotune", "model", "autotuner mode for -variant auto: model (analytic scoring only) or calibrate (re-rank finalists on measured launches)")
 	outPath := fs.String("o", "", "output file (default stdout)")
 	workers := fs.Int("workers", 0, "cpu engine workers (0 = all cores)")
 	packed := fs.Bool("packed", false, "cpu engine: scan the 2-bit packed genome with the bit-parallel SWAR core")
@@ -201,9 +215,20 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return err
 	}
 
-	variant, err := parseVariant(*variantName)
+	variant, auto, err := parseVariant(*variantName)
 	if err != nil {
 		return usageError{err}
+	}
+	var calibrate bool
+	switch *autotuneMode {
+	case "model":
+	case "calibrate":
+		calibrate = true
+	default:
+		return usageError{fmt.Errorf("unknown -autotune mode %q (want model or calibrate)", *autotuneMode)}
+	}
+	if calibrate && !auto {
+		return usageError{fmt.Errorf("-autotune calibrate tunes the kernel selection, which -variant %s forces; use -variant auto", *variantName)}
 	}
 	var tracer *obs.Tracer
 	if *tracePath != "" {
@@ -219,7 +244,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return err
 	}
 
-	eng, profiler, err := buildEngine(*engineName, *deviceName, fleet, variant, *workers, *packed, faultPlan, res, tracer, metrics)
+	eng, profiler, err := buildEngine(*engineName, *deviceName, fleet, variant, auto, calibrate, *workers, *packed, faultPlan, res, tracer, metrics)
 	if err != nil {
 		return err
 	}
@@ -277,6 +302,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			for name, s := range p.Kernels {
 				fmt.Fprintf(stderr, "  kernel %-14s launches=%-4d %s\n", name, p.Launches[name], s.String())
 			}
+			printAutotune(stderr, p)
 			printDegradation(stderr, p)
 		}
 	}
@@ -462,16 +488,42 @@ func parseFleet(list string) ([]device.Spec, error) {
 	return fleet, nil
 }
 
-func parseVariant(name string) (kernels.ComparerVariant, error) {
-	for _, v := range kernels.AllVariants() {
-		if v.String() == name {
-			return v, nil
-		}
+// printAutotune reports the tuner's kernel selection per engine track,
+// sorted for a deterministic summary. Silent when no tuner ran.
+func printAutotune(stderr io.Writer, p *search.Profile) {
+	if len(p.TunedVariant) == 0 {
+		return
 	}
-	return 0, fmt.Errorf("unknown comparer variant %q", name)
+	mode := "model"
+	if p.TuneCalibrations > 0 {
+		mode = "calibrated"
+	}
+	tracks := make([]string, 0, len(p.TunedVariant))
+	for track := range p.TunedVariant {
+		tracks = append(tracks, track)
+	}
+	sort.Strings(tracks)
+	for _, track := range tracks {
+		fmt.Fprintf(stderr, "autotune: %-14s variant=%s wg=%d (%s, %d candidates scored)\n",
+			track, p.TunedVariant[track], p.TunedWGSize[track], mode, p.TuneCandidates/p.TuneDecisions)
+	}
 }
 
-func buildEngine(engine, deviceName string, fleet []device.Spec, variant kernels.ComparerVariant, workers int, packed bool,
+// parseVariant resolves the -variant flag: "auto" selects the occupancy
+// autotuner, a variant name forces that kernel.
+func parseVariant(name string) (kernels.ComparerVariant, bool, error) {
+	if name == "auto" {
+		return 0, true, nil
+	}
+	for _, v := range kernels.AllVariants() {
+		if v.String() == name {
+			return v, false, nil
+		}
+	}
+	return 0, false, fmt.Errorf("unknown comparer variant %q (want auto, base, opt1..opt4 or bitparallel)", name)
+}
+
+func buildEngine(engine, deviceName string, fleet []device.Spec, variant kernels.ComparerVariant, auto, calibrate bool, workers int, packed bool,
 	faultPlan fault.Plan, res *pipeline.Resilience, tracer *obs.Tracer, metrics *obs.Metrics) (search.Engine, search.Profiler, error) {
 	if len(fleet) > 0 && engine != "sycl" {
 		return nil, nil, usageError{fmt.Errorf("-devices runs the multi-device scheduler, which needs -engine sycl, not %q", engine)}
@@ -503,7 +555,7 @@ func buildEngine(engine, deviceName string, fleet []device.Spec, variant kernels
 					}
 				}
 			}
-			e := &search.MultiSYCL{Devices: devs, Variant: variant, Resilience: res, Trace: tracer, Metrics: metrics}
+			e := &search.MultiSYCL{Devices: devs, Variant: variant, Auto: auto, Calibrate: calibrate, Resilience: res, Trace: tracer, Metrics: metrics}
 			return e, e, nil
 		}
 		spec, err := device.ByName(deviceName)
@@ -515,10 +567,10 @@ func buildEngine(engine, deviceName string, fleet []device.Spec, variant kernels
 			dev.SetFaults(in)
 		}
 		if engine == "opencl" {
-			e := &search.SimCL{Device: dev, Variant: variant, Resilience: res, Trace: tracer, Metrics: metrics}
+			e := &search.SimCL{Device: dev, Variant: variant, Auto: auto, Calibrate: calibrate, Resilience: res, Trace: tracer, Metrics: metrics}
 			return e, e, nil
 		}
-		e := &search.SimSYCL{Device: dev, Variant: variant, Resilience: res, Trace: tracer, Metrics: metrics}
+		e := &search.SimSYCL{Device: dev, Variant: variant, Auto: auto, Calibrate: calibrate, Resilience: res, Trace: tracer, Metrics: metrics}
 		return e, e, nil
 	default:
 		return nil, nil, usageError{fmt.Errorf("unknown engine %q (want cpu, indexed, opencl or sycl)", engine)}

@@ -315,14 +315,17 @@ func TestParseFleet(t *testing.T) {
 }
 
 func TestParseVariant(t *testing.T) {
-	v, err := parseVariant("opt2")
-	if err != nil || v.String() != "opt2" {
-		t.Errorf("parseVariant(opt2) = %v, %v", v, err)
+	v, auto, err := parseVariant("opt2")
+	if err != nil || auto || v.String() != "opt2" {
+		t.Errorf("parseVariant(opt2) = %v, %v, %v", v, auto, err)
 	}
-	if v, err := parseVariant("bitparallel"); err != nil || v.String() != "bitparallel" {
-		t.Errorf("parseVariant(bitparallel) = %v, %v", v, err)
+	if v, auto, err := parseVariant("bitparallel"); err != nil || auto || v.String() != "bitparallel" {
+		t.Errorf("parseVariant(bitparallel) = %v, %v, %v", v, auto, err)
 	}
-	if _, err := parseVariant("fast"); err == nil {
+	if _, auto, err := parseVariant("auto"); err != nil || !auto {
+		t.Errorf("parseVariant(auto) = auto %v, %v; want the tuner", auto, err)
+	}
+	if _, _, err := parseVariant("fast"); err == nil {
 		t.Error("unknown variant accepted")
 	}
 }
@@ -342,6 +345,72 @@ func TestRunPackedEngine(t *testing.T) {
 	}
 	if !strings.Contains(packed.String(), "chr1\t4\t") {
 		t.Errorf("packed output missing the planted site:\n%s", packed.String())
+	}
+}
+
+// TestRunAutoVariant: the default -variant auto resolves the tuner on the
+// sim engines, reports the selection on stderr and emits the same hit lines
+// as a forced variant.
+func TestRunAutoVariant(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	var forced, errOut bytes.Buffer
+	if err := run([]string{"-engine", "sycl", "-device", "MI60", "-variant", "base", input}, &forced, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"model", "calibrate"} {
+		var out, errOut bytes.Buffer
+		err := run([]string{"-engine", "sycl", "-device", "MI60", "-autotune", mode, input}, &out, &errOut)
+		if err != nil {
+			t.Fatalf("%s: %v (stderr: %s)", mode, err, errOut.String())
+		}
+		if out.String() != forced.String() {
+			t.Errorf("%s: tuned output differs from forced-variant output:\n%s\nvs\n%s", mode, out.String(), forced.String())
+		}
+		if !strings.Contains(errOut.String(), "autotune: sycl-sim") {
+			t.Errorf("%s: stderr missing the autotune summary: %s", mode, errOut.String())
+		}
+		wantMode := "model"
+		if mode == "calibrate" {
+			wantMode = "calibrated"
+		}
+		if !strings.Contains(errOut.String(), wantMode) {
+			t.Errorf("%s: summary does not name the %s pass: %s", mode, wantMode, errOut.String())
+		}
+	}
+}
+
+// TestRunAutoVariantFleet: the multi-device scheduler under -variant auto
+// reports one selection per fleet slot and keeps the golden stream.
+func TestRunAutoVariantFleet(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	var golden, out, errOut bytes.Buffer
+	if err := run([]string{"-engine", "sycl", "-variant", "base", input}, &golden, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	errOut.Reset()
+	if err := run([]string{"-engine", "sycl", "-devices", "radeonvii,mi100", input}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errOut.String())
+	}
+	if out.String() != golden.String() {
+		t.Errorf("tuned fleet output differs from single-device golden:\n%s\nvs\n%s", out.String(), golden.String())
+	}
+	if !strings.Contains(errOut.String(), "autotune: sycl-sim[") {
+		t.Errorf("stderr missing per-slot autotune summaries: %s", errOut.String())
+	}
+}
+
+// TestRunAutotuneUsageErrors: calibration without the tuner, and unknown
+// modes, are usage mistakes (exit 2), not runtime failures.
+func TestRunAutotuneUsageErrors(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-engine", "sycl", "-variant", "base", "-autotune", "calibrate", input}, &out, &errOut)
+	if err == nil || exitCode(err) != exitUsage {
+		t.Errorf("-variant base -autotune calibrate: err %v (exit %d), want a usage error", err, exitCode(err))
+	}
+	err = run([]string{"-engine", "sycl", "-autotune", "turbo", input}, &out, &errOut)
+	if err == nil || exitCode(err) != exitUsage {
+		t.Errorf("-autotune turbo: err %v (exit %d), want a usage error", err, exitCode(err))
 	}
 }
 

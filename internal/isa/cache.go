@@ -1,0 +1,102 @@
+package isa
+
+// Compilation memoization. The pseudo-GCN compiler is deterministic and its
+// outputs are immutable once built — Allocate, Listing, CodeBytes and
+// CountUnit only read the Program — so compilation is cached process-wide:
+// one Program and one RegDemand per comparer variant (programs are
+// device-independent), plus one Metrics row per (variant, device spec,
+// pattern length, work-group size). The autotuner scores every variant at
+// several work-group sizes per device at engine init, and MultiSYCL fleets
+// construct one engine per slot; without the cache each of those paths
+// would re-run emission and liveness analysis on identical kernels.
+//
+// Callers of CompileComparer/CompileFinder receive the shared cached
+// Program and must treat it as read-only.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+)
+
+// DefaultWorkGroupSize is the work-group size the plain Metrics entry
+// points assume — the SYCL program's 256-item groups (§IV.A).
+const DefaultWorkGroupSize = 256
+
+type comparerMetricsKey struct {
+	variant kernels.ComparerVariant
+	spec    device.Spec
+	plen    int
+	wg      int
+}
+
+type finderMetricsKey struct {
+	spec device.Spec
+	plen int
+	wg   int
+}
+
+var cache = struct {
+	mu              sync.Mutex
+	comparer        map[kernels.ComparerVariant]*Program
+	comparerDemand  map[kernels.ComparerVariant]RegDemand
+	finder          *Program
+	finderDemand    RegDemand
+	comparerMetrics map[comparerMetricsKey]Metrics
+	finderMetrics   map[finderMetricsKey]Metrics
+}{
+	comparer:        make(map[kernels.ComparerVariant]*Program),
+	comparerDemand:  make(map[kernels.ComparerVariant]RegDemand),
+	comparerMetrics: make(map[comparerMetricsKey]Metrics),
+	finderMetrics:   make(map[finderMetricsKey]Metrics),
+}
+
+// compileCount counts actual compiler invocations — cache misses, not
+// CompileComparer/CompileFinder calls — for the recompilation regression
+// test.
+var compileCount atomic.Int64
+
+// CompileCount returns the number of kernel compilations performed so far
+// in this process. Memoization keeps it bounded by the number of distinct
+// kernels (the comparer variants plus the finder), however many engines,
+// fleet slots or tuner passes have been constructed.
+func CompileCount() int64 { return compileCount.Load() }
+
+func compileComparerLocked(v kernels.ComparerVariant) *Program {
+	if p, ok := cache.comparer[v]; ok {
+		return p
+	}
+	compileCount.Add(1)
+	cfg := configFor(v)
+	p := emitComparer(kernels.ComparerKernelName(v), cfg)
+	if v >= kernels.Opt1 {
+		p = EliminateGuardedReloads(p)
+	}
+	cache.comparer[v] = p
+	return p
+}
+
+func comparerDemandLocked(v kernels.ComparerVariant) RegDemand {
+	if d, ok := cache.comparerDemand[v]; ok {
+		return d
+	}
+	d := Allocate(compileComparerLocked(v))
+	cache.comparerDemand[v] = d
+	return d
+}
+
+func compileFinderLocked() *Program {
+	if cache.finder == nil {
+		compileCount.Add(1)
+		cache.finder = emitFinder()
+		cache.finderDemand = Allocate(cache.finder)
+	}
+	return cache.finder
+}
+
+func finderDemandLocked() RegDemand {
+	compileFinderLocked()
+	return cache.finderDemand
+}

@@ -1,0 +1,78 @@
+package isa
+
+import (
+	"testing"
+
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+)
+
+// TestCompileMemoized: compilation results are shared — repeated
+// CompileComparer/CompileFinder calls and metrics queries across devices
+// and work-group sizes must not re-run the compiler. The process-wide
+// compile count stays bounded by the number of distinct kernels (six
+// comparer variants plus the finder) no matter how many engines or tuner
+// passes preceded this test.
+func TestCompileMemoized(t *testing.T) {
+	p1 := CompileComparer(kernels.Opt3)
+	p2 := CompileComparer(kernels.Opt3)
+	if p1 != p2 {
+		t.Error("CompileComparer(Opt3) returned distinct programs; memoization lost")
+	}
+	if f1, f2 := CompileFinder(), CompileFinder(); f1 != f2 {
+		t.Error("CompileFinder returned distinct programs; memoization lost")
+	}
+	for _, v := range kernels.AllVariants() {
+		CompileComparer(v)
+	}
+	warm := CompileCount()
+	if limit := int64(len(kernels.AllVariants()) + 1); warm > limit {
+		t.Errorf("compile count %d exceeds the %d distinct kernels", warm, limit)
+	}
+
+	// Every metrics row at every (device, wg) must come from the cached
+	// programs: zero additional compilations.
+	for _, spec := range device.All() {
+		for _, wg := range []int{64, 128, 256, 512} {
+			FinderMetricsAt(spec, 23, wg)
+			for _, v := range kernels.AllVariants() {
+				ComparerMetricsAt(v, spec, 23, wg)
+			}
+		}
+	}
+	if got := CompileCount(); got != warm {
+		t.Errorf("metrics queries recompiled kernels: compile count %d -> %d", warm, got)
+	}
+}
+
+// TestMetricsAtMatchesDefault: the wg-parameterised entry points at the
+// default 256-item group reproduce the plain Table X rows exactly.
+func TestMetricsAtMatchesDefault(t *testing.T) {
+	spec := device.RadeonVII()
+	for _, v := range kernels.AllVariants() {
+		if ComparerMetricsAt(v, spec, 23, DefaultWorkGroupSize) != ComparerMetrics(v, spec, 23) {
+			t.Errorf("%s: ComparerMetricsAt(256) diverges from ComparerMetrics", v)
+		}
+	}
+	if FinderMetricsAt(spec, 23, DefaultWorkGroupSize) != FinderMetrics(spec, 23) {
+		t.Error("FinderMetricsAt(256) diverges from FinderMetrics")
+	}
+}
+
+// TestMetricsAtNoAllocWhenWarm: the memoized metrics path is the tuner's
+// inner loop; once warm it must not allocate.
+func TestMetricsAtNoAllocWhenWarm(t *testing.T) {
+	spec := device.MI100()
+	ComparerMetricsAt(kernels.Opt4, spec, 23, 128)
+	FinderMetricsAt(spec, 23, 128)
+	if avg := testing.AllocsPerRun(100, func() {
+		ComparerMetricsAt(kernels.Opt4, spec, 23, 128)
+	}); avg != 0 {
+		t.Errorf("warm ComparerMetricsAt allocates %v per call", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		FinderMetricsAt(spec, 23, 128)
+	}); avg != 0 {
+		t.Errorf("warm FinderMetricsAt allocates %v per call", avg)
+	}
+}

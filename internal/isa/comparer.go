@@ -97,14 +97,12 @@ func configFor(v kernels.ComparerVariant) emitCfg {
 }
 
 // CompileComparer lowers a comparer variant to the pseudo-ISA and returns
-// the program after the passes the variant enables.
+// the program after the passes the variant enables. The result is memoized
+// per variant (see cache.go) and must be treated as read-only.
 func CompileComparer(v kernels.ComparerVariant) *Program {
-	cfg := configFor(v)
-	p := emitComparer(kernels.ComparerKernelName(v), cfg)
-	if v >= kernels.Opt1 {
-		p = EliminateGuardedReloads(p)
-	}
-	return p
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	return compileComparerLocked(v)
 }
 
 // emitComparer builds the instruction stream of Listing 1 under cfg.
@@ -461,15 +459,32 @@ type Metrics struct {
 // the device, using the kernel's LDS footprint for a guide of plen bases
 // and the standard 256-item work-group.
 func ComparerMetrics(v kernels.ComparerVariant, spec device.Spec, plen int) Metrics {
-	p := CompileComparer(v)
-	d := Allocate(p)
+	return ComparerMetricsAt(v, spec, plen, DefaultWorkGroupSize)
+}
+
+// ComparerMetricsAt is ComparerMetrics at an explicit work-group size: the
+// occupancy column is evaluated for wg-item groups instead of the standard
+// 256. The autotuner scores candidate work-group sizes through this entry
+// point; rows are memoized per (variant, spec, plen, wg).
+func ComparerMetricsAt(v kernels.ComparerVariant, spec device.Spec, plen, wg int) Metrics {
+	if wg <= 0 {
+		wg = DefaultWorkGroupSize
+	}
+	key := comparerMetricsKey{variant: v, spec: spec, plen: plen, wg: wg}
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	if m, ok := cache.comparerMetrics[key]; ok {
+		return m
+	}
+	p := compileComparerLocked(v)
+	d := comparerDemandLocked(v)
 	occ := spec.Occupancy(device.KernelResources{
 		VGPRs:         d.VGPRs,
 		SGPRs:         d.SGPRs,
 		LDSBytesPerWG: kernels.ComparerLocalBytes(plen),
-		WorkGroupSize: 256,
+		WorkGroupSize: wg,
 	})
-	return Metrics{
+	m := Metrics{
 		Variant:   v,
 		CodeBytes: p.CodeBytes(),
 		SGPRs:     d.SGPRs,
@@ -478,6 +493,8 @@ func ComparerMetrics(v kernels.ComparerVariant, spec device.Spec, plen int) Metr
 		LDSInsts:  p.CountUnit(LDS),
 		VMEMInsts: p.CountUnit(VMEM),
 	}
+	cache.comparerMetrics[key] = m
+	return m
 }
 
 // TableX returns the metrics for every variant in order, the full Table X.

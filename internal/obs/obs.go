@@ -63,4 +63,13 @@ const (
 	MetricSteals           = "casoffinder_steals_total"
 	MetricEvictions        = "casoffinder_evictions_total"
 	MetricDeviceQueueDepth = "casoffinder_device_queue_depth"
+
+	// Emitted by search.Profile.addTune when the occupancy autotuner
+	// (internal/tune) resolved a kernel selection for a device.
+	// MetricTuneSelected carries a variant="..." label per selected
+	// comparer variant.
+	MetricTuneDecisions    = "casoffinder_tune_decisions_total"
+	MetricTuneCandidates   = "casoffinder_tune_candidates_total"
+	MetricTuneCalibrations = "casoffinder_tune_calibrations_total"
+	MetricTuneSelected     = "casoffinder_tune_selected_total"
 )

@@ -1,0 +1,207 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/obs"
+	"casoffinder/internal/tune"
+)
+
+// tuneConfigFor mirrors what autotuneDecision builds for a test request, so
+// tests can ask the tune package what the engines should have selected.
+func tuneConfigFor(spec device.Spec, req *Request, calibrate bool) tune.Config {
+	return tune.Config{
+		Spec:       spec,
+		PatternLen: len(req.Pattern),
+		Queries:    len(req.Queries),
+		ChunkBytes: req.ChunkBytes,
+		Calibrate:  calibrate,
+	}
+}
+
+// TestAutoMatchesFixedVariantHits: engines under -variant auto emit exactly
+// the reference hit stream — the tuner changes which kernel runs, never what
+// it computes — and the profile records the decision the tune package made
+// for the device.
+func TestAutoMatchesFixedVariantHits(t *testing.T) {
+	asm := testAssembly(t, 11, []int{700, 450, 90, 5}, testSite)
+	req := testRequest(2)
+	want := baselineHits(t, asm, req)
+	if len(want) == 0 {
+		t.Fatal("reference produced no hits; test data is too sparse")
+	}
+	for _, eng := range []Engine{
+		&SimCL{Device: gpu.New(device.MI60(), gpu.WithWorkers(4)), Auto: true},
+		&SimSYCL{Device: gpu.New(device.RadeonVII(), gpu.WithWorkers(4)), Auto: true},
+	} {
+		got, err := eng.Run(asm, req)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if !equalHits(got, want) {
+			t.Errorf("%s: auto run diverged from reference (%d hits != %d)", eng.Name(), len(got), len(want))
+		}
+		p := eng.(Profiler).LastProfile()
+		if p == nil {
+			t.Fatalf("%s: no profile", eng.Name())
+		}
+		track := eng.Name()
+		if p.TunedVariant[track] == "" || p.TunedWGSize[track] == 0 {
+			t.Fatalf("%s: tuned decision not recorded: %+v / %+v", eng.Name(), p.TunedVariant, p.TunedWGSize)
+		}
+		if p.TuneDecisions != 1 || p.TuneCandidates == 0 {
+			t.Errorf("%s: tuner counters = decisions %d, candidates %d", eng.Name(), p.TuneDecisions, p.TuneCandidates)
+		}
+		var spec device.Spec
+		switch e := eng.(type) {
+		case *SimCL:
+			spec = e.Device.Spec()
+		case *SimSYCL:
+			spec = e.Device.Spec()
+		}
+		d, err := tune.Select(tuneConfigFor(spec, req, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.TunedVariant[track] != d.Variant.String() || p.TunedWGSize[track] != d.WGSize {
+			t.Errorf("%s: profile records (%s, %d), tuner decides (%s, %d)",
+				eng.Name(), p.TunedVariant[track], p.TunedWGSize[track], d.Variant, d.WGSize)
+		}
+		// The launched comparer really is the tuned one: its kernel name is
+		// profiled at the tuned local size.
+		name := "comparer_" + p.TunedVariant[track]
+		if p.Launches[name] == 0 {
+			t.Errorf("%s: no launches of tuned kernel %q; profiled %v", eng.Name(), name, p.KernelNames())
+		}
+		if got := p.WorkGroupSizes[name]; got != d.WGSize {
+			t.Errorf("%s: %q ran at wg=%d, tuner selected %d", eng.Name(), name, got, d.WGSize)
+		}
+	}
+}
+
+// TestAutoCalibrateByteIdentical: the online calibration pass measures real
+// launches on a private device, so a calibrated run must still emit the
+// reference stream, count exactly one calibration, and leave the engine
+// device's fault accounting untouched. Metrics mirror the tuner counters.
+func TestAutoCalibrateByteIdentical(t *testing.T) {
+	asm := testAssembly(t, 11, []int{700, 450, 90}, testSite)
+	req := testRequest(2)
+	want := baselineHits(t, asm, req)
+	m := obs.NewMetrics()
+	eng := &SimSYCL{
+		Device: gpu.New(device.MI100(), gpu.WithWorkers(4)),
+		Auto:   true, Calibrate: true, Metrics: m,
+	}
+	got, err := eng.Run(asm, req)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !equalHits(got, want) {
+		t.Errorf("calibrated auto run diverged from reference (%d hits != %d)", len(got), len(want))
+	}
+	p := eng.LastProfile()
+	if p.TuneCalibrations != 1 {
+		t.Errorf("TuneCalibrations = %d, want 1", p.TuneCalibrations)
+	}
+	snap := m.Snapshot()
+	if c := snap.Counters[obs.MetricTuneDecisions]; c != p.TuneDecisions {
+		t.Errorf("metrics tune decisions %d != profile %d", c, p.TuneDecisions)
+	}
+	if c := snap.Counters[obs.MetricTuneCandidates]; c != p.TuneCandidates {
+		t.Errorf("metrics tune candidates %d != profile %d", c, p.TuneCandidates)
+	}
+	if c := snap.Counters[obs.MetricTuneCalibrations]; c != p.TuneCalibrations {
+		t.Errorf("metrics tune calibrations %d != profile %d", c, p.TuneCalibrations)
+	}
+	v := p.TunedVariant[eng.Name()]
+	if c := snap.Counters[obs.L(obs.MetricTuneSelected, "variant", v)]; c != 1 {
+		t.Errorf("selected-variant series for %q = %d, want 1", v, c)
+	}
+}
+
+// TestForcedVariantBypassesTuner: without Auto, the engines run exactly the
+// configured kernel and record no tuner state — the pre-autotuner contract.
+func TestForcedVariantBypassesTuner(t *testing.T) {
+	asm := testAssembly(t, 11, []int{700, 450}, testSite)
+	req := testRequest(2)
+	eng := &SimSYCL{Device: gpu.New(device.MI60(), gpu.WithWorkers(4)), Variant: kernels.Opt1}
+	if _, err := eng.Run(asm, req); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	p := eng.LastProfile()
+	if p.TunedVariant != nil || p.TuneDecisions != 0 {
+		t.Errorf("forced-variant run recorded tuner state: %+v, %d decisions", p.TunedVariant, p.TuneDecisions)
+	}
+	if p.Launches["comparer_opt1"] == 0 {
+		t.Errorf("forced opt1 not launched; profiled %v", p.KernelNames())
+	}
+}
+
+// TestAutoForcedWGNarrowsTuner: an explicit WorkGroupSize under Auto narrows
+// the candidate field instead of being overridden — the tuner still picks
+// the variant, at exactly the forced local size.
+func TestAutoForcedWGNarrowsTuner(t *testing.T) {
+	asm := testAssembly(t, 11, []int{700, 450}, testSite)
+	req := testRequest(2)
+	eng := &SimSYCL{Device: gpu.New(device.MI60(), gpu.WithWorkers(4)), Auto: true, WorkGroupSize: 128}
+	if _, err := eng.Run(asm, req); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	p := eng.LastProfile()
+	if got := p.TunedWGSize[eng.Name()]; got != 128 {
+		t.Errorf("tuned wg = %d, want the forced 128", got)
+	}
+	name := "comparer_" + p.TunedVariant[eng.Name()]
+	if got := p.WorkGroupSizes[name]; got != 128 {
+		t.Errorf("%q ran at wg=%d, want 128", name, got)
+	}
+}
+
+// TestMultiAutoPerDeviceDecisions: a heterogeneous auto fleet records one
+// decision per opened device slot, each matching the tune package's choice
+// for that slot's spec, and the merged stream still matches the reference.
+func TestMultiAutoPerDeviceDecisions(t *testing.T) {
+	asm := testAssembly(t, 11, []int{700, 450, 90, 5}, testSite)
+	req := testRequest(2)
+	want := baselineHits(t, asm, req)
+	specs := []device.Spec{device.RadeonVII(), device.MI60(), device.MI100()}
+	devs := make([]*gpu.Device, len(specs))
+	for i, s := range specs {
+		devs[i] = gpu.New(s, gpu.WithWorkers(2))
+	}
+	eng := &MultiSYCL{Devices: devs, Auto: true}
+	got, err := eng.Run(asm, req)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !equalHits(got, want) {
+		t.Errorf("multi auto run diverged from reference (%d hits != %d)", len(got), len(want))
+	}
+	p := eng.LastProfile()
+	if len(p.TunedVariant) == 0 {
+		t.Fatal("no tuned decisions in the merged profile")
+	}
+	if p.TuneDecisions != int64(len(p.TunedVariant)) {
+		t.Errorf("TuneDecisions %d != %d recorded tracks", p.TuneDecisions, len(p.TunedVariant))
+	}
+	for i, s := range specs {
+		key := fmt.Sprintf("sycl-sim[%d]", i)
+		v, ok := p.TunedVariant[key]
+		if !ok {
+			// The scheduler may not have opened an idle device; skip it.
+			continue
+		}
+		d, err := tune.Select(tuneConfigFor(s, req, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != d.Variant.String() || p.TunedWGSize[key] != d.WGSize {
+			t.Errorf("%s (%s): profile records (%s, %d), tuner decides (%s, %d)",
+				key, s.Name, v, p.TunedWGSize[key], d.Variant, d.WGSize)
+		}
+	}
+}

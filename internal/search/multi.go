@@ -7,12 +7,11 @@ import (
 
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
-	"casoffinder/internal/isa"
 	"casoffinder/internal/kernels"
 	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
 	"casoffinder/internal/sched"
-	"casoffinder/internal/timing"
+	"casoffinder/internal/tune"
 )
 
 // MultiSYCL extends the SYCL application to several devices — the paper's
@@ -39,6 +38,15 @@ type MultiSYCL struct {
 	Variant kernels.ComparerVariant
 	// WorkGroupSize overrides the launch local size (0 means 256).
 	WorkGroupSize int
+	// Auto resolves the comparer variant and work-group size per device
+	// through the occupancy autotuner (internal/tune) at Stream start: a
+	// heterogeneous fleet can run a different kernel on each member, and
+	// the scheduler's shard weights are seeded from the tuned estimates.
+	// Variant is ignored; WorkGroupSize (when set) narrows the tuner to
+	// that local size. Calibrate additionally runs the tuner's online
+	// measured pass per device type. Output stays byte-identical.
+	Auto      bool
+	Calibrate bool
 	// Resilience, when set, is the fleet's device-level policy: per-chunk
 	// transient retries on the owning device, then eviction; a fully
 	// evicted fleet fails over to the CPU engine (unless a custom
@@ -80,42 +88,24 @@ func (e *MultiSYCL) wgSize() int {
 // deviceWeights derives each device's scheduling weight from the timing
 // model: the inverse of the estimated cost of one chunk on that device,
 // with the finder/comparer launch contexts (occupancy, register pressure)
-// compiled by internal/isa exactly as the calibration harness builds them.
-// A faster device gets a proportionally larger initial shard.
-func (e *MultiSYCL) deviceWeights(req *Request) []float64 {
+// built by the autotuner's cost model from internal/isa. When the tuner ran
+// (tuned non-nil), each device is priced at its own selected (variant,
+// work-group size) pair, so a heterogeneous fleet's shards reflect the
+// kernels it will actually launch. A faster device gets a proportionally
+// larger initial shard.
+func (e *MultiSYCL) deviceWeights(req *Request, tuned []*tune.Decision) []float64 {
 	plen := len(req.Pattern)
 	chunkBytes := req.ChunkBytes
 	if chunkBytes <= 0 {
 		chunkBytes = pipeline.DefaultChunkBytes
 	}
-	wg := e.wgSize()
 	weights := make([]float64, len(e.Devices))
 	for i, d := range e.Devices {
-		spec := d.Spec()
-		fm := isa.FinderMetrics(spec, plen)
-		cm := isa.ComparerMetrics(e.Variant, spec, plen)
-		est := timing.ChunkEstimate{
-			Finder: timing.KernelConfig{
-				Spec:                spec,
-				OccupancyWaves:      fm.Occupancy,
-				VGPRs:               fm.VGPRs,
-				WorkGroupSize:       wg,
-				LeaderPrefetch:      true,
-				PrefetchOpsPerGroup: 4 * plen,
-				ScatterFactor:       0.02,
-			},
-			Comparer: timing.KernelConfig{
-				Spec:                spec,
-				OccupancyWaves:      cm.Occupancy,
-				VGPRs:               cm.VGPRs,
-				WorkGroupSize:       wg,
-				LeaderPrefetch:      !e.Variant.CooperativeFetch(),
-				PrefetchOpsPerGroup: 4 * plen,
-				ScatterFactor:       1.0,
-			},
-			PatternLen: plen,
-			Queries:    len(req.Queries),
+		v, wg := e.Variant, e.wgSize()
+		if tuned != nil && tuned[i] != nil {
+			v, wg = tuned[i].Variant, tuned[i].WGSize
 		}
+		est := tune.Estimate(d.Spec(), v, wg, plen, len(req.Queries))
 		if sec := est.Seconds(chunkBytes); sec > 0 {
 			weights[i] = 1 / sec
 		}
@@ -157,17 +147,35 @@ func (e *MultiSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Reque
 		}
 	}
 
+	// Resolve the tuner per device before seeding the fleet: repeated
+	// device types hit the tune package's memoized decision, so an N-GPU
+	// homogeneous fleet scores (and calibrates) once.
+	var tuned []*tune.Decision
+	if e.Auto {
+		tuned = make([]*tune.Decision, len(e.Devices))
+		for i, dev := range e.Devices {
+			d, err := autotuneDecision(dev, req, e.WorkGroupSize, e.Calibrate)
+			if err != nil {
+				return fmt.Errorf("search: %s: autotune device %d: %w", e.Name(), i, err)
+			}
+			tuned[i] = d
+		}
+	}
+
 	// One SimSYCL shell per device: the scheduler opens its syclBackend
 	// (at most once per run), and the shell's profile collects what that
 	// device did. Sub-engines share the run's tracer and metrics.
 	subEngines := make([]*SimSYCL, len(e.Devices))
 	marks := make([]int, len(e.Devices))
 	fleet := make([]sched.Device, len(e.Devices))
-	weights := e.deviceWeights(req)
+	weights := e.deviceWeights(req, tuned)
 	for i, dev := range e.Devices {
 		sub := &SimSYCL{
 			Device: dev, Variant: e.Variant, WorkGroupSize: e.WorkGroupSize,
 			Trace: e.Trace, Metrics: e.Metrics, Track: fmt.Sprintf("sycl-sim[%d]", i),
+		}
+		if tuned != nil {
+			sub.Auto, sub.Calibrate, sub.tuned = true, e.Calibrate, tuned[i]
 		}
 		subEngines[i] = sub
 		dev.SetObs(e.Trace, e.Metrics, sub.track()+"/gpu")

@@ -9,6 +9,7 @@ import (
 	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
 	"casoffinder/internal/sched"
+	"casoffinder/internal/tune"
 )
 
 // Profile records what a simulator-backed engine did during one Run: the
@@ -66,6 +67,21 @@ type Profile struct {
 	// by device slot name; nil outside scheduler runs.
 	DeviceChunks map[string]int
 	DeviceSteals map[string]int
+
+	// Autotuner records, filled when the engine resolved its kernel
+	// selection through the occupancy autotuner (internal/tune).
+
+	// TunedVariant and TunedWGSize record the selected comparer variant
+	// and work-group size per engine track ("sycl-sim", "sycl-sim[0]", …);
+	// nil when no tuner ran.
+	TunedVariant map[string]string
+	TunedWGSize  map[string]int
+	// TuneDecisions counts tuner decisions folded into this profile,
+	// TuneCandidates the (variant, work-group size) pairs they scored, and
+	// TuneCalibrations the decisions that ran the online measured pass.
+	TuneDecisions    int64
+	TuneCandidates   int64
+	TuneCalibrations int64
 
 	// Faults counts injected fault events by site; nil when no injector
 	// was active.
@@ -184,6 +200,34 @@ func (p *Profile) addSched(rep *sched.Report) {
 	}
 }
 
+// addTune records one autotuner decision under the engine's track name,
+// mirroring the counters (and a variant-labelled selection count) into the
+// metrics registry at decision time — the same live-mirroring contract as the
+// other mutators, so a -metrics dump always agrees with the profile totals.
+func (p *Profile) addTune(track string, d *tune.Decision) {
+	p.mu.Lock()
+	if p.TunedVariant == nil {
+		p.TunedVariant = make(map[string]string)
+		p.TunedWGSize = make(map[string]int)
+	}
+	p.TunedVariant[track] = d.Variant.String()
+	p.TunedWGSize[track] = d.WGSize
+	p.TuneDecisions++
+	p.TuneCandidates += int64(len(d.Candidates))
+	if d.Calibrated {
+		p.TuneCalibrations++
+	}
+	p.mu.Unlock()
+	p.metrics.Count(obs.MetricTuneDecisions, 1)
+	p.metrics.Count(obs.MetricTuneCandidates, int64(len(d.Candidates)))
+	if d.Calibrated {
+		p.metrics.Count(obs.MetricTuneCalibrations, 1)
+	}
+	if p.metrics != nil {
+		p.metrics.Count(obs.L(obs.MetricTuneSelected, "variant", d.Variant.String()), 1)
+	}
+}
+
 // addAsync counts one delivery to the SYCL async exception handler.
 func (p *Profile) addAsync() {
 	p.mu.Lock()
@@ -266,6 +310,24 @@ func (p *Profile) merge(o *Profile) {
 			p.DeviceSteals[name] += n
 		}
 	}
+	// Tuner records fold like the scheduler's: each decision already
+	// mirrored into the shared registry when addTune ran, so merge only
+	// sums the profile side.
+	if o.TunedVariant != nil {
+		if p.TunedVariant == nil {
+			p.TunedVariant = make(map[string]string)
+			p.TunedWGSize = make(map[string]int)
+		}
+		for track, v := range o.TunedVariant {
+			p.TunedVariant[track] = v
+		}
+		for track, wg := range o.TunedWGSize {
+			p.TunedWGSize[track] = wg
+		}
+	}
+	p.TuneDecisions += o.TuneDecisions
+	p.TuneCandidates += o.TuneCandidates
+	p.TuneCalibrations += o.TuneCalibrations
 	if o.Faults != nil {
 		if p.Faults == nil {
 			p.Faults = make(map[fault.Site]int64)

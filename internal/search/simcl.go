@@ -12,6 +12,7 @@ import (
 	"casoffinder/internal/obs"
 	"casoffinder/internal/opencl"
 	"casoffinder/internal/pipeline"
+	"casoffinder/internal/tune"
 )
 
 // SimCL runs the search as the paper's original OpenCL application: the
@@ -27,6 +28,14 @@ type SimCL struct {
 	// WorkGroupSize forces a local size; 0 lets the runtime choose, as the
 	// upstream OpenCL host program does.
 	WorkGroupSize int
+	// Auto resolves Variant and WorkGroupSize through the occupancy
+	// autotuner (internal/tune) for this device at Stream start: Variant is
+	// ignored, and WorkGroupSize (when set) narrows the tuner to that local
+	// size instead of overriding its choice. Calibrate additionally runs
+	// the tuner's online measured pass. Output is byte-identical to any
+	// fixed-variant run.
+	Auto      bool
+	Calibrate bool
 	// Resilience, when set, runs the engine under the pipeline's
 	// fault-tolerant executor: transient errors retry with backoff, hung
 	// kernels are reaped by the watchdog, and chunks the device cannot
@@ -42,6 +51,9 @@ type SimCL struct {
 	Track   string
 
 	profile *Profile
+	// tuned is the resolved autotuner decision for the current run; set by
+	// Stream before the backend opens, read-only while the run is live.
+	tuned *tune.Decision
 }
 
 // Name implements Engine.
@@ -57,6 +69,25 @@ func (e *SimCL) track() string {
 // LastProfile implements Profiler.
 func (e *SimCL) LastProfile() *Profile { return e.profile }
 
+// variant is the comparer the run actually builds: the tuner's selection
+// when one was resolved, the configured Variant otherwise.
+func (e *SimCL) variant() kernels.ComparerVariant {
+	if e.tuned != nil {
+		return e.tuned.Variant
+	}
+	return e.Variant
+}
+
+// wgSize is the enqueued local size: the tuner's selection when one was
+// resolved, the forced WorkGroupSize otherwise — still 0 ("runtime's
+// choice", the upstream OpenCL behaviour) when neither is set.
+func (e *SimCL) wgSize() int {
+	if e.tuned != nil {
+		return e.tuned.WGSize
+	}
+	return e.WorkGroupSize
+}
+
 // Run implements Engine.
 func (e *SimCL) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 	return Collect(context.Background(), e, asm, req)
@@ -66,6 +97,16 @@ func (e *SimCL) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 // host API behind the shared pipeline: one scan worker owns the command
 // queue while the stager creates the next chunk's buffers.
 func (e *SimCL) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
+	// Resolve the tuner before the pipeline opens the backend; the decision
+	// is read-only for the rest of the run.
+	e.tuned = nil
+	if e.Auto && e.Device != nil {
+		d, err := autotuneDecision(e.Device, req, e.WorkGroupSize, e.Calibrate)
+		if err != nil {
+			return fmt.Errorf("search: %s: autotune: %w", e.Name(), err)
+		}
+		e.tuned = d
+	}
 	p := &pipeline.Pipeline{
 		Open: func(plan *pipeline.Plan) (pipeline.Backend, error) {
 			if e.Device == nil {
@@ -137,6 +178,9 @@ func clCreate[T any](b *clBackend, flags opencl.MemFlags, n int, host []T) (*ope
 func newCLBackend(e *SimCL, plan *pipeline.Plan) (_ *clBackend, err error) {
 	b := &clBackend{e: e, plan: plan, prof: newProfile(e.Metrics), live: make(map[*opencl.Mem]struct{})}
 	e.profile = b.prof
+	if e.tuned != nil {
+		b.prof.addTune(e.track(), e.tuned)
+	}
 	defer func() {
 		if err != nil {
 			b.Close()
@@ -166,7 +210,7 @@ func newCLBackend(e *SimCL, plan *pipeline.Plan) (_ *clBackend, err error) {
 	if b.finder, err = b.prog.CreateKernel("finder"); err != nil {
 		return nil, err
 	}
-	if b.comparer, err = b.prog.CreateKernel(kernels.ComparerKernelName(e.Variant)); err != nil {
+	if b.comparer, err = b.prog.CreateKernel(kernels.ComparerKernelName(e.variant())); err != nil {
 		return nil, err
 	}
 
@@ -294,7 +338,7 @@ func (b *clBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) {
 		return 0, err
 	}
 
-	wg := b.e.WorkGroupSize
+	wg := b.e.wgSize()
 	pad := wg
 	if pad <= 0 {
 		pad = 64
@@ -390,7 +434,7 @@ func (b *clBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) err
 	if err := b.comparer.SetArgLocal(kernels.ComparerArgLocalCompIndex, 4*2*g.PatternLen); err != nil {
 		return err
 	}
-	wg := b.e.WorkGroupSize
+	wg := b.e.wgSize()
 	pad := wg
 	if pad <= 0 {
 		pad = 64

@@ -12,6 +12,7 @@ import (
 	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
 	"casoffinder/internal/sycl"
+	"casoffinder/internal/tune"
 )
 
 // SimSYCL runs the search as the migrated SYCL application (§III): a queue
@@ -26,6 +27,14 @@ type SimSYCL struct {
 	Variant kernels.ComparerVariant
 	// WorkGroupSize overrides the launch local size; 0 means 256.
 	WorkGroupSize int
+	// Auto resolves Variant and WorkGroupSize through the occupancy
+	// autotuner (internal/tune) for this device at Stream start: Variant is
+	// ignored, and WorkGroupSize (when set) narrows the tuner to that local
+	// size instead of overriding its choice. Calibrate additionally runs
+	// the tuner's online measured pass. Output is byte-identical to any
+	// fixed-variant run.
+	Auto      bool
+	Calibrate bool
 	// Resilience, when set, runs the engine under the pipeline's
 	// fault-tolerant executor: transient errors (including asynchronous
 	// exceptions) retry with backoff, hung kernels are reaped by the
@@ -42,6 +51,10 @@ type SimSYCL struct {
 	Track   string
 
 	profile *Profile
+	// tuned is the resolved autotuner decision for the current run; set by
+	// Stream (or by MultiSYCL for its per-device shells) before any backend
+	// opens, read-only while the run is live.
+	tuned *tune.Decision
 }
 
 // DefaultSYCLWorkGroup is the local work size of the SYCL application:
@@ -62,7 +75,19 @@ func (e *SimSYCL) track() string {
 // LastProfile implements Profiler.
 func (e *SimSYCL) LastProfile() *Profile { return e.profile }
 
+// variant is the comparer the run actually launches: the tuner's selection
+// when one was resolved, the configured Variant otherwise.
+func (e *SimSYCL) variant() kernels.ComparerVariant {
+	if e.tuned != nil {
+		return e.tuned.Variant
+	}
+	return e.Variant
+}
+
 func (e *SimSYCL) wgSize() int {
+	if e.tuned != nil {
+		return e.tuned.WGSize
+	}
 	if e.WorkGroupSize > 0 {
 		return e.WorkGroupSize
 	}
@@ -78,6 +103,16 @@ func (e *SimSYCL) Run(asm *genome.Assembly, req *Request) ([]Hit, error) {
 // shared pipeline: one scan worker submits kernels while the stager
 // creates the next chunk's buffers.
 func (e *SimSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Request, emit func(Hit) error) error {
+	// Resolve the tuner before the pipeline opens any backend; the decision
+	// is read-only for the rest of the run.
+	e.tuned = nil
+	if e.Auto && e.Device != nil {
+		d, err := autotuneDecision(e.Device, req, e.WorkGroupSize, e.Calibrate)
+		if err != nil {
+			return fmt.Errorf("search: %s: autotune: %w", e.Name(), err)
+		}
+		e.tuned = d
+	}
 	p := &pipeline.Pipeline{
 		Open: func(plan *pipeline.Plan) (pipeline.Backend, error) {
 			if e.Device == nil {
@@ -155,6 +190,9 @@ func syclDestroy[T any](b *syclBackend, buf *sycl.Buffer[T], err *error) {
 func newSYCLBackend(e *SimSYCL, plan *pipeline.Plan) (_ *syclBackend, err error) {
 	b := &syclBackend{e: e, plan: plan, prof: newProfile(e.Metrics), live: make(map[destroyer]struct{})}
 	e.profile = b.prof
+	if e.tuned != nil {
+		b.prof.addTune(e.track(), e.tuned)
+	}
 	defer func() {
 		if err != nil {
 			b.Close()
@@ -374,8 +412,8 @@ func (b *syclBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) (
 	defer syclDestroy(b, entryBuf, &err)
 	b.prof.addStaged(int64(len(g.Codes)+4*len(g.Index)) + 4)
 
-	phases := kernels.ComparerPhases(b.e.Variant)
-	name := kernels.ComparerKernelName(b.e.Variant)
+	phases := kernels.ComparerPhases(b.e.variant())
+	name := kernels.ComparerKernelName(b.e.variant())
 	cgws := (n + wg - 1) / wg * wg
 	ev := b.queue.SubmitCtx(ctx, func(h *sycl.Handler) error {
 		chrAcc, err := sycl.Access(h, s.chrBuf, sycl.Read)

@@ -9,7 +9,10 @@
 
 package timing
 
-import "casoffinder/internal/gpu"
+import (
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+)
 
 // DefaultCandidateRate is the assumed fraction of chunk positions that
 // survive the PAM prefilter when the caller has no measured rate.
@@ -44,10 +47,63 @@ func launchGroups(n int64, cfg KernelConfig) int64 {
 	return (n + wg - 1) / wg
 }
 
+// EffectiveWaves converts a resource-limited occupancy (waves per SIMD,
+// from device.Spec.Occupancy) into the effective wave parallelism a launch
+// with the given work-group size sustains. Two effects the flat occupancy
+// number hides:
+//
+//   - wave-slot granularity: a work-group occupies ceil(wg/wavefront) wave
+//     slots that must co-reside on one compute unit, so a CU with
+//     occ*SIMDsPerCU slots holds only floor(slots/wavesPerGroup) whole
+//     groups — at wg=512 a 9-wave occupancy really runs 8 waves per SIMD;
+//   - lane fill: a work-group whose size is not a wavefront multiple pads
+//     its last wave with idle lanes that still consume a slot.
+//
+// Non-positive occWaves means the hardware maximum; non-positive wgSize
+// means the standard 256-item group. A group too large for the slot budget
+// still runs — alone — so the result is never below one group's waves.
+func EffectiveWaves(spec device.Spec, occWaves, wgSize int) float64 {
+	wave := spec.WavefrontSize
+	if wave <= 0 {
+		wave = 64
+	}
+	simds := spec.SIMDsPerCU
+	if simds <= 0 {
+		simds = 1
+	}
+	if wgSize <= 0 {
+		wgSize = 256
+	}
+	occ := occWaves
+	if occ <= 0 {
+		occ = spec.MaxWavesPerSIMD
+	}
+	wavesPerGroup := (wgSize + wave - 1) / wave
+	groups := occ * simds / wavesPerGroup
+	if groups < 1 {
+		groups = 1
+	}
+	fill := float64(wgSize) / float64(wavesPerGroup*wave)
+	return float64(groups*wavesPerGroup) / float64(simds) * fill
+}
+
 // Seconds estimates the full cost of one chunkBytes-sized chunk: the finder
 // pass over every position, the comparer over the surviving candidates on
 // both strands per query, plus the per-chunk host and transfer overhead.
+// Kernel terms are evaluated at the work-group-corrected effective
+// occupancy (EffectiveWaves), so the estimate separates candidate
+// work-group sizes instead of flattening them.
 func (e ChunkEstimate) Seconds(chunkBytes int) float64 {
+	finder, comparer, host := e.Parts(chunkBytes)
+	return finder + comparer + host
+}
+
+// Parts decomposes the estimate into its finder-kernel, comparer-kernel and
+// host/transfer terms; Seconds is their sum. They are exposed separately so
+// the autotuner's calibration pass can swap the analytic comparer term —
+// the §IV.B hotspot it actually measures — for a measured one without
+// re-deriving the rest.
+func (e ChunkEstimate) Parts(chunkBytes int) (finderSec, comparerSec, hostSec float64) {
 	if chunkBytes <= 0 {
 		chunkBytes = estimateDefaultChunkBytes
 	}
@@ -93,8 +149,7 @@ func (e ChunkEstimate) Seconds(chunkBytes int) float64 {
 		Branches:      loads * q,
 	}
 
-	return KernelSeconds(e.Finder, &finder) +
-		KernelSeconds(e.Comparer, &comparer) +
-		hostPerChunkSec +
-		float64(chunkBytes)*(1/hostStageBytesPerSec+1/pcieBytesPerSec)
+	return KernelSeconds(e.Finder.withEffectiveWaves(), &finder),
+		KernelSeconds(e.Comparer.withEffectiveWaves(), &comparer),
+		hostPerChunkSec + float64(chunkBytes)*(1/hostStageBytesPerSec+1/pcieBytesPerSec)
 }

@@ -168,6 +168,91 @@ func TestChunkEstimateGrowsWithChunkSize(t *testing.T) {
 	}
 }
 
+// --- Work-group size accounting ---------------------------------------------
+
+// TestEffectiveWaves pins the wave-slot model: exact-fit sizes keep the
+// resource-limited occupancy, groups wider than the remaining slot budget
+// lose waves to granularity, and non-wavefront-multiple groups lose lanes
+// to fill.
+func TestEffectiveWaves(t *testing.T) {
+	spec := device.RadeonVII() // 64-lane waves, 4 SIMDs/CU
+	cases := []struct {
+		occ, wg int
+		want    float64
+	}{
+		{9, 64, 9},    // one wave per group: granularity can't bind
+		{9, 256, 9},   // 36 slots / 4 waves-per-group = 9 whole groups
+		{9, 512, 8},   // 36 slots / 8 = 4 groups: a wave per SIMD lost
+		{9, 96, 6.75}, // 18 groups of 2 waves, but 96/128 lane fill
+		{10, 256, 10}, // the maximum survives an exact fit
+		{4, 1024, 4},  // 16 slots = exactly one 16-wave group
+	}
+	for _, c := range cases {
+		if got := EffectiveWaves(spec, c.occ, c.wg); got != c.want {
+			t.Errorf("EffectiveWaves(occ=%d, wg=%d) = %v, want %v", c.occ, c.wg, got, c.want)
+		}
+	}
+	if got := EffectiveWaves(spec, 0, 0); got != 10 {
+		t.Errorf("EffectiveWaves defaults = %v, want the 10-wave maximum", got)
+	}
+}
+
+// TestChunkEstimateWGSizeMonotonic: while the work-group size fits the
+// occupancy's slot budget exactly (occ=4 divides every candidate), larger
+// groups amortise per-group dispatch and leader staging, so the chunk
+// estimate must strictly decrease from 64 to 512 on every device.
+func TestChunkEstimateWGSizeMonotonic(t *testing.T) {
+	for _, spec := range device.All() {
+		prev := 0.0
+		for i, wg := range []int{512, 256, 128, 64} {
+			e := chunkEstimate(spec)
+			e.Finder.WorkGroupSize = wg
+			e.Comparer.WorkGroupSize = wg
+			got := e.Seconds(1 << 20)
+			if i > 0 && !(got > prev) {
+				t.Errorf("%s: estimate at wg=%d (%.6gs) not above wg=%d — WG size flattened",
+					spec.Name, wg, got, wg*2)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestEffectiveWavesGranularityPenalty: with the group count held fixed,
+// the latency term must penalise work-group sizes that waste wave slots —
+// a 512-item group drops a 9-wave occupancy to 8, and a 96-item group
+// fills only 3/4 of its second wave.
+func TestEffectiveWavesGranularityPenalty(t *testing.T) {
+	cfg := comparerConfig(device.RadeonVII())
+	cfg.OccupancyWaves = 9
+	stats := comparerStats()
+	at := func(wg int) float64 {
+		c := cfg
+		c.WorkGroupSize = wg
+		return KernelSeconds(c.withEffectiveWaves(), stats)
+	}
+	if !(at(512) > at(256)) {
+		t.Errorf("wg=512 (%.6gs) not slower than wg=256 (%.6gs) at 9 waves", at(512), at(256))
+	}
+	if !(at(96) > at(128)) {
+		t.Errorf("wg=96 (%.6gs) not slower than wg=128 (%.6gs): lane fill ignored", at(96), at(128))
+	}
+}
+
+func TestChunkEstimatePartsSum(t *testing.T) {
+	e := chunkEstimate(device.MI60())
+	f, c, h := e.Parts(1 << 20)
+	if f <= 0 || c <= 0 || h <= 0 {
+		t.Fatalf("Parts = (%.6g, %.6g, %.6g), want all positive", f, c, h)
+	}
+	if sum, got := f+c+h, e.Seconds(1<<20); sum != got {
+		t.Errorf("Parts sum %.12g != Seconds %.12g", sum, got)
+	}
+	if c < f {
+		t.Errorf("comparer term %.6g below finder term %.6g; the §IV.B hotspot shape is lost", c, f)
+	}
+}
+
 func TestChunkEstimateDefaults(t *testing.T) {
 	// Zero-valued knobs fall back to defaults rather than producing a
 	// zero or negative cost.

@@ -101,6 +101,11 @@ type KernelConfig struct {
 	// read adjacent bytes). This is why the comparer dominates kernel time
 	// (~98%, §IV.B) despite similar operation counts.
 	ScatterFactor float64
+	// WaveSlots, when positive, overrides OccupancyWaves with a fractional
+	// effective wave count: the resource-limited occupancy corrected for
+	// work-group wave-slot granularity and partial-wave lane fill (see
+	// EffectiveWaves). ChunkEstimate fills it from WorkGroupSize.
+	WaveSlots float64
 }
 
 func (c KernelConfig) scatter() float64 {
@@ -111,11 +116,23 @@ func (c KernelConfig) scatter() float64 {
 }
 
 func (c KernelConfig) occupancy() float64 {
+	if c.WaveSlots > 0 {
+		return c.WaveSlots
+	}
 	occ := c.OccupancyWaves
 	if occ <= 0 {
 		occ = c.Spec.MaxWavesPerSIMD
 	}
 	return float64(occ)
+}
+
+// withEffectiveWaves returns c with WaveSlots derived from its integral
+// occupancy and work-group size, unless the caller already set it.
+func (c KernelConfig) withEffectiveWaves() KernelConfig {
+	if c.WaveSlots <= 0 {
+		c.WaveSlots = EffectiveWaves(c.Spec, c.OccupancyWaves, c.WorkGroupSize)
+	}
+	return c
 }
 
 // Breakdown decomposes one kernel-time estimate into its model terms.

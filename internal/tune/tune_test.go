@@ -1,0 +1,267 @@
+package tune
+
+import (
+	"reflect"
+	"testing"
+
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/isa"
+	"casoffinder/internal/kernels"
+)
+
+// TestSelectDeterministic: same spec and shape, same decision — both from
+// the memoized path and from two independent scoring passes.
+func TestSelectDeterministic(t *testing.T) {
+	for _, spec := range device.All() {
+		cfg := Config{Spec: spec}
+		a, err := Select(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		b, err := Select(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: repeated Select diverged:\n%+v\n%+v", spec.Name, a, b)
+		}
+		// Independent scoring passes must agree too — the cache only
+		// memoizes what recomputation would reproduce.
+		n, variants, wgs, err := normalize(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := selectUncached(n, variants, wgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := selectUncached(n, variants, wgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(c, d) {
+			t.Errorf("%s: uncached scoring not deterministic", spec.Name)
+		}
+	}
+}
+
+// TestSelectCacheIsolation: mutating a returned decision must not poison
+// the cache.
+func TestSelectCacheIsolation(t *testing.T) {
+	cfg := Config{Spec: device.MI60()}
+	a, err := Select(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Variant = kernels.Base
+	a.Candidates[0].Predicted = -1
+	b, err := Select(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Candidates[0].Predicted <= 0 || b.Variant == kernels.Base && a.WGSize != b.WGSize {
+		t.Error("cached decision was mutated through a returned copy")
+	}
+}
+
+// TestSelectMatchesExtendedTableX: on every device of Table VII the
+// decision must be consistent with the ExtendedTableX occupancy story —
+// at any fixed work-group size, a variant with more waves per SIMD (and
+// the same synthetic traffic) never scores worse than one with fewer, so
+// the winner carries the table's maximum occupancy and a cooperative
+// fetch, and the register-heavy opt4/bitparallel rows never win the model
+// pass (the Fig. 2 regression, reproduced as a selection).
+func TestSelectMatchesExtendedTableX(t *testing.T) {
+	for _, spec := range device.All() {
+		d, err := Select(Config{Spec: spec})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if d.Device != spec.Name {
+			t.Errorf("decision device %q, want %q", d.Device, spec.Name)
+		}
+		maxOcc := 0
+		for _, c := range d.Candidates {
+			if c.Occupancy > maxOcc {
+				maxOcc = c.Occupancy
+			}
+		}
+		best := d.Candidates[0]
+		if best.Variant != d.Variant || best.WGSize != d.WGSize {
+			t.Fatalf("%s: decision (%s, %d) is not the top candidate (%s, %d)",
+				spec.Name, d.Variant, d.WGSize, best.Variant, best.WGSize)
+		}
+		if best.Occupancy != maxOcc {
+			t.Errorf("%s: winner occupancy %d below the table maximum %d",
+				spec.Name, best.Occupancy, maxOcc)
+		}
+		if !d.Variant.CooperativeFetch() {
+			t.Errorf("%s: winner %s still stages through the group leader", spec.Name, d.Variant)
+		}
+		if d.Variant == kernels.Opt4 || d.Variant == kernels.BitParallel {
+			t.Errorf("%s: register-pressure-penalised %s won the model pass", spec.Name, d.Variant)
+		}
+		// Pairwise: higher Table X occupancy at the same WG size never
+		// predicts slower.
+		cfg := Config{Spec: spec}
+		for _, wg := range DefaultWGSizes() {
+			for _, u := range kernels.AllVariants() {
+				for _, v := range kernels.AllVariants() {
+					uo := isa.ComparerMetricsAt(u, spec, 23, wg).Occupancy
+					vo := isa.ComparerMetricsAt(v, spec, 23, wg).Occupancy
+					if uo > vo && Predict(cfg, u, wg) >= Predict(cfg, v, wg) {
+						t.Errorf("%s wg=%d: %s (occ %d) not predicted faster than %s (occ %d)",
+							spec.Name, wg, u, uo, v, vo)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSelectRanksSorted: candidates come back best-first under Score.
+func TestSelectRanksSorted(t *testing.T) {
+	d, err := Select(Config{Spec: device.RadeonVII()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(kernels.AllVariants()) * len(DefaultWGSizes()); len(d.Candidates) != want {
+		t.Fatalf("scored %d candidates, want %d", len(d.Candidates), want)
+	}
+	for i := 1; i < len(d.Candidates); i++ {
+		if d.Candidates[i].Score() < d.Candidates[i-1].Score() {
+			t.Fatalf("candidates not sorted at %d: %.6g < %.6g",
+				i, d.Candidates[i].Score(), d.Candidates[i-1].Score())
+		}
+	}
+}
+
+// TestPredictMatchesCandidates: the exported fixed-variant scoring function
+// agrees with what Select recorded.
+func TestPredictMatchesCandidates(t *testing.T) {
+	cfg := Config{Spec: device.MI100()}
+	d, err := Select(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Candidates {
+		if got := Predict(cfg, c.Variant, c.WGSize); got != c.Predicted {
+			t.Errorf("Predict(%s, %d) = %.9g, candidate recorded %.9g", c.Variant, c.WGSize, got, c.Predicted)
+		}
+	}
+}
+
+// TestCalibrationDeterministic: the measured pass is seeded and replayable;
+// two full calibrations agree bit for bit.
+func TestCalibrationDeterministic(t *testing.T) {
+	cfg := Config{Spec: device.RadeonVII(), Calibrate: true}
+	n, variants, wgs, err := normalize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := selectUncached(n, variants, wgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := selectUncached(n, variants, wgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("calibration not deterministic:\n%+v\n%+v", a, b)
+	}
+	if !a.Calibrated || a.Measured <= 0 {
+		t.Errorf("calibrated decision missing measurement: %+v", a)
+	}
+}
+
+// TestCalibrationSeesRealTraffic: measuring every candidate, the launch
+// counters expose what the analytic model cannot — the base kernel's
+// alias-guarded reloads — so base must measure strictly slower than opt1
+// at the same work-group size, and the global measured winner must be a
+// cooperative-fetch variant.
+func TestCalibrationSeesRealTraffic(t *testing.T) {
+	cfg := Config{Spec: device.MI60(), Calibrate: true, Finalists: 1 << 10}
+	d, err := Select(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := make(map[[2]int]float64)
+	for _, c := range d.Candidates {
+		if c.Measured <= 0 {
+			t.Fatalf("candidate (%s, %d) unmeasured despite full calibration", c.Variant, c.WGSize)
+		}
+		meas[[2]int{int(c.Variant), c.WGSize}] = c.Measured
+	}
+	for _, wg := range DefaultWGSizes() {
+		base := meas[[2]int{int(kernels.Base), wg}]
+		opt1 := meas[[2]int{int(kernels.Opt1), wg}]
+		if !(base > opt1) {
+			t.Errorf("wg=%d: base measured %.6g not above opt1 %.6g — guarded reloads invisible", wg, base, opt1)
+		}
+	}
+	if !d.Variant.CooperativeFetch() {
+		t.Errorf("measured winner %s is not a cooperative-fetch variant", d.Variant)
+	}
+	if d.Measured != d.Candidates[0].Measured {
+		t.Errorf("decision measurement %.6g diverges from top candidate %.6g", d.Measured, d.Candidates[0].Measured)
+	}
+}
+
+// TestSelectWithinBestFixed: the tuner's pick must score within 5% of the
+// best fixed (variant, WG) pair on every device — trivially exact for the
+// model pass (argmin), and required of the calibrated pass too, where only
+// the finalists are re-measured.
+func TestSelectWithinBestFixed(t *testing.T) {
+	for _, spec := range device.All() {
+		for _, calibrate := range []bool{false, true} {
+			cfg := Config{Spec: spec, Calibrate: calibrate}
+			d, err := Select(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			best := d.Candidates[0].Score()
+			for _, c := range d.Candidates {
+				if s := c.Score(); s < best {
+					best = s
+				}
+			}
+			if d.Candidates[0].Score() > best*1.05 {
+				t.Errorf("%s calibrate=%v: selected %.6gs, best fixed %.6gs (>5%% off)",
+					spec.Name, calibrate, d.Candidates[0].Score(), best)
+			}
+		}
+	}
+}
+
+// TestSelectConfigErrors covers the rejection paths.
+func TestSelectConfigErrors(t *testing.T) {
+	if _, err := Select(Config{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := Select(Config{Spec: device.MI60(), WGSizes: []int{-64}}); err == nil {
+		t.Error("negative work-group size accepted")
+	}
+	if _, err := Select(Config{Spec: device.MI60(), WGSizes: []int{4096}}); err == nil {
+		t.Error("work-group sizes beyond MaxWorkGroupSize should leave nothing to score")
+	}
+	if _, err := Select(Config{Spec: device.MI60(), Variants: []kernels.ComparerVariant{}}); err == nil {
+		t.Error("empty variant list accepted")
+	}
+}
+
+// TestSelectRespectsMaxWorkGroup: oversized candidate group sizes are
+// skipped, not scored.
+func TestSelectRespectsMaxWorkGroup(t *testing.T) {
+	spec := device.MI60()
+	spec.MaxWorkGroupSize = 128
+	d, err := Select(Config{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Candidates {
+		if c.WGSize > 128 {
+			t.Errorf("candidate wg=%d beyond the device's 128 limit", c.WGSize)
+		}
+	}
+}
