@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race faultcheck tracecheck schedcheck coldcheck tunecheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar bench-obs bench-sched bench-artifact bench-tune ci
+.PHONY: all build fmt vet test race faultcheck tracecheck schedcheck coldcheck tunecheck servecheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar bench-obs bench-sched bench-artifact bench-tune bench-serve ci
 
 all: build
 
@@ -71,6 +71,16 @@ tunecheck:
 	$(GO) test -race -count 1 ./cmd/casoffinder/ -run 'TestRunAuto|TestRunAutotune|TestParseVariant'
 	$(GO) test -count 1 -run 'TestAutotuneWithinBestFixed' .
 
+# Daemon smoke under the race detector: admission control (quota, shed,
+# deadline), cross-request coalescing byte-identity (clean and under a
+# seeded device-lost fault), graceful drain, panic isolation, the
+# casoffinderd end-to-end boot/search/shutdown cycle, and the CLI's
+# -timeout/-format satellites.
+servecheck:
+	$(GO) test -race -count 1 ./internal/serve/
+	$(GO) test -race -count 1 ./cmd/casoffinderd/
+	$(GO) test -race -count 1 ./cmd/casoffinder/ -run 'TestRunFormat|TestRunTimeout'
+
 # Fuzz regression mode: the seed corpora (f.Add entries) replay on every
 # plain `go test`; this target additionally fuzzes each target briefly to
 # grow the corpus and shake out fresh inputs. Not part of `ci` — fuzzing is
@@ -82,6 +92,7 @@ fuzz-regress:
 	$(GO) test ./internal/genome/ -run '^$$' -fuzz '^FuzzReadFASTA$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/genome/ -run '^$$' -fuzz '^FuzzWordView$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/genome/ -run '^$$' -fuzz '^FuzzPack$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serve/ -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
 
 # Run the tracked micro-benchmarks briefly and print the parsed results
 # without touching the committed snapshot.
@@ -106,6 +117,7 @@ bench-compare:
 	$(GO) run ./cmd/benchsnap -compare BENCH_sched.json -bench 'WorkStealing' -pkgs . -benchtime 20x
 	$(GO) run ./cmd/benchsnap -compare BENCH_artifact.json -bench 'ColdStart' -pkgs . -benchtime 20x -threshold 1.3
 	$(GO) run ./cmd/benchsnap -compare BENCH_tune.json -bench 'Autotune' -pkgs . -benchtime 20x -threshold 1.3
+	$(GO) run ./cmd/benchsnap -compare BENCH_serve.json -bench 'Coalesce' -pkgs ./internal/serve -benchtime 20x -threshold 1.3
 
 # Record the post-pipeline snapshot (includes BenchmarkStreamVsRun).
 bench-pipeline:
@@ -133,6 +145,13 @@ bench-sched:
 bench-artifact:
 	$(GO) run ./cmd/benchsnap -o BENCH_artifact.json -bench 'ColdStart' -pkgs . -benchtime 100x
 
+# Record the serve snapshot (BenchmarkCoalesce: N concurrent single-guide
+# requests through one coalesced genome pass vs one pass each). The
+# coalesced/independent ratio is the daemon's headline batching win; gated
+# at 1.3x with the other wall-time-noisy simulator rows.
+bench-serve:
+	$(GO) run ./cmd/benchsnap -o BENCH_serve.json -bench 'Coalesce' -pkgs ./internal/serve -benchtime 50x
+
 # Record the autotuner snapshot (BenchmarkAutotune: tuned vs best/worst
 # fixed (variant, work-group size) per device; the model's ms/chunk
 # prediction rides along as a custom metric). Gated at 1.3x like the
@@ -141,4 +160,4 @@ bench-artifact:
 bench-tune:
 	$(GO) run ./cmd/benchsnap -o BENCH_tune.json -bench 'Autotune' -pkgs . -benchtime 50x
 
-ci: fmt vet build race faultcheck tracecheck schedcheck coldcheck tunecheck bench-compare
+ci: fmt vet build race faultcheck tracecheck schedcheck coldcheck tunecheck servecheck bench-compare

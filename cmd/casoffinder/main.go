@@ -16,6 +16,7 @@
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	            [-fault-rate 0.05 -fault-seed 42] [-watchdog 5s]
 //	            [-trace trace.json] [-metrics metrics.prom]
+//	            [-format text|json] [-timeout 30s]
 //	            [-o output.txt] input.txt
 //
 // The cpu engine is the production path (-packed switches it to the
@@ -63,6 +64,11 @@
 // -metrics writes the run's counters and latency histograms as Prometheus
 // text exposition plus a JSON snapshot merged with the engine profile at
 // FILE.json. Both are off (and cost nothing) by default.
+//
+// -format json emits each hit as one NDJSON object (the same encoding
+// casoffinderd streams) instead of the tab-separated text lines. -timeout
+// bounds the whole run: an expired deadline cancels the in-flight search
+// and exits 1 with a client.deadline error.
 //
 // Exit codes: 0 on success, 1 on a runtime error, 2 on a usage error, 3
 // when quarantined chunks made the result partial.
@@ -141,6 +147,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	variantName := fs.String("variant", "auto", "comparer kernel variant: auto (per-device occupancy autotuner), base, opt1..opt4 or bitparallel")
 	autotuneMode := fs.String("autotune", "model", "autotuner mode for -variant auto: model (analytic scoring only) or calibrate (re-rank finalists on measured launches)")
 	outPath := fs.String("o", "", "output file (default stdout)")
+	format := fs.String("format", "text", "hit output format: text (tab-separated) or json (NDJSON, one hit object per line)")
+	timeout := fs.Duration("timeout", 0, "overall run deadline; an expired run exits 1 with a client.deadline error (0 = none)")
 	workers := fs.Int("workers", 0, "cpu engine workers (0 = all cores)")
 	packed := fs.Bool("packed", false, "cpu engine: scan the 2-bit packed genome with the bit-parallel SWAR core")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -166,6 +174,14 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 	if *faultRate < 0 || *faultRate > 1 {
 		return usageError{fmt.Errorf("-fault-rate %v outside [0, 1]", *faultRate)}
+	}
+	switch *format {
+	case "text", "json":
+	default:
+		return usageError{fmt.Errorf("unknown -format %q (want text or json)", *format)}
+	}
+	if *timeout < 0 {
+		return usageError{fmt.Errorf("-timeout %v is negative", *timeout)}
 	}
 	faultPlan := fault.Plan{Seed: *faultSeed, Rate: *faultRate, After: *faultAfter}
 	if *faultSite != "" {
@@ -261,6 +277,15 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 
 	var runErr error
 	if input.DNABulge > 0 || input.RNABulge > 0 {
+		// The bulge search runs whole-result (no stream to time out or
+		// re-encode); keep its single output format honest rather than
+		// silently ignoring the flags.
+		if *format == "json" {
+			return usageError{fmt.Errorf("-format json covers the mismatch-only stream; bulge-annotated output is text only")}
+		}
+		if *timeout > 0 {
+			return usageError{fmt.Errorf("-timeout covers the streaming search; bulge runs are not cancellable")}
+		}
 		hits, err := bulge.Search(eng, asm, &input.Request, bulge.Options{
 			MaxDNABulge: input.DNABulge,
 			MaxRNABulge: input.RNABulge,
@@ -275,17 +300,35 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 	} else {
 		// Stream output lines as chunks complete instead of collecting the
-		// whole result first; an interrupt cancels the in-flight search.
+		// whole result first; an interrupt (or -timeout) cancels the
+		// in-flight search.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		writeHit := search.WriteHit
+		if *format == "json" {
+			writeHit = search.WriteHitJSON
+		}
 		bw := bufio.NewWriter(out)
 		count := 0
 		runErr = eng.Stream(ctx, asm, &input.Request, func(h search.Hit) error {
 			count++
-			return search.WriteHit(bw, &input.Request, h)
+			return writeHit(bw, &input.Request, h)
 		})
 		if ferr := bw.Flush(); runErr == nil {
 			runErr = ferr
+		}
+		if *timeout > 0 && errors.Is(runErr, context.DeadlineExceeded) {
+			// The run overran its own budget: label it with the
+			// client.deadline site so the failure reads as a deliberate
+			// cutoff, and exit 1 (a runtime outcome, not partial output —
+			// nothing says the missing chunks would have quarantined).
+			runErr = fault.New(fault.SiteDeadline, fault.Fatal,
+				fmt.Errorf("run exceeded -timeout %v", *timeout))
 		}
 		var pe *pipeline.PartialError
 		if runErr == nil || errors.As(runErr, &pe) {

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"casoffinder/internal/fault"
 	"casoffinder/internal/pipeline"
 )
 
@@ -528,5 +529,102 @@ func TestTraceMetricsSmoke(t *testing.T) {
 	}
 	if got, want := doc.Metrics.Counters["casoffinder_entries_total"], doc.Profile.Entries; got != want {
 		t.Errorf("entries counter %d disagrees with profile %d", got, want)
+	}
+}
+
+// TestRunFormatJSON: -format json emits one NDJSON object per hit — the
+// same encoding casoffinderd streams — carrying the same sites as the text
+// run.
+func TestRunFormatJSON(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	var text, jsonOut, errOut bytes.Buffer
+	if err := run([]string{input}, &text, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-format", "json", input}, &jsonOut, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	textLines := strings.Split(strings.TrimSuffix(text.String(), "\n"), "\n")
+	jsonLines := strings.Split(strings.TrimSuffix(jsonOut.String(), "\n"), "\n")
+	if len(jsonLines) != len(textLines) || len(jsonLines) == 0 {
+		t.Fatalf("json run emitted %d lines, text run %d", len(jsonLines), len(textLines))
+	}
+	var hit struct {
+		Guide      string `json:"guide"`
+		Query      int    `json:"query"`
+		Seq        string `json:"seq"`
+		Pos        int    `json:"pos"`
+		Dir        string `json:"dir"`
+		Mismatches int    `json:"mismatches"`
+		Site       string `json:"site"`
+	}
+	if err := json.Unmarshal([]byte(jsonLines[0]), &hit); err != nil {
+		t.Fatalf("first line is not a hit object: %v\n%s", err, jsonLines[0])
+	}
+	if hit.Guide != "GATTACAGTANNN" || hit.Seq != "chr1" || hit.Pos != 4 || hit.Dir != "+" {
+		t.Errorf("hit = %+v, want the planted chr1:4 site", hit)
+	}
+}
+
+// TestRunFormatTimeoutUsageErrors: the new flags validate like every other.
+func TestRunFormatTimeoutUsageErrors(t *testing.T) {
+	plain := writeTestData(t, "NNNNNNNNNNNGG")
+	bulged := writeTestData(t, "NNNNNNNNNNNGG 1 1")
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"unknown format", []string{"-format", "xml", plain}},
+		{"json with bulge", []string{"-format", "json", bulged}},
+		{"timeout with bulge", []string{"-timeout", "1s", bulged}},
+		{"negative timeout", []string{"-timeout", "-1s", plain}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			err := run(tt.args, &out, &errOut)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if got := exitCode(err); got != exitUsage {
+				t.Errorf("exitCode = %d, want %d (err: %v)", got, exitUsage, err)
+			}
+		})
+	}
+}
+
+// TestRunTimeoutExpires pins the deadline path: a hung simulated kernel
+// (rate-1 gpu.hang, no watchdog) blocks the run until -timeout cancels it;
+// the error carries the client.deadline fault site and exits 1.
+func TestRunTimeoutExpires(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-engine", "sycl", "-variant", "base",
+		"-fault-rate", "1", "-fault-site", "gpu.hang",
+		"-timeout", "200ms", input}, &out, &errOut)
+	if err == nil {
+		t.Fatal("hung run with -timeout returned no error")
+	}
+	if got := exitCode(err); got != exitRuntime {
+		t.Errorf("exitCode = %d, want %d (err: %v)", got, exitRuntime, err)
+	}
+	if !strings.Contains(err.Error(), string(fault.SiteDeadline)) {
+		t.Errorf("err = %v, want the %s fault site", err, fault.SiteDeadline)
+	}
+}
+
+// TestRunTimeoutGenerous: a deadline the run comfortably makes changes
+// nothing — same hits, exit 0.
+func TestRunTimeoutGenerous(t *testing.T) {
+	input := writeTestData(t, "NNNNNNNNNNNGG")
+	var golden, out, errOut bytes.Buffer
+	if err := run([]string{input}, &golden, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-timeout", "1m", input}, &out, &errOut); err != nil {
+		t.Fatalf("generous -timeout failed the run: %v", err)
+	}
+	if out.String() != golden.String() {
+		t.Errorf("-timeout changed the output:\n%s\nvs\n%s", out.String(), golden.String())
 	}
 }

@@ -66,6 +66,13 @@ const (
 	// layer detects in a persistent genome artifact's precomputed PAM
 	// shards (entries outside the chunk geometry, impossible strand bits).
 	SiteArtifact Site = "genome.artifact"
+	// SiteDeadline is not injected either: it labels a request-scoped
+	// deadline expiring (the CLI's -timeout flag, the server's per-request
+	// deadlines) — distinct from SiteWatchdog, which bounds a single
+	// backend phase rather than the whole run. The class is Fatal from the
+	// run's point of view: the caller chose the budget, retrying inside it
+	// cannot help.
+	SiteDeadline Site = "client.deadline"
 )
 
 // Sites lists the injectable sites, for flag validation and fault-matrix

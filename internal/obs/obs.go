@@ -72,4 +72,22 @@ const (
 	MetricTuneCandidates   = "casoffinder_tune_candidates_total"
 	MetricTuneCalibrations = "casoffinder_tune_calibrations_total"
 	MetricTuneSelected     = "casoffinder_tune_selected_total"
+
+	// Emitted by the search-as-a-service daemon (internal/serve).
+	// MetricServeRequests carries a status="..." label (the terminal request
+	// outcome: ok, degraded, rejected, error, canceled);
+	// MetricServeShed a reason="..." label (quota, queue-full, shed,
+	// deadline, bytes, draining).
+	MetricServeRequests      = "casoffinderd_requests_total"
+	MetricServeShed          = "casoffinderd_shed_total"
+	MetricServeQueueDepth    = "casoffinderd_queue_depth"
+	MetricServeInflight      = "casoffinderd_inflight"
+	MetricServeInflightBytes = "casoffinderd_inflight_bytes"
+	MetricServeQueueSeconds  = "casoffinderd_queue_seconds"
+	MetricServeStreamSeconds = "casoffinderd_stream_seconds"
+	MetricServeBatches       = "casoffinderd_batches_total"
+	MetricServeCoalesced     = "casoffinderd_coalesced_requests_total"
+	MetricServeDegraded      = "casoffinderd_degraded_total"
+	MetricServePanics        = "casoffinderd_panics_total"
+	MetricServeHits          = "casoffinderd_hits_total"
 )

@@ -2,6 +2,7 @@ package search
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -92,6 +93,40 @@ func WriteHit(w io.Writer, req *Request, h Hit) error {
 	guide := req.Queries[h.QueryIndex].Guide
 	if _, err := fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%c\t%d\n",
 		guide, h.SeqName, h.Pos, h.Site, h.Dir, h.Mismatches); err != nil {
+		return fmt.Errorf("search: writing output: %w", err)
+	}
+	return nil
+}
+
+// WriteHitJSON writes one hit as a single NDJSON line: the hit's stable
+// JSON fields (see pipeline.Hit) preceded by the resolved guide sequence, so
+// a consumer never needs the request to interpret a line. It is the shared
+// wire encoder of casoffinderd's streaming responses and the CLI's
+// -format json output.
+func WriteHitJSON(w io.Writer, req *Request, h Hit) error {
+	rec := struct {
+		Guide      string `json:"guide"`
+		Query      int    `json:"query"`
+		Seq        string `json:"seq"`
+		Pos        int    `json:"pos"`
+		Dir        string `json:"dir"`
+		Mismatches int    `json:"mismatches"`
+		Site       string `json:"site"`
+	}{
+		Guide:      req.Queries[h.QueryIndex].Guide,
+		Query:      h.QueryIndex,
+		Seq:        h.SeqName,
+		Pos:        h.Pos,
+		Dir:        string(h.Dir),
+		Mismatches: h.Mismatches,
+		Site:       h.Site,
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("search: encoding hit: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
 		return fmt.Errorf("search: writing output: %w", err)
 	}
 	return nil

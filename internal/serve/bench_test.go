@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/pipeline"
+	"casoffinder/internal/search"
+)
+
+// benchAssembly builds a deterministic pseudo-random genome large enough
+// that a pass dominates the coalescer's bookkeeping.
+func benchAssembly(bases int) *genome.Assembly {
+	data := make([]byte, bases)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range data {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		data[i] = "ACGT"[x&3]
+	}
+	return &genome.Assembly{Name: "bench", Sequences: []*genome.Sequence{
+		{Name: "chr1", Data: data},
+	}}
+}
+
+// benchGuides derives n distinct pattern-shaped guides from the assembly so
+// every member's scan does comparable work.
+func benchGuides(asm *genome.Assembly, n int) []pipeline.Query {
+	data := asm.Sequences[0].Data
+	guides := make([]pipeline.Query, n)
+	for i := range guides {
+		g := make([]byte, 13)
+		copy(g, data[i*257:i*257+11])
+		g[11], g[12] = 'N', 'N'
+		guides[i] = pipeline.Query{Guide: string(g), MaxMismatches: 3}
+	}
+	return guides
+}
+
+// BenchmarkCoalesce measures the daemon's cross-request coalescing win: N
+// concurrent single-guide requests served as one merged genome pass
+// (coalesced) versus one pass each (independent). The coalesced/independent
+// ns/op ratio is the headline; the gate in BENCH_serve.json holds both rows.
+func BenchmarkCoalesce(b *testing.B) {
+	asm := benchAssembly(1 << 20)
+	eng := &search.CPU{}
+	const members = 8
+	guides := benchGuides(asm, members)
+	run := func(ctx context.Context, _ string, req *pipeline.Request, emit func(pipeline.Hit) error) (*pipeline.Report, error) {
+		return nil, eng.Stream(ctx, asm, req, emit)
+	}
+	reqs := make([]*pipeline.Request, members)
+	for i := range reqs {
+		reqs[i] = &pipeline.Request{Pattern: "NNNNNNNNNNNGG", Queries: []pipeline.Query{guides[i]}}
+	}
+	sink := func(pipeline.Hit) error { return nil }
+
+	for _, mode := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{"independent", -1},                  // solo path: one pass per member
+		{"coalesced", 10 * time.Millisecond}, // members merge into one pass
+	} {
+		b.Run(fmt.Sprintf("%s/members=%d", mode.name, members), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := newCoalescer(mode.window, 0, run, nil)
+				var wg sync.WaitGroup
+				for _, req := range reqs {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if _, perr, merr := c.Join(context.Background(), "bench", req, sink); perr != nil || merr != nil {
+							b.Errorf("join: %v / %v", perr, merr)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+		})
+	}
+}

@@ -1,0 +1,472 @@
+// Package serve is casoffinderd: the off-target search service. It keeps
+// genome artifacts and engines resident across requests — the two wins the
+// one-shot CLI throws away on every run (the artifact subsystem's ~37x
+// time-to-first-hit, the batch comparer's ~3.2x multi-pattern pass) — and
+// wraps them in production-grade request robustness:
+//
+//   - admission control: a bounded queue with per-tenant token-bucket
+//     quotas, an admitted-bytes budget and deadline-aware rejection; under
+//     overload the newest lowest-priority work sheds with 429 + Retry-After
+//     instead of queueing unboundedly (admission.go);
+//   - cross-request guide coalescing: concurrent requests sharing (genome,
+//     pattern, chunk budget) merge into one genome pass and demultiplex
+//     back to byte-identical per-request streams (coalesce.go);
+//   - per-request lifecycle robustness: context deadlines threaded into
+//     Engine.Stream, panic isolation per request, graceful degradation —
+//     a pass that retried, failed over or quarantined chunks completes
+//     with a degraded trailer rather than a dropped connection — and a
+//     drain path that finishes in-flight streams before exit;
+//   - SLO observability: /metrics (Prometheus text), /healthz, /readyz
+//     (ready only once genomes are resident and engines warmed), and a
+//     span per request phase on the shared obs.Tracer.
+//
+// Responses stream as NDJSON: one hit object per line (the stable
+// pipeline.Hit field set plus the resolved guide) terminated by exactly one
+// Trailer object.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/obs"
+	"casoffinder/internal/pipeline"
+	"casoffinder/internal/search"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Engine executes genome passes. The CPU engine streams concurrently;
+	// the simulator engines share mutable device state, so set
+	// SerializePasses with them.
+	Engine search.Engine
+	// SerializePasses runs at most one genome pass at a time. Required for
+	// the simulator engines and for resilience-report capture.
+	SerializePasses bool
+	// Genomes are the resident assemblies, by request name.
+	Genomes map[string]*genome.Assembly
+	// DefaultGenome resolves requests that omit the genome field; empty
+	// with a single genome means that genome.
+	DefaultGenome string
+	// Limits bounds admission; zero fields take the package defaults.
+	Limits Limits
+	// CoalesceWindow is the guide-coalescing batching window; 0 means
+	// DefaultCoalesceWindow, negative disables coalescing.
+	CoalesceWindow time.Duration
+	// CoalesceMaxGuides seals a batch early (0 = default).
+	CoalesceMaxGuides int
+	// Metrics and Trace receive the service's counters and request spans;
+	// nil disables each at zero cost.
+	Metrics *obs.Metrics
+	Trace   *obs.Tracer
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Server is the HTTP search service.
+type Server struct {
+	cfg     Config
+	lim     Limits
+	adm     *admission
+	coal    *coalescer
+	metrics *obs.Metrics
+
+	// engineMu serializes passes when the engine demands it and makes the
+	// resilience-report slot race-free.
+	engineMu sync.Mutex
+	reportMu sync.Mutex
+	report   *pipeline.Report
+
+	ready    atomic.Bool
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	reqSeq   atomic.Int64
+}
+
+// New builds a Server. The genomes must already be loaded (for artifacts,
+// mmapped); readiness still waits for Warmup.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("serve: config needs an engine")
+	}
+	if len(cfg.Genomes) == 0 {
+		return nil, errors.New("serve: config needs at least one genome")
+	}
+	if cfg.DefaultGenome == "" && len(cfg.Genomes) == 1 {
+		for name := range cfg.Genomes {
+			cfg.DefaultGenome = name
+		}
+	}
+	if cfg.DefaultGenome != "" && cfg.Genomes[cfg.DefaultGenome] == nil {
+		return nil, fmt.Errorf("serve: default genome %q is not loaded", cfg.DefaultGenome)
+	}
+	if cfg.CoalesceWindow == 0 {
+		cfg.CoalesceWindow = DefaultCoalesceWindow
+	}
+	s := &Server{cfg: cfg, lim: cfg.Limits.withDefaults(), metrics: cfg.Metrics}
+	s.adm = newAdmission(s.lim, cfg.now, cfg.Metrics)
+	s.coal = newCoalescer(cfg.CoalesceWindow, cfg.CoalesceMaxGuides, s.runPass, cfg.Metrics)
+	return s, nil
+}
+
+// ReportSink returns the callback to install as the engine's
+// Resilience.OnReport, so degraded passes surface in response trailers.
+func (s *Server) ReportSink() func(*pipeline.Report) {
+	return func(rep *pipeline.Report) {
+		s.reportMu.Lock()
+		s.report = rep
+		s.reportMu.Unlock()
+	}
+}
+
+// takeReport claims the report of the pass that just ran.
+func (s *Server) takeReport() *pipeline.Report {
+	s.reportMu.Lock()
+	defer s.reportMu.Unlock()
+	rep := s.report
+	s.report = nil
+	return rep
+}
+
+// runPass executes one genome pass — the coalescer's passFunc.
+func (s *Server) runPass(ctx context.Context, genomeName string, req *pipeline.Request, emit func(pipeline.Hit) error) (*pipeline.Report, error) {
+	asm := s.cfg.Genomes[genomeName]
+	if asm == nil {
+		return nil, apiErrorf(http.StatusNotFound, "unknown-genome", "no resident genome named %q", genomeName)
+	}
+	if s.cfg.SerializePasses {
+		s.engineMu.Lock()
+		defer s.engineMu.Unlock()
+	}
+	s.takeReport() // clear any stale slot
+	err := s.cfg.Engine.Stream(ctx, asm, req, emit)
+	rep := s.takeReport()
+	if rep == nil {
+		var pe *pipeline.PartialError
+		if errors.As(err, &pe) {
+			rep = pe.Report
+		}
+	}
+	return rep, err
+}
+
+// Warmup resolves everything first-request latency would otherwise pay:
+// the engine's kernel tuning (and for the simulator engines, program
+// builds) via one tiny synthetic pass. The resident genomes were loaded —
+// and artifact payloads mapped — at construction. Call SetReady after.
+func (s *Server) Warmup(ctx context.Context) error {
+	seq := &genome.Sequence{Name: "warmup", Data: make([]byte, 64)}
+	for i := range seq.Data {
+		seq.Data[i] = "ACGT"[i%4]
+	}
+	asm := &genome.Assembly{Name: "warmup", Sequences: []*genome.Sequence{seq}}
+	req := &pipeline.Request{
+		Pattern: "NNNNNNNNNNNGG",
+		Queries: []pipeline.Query{{Guide: "NNNNNNNNNNNNN", MaxMismatches: 0}},
+	}
+	if s.cfg.SerializePasses {
+		s.engineMu.Lock()
+		defer s.engineMu.Unlock()
+	}
+	return s.cfg.Engine.Stream(ctx, asm, req, func(pipeline.Hit) error { return nil })
+}
+
+// SetReady flips /readyz; the daemon calls it after Warmup succeeds.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Genomes lists the resident genome names, sorted.
+func (s *Server) Genomes() []string {
+	names := make([]string, 0, len(s.cfg.Genomes))
+	for name := range s.cfg.Genomes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.metrics.WritePrometheus(w)
+	})
+	return mux
+}
+
+// Drain stops admission and waits for in-flight streams: queued requests
+// shed with 503 + Retry-After, running passes finish and flush their
+// trailers. Returns ctx.Err() if the drain deadline expires first.
+func (s *Server) Drain(ctx context.Context) error {
+	s.ready.Store(false) // readiness fails first so balancers stop routing
+	s.draining.Store(true)
+	s.adm.Drain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// status labels for the terminal request counter.
+const (
+	statusOK       = "ok"
+	statusDegraded = "degraded"
+	statusRejected = "rejected"
+	statusError    = "error"
+	statusCanceled = "canceled"
+)
+
+// finish counts a request's terminal outcome.
+func (s *Server) finish(status string) {
+	s.metrics.Count(obs.L(obs.MetricServeRequests, "status", status), 1)
+}
+
+// handleSearch is POST /search: decode → admit → (coalesce →) pass → demux
+// → trailer. Every exit path either writes a typed error envelope (before
+// streaming) or a trailer object (after), and a per-request panic is
+// isolated to a 500 for that request alone.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	reqID := int(s.reqSeq.Add(1))
+	started := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.metrics.Count(obs.MetricServePanics, 1)
+			s.finish(statusError)
+			s.cfg.Trace.Instant("serve", "panic", reqID,
+				obs.Attr{Key: "panic", Value: fmt.Sprint(rec)})
+			if !started {
+				writeAPIError(w, apiErrorf(http.StatusInternalServerError, "panic",
+					"internal error handling request"), 0)
+			}
+		}
+	}()
+
+	if r.Method != http.MethodPost {
+		writeAPIError(w, apiErrorf(http.StatusMethodNotAllowed, "method", "POST /search"), 0)
+		return
+	}
+	if !s.ready.Load() || s.draining.Load() {
+		s.finish(statusRejected)
+		code := "not-ready"
+		if s.draining.Load() {
+			code = "draining"
+		}
+		writeAPIError(w, apiErrorf(http.StatusServiceUnavailable, code, "server is not accepting searches"), 1)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	body := http.MaxBytesReader(w, r.Body, s.lim.MaxBodyBytes)
+	sreq, preq, cost, apiErr := DecodeRequest(body, s.lim)
+	if apiErr != nil {
+		s.finish(statusRejected)
+		writeAPIError(w, apiErr, 0)
+		return
+	}
+	genomeName := sreq.Genome
+	if genomeName == "" {
+		genomeName = s.cfg.DefaultGenome
+	}
+	if genomeName == "" {
+		s.finish(statusRejected)
+		writeAPIError(w, apiErrorf(http.StatusBadRequest, "genome-required",
+			"several genomes are resident (%v); name one", s.Genomes()), 0)
+		return
+	}
+	if s.cfg.Genomes[genomeName] == nil {
+		s.finish(statusRejected)
+		writeAPIError(w, apiErrorf(http.StatusNotFound, "unknown-genome",
+			"no resident genome named %q (have %v)", genomeName, s.Genomes()), 0)
+		return
+	}
+	tenant := r.Header.Get("X-API-Key")
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	priority, _ := ParsePriority(sreq.Priority) // validated by DecodeRequest
+
+	ctx := r.Context()
+	var deadline time.Time
+	if sreq.TimeoutMs > 0 {
+		d := time.Duration(sreq.TimeoutMs) * time.Millisecond
+		deadline = time.Now().Add(d)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	if cost <= 0 {
+		cost = 1
+	}
+
+	// Admission: quota, byte budget, bounded queue with shedding.
+	tk := newTicket(tenant, priority, cost, deadline)
+	t0 := time.Now()
+	if err := s.adm.Admit(ctx, tk); err != nil {
+		s.finish(statusRejected)
+		var rej *RejectError
+		if errors.As(err, &rej) {
+			s.cfg.Trace.Instant("serve", "reject", reqID,
+				obs.Attr{Key: "reason", Value: rej.Reason})
+			writeAPIError(w, apiErrorf(rej.Status, "rejected:"+rej.Reason,
+				"request rejected (%s); retry after %v", rej.Reason, rej.RetryAfter),
+				int(rej.RetryAfter.Seconds()+1))
+			return
+		}
+		// The client's context ended while queued and admission let the
+		// cancellation through: nothing useful left to write.
+		return
+	}
+	defer s.adm.Release(tk)
+	s.cfg.Trace.Complete("serve", "admit", reqID, t0, time.Since(t0),
+		obs.Attr{Key: "tenant", Value: tenant})
+
+	// Stream. From the first hit on, failures become trailers, never
+	// status rewrites or dropped connections.
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriter(w)
+	var hits int64
+	emit := func(h pipeline.Hit) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !started {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			started = true
+		}
+		if err := search.WriteHitJSON(bw, preq, h); err != nil {
+			return err
+		}
+		hits++
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	tRun := time.Now()
+	var rep *pipeline.Report
+	var passErr, emitErr error
+	if sreq.NoCoalesce {
+		rep, passErr = s.runPass(ctx, genomeName, preq, emit)
+	} else {
+		rep, passErr, emitErr = s.coal.Join(ctx, genomeName, preq, emit)
+	}
+	s.metrics.Observe(obs.MetricServeStreamSeconds, time.Since(tRun).Seconds())
+	s.metrics.Count(obs.MetricServeHits, hits)
+	s.cfg.Trace.Complete("serve", "stream", reqID, tRun, time.Since(tRun),
+		obs.Attr{Key: "hits", Value: strconv.FormatInt(hits, 10)})
+
+	if emitErr != nil && !errors.Is(emitErr, context.DeadlineExceeded) {
+		// Our own write to this client failed: the connection is gone and
+		// there is nowhere to put a trailer.
+		s.finish(statusCanceled)
+		return
+	}
+	s.writeOutcome(w, bw, started, hits, rep, firstErr(emitErr, passErr))
+}
+
+// firstErr prefers the member's own terminal condition (a deadline that
+// fired inside emit) over the shared pass outcome.
+func firstErr(emitErr, passErr error) error {
+	if emitErr != nil {
+		return emitErr
+	}
+	return passErr
+}
+
+// writeOutcome terminates the response: a trailer when the stream started
+// (or completed cleanly), a typed error envelope when nothing was written
+// yet and the pass failed outright.
+func (s *Server) writeOutcome(w http.ResponseWriter, bw *bufio.Writer, started bool, hits int64, rep *pipeline.Report, passErr error) {
+	degraded := rep != nil && rep.Degraded()
+	var pe *pipeline.PartialError
+	partial := errors.As(passErr, &pe)
+
+	if passErr == nil || partial {
+		// Clean or gracefully degraded: both complete with done:true. A
+		// quarantined chunk is reported, never a dropped request.
+		tr := Trailer{Done: true, Hits: hits, Degraded: degraded || partial}
+		if rep != nil {
+			tr.Retries, tr.Failovers, tr.WatchdogKills = rep.Retries, rep.Failovers, rep.WatchdogKills
+			tr.Quarantined = len(rep.Quarantined)
+		}
+		if tr.Degraded {
+			s.metrics.Count(obs.MetricServeDegraded, 1)
+			s.finish(statusDegraded)
+		} else {
+			s.finish(statusOK)
+		}
+		s.writeTrailer(w, bw, started, http.StatusOK, tr)
+		return
+	}
+
+	status, body := errorBodyOf(passErr)
+	if body == nil { // cancellation: client is gone
+		s.finish(statusCanceled)
+		return
+	}
+	s.finish(statusError)
+	var ae *APIError
+	if errors.As(passErr, &ae) {
+		status, body = ae.Status, &ErrorBody{Code: ae.Code, Message: ae.Message}
+	}
+	s.writeTrailer(w, bw, started, status, Trailer{Done: false, Hits: hits, Degraded: degraded, Error: body})
+}
+
+// writeTrailer emits the final NDJSON object. When nothing streamed yet the
+// status code is still ours to choose; afterwards the trailer itself is the
+// only channel, so it rides on the already-open 200 stream.
+func (s *Server) writeTrailer(w http.ResponseWriter, bw *bufio.Writer, started bool, status int, tr Trailer) {
+	if !started {
+		if tr.Error != nil && status != http.StatusOK {
+			writeAPIError(w, &APIError{Status: status, Code: tr.Error.Code, Message: tr.Error.Message}, 0)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		return
+	}
+	bw.Write(data)
+	bw.WriteByte('\n')
+	bw.Flush()
+}
