@@ -265,26 +265,43 @@ func (a *admission) Admit(ctx context.Context, tk *ticket) error {
 	case <-deadlineC:
 		// Deadline-aware rejection: the budget ran out while still queued,
 		// so the client is told to back off rather than handed a doomed
-		// stream. If dispatch raced us, keep the slot.
-		if !a.withdraw(tk) {
+		// stream. If dispatch raced us, keep the slot; if a shed raced us,
+		// the rejection wins.
+		if withdrawn, rej := a.withdraw(tk); !withdrawn {
+			if rej != nil {
+				return rej
+			}
 			return nil
 		}
 		return a.reject(http.StatusTooManyRequests, "deadline", a.lim.RetryAfter)
 	case <-ctx.Done():
-		if !a.withdraw(tk) {
+		if withdrawn, rej := a.withdraw(tk); !withdrawn {
+			if rej != nil {
+				return rej
+			}
 			return nil
 		}
 		return ctx.Err()
 	}
 }
 
-// withdraw removes a waiting ticket from the queue, reporting false when the
-// ticket was already dispatched (the caller then owns a slot after all).
-func (a *admission) withdraw(tk *ticket) bool {
+// withdraw removes a waiting ticket from the queue. withdrawn reports whether
+// the ticket was still queued; when false the ticket already left the queue
+// another way, and rej disambiguates how: non-nil means it was shed (evicted
+// or drained, so the caller holds nothing), nil means dispatchLocked granted
+// it a slot the caller now owns and must Release. Both departures happen
+// under a.mu — the eviction buffers its rejection on tk.shed before the lock
+// is released — so once we hold the lock the channel state is settled.
+func (a *admission) withdraw(tk *ticket) (withdrawn bool, rej *RejectError) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if !tk.queued {
-		return false
+		select {
+		case r := <-tk.shed:
+			return false, r
+		default:
+			return false, nil
+		}
 	}
 	for i, q := range a.queue {
 		if q == tk {
@@ -295,7 +312,7 @@ func (a *admission) withdraw(tk *ticket) bool {
 	tk.queued = false
 	a.qBytes -= tk.cost
 	a.gaugesLocked()
-	return true
+	return true, nil
 }
 
 // victimLocked picks the shed victim for an arrival at the given priority:

@@ -217,6 +217,75 @@ func TestAdmitContextCancellation(t *testing.T) {
 	}
 }
 
+// enqueue plants a ticket directly in the controller's queue, bypassing
+// Admit's blocking select, so tests can race withdraw against eviction and
+// dispatch deterministically.
+func enqueue(a *admission, tk *ticket) {
+	a.mu.Lock()
+	tk.queued = true
+	tk.enqueued = a.now()
+	a.queue = append(a.queue, tk)
+	a.qBytes += tk.cost
+	a.mu.Unlock()
+}
+
+// TestWithdrawDistinguishesShedFromGrant: a ticket that left the queue by
+// eviction must surface its shed rejection from withdraw — not read as "slot
+// granted", which would let the caller run past MaxInflight and drive the
+// admission counters negative on Release. Only a dispatched ticket reports a
+// granted slot.
+func TestWithdrawDistinguishesShedFromGrant(t *testing.T) {
+	clk := newFakeClock()
+	a := newAdmission(Limits{MaxInflight: 1}.withDefaults(), clk.now, nil)
+	holder := newTicket("h", PriorityNormal, 1, time.Time{})
+	if err := a.Admit(context.Background(), holder); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evicted ticket: withdraw reports the shed, never a grant.
+	shedTk := newTicket("shed", PriorityLow, 1, time.Time{})
+	enqueue(a, shedTk)
+	a.mu.Lock()
+	a.evictLocked(0)
+	a.mu.Unlock()
+	withdrawn, rej := a.withdraw(shedTk)
+	if withdrawn || rej == nil {
+		t.Fatalf("withdraw(evicted) = (%v, %v), want (false, shed rejection)", withdrawn, rej)
+	}
+
+	// Drained ticket: same contract.
+	drainTk := newTicket("drained", PriorityNormal, 1, time.Time{})
+	enqueue(a, drainTk)
+	a.Drain()
+	withdrawn, rej = a.withdraw(drainTk)
+	if withdrawn || rej == nil || rej.Status != http.StatusServiceUnavailable {
+		t.Fatalf("withdraw(drained) = (%v, %v), want (false, 503 rejection)", withdrawn, rej)
+	}
+	a.mu.Lock()
+	a.draining = false
+	a.mu.Unlock()
+
+	// Dispatched ticket: withdraw reports a granted slot (nil rejection).
+	grantTk := newTicket("granted", PriorityNormal, 1, time.Time{})
+	enqueue(a, grantTk)
+	a.Release(holder) // frees the slot and dispatches grantTk
+	withdrawn, rej = a.withdraw(grantTk)
+	if withdrawn || rej != nil {
+		t.Fatalf("withdraw(dispatched) = (%v, %v), want (false, nil = slot held)", withdrawn, rej)
+	}
+	a.Release(grantTk)
+
+	// The bounds survived the whole dance: everything released, nothing
+	// negative, so a fresh request is admitted on the fast path.
+	a.mu.Lock()
+	inflight, runBytes, qBytes := a.inflight, a.runBytes, a.qBytes
+	a.mu.Unlock()
+	if inflight != 0 || runBytes != 0 || qBytes != 0 {
+		t.Fatalf("controller state after releases: inflight=%d runBytes=%d qBytes=%d, want all 0",
+			inflight, runBytes, qBytes)
+	}
+}
+
 // TestDrainShedsQueue: drain refuses new arrivals and sheds every waiter
 // with 503s, leaving only the running requests to finish.
 func TestDrainShedsQueue(t *testing.T) {

@@ -27,6 +27,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -211,9 +212,24 @@ func (c *coalescer) seal(b *coalBatch) {
 
 	go func() {
 		defer cancel()
-		rep, err := c.run(passCtx, b.key.genome, merged, func(h pipeline.Hit) error {
-			return b.forward(offs, h)
-		})
+		var rep *pipeline.Report
+		var err error
+		func() {
+			// The merged pass runs outside any handler goroutine, so an
+			// engine panic here would crash the daemon and leave b.done
+			// unclosed, hanging every member. Convert it to the pass error
+			// instead; each member's trailer path reports it as a 500.
+			defer func() {
+				if rec := recover(); rec != nil {
+					c.metrics.Count(obs.MetricServePanics, 1)
+					err = apiErrorf(http.StatusInternalServerError, "panic",
+						"internal error during genome pass")
+				}
+			}()
+			rep, err = c.run(passCtx, b.key.genome, merged, func(h pipeline.Hit) error {
+				return b.forward(offs, h)
+			})
+		}()
 		if errors.Is(err, errAllMembersGone) {
 			err = context.Canceled
 		}

@@ -90,6 +90,10 @@ type Server struct {
 
 	ready    atomic.Bool
 	draining atomic.Bool
+	// drainMu makes the accepting check and the inflight.Add atomic with
+	// respect to Drain, so no request slips in after Drain flipped draining
+	// and started waiting on a zero counter.
+	drainMu  sync.Mutex
 	inflight sync.WaitGroup
 	reqSeq   atomic.Int64
 }
@@ -224,7 +228,9 @@ func (s *Server) Handler() http.Handler {
 // trailers. Returns ctx.Err() if the drain deadline expires first.
 func (s *Server) Drain(ctx context.Context) error {
 	s.ready.Store(false) // readiness fails first so balancers stop routing
+	s.drainMu.Lock()
 	s.draining.Store(true)
+	s.drainMu.Unlock()
 	s.adm.Drain()
 	done := make(chan struct{})
 	go func() {
@@ -277,7 +283,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, apiErrorf(http.StatusMethodNotAllowed, "method", "POST /search"), 0)
 		return
 	}
+	s.drainMu.Lock()
 	if !s.ready.Load() || s.draining.Load() {
+		s.drainMu.Unlock()
 		s.finish(statusRejected)
 		code := "not-ready"
 		if s.draining.Load() {
@@ -287,6 +295,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.inflight.Add(1)
+	s.drainMu.Unlock()
 	defer s.inflight.Done()
 
 	body := http.MaxBytesReader(w, r.Body, s.lim.MaxBodyBytes)
@@ -335,9 +344,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	tk := newTicket(tenant, priority, cost, deadline)
 	t0 := time.Now()
 	if err := s.adm.Admit(ctx, tk); err != nil {
-		s.finish(statusRejected)
 		var rej *RejectError
 		if errors.As(err, &rej) {
+			s.finish(statusRejected)
 			s.cfg.Trace.Instant("serve", "reject", reqID,
 				obs.Attr{Key: "reason", Value: rej.Reason})
 			writeAPIError(w, apiErrorf(rej.Status, "rejected:"+rej.Reason,
@@ -347,6 +356,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		// The client's context ended while queued and admission let the
 		// cancellation through: nothing useful left to write.
+		s.finish(statusCanceled)
 		return
 	}
 	defer s.adm.Release(tk)

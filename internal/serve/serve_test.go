@@ -449,6 +449,114 @@ func TestPanicIsolation(t *testing.T) {
 	}
 }
 
+// TestPanicIsolationCoalesced: the merged pass runs in the coalescer's own
+// goroutine, outside any handler's recover — a panic there must still turn
+// into a typed 500 for every batch member (not a daemon crash or a hung
+// batch), and the daemon keeps serving afterwards.
+func TestPanicIsolationCoalesced(t *testing.T) {
+	eng := &stubEngine{panicMsg: "kernel walked off the genome"}
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Engine = eng
+		c.Metrics = obs.NewMetrics()
+		c.CoalesceWindow = 50 * time.Millisecond
+	})
+
+	const members = 2
+	statuses := make([]int, members)
+	codes := make([]string, members)
+	var wg sync.WaitGroup
+	for i := 0; i < members; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/search", strings.NewReader(searchBody))
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Errorf("member %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			var env struct {
+				Error ErrorBody `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Errorf("member %d: response is not an error envelope: %v", i, err)
+				return
+			}
+			codes[i] = env.Error.Code
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < members; i++ {
+		if statuses[i] != http.StatusInternalServerError || codes[i] != "panic" {
+			t.Errorf("member %d: status %d code %q, want 500 panic", i, statuses[i], codes[i])
+		}
+	}
+	if got := s.cfg.Metrics.Counter(obs.MetricServePanics); got == 0 {
+		t.Error("panic counter = 0, want > 0")
+	}
+	// The daemon survives: a healthy engine serves the next coalesced pass.
+	eng.panicMsg = ""
+	if resp := postSearch(t, ts, searchBody, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("request after coalesced panic = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestAdmitCancellationCountsCanceled: a client that gives up while queued is
+// a cancellation, not a rejection — the shed/reject metrics must not inflate.
+func TestAdmitCancellationCountsCanceled(t *testing.T) {
+	eng := &stubEngine{block: make(chan struct{}), started: make(chan struct{}, 1)}
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Engine = eng
+		c.Metrics = obs.NewMetrics()
+		c.Limits.MaxInflight = 1
+	})
+	body := `{"no_coalesce":true,` + searchBody[1:]
+
+	// Occupy the only slot.
+	first := make(chan struct{})
+	go func() {
+		defer close(first)
+		resp, err := ts.Client().Post(ts.URL+"/search", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Errorf("slot holder: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+	}()
+	<-eng.started
+
+	// Queue a second request and cancel its client while it waits.
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan struct{})
+	go func() {
+		defer close(queued)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/search", strings.NewReader(body))
+		if _, err := ts.Client().Do(req); err == nil {
+			t.Error("cancelled request returned without error")
+		}
+	}()
+	waitQueued(t, s.adm, 1)
+	cancel()
+	<-queued
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.cfg.Metrics.Counter(obs.L(obs.MetricServeRequests, "status", statusCanceled)) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("canceled request never counted as canceled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := s.cfg.Metrics.Counter(obs.L(obs.MetricServeRequests, "status", statusRejected)); got != 0 {
+		t.Errorf("rejected count = %d, want 0 (cancellation is not a rejection)", got)
+	}
+
+	close(eng.block)
+	<-first
+}
+
 func TestReadyzGatesTraffic(t *testing.T) {
 	s, ts := newTestServer(t, nil)
 	s.SetReady(false)
