@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race faultcheck tracecheck schedcheck coldcheck tunecheck servecheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar bench-obs bench-sched bench-artifact bench-tune bench-serve ci
+.PHONY: all build fmt vet test race faultcheck tracecheck schedcheck coldcheck tunecheck servecheck alloccheck fuzz-regress bench-stat bench-snapshot bench-compare bench-pipeline bench-swar bench-obs bench-sched bench-artifact bench-tune bench-serve bench-alloc ci
 
 all: build
 
@@ -81,6 +81,18 @@ servecheck:
 	$(GO) test -race -count 1 ./cmd/casoffinderd/
 	$(GO) test -race -count 1 ./cmd/casoffinder/ -run 'TestRunFormat|TestRunTimeout'
 
+# Dynamic-arena smoke under the race detector: the page allocator's claim/
+# grow/decode unit contracts, the dense-region engine matrix (overflow-retry
+# fires, hits stay byte-identical to worst-case provisioning and the CPU
+# reference), the dense run under seeded faults, the zero-body launch
+# regression, the pipeline's overflow-relaunch budget, and the root >=2x
+# provisioning-reduction acceptance gate.
+alloccheck:
+	$(GO) test -race -count 1 ./internal/gpu/alloc/
+	$(GO) test -race -count 1 ./internal/search/ -run 'TestDenseCandidateRegionMatrix|TestDenseRegionSeededFaults|TestZeroBodyChunkFind'
+	$(GO) test -race -count 1 ./internal/pipeline/ -run 'TestOverflowRelaunches|TestOverflowBudgetExhausted'
+	$(GO) test -race -count 1 -run 'TestArenaProvisioningRatio' .
+
 # Fuzz regression mode: the seed corpora (f.Add entries) replay on every
 # plain `go test`; this target additionally fuzzes each target briefly to
 # grow the corpus and shake out fresh inputs. Not part of `ci` — fuzzing is
@@ -93,6 +105,7 @@ fuzz-regress:
 	$(GO) test ./internal/genome/ -run '^$$' -fuzz '^FuzzWordView$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/genome/ -run '^$$' -fuzz '^FuzzPack$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/serve/ -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/gpu/alloc/ -run '^$$' -fuzz '^FuzzArenaDecode$$' -fuzztime $(FUZZTIME)
 
 # Run the tracked micro-benchmarks briefly and print the parsed results
 # without touching the committed snapshot.
@@ -118,6 +131,7 @@ bench-compare:
 	$(GO) run ./cmd/benchsnap -compare BENCH_artifact.json -bench 'ColdStart' -pkgs . -benchtime 20x -threshold 1.3
 	$(GO) run ./cmd/benchsnap -compare BENCH_tune.json -bench 'Autotune' -pkgs . -benchtime 20x -threshold 1.3
 	$(GO) run ./cmd/benchsnap -compare BENCH_serve.json -bench 'Coalesce' -pkgs ./internal/serve -benchtime 20x -threshold 1.3
+	$(GO) run ./cmd/benchsnap -compare BENCH_alloc.json -bench 'ArenaProvisioning' -pkgs . -benchtime 20x -threshold 1.3
 
 # Record the post-pipeline snapshot (includes BenchmarkStreamVsRun).
 bench-pipeline:
@@ -160,4 +174,13 @@ bench-serve:
 bench-tune:
 	$(GO) run ./cmd/benchsnap -o BENCH_tune.json -bench 'Autotune' -pkgs . -benchtime 50x
 
-ci: fmt vet build race faultcheck tracecheck schedcheck coldcheck tunecheck servecheck bench-compare
+# Record the arena snapshot (BenchmarkArenaProvisioning: the dense-region
+# genome under pinned worst-case arenas vs density-driven provisioning per
+# backend; arena-bytes/overflow-retries/page-claims ride along as custom
+# metrics). The worst-case/dynamic arena-bytes ratio is the allocator's
+# headline >=2x staged-bytes reduction, gated exactly by
+# TestArenaProvisioningRatio in alloccheck.
+bench-alloc:
+	$(GO) run ./cmd/benchsnap -o BENCH_alloc.json -bench 'ArenaProvisioning' -pkgs . -benchtime 50x
+
+ci: fmt vet build race faultcheck tracecheck schedcheck coldcheck tunecheck servecheck alloccheck bench-compare

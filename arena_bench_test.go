@@ -1,0 +1,140 @@
+package casoffinder_bench
+
+import (
+	"testing"
+
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/search"
+)
+
+// arenaFixture builds the dense-region stress genome in two regions. The
+// first is a T desert with a lone GG PAM island every 512 bases: one finder
+// work-group in eight emits a candidate, and no candidate survives the
+// mismatch budget, so worst-case provisioning stages full per-group finder
+// pages and a comparer arena the chunks never touch. The second region is
+// all G — every position a PAM site, every candidate a hit — the density
+// spike that must trip the overflow grow-and-retry path instead of
+// dropping hits.
+func arenaFixture(sparse, dense int) (*genome.Assembly, *search.Request) {
+	data := make([]byte, sparse+dense)
+	for i := 0; i < sparse; i++ {
+		data[i] = 'T'
+	}
+	for i := 192; i+1 < sparse; i += 512 {
+		data[i], data[i+1] = 'G', 'G'
+	}
+	for i := sparse; i < len(data); i++ {
+		data[i] = 'G'
+	}
+	asm := &genome.Assembly{Name: "arena-dense", Sequences: []*genome.Sequence{
+		{Name: "chr1", Data: data},
+	}}
+	req := &search.Request{
+		Pattern:    "NNNNNNNNNNGG",
+		Queries:    []search.Query{{Guide: "GGGGGGGGGGNN", MaxMismatches: 1}},
+		ChunkBytes: 1 << 12,
+	}
+	return asm, req
+}
+
+// arenaEngine is the slice of the engine surface the arena ablation needs.
+type arenaEngine interface {
+	search.Engine
+	LastProfile() *search.Profile
+}
+
+func arenaBuilds(worst bool) []struct {
+	name string
+	eng  arenaEngine
+} {
+	return []struct {
+		name string
+		eng  arenaEngine
+	}{
+		{"opencl-sim", &search.SimCL{Device: gpu.New(device.MI100(), gpu.WithWorkers(2)),
+			Variant: kernels.Base, WorstCaseArena: worst}},
+		{"sycl-sim", &search.SimSYCL{Device: gpu.New(device.MI100(), gpu.WithWorkers(2)),
+			Variant: kernels.Base, WorkGroupSize: 64, WorstCaseArena: worst}},
+	}
+}
+
+// BenchmarkArenaProvisioning records the staged-bytes ablation for
+// BENCH_alloc.json: the dense-region genome under pinned worst-case arenas
+// vs density-driven provisioning, per backend. The arena-bytes and
+// overflow-retries custom metrics carry the headline numbers; the dynamic
+// rows must show strictly smaller arena-bytes at equal hit output (the
+// equality itself is gated by TestArenaProvisioningRatio).
+func BenchmarkArenaProvisioning(b *testing.B) {
+	asm, req := arenaFixture(1<<16, 1<<10)
+	for _, worst := range []bool{true, false} {
+		mode := "dynamic"
+		if worst {
+			mode = "worst-case"
+		}
+		for _, bld := range arenaBuilds(worst) {
+			b.Run(bld.name+"/"+mode, func(b *testing.B) {
+				b.SetBytes(asm.TotalLen())
+				for i := 0; i < b.N; i++ {
+					if _, err := bld.eng.Run(asm, req); err != nil {
+						b.Fatal(err)
+					}
+				}
+				p := bld.eng.LastProfile()
+				b.ReportMetric(float64(p.ArenaBytes), "arena-bytes")
+				b.ReportMetric(float64(p.OverflowRetries), "overflow-retries")
+				b.ReportMetric(float64(p.ArenaPageClaims), "page-claims")
+			})
+		}
+	}
+}
+
+// TestArenaProvisioningRatio is the make alloccheck acceptance gate: on the
+// dense-region genome, density-driven provisioning must stage at most half
+// the arena bytes of pinned worst-case provisioning — with the hit stream
+// byte-identical to the worst-case run and to the CPU reference. The ratio
+// is deterministic (provisioning depends on chunk geometry and the
+// predictor fold, not on timing), so the gate is exact, not statistical.
+func TestArenaProvisioningRatio(t *testing.T) {
+	asm, req := arenaFixture(1<<16, 1<<10)
+	want, err := (&search.CPU{Workers: 4}).Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 500 {
+		t.Fatalf("dense region produced only %d hits; fixture is not dense", len(want))
+	}
+	for i, worstBld := range arenaBuilds(true) {
+		dynBld := arenaBuilds(false)[i]
+		t.Run(dynBld.name, func(t *testing.T) {
+			worstHits, err := worstBld.eng.Run(asm, req)
+			if err != nil {
+				t.Fatalf("worst-case run: %v", err)
+			}
+			dynHits, err := dynBld.eng.Run(asm, req)
+			if err != nil {
+				t.Fatalf("dynamic run: %v", err)
+			}
+			if len(dynHits) != len(want) {
+				t.Fatalf("dynamic run found %d hits, CPU reference %d", len(dynHits), len(want))
+			}
+			for j := range want {
+				if dynHits[j] != want[j] || worstHits[j] != want[j] {
+					t.Fatalf("hit %d diverges across provisioning modes", j)
+				}
+			}
+			worstProf, dynProf := worstBld.eng.LastProfile(), dynBld.eng.LastProfile()
+			if dynProf.OverflowRetries == 0 {
+				t.Error("dense region did not exercise the overflow-retry path")
+			}
+			ratio := float64(worstProf.ArenaBytes) / float64(dynProf.ArenaBytes)
+			t.Logf("arena bytes: worst-case %d, dynamic %d (%.2fx reduction, %d overflow retries)",
+				worstProf.ArenaBytes, dynProf.ArenaBytes, ratio, dynProf.OverflowRetries)
+			if ratio < 2 {
+				t.Errorf("dynamic provisioning saves only %.2fx over worst case (want >= 2x)", ratio)
+			}
+		})
+	}
+}

@@ -37,6 +37,10 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	// Metrics holds the benchmark's b.ReportMetric values by unit (e.g.
+	// arena-bytes, pred-ms/chunk), so ablation numbers that are not timings
+	// survive into the snapshot.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the file format of BENCH_baseline.json.
@@ -160,8 +164,7 @@ func runBench(pkg, bench, benchtime string) (string, error) {
 }
 
 // ParseBenchOutput extracts the benchmark result lines from `go test -bench`
-// output. Lines that are not results (headers, PASS, custom metrics) are
-// skipped.
+// output. Lines that are not results (headers, PASS) are skipped.
 func ParseBenchOutput(out string) []Result {
 	var results []Result
 	for _, line := range strings.Split(out, "\n") {
@@ -211,6 +214,16 @@ func ParseBenchLine(line string) (Result, bool) {
 			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "MB/s":
 			r.MBPerSec, _ = strconv.ParseFloat(val, 64)
+		default:
+			// Any other value/unit pair is a b.ReportMetric emission.
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				continue
+			}
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = f
 		}
 	}
 	if !seen {

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	tests := []struct {
@@ -28,6 +31,13 @@ func TestParseBenchLine(t *testing.T) {
 		{line: "PASS"},
 		{line: "ok  \tcasoffinder\t0.965s"},
 		{line: ""},
+		{
+			// Custom b.ReportMetric pairs land in Metrics keyed by unit.
+			line: "BenchmarkArenaProvisioning/sycl-sim/dynamic-8 \t 50\t 7454181 ns/op\t 145128 arena-bytes\t 7.000 overflow-retries\t 8.93 MB/s",
+			want: Result{Name: "BenchmarkArenaProvisioning/sycl-sim/dynamic", Iterations: 50, NsPerOp: 7454181, MBPerSec: 8.93,
+				Metrics: map[string]float64{"arena-bytes": 145128, "overflow-retries": 7}},
+			ok: true,
+		},
 		{line: "BenchmarkBroken notanumber 5 ns/op"},
 		{line: "BenchmarkNoUnits 50 12345"},
 	}
@@ -37,7 +47,7 @@ func TestParseBenchLine(t *testing.T) {
 			t.Errorf("ParseBenchLine(%q) ok = %v, want %v", tt.line, ok, tt.ok)
 			continue
 		}
-		if ok && got != tt.want {
+		if ok && !reflect.DeepEqual(got, tt.want) {
 			t.Errorf("ParseBenchLine(%q) = %+v, want %+v", tt.line, got, tt.want)
 		}
 	}

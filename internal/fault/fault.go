@@ -73,6 +73,13 @@ const (
 	// run's point of view: the caller chose the budget, retrying inside it
 	// cannot help.
 	SiteDeadline Site = "client.deadline"
+	// SiteArena is not injected: it labels the hit-buffer arena. Class
+	// Overflow marks an under-provisioned arena whose launch dropped
+	// entries (the host grows the arena and relaunches); class Corruption
+	// marks arena geometry that came back from the device impossible
+	// (page cursor past the provisioned pages, page fills beyond any
+	// legal overshoot) even at worst-case provisioning.
+	SiteArena Site = "gpu.arena"
 )
 
 // Sites lists the injectable sites, for flag validation and fault-matrix
@@ -112,6 +119,11 @@ const (
 	// Fatal faults take the backend down for good (device lost, poisoned
 	// context); the only recovery is failover.
 	Fatal
+	// Overflow marks a launch whose output arena was too small for the
+	// observed hit density: no data is damaged and the device is healthy —
+	// the recovery is deterministic (grow the arena, relaunch) and must
+	// not consume the transient-retry budget or trigger failover.
+	Overflow
 )
 
 func (c Class) String() string {
@@ -122,6 +134,8 @@ func (c Class) String() string {
 		return "data-corruption"
 	case Fatal:
 		return "fatal"
+	case Overflow:
+		return "arena-overflow"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}

@@ -1,0 +1,382 @@
+// Package alloc is the device-side hit-buffer arena: a page-based
+// sub-allocator that lets kernels compact an unpredictable number of output
+// entries into an arena provisioned for the *observed* hit density instead
+// of the worst case ("Dynamic Memory Management on GPUs with SYCL" shape,
+// specialised to the append-only output pattern of the finder and comparer).
+//
+// The arena is a flat slot array cut into fixed-size pages. Pages are sized
+// so one work-group's maximum output fits in one page (PageSlots >= max
+// entries per item × work-group size), so each group claims at most one
+// page: the group's first emitting work-item takes a page from the global
+// atomic page cursor and publishes it to the group's page table, and every
+// emission takes its slot offset from the group's emission counter. When the
+// cursor runs past the provisioned pages the claim bumps an overflow counter
+// and drops the write — the host reads the counter back, grows the arena on
+// a bounded doubling schedule capped at the worst-case layout, and
+// relaunches, so no entry is ever lost end to end.
+//
+// Under the one-page-per-group invariant the worst-case layout of one page
+// per work-group can never overflow, which is what makes the doubling
+// schedule terminate: growth is capped at a provably sufficient size, and
+// overflow observed *at* that size can only mean corrupted arena state. The
+// claim protocol is also schedule-deterministic: every emission costs one
+// atomic add plus one atomic read (or, for the one claiming item per group,
+// one cursor add and one publish store), so launch Stats are identical
+// under the cooperative and legacy contracts.
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"casoffinder/internal/fault"
+	"casoffinder/internal/gpu"
+)
+
+const (
+	// NoPage marks a group that has not claimed a page yet.
+	NoPage = ^uint32(0)
+	// PageOverflow marks a group whose page claim found the arena
+	// exhausted; its siblings drop their entries without touching the
+	// cursor.
+	PageOverflow = ^uint32(0) - 1
+)
+
+// Layout is the host-side shape of one launch's arena.
+type Layout struct {
+	// PageSlots is the number of entry slots per page. It must be at least
+	// the maximum number of entries one work-group can emit (max entries
+	// per item × work-group size) for the worst-case no-overflow guarantee
+	// to hold.
+	PageSlots int
+	// Pages is the number of provisioned pages.
+	Pages int
+	// Groups is the number of work-groups in the launch; the group state
+	// tables have one entry per group.
+	Groups int
+}
+
+// WorstCase returns the layout that can never overflow: one page per
+// work-group, with pages holding a full group's maximum output.
+func WorstCase(groups, pageSlots int) Layout {
+	if groups < 1 {
+		groups = 1
+	}
+	return Layout{PageSlots: pageSlots, Pages: groups, Groups: groups}
+}
+
+// SizedPages returns a layout provisioning pages pages directly, clamped to
+// [one page, the worst case for groups]. Because every emitting group claims
+// exactly one page regardless of how few entries it writes, provisioning is
+// a prediction of *emitting groups*, not of entries — this is the
+// constructor the density predictors use.
+func SizedPages(pages, groups, pageSlots int) Layout {
+	l := WorstCase(groups, pageSlots)
+	if pages < 1 {
+		pages = 1
+	}
+	if pages < l.Pages {
+		l.Pages = pages
+	}
+	return l
+}
+
+// Grow returns the next layout of the bounded doubling schedule: double the
+// pages, capped at the worst case. ok is false when l is already at the
+// cap, i.e. overflow at this size is impossible without corruption.
+func Grow(l Layout) (next Layout, ok bool) {
+	worst := WorstCase(l.Groups, l.PageSlots)
+	if l.Pages >= worst.Pages {
+		return l, false
+	}
+	l.Pages *= 2
+	if l.Pages > worst.Pages {
+		l.Pages = worst.Pages
+	}
+	return l, true
+}
+
+// Slots is the total entry capacity of the layout.
+func (l Layout) Slots() int { return l.Pages * l.PageSlots }
+
+// DataBytes is the size of the arena's entry storage for entries of
+// entryBytes bytes each — the output provisioning the dynamic arena
+// shrinks relative to worst-case allocation.
+func (l Layout) DataBytes(entryBytes int) int64 {
+	return int64(l.Slots()) * int64(entryBytes)
+}
+
+// MetaBytes is the size of the arena's bookkeeping state: the per-group
+// emission counters and page table, the page cursor and the overflow
+// counter.
+func (l Layout) MetaBytes() int64 {
+	return 8*int64(l.Groups) + 4 + 4
+}
+
+// Device is the device-visible arena state bound into one kernel launch.
+// Count, PageOf, Cursor and Overflow alias device buffers; kernels allocate
+// slots through Claim and never touch the state directly.
+type Device struct {
+	// PageSlots is the entry capacity of one page.
+	PageSlots int
+	// Pages is the number of provisioned pages.
+	Pages int
+	// Cursor is the global page-claim cursor.
+	Cursor *uint32
+	// Count holds one emission counter per work-group; the counter value
+	// is the entry's slot offset within the group's page.
+	Count []uint32
+	// PageOf holds the page claimed by each work-group — NoPage before the
+	// group's first emission, PageOverflow when the claim failed.
+	PageOf []uint32
+	// Overflow counts entries dropped because every page was claimed.
+	Overflow *uint32
+}
+
+// Claim allocates one output slot for the calling work-item, returning -1
+// when the arena is exhausted (the drop is counted in Overflow; the host
+// grows the arena and relaunches). The group's first emitting item claims
+// the group's single page from the global cursor and publishes it; every
+// later emission is one atomic add on the group counter and one atomic read
+// of the published page, making the accounted traffic independent of how
+// the scheduler interleaves work-items.
+func (d *Device) Claim(it *gpu.Item) int {
+	g := it.GroupID(0)
+	off := it.AtomicIncUint32(&d.Count[g])
+	if int(off) >= d.PageSlots {
+		// Only reachable when the host sized pages below the group's
+		// maximum output, violating the one-page-per-group invariant;
+		// dropped defensively rather than corrupting a neighbour page.
+		it.AtomicIncUint32(d.Overflow)
+		return -1
+	}
+	if off == 0 {
+		page := it.AtomicIncUint32(d.Cursor)
+		if int(page) >= d.Pages {
+			it.AtomicStoreUint32(&d.PageOf[g], PageOverflow)
+			it.AtomicIncUint32(d.Overflow)
+			return -1
+		}
+		it.AtomicStoreUint32(&d.PageOf[g], page)
+		return int(page) * d.PageSlots
+	}
+	page := it.AtomicLoadUint32(&d.PageOf[g])
+	for page == NoPage {
+		// The claiming sibling has taken offset 0 but not published yet;
+		// a device would replay the dependent read, so the spin is not
+		// separately costed. Under sequential (cooperative or inline)
+		// execution the claimer always runs first and the loop never spins.
+		page = atomic.LoadUint32(&d.PageOf[g])
+	}
+	if page == PageOverflow {
+		it.AtomicIncUint32(d.Overflow)
+		return -1
+	}
+	return int(page)*d.PageSlots + int(off)
+}
+
+// Geometry is the decoded result of one launch: which pages were claimed
+// and how many valid entries each holds.
+type Geometry struct {
+	// PageSlots mirrors the layout's page capacity.
+	PageSlots int
+	// Claimed is the number of pages the launch claimed.
+	Claimed int
+	// Counts holds the valid entry count of each claimed page.
+	Counts []int
+	// Total is the sum of Counts.
+	Total int
+}
+
+// Decode validates the arena state read back from a completed,
+// non-overflowed launch — the page cursor and the per-group counters and
+// page table — and returns its geometry. Impossible state (a cursor past
+// the provisioned pages, a group counter beyond the page size, a page
+// claimed by two groups, or an emitting group without a page) is rejected
+// as fault.SiteArena corruption: readback bit-flips must never size the
+// entry gather.
+func Decode(cursor uint32, count, pageOf []uint32, pageSlots, pages int) (*Geometry, error) {
+	if len(count) != len(pageOf) {
+		return nil, fault.Errorf(fault.SiteArena, fault.Corruption,
+			"alloc: %d group counters but %d group pages", len(count), len(pageOf))
+	}
+	if int64(cursor) > int64(pages) {
+		return nil, fault.Errorf(fault.SiteArena, fault.Corruption,
+			"alloc: page cursor %d exceeds %d provisioned pages", cursor, pages)
+	}
+	g := &Geometry{PageSlots: pageSlots, Claimed: int(cursor), Counts: make([]int, cursor)}
+	owned := 0
+	for grp, p := range pageOf {
+		n := count[grp]
+		switch {
+		case p == NoPage:
+			if n != 0 {
+				return nil, fault.Errorf(fault.SiteArena, fault.Corruption,
+					"alloc: group %d emitted %d entries without a page", grp, n)
+			}
+		case p == PageOverflow:
+			return nil, fault.Errorf(fault.SiteArena, fault.Corruption,
+				"alloc: group %d overflowed but the overflow counter read zero", grp)
+		case int64(p) >= int64(cursor):
+			return nil, fault.Errorf(fault.SiteArena, fault.Corruption,
+				"alloc: group %d holds page %d past cursor %d", grp, p, cursor)
+		case int64(n) > int64(pageSlots):
+			return nil, fault.Errorf(fault.SiteArena, fault.Corruption,
+				"alloc: group %d counter %d exceeds page size %d", grp, n, pageSlots)
+		case n == 0:
+			return nil, fault.Errorf(fault.SiteArena, fault.Corruption,
+				"alloc: group %d claimed page %d without emitting", grp, p)
+		case g.Counts[p] != 0:
+			return nil, fault.Errorf(fault.SiteArena, fault.Corruption,
+				"alloc: page %d claimed by two groups", p)
+		default:
+			g.Counts[p] = int(n)
+			g.Total += int(n)
+			owned++
+		}
+	}
+	if owned != g.Claimed {
+		return nil, fault.Errorf(fault.SiteArena, fault.Corruption,
+			"alloc: cursor claimed %d pages but %d groups own one", g.Claimed, owned)
+	}
+	return g, nil
+}
+
+// Gather appends the valid entries of every claimed page from the
+// page-strided device array src to dst, in page order.
+func Gather[T any](g *Geometry, src, dst []T) []T {
+	for p := 0; p < g.Claimed; p++ {
+		base := p * g.PageSlots
+		dst = append(dst, src[base:base+g.Counts[p]]...)
+	}
+	return dst
+}
+
+// Host is a host-allocated arena: the backing arrays plus the Device view
+// over them, for single-launch callers (tests, the isa model's probes) that
+// do not stage the state through a frontend's buffers.
+type Host struct {
+	Layout   Layout
+	Cursor   []uint32
+	Count    []uint32
+	PageOf   []uint32
+	Overflow []uint32
+}
+
+// NewHost allocates a zeroed arena for the layout with the page table
+// cleared to NoPage.
+func NewHost(l Layout) *Host {
+	return &Host{
+		Layout:   l,
+		Cursor:   make([]uint32, 1),
+		Count:    make([]uint32, l.Groups),
+		PageOf:   UnsetPages(l.Groups),
+		Overflow: make([]uint32, 1),
+	}
+}
+
+// Device returns the kernel-visible view of the arena.
+func (h *Host) Device() *Device {
+	return &Device{
+		PageSlots: h.Layout.PageSlots,
+		Pages:     h.Layout.Pages,
+		Cursor:    &h.Cursor[0],
+		Count:     h.Count,
+		PageOf:    h.PageOf,
+		Overflow:  &h.Overflow[0],
+	}
+}
+
+// Reset clears the arena for relaunch.
+func (h *Host) Reset() {
+	h.Cursor[0] = 0
+	h.Overflow[0] = 0
+	for i := range h.Count {
+		h.Count[i] = 0
+	}
+	for i := range h.PageOf {
+		h.PageOf[i] = NoPage
+	}
+}
+
+// Decode decodes the host arena's own state after a launch.
+func (h *Host) Decode() (*Geometry, error) {
+	return Decode(h.Cursor[0], h.Count, h.PageOf, h.Layout.PageSlots, h.Layout.Pages)
+}
+
+// UnsetPages returns a host slice of n NoPage entries, the initial contents
+// of a page-table device buffer.
+func UnsetPages(n int) []uint32 {
+	pages := make([]uint32, n)
+	for i := range pages {
+		pages[i] = NoPage
+	}
+	return pages
+}
+
+// Predictor tracks an exponentially weighted moving average of output
+// density across launches, seeding each chunk's arena from the chunks
+// before it. Because provisioning is page-granular (every emitting group
+// claims one page however few entries it writes), callers feed it page
+// claims per work-group — Observe(groups, pagesClaimed) — and read
+// predictions in pages; the same mechanics serve any per-unit rate. It is
+// safe for concurrent use.
+type Predictor struct {
+	mu     sync.Mutex
+	alpha  float64
+	margin float64
+	rate   float64
+	seeded bool
+}
+
+// NewPredictor returns a predictor starting at initial entries-per-unit.
+// alpha is the EWMA weight of the newest observation; margin is the safety
+// factor applied to predictions (headroom against density variance between
+// neighbouring chunks).
+func NewPredictor(alpha, margin, initial float64) *Predictor {
+	return &Predictor{alpha: alpha, margin: margin, rate: initial}
+}
+
+// Predict returns the provisioning estimate for units scanned units:
+// ceil(rate × units × margin), at least 1.
+func (p *Predictor) Predict(units int) int {
+	p.mu.Lock()
+	rate := p.rate
+	p.mu.Unlock()
+	n := int(math.Ceil(rate * float64(units) * p.margin))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Observe folds one completed launch's observed density into the average.
+// The first observation replaces the configured prior entirely.
+func (p *Predictor) Observe(units, entries int) {
+	if units <= 0 {
+		return
+	}
+	obs := float64(entries) / float64(units)
+	p.mu.Lock()
+	if !p.seeded {
+		p.rate = obs
+		p.seeded = true
+	} else {
+		p.rate += p.alpha * (obs - p.rate)
+	}
+	p.mu.Unlock()
+}
+
+// Rate returns the current entries-per-unit estimate.
+func (p *Predictor) Rate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rate
+}
+
+// String renders the layout for error messages and logs.
+func (l Layout) String() string {
+	return fmt.Sprintf("%d pages × %d slots (%d groups)", l.Pages, l.PageSlots, l.Groups)
+}

@@ -200,3 +200,19 @@ func (it *Item) AtomicAddUint32(p *uint32, delta uint32) uint32 {
 	it.stats.AtomicOps++
 	return atomic.AddUint32(p, delta) - delta
 }
+
+// AtomicLoadUint32 performs an atomic read. The hit-buffer arena's claim
+// protocol reads the group's published page with it: under the legacy
+// concurrent contract the page is written by a racing work-item of the same
+// group, so a plain load would be a data race on the host.
+func (it *Item) AtomicLoadUint32(p *uint32) uint32 {
+	it.stats.AtomicOps++
+	return atomic.LoadUint32(p)
+}
+
+// AtomicStoreUint32 performs an atomic write. The arena's claiming item
+// publishes the group's page with it.
+func (it *Item) AtomicStoreUint32(p *uint32, v uint32) {
+	it.stats.AtomicOps++
+	atomic.StoreUint32(p, v)
+}

@@ -1,0 +1,69 @@
+package isa
+
+import (
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+)
+
+// Arena claim overhead. The kernels now emit every entry through the
+// page-based hit-buffer arena (internal/gpu/alloc) instead of a single
+// atomic count: the claim sequence holds three more kernarg pointer pairs
+// (group page table, page cursor, overflow counter) live in scalar
+// registers, and keeps the claimed page, the slot offset and the composed
+// slot address live in vector registers across the emission stores. The
+// compiled Table X streams deliberately stay the paper's kernels — those
+// rows reproduce measured hardware — so the arena variants are modeled as
+// the same instruction mix plus this constant register overhead, and the
+// occupancy the autotuner scores (internal/tune) is recomputed with it
+// folded in. The claim adds no shared local memory.
+const (
+	// ArenaSGPRs is the scalar overhead: three 64-bit arena state pointers.
+	ArenaSGPRs = 6
+	// ArenaVGPRs is the vector overhead: page, slot offset, slot address.
+	ArenaVGPRs = 3
+)
+
+// arenaOccupancy evaluates the occupancy rule with the arena claim's
+// register overhead added to a kernel's compiled demand.
+func arenaOccupancy(spec device.Spec, d RegDemand, ldsBytes, wg int) int {
+	return spec.Occupancy(device.KernelResources{
+		VGPRs:         d.VGPRs + ArenaVGPRs,
+		SGPRs:         d.SGPRs + ArenaSGPRs,
+		LDSBytesPerWG: ldsBytes,
+		WorkGroupSize: wg,
+	})
+}
+
+// FinderMetricsArenaAt is FinderMetricsAt with the arena claim's register
+// overhead folded into the reported demand and occupancy — the launch
+// context of the finder the engines actually run.
+func FinderMetricsArenaAt(spec device.Spec, plen, wg int) Metrics {
+	m := FinderMetricsAt(spec, plen, wg)
+	m.SGPRs += ArenaSGPRs
+	m.VGPRs += ArenaVGPRs
+	cache.mu.Lock()
+	d := finderDemandLocked()
+	cache.mu.Unlock()
+	if wg <= 0 {
+		wg = DefaultWorkGroupSize
+	}
+	m.Occupancy = arenaOccupancy(spec, d, kernels.FinderLocalBytes(plen), wg)
+	return m
+}
+
+// ComparerMetricsArenaAt is ComparerMetricsAt with the arena claim's
+// register overhead folded into the reported demand and occupancy — the
+// launch context of the comparer variants the engines actually run.
+func ComparerMetricsArenaAt(v kernels.ComparerVariant, spec device.Spec, plen, wg int) Metrics {
+	m := ComparerMetricsAt(v, spec, plen, wg)
+	m.SGPRs += ArenaSGPRs
+	m.VGPRs += ArenaVGPRs
+	cache.mu.Lock()
+	d := comparerDemandLocked(v)
+	cache.mu.Unlock()
+	if wg <= 0 {
+		wg = DefaultWorkGroupSize
+	}
+	m.Occupancy = arenaOccupancy(spec, d, kernels.ComparerLocalBytes(plen), wg)
+	return m
+}

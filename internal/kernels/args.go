@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu/alloc"
 )
 
 // Flag values written by the finder and consumed by the comparer: which
@@ -86,10 +87,36 @@ func (p *PatternPair) LocalBytes() int {
 	return len(p.Codes) + 4*len(p.Index)
 }
 
+// validateArena checks the output arena bound into a kernel launch against
+// the data arrays it indexes: outs holds the length of every page-strided
+// entry array, which must cover every provisioned slot.
+func validateArena(kernel string, a *alloc.Device, outs ...int) error {
+	switch {
+	case a == nil:
+		return fmt.Errorf("kernels: %s: nil output arena", kernel)
+	case a.PageSlots < 1:
+		return fmt.Errorf("kernels: %s: arena page of %d slots", kernel, a.PageSlots)
+	case a.Pages < 1:
+		return fmt.Errorf("kernels: %s: arena of %d pages", kernel, a.Pages)
+	case a.Cursor == nil || a.Overflow == nil:
+		return fmt.Errorf("kernels: %s: arena missing cursor or overflow counter", kernel)
+	case len(a.Count) < 1 || len(a.PageOf) != len(a.Count):
+		return fmt.Errorf("kernels: %s: arena group tables of %d counters and %d pages",
+			kernel, len(a.Count), len(a.PageOf))
+	}
+	slots := a.Pages * a.PageSlots
+	for _, n := range outs {
+		if n < slots {
+			return fmt.Errorf("kernels: %s: output array of %d smaller than the %d arena slots", kernel, n, slots)
+		}
+	}
+	return nil
+}
+
 // FinderArgs are the arguments of the finder kernel: it scans every
 // candidate position of a chunk for the PAM pattern and compacts matching
-// loci (and their strand flags) into the output arrays with an atomic
-// counter.
+// loci (and their strand flags) into pages of the output arena, claimed
+// per work-group through the arena's atomic page cursor.
 type FinderArgs struct {
 	// Chr is the chunk sequence, body plus overlap. Soft-masked lower-case
 	// bases are accepted; the IUPAC match tables fold case.
@@ -98,12 +125,16 @@ type FinderArgs struct {
 	Pattern *PatternPair
 	// Sites is the number of candidate site starts (the chunk body).
 	Sites int
-	// Loci receives the matching positions; capacity must be >= Sites.
+	// Loci receives the matching positions, page-strided by the arena;
+	// capacity must cover every provisioned arena slot.
 	Loci []uint32
-	// Flags receives the strand flag per matching position.
+	// Flags receives the strand flag per matching position, parallel to
+	// Loci.
 	Flags []byte
-	// Count is the atomic output cursor.
-	Count *uint32
+	// Arena is the output sub-allocator: work-items claim one slot per
+	// emitted entry; exhaustion is counted in Arena.Overflow and the host
+	// grows and relaunches.
+	Arena *alloc.Device
 }
 
 func (a *FinderArgs) validate() error {
@@ -113,12 +144,8 @@ func (a *FinderArgs) validate() error {
 	case a.Sites < 0 || a.Sites+a.Pattern.PatternLen-1 > len(a.Chr):
 		return fmt.Errorf("kernels: finder: %d sites of length %d exceed chunk of %d",
 			a.Sites, a.Pattern.PatternLen, len(a.Chr))
-	case len(a.Loci) < a.Sites || len(a.Flags) < a.Sites:
-		return errors.New("kernels: finder: output arrays smaller than site count")
-	case a.Count == nil:
-		return errors.New("kernels: finder: nil count")
 	}
-	return nil
+	return validateArena("finder", a.Arena, len(a.Loci), len(a.Flags))
 }
 
 // ComparerArgs are the arguments of the comparer kernel (Listing 1): for
@@ -138,13 +165,15 @@ type ComparerArgs struct {
 	Guide *PatternPair
 	// Threshold is the maximum mismatch count reported.
 	Threshold uint16
-	// MMLoci, MMCount and Direction receive one entry per reported site;
-	// capacity must be >= 2*LociCount (both strands can report).
+	// MMLoci, MMCount and Direction receive one entry per reported site,
+	// page-strided by the arena; capacity must cover every provisioned
+	// arena slot.
 	MMLoci    []uint32
 	MMCount   []uint16
 	Direction []byte
-	// EntryCount is the atomic output cursor ("entrycount").
-	EntryCount *uint32
+	// Arena is the output sub-allocator replacing the flat "entrycount"
+	// cursor of Listing 1: work-items claim one slot per passing entry.
+	Arena *alloc.Device
 }
 
 func (a *ComparerArgs) validate() error {
@@ -153,10 +182,6 @@ func (a *ComparerArgs) validate() error {
 		return errors.New("kernels: comparer: nil guide")
 	case int(a.LociCount) > len(a.Loci) || int(a.LociCount) > len(a.Flags):
 		return fmt.Errorf("kernels: comparer: count %d exceeds loci arrays", a.LociCount)
-	case len(a.MMLoci) < 2*int(a.LociCount) || len(a.MMCount) < 2*int(a.LociCount) || len(a.Direction) < 2*int(a.LociCount):
-		return errors.New("kernels: comparer: output arrays smaller than 2x loci count")
-	case a.EntryCount == nil:
-		return errors.New("kernels: comparer: nil entry count")
 	}
-	return nil
+	return validateArena("comparer", a.Arena, len(a.MMLoci), len(a.MMCount), len(a.Direction))
 }

@@ -293,14 +293,20 @@ func comparerCompare(it *gpu.Item, a *ComparerArgs, lComp []byte, lCompIndex []i
 		}
 	}
 
-	// store compacts one passing entry (L19-L23 / L36-L40).
+	// store compacts one passing entry (L19-L23 / L36-L40) through the
+	// output arena. An exhausted arena drops the entry — counted in
+	// Arena.Overflow, recovered by the host's grow-and-relaunch.
 	store := func(mm uint16, dir byte) {
-		old := it.AtomicIncUint32(a.EntryCount)
-		a.MMCount[old] = mm
-		a.Direction[old] = dir
-		a.MMLoci[old] = uint32(locus)
+		slot := a.Arena.Claim(it)
+		if slot < 0 {
+			it.Branch(true)
+			return
+		}
+		a.MMCount[slot] = mm
+		a.Direction[slot] = dir
+		a.MMLoci[slot] = uint32(locus)
 		if c.lociPerIter {
-			readLocus() // base: mm_loci[old] = loci[i] reloads again
+			readLocus() // base: mm_loci[slot] = loci[i] reloads again
 		}
 		it.StoreGlobal(2)
 		it.StoreGlobal(1)

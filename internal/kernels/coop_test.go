@@ -7,6 +7,7 @@ import (
 
 	"casoffinder/internal/baseline"
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/alloc"
 	"casoffinder/internal/gpu/device"
 )
 
@@ -30,18 +31,18 @@ func runPipelinePhases(t *testing.T, dev *gpu.Device, seq []byte, pattern, guide
 		sites = 0
 	}
 
-	var count uint32
+	gws := (sites + wg - 1) / wg * wg
+	if gws == 0 {
+		gws = wg
+	}
+	farena := alloc.NewHost(alloc.WorstCase(gws/wg, wg))
 	fa := &FinderArgs{
 		Chr:     chr,
 		Pattern: pat,
 		Sites:   sites,
-		Loci:    make([]uint32, sites+1),
-		Flags:   make([]byte, sites+1),
-		Count:   &count,
-	}
-	gws := (sites + wg - 1) / wg * wg
-	if gws == 0 {
-		gws = wg
+		Loci:    make([]uint32, farena.Layout.Slots()),
+		Flags:   make([]byte, farena.Layout.Slots()),
+		Arena:   farena.Device(),
 	}
 	fStats, err := dev.Launch(gpu.LaunchSpec{
 		Name:   "finder",
@@ -59,25 +60,32 @@ func runPipelinePhases(t *testing.T, dev *gpu.Device, seq []byte, pattern, guide
 	if err != nil {
 		t.Fatalf("finder phases launch: %v", err)
 	}
-
-	var entries uint32
-	ca := &ComparerArgs{
-		Chr:        chr,
-		Loci:       fa.Loci,
-		Flags:      fa.Flags,
-		LociCount:  count,
-		Guide:      gd,
-		Threshold:  uint16(maxMM),
-		MMLoci:     make([]uint32, 2*count+2),
-		MMCount:    make([]uint16, 2*count+2),
-		Direction:  make([]byte, 2*count+2),
-		EntryCount: &entries,
+	fgeo, err := farena.Decode()
+	if err != nil {
+		t.Fatalf("finder arena decode: %v", err)
 	}
-	phases := ComparerPhases(v)
+	loci := alloc.Gather(fgeo, fa.Loci, []uint32(nil))
+	flags := alloc.Gather(fgeo, fa.Flags, []byte(nil))
+	count := uint32(fgeo.Total)
+
 	cgws := (int(count) + wg - 1) / wg * wg
 	if cgws == 0 {
 		cgws = wg
 	}
+	carena := alloc.NewHost(alloc.WorstCase(cgws/wg, 2*wg))
+	ca := &ComparerArgs{
+		Chr:       chr,
+		Loci:      loci,
+		Flags:     flags,
+		LociCount: count,
+		Guide:     gd,
+		Threshold: uint16(maxMM),
+		MMLoci:    make([]uint32, carena.Layout.Slots()),
+		MMCount:   make([]uint16, carena.Layout.Slots()),
+		Direction: make([]byte, carena.Layout.Slots()),
+		Arena:     carena.Device(),
+	}
+	phases := ComparerPhases(v)
 	cStats, err := dev.Launch(gpu.LaunchSpec{
 		Name:   ComparerKernelName(v),
 		Global: gpu.R1(cgws),
@@ -94,13 +102,20 @@ func runPipelinePhases(t *testing.T, dev *gpu.Device, seq []byte, pattern, guide
 	if err != nil {
 		t.Fatalf("comparer phases launch: %v", err)
 	}
+	cgeo, err := carena.Decode()
+	if err != nil {
+		t.Fatalf("comparer arena decode: %v", err)
+	}
+	mmLoci := alloc.Gather(cgeo, ca.MMLoci, []uint32(nil))
+	mmCount := alloc.Gather(cgeo, ca.MMCount, []uint16(nil))
+	dirs := alloc.Gather(cgeo, ca.Direction, []byte(nil))
 
-	hits := make([]baseline.Hit, 0, entries)
-	for i := uint32(0); i < entries; i++ {
+	hits := make([]baseline.Hit, 0, cgeo.Total)
+	for i := 0; i < cgeo.Total; i++ {
 		hits = append(hits, baseline.Hit{
-			Pos:        int(ca.MMLoci[i]),
-			Dir:        ca.Direction[i],
-			Mismatches: int(ca.MMCount[i]),
+			Pos:        int(mmLoci[i]),
+			Dir:        dirs[i],
+			Mismatches: int(mmCount[i]),
 		})
 	}
 	sort.Slice(hits, func(i, j int) bool {

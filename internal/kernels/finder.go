@@ -87,9 +87,15 @@ func FinderScan(it *gpu.Item, a *FinderArgs, lPat []byte, lPatIndex []int32) {
 		it.Branch(true)
 		return
 	}
-	old := it.AtomicIncUint32(a.Count)
-	a.Loci[old] = uint32(i)
-	a.Flags[old] = flag
+	slot := a.Arena.Claim(it)
+	if slot < 0 {
+		// Arena exhausted: the drop is counted in Arena.Overflow and the
+		// host grows the arena and relaunches, so no site is ever lost.
+		it.Branch(true)
+		return
+	}
+	a.Loci[slot] = uint32(i)
+	a.Flags[slot] = flag
 	it.StoreGlobal(4)
 	it.StoreGlobal(1)
 }

@@ -9,6 +9,7 @@ import (
 	"casoffinder/internal/baseline"
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/alloc"
 	"casoffinder/internal/gpu/device"
 )
 
@@ -103,21 +104,21 @@ func runPipeline(t *testing.T, dev *gpu.Device, seq []byte, pattern, guide strin
 		sites = 0
 	}
 
-	var count uint32
+	gws := (sites + wg - 1) / wg * wg
+	if gws == 0 {
+		gws = wg
+	}
+	farena := alloc.NewHost(alloc.WorstCase(gws/wg, wg))
 	fa := &FinderArgs{
 		Chr:     chr,
 		Pattern: pat,
 		Sites:   sites,
-		Loci:    make([]uint32, sites+1),
-		Flags:   make([]byte, sites+1),
-		Count:   &count,
+		Loci:    make([]uint32, farena.Layout.Slots()),
+		Flags:   make([]byte, farena.Layout.Slots()),
+		Arena:   farena.Device(),
 	}
 	if err := fa.validate(); err != nil {
 		t.Fatalf("finder args: %v", err)
-	}
-	gws := (sites + wg - 1) / wg * wg
-	if gws == 0 {
-		gws = wg
 	}
 	fStats, err := dev.Launch(gpu.LaunchSpec{
 		Name:   "finder",
@@ -132,28 +133,38 @@ func runPipeline(t *testing.T, dev *gpu.Device, seq []byte, pattern, guide strin
 	if err != nil {
 		t.Fatalf("finder launch: %v", err)
 	}
+	if farena.Overflow[0] != 0 {
+		t.Fatalf("worst-case finder arena overflowed %d entries", farena.Overflow[0])
+	}
+	fgeo, err := farena.Decode()
+	if err != nil {
+		t.Fatalf("finder arena decode: %v", err)
+	}
+	loci := alloc.Gather(fgeo, fa.Loci, []uint32(nil))
+	flags := alloc.Gather(fgeo, fa.Flags, []byte(nil))
+	count := uint32(fgeo.Total)
 
-	var entries uint32
+	cgws := (int(count) + wg - 1) / wg * wg
+	if cgws == 0 {
+		cgws = wg
+	}
+	carena := alloc.NewHost(alloc.WorstCase(cgws/wg, 2*wg))
 	ca := &ComparerArgs{
-		Chr:        chr,
-		Loci:       fa.Loci,
-		Flags:      fa.Flags,
-		LociCount:  count,
-		Guide:      gd,
-		Threshold:  uint16(maxMM),
-		MMLoci:     make([]uint32, 2*count+2),
-		MMCount:    make([]uint16, 2*count+2),
-		Direction:  make([]byte, 2*count+2),
-		EntryCount: &entries,
+		Chr:       chr,
+		Loci:      loci,
+		Flags:     flags,
+		LociCount: count,
+		Guide:     gd,
+		Threshold: uint16(maxMM),
+		MMLoci:    make([]uint32, carena.Layout.Slots()),
+		MMCount:   make([]uint16, carena.Layout.Slots()),
+		Direction: make([]byte, carena.Layout.Slots()),
+		Arena:     carena.Device(),
 	}
 	if err := ca.validate(); err != nil {
 		t.Fatalf("comparer args: %v", err)
 	}
 	body := Comparer(v)
-	cgws := (int(count) + wg - 1) / wg * wg
-	if cgws == 0 {
-		cgws = wg
-	}
 	cStats, err := dev.Launch(gpu.LaunchSpec{
 		Name:   ComparerKernelName(v),
 		Global: gpu.R1(cgws),
@@ -167,13 +178,23 @@ func runPipeline(t *testing.T, dev *gpu.Device, seq []byte, pattern, guide strin
 	if err != nil {
 		t.Fatalf("comparer launch: %v", err)
 	}
+	if carena.Overflow[0] != 0 {
+		t.Fatalf("worst-case comparer arena overflowed %d entries", carena.Overflow[0])
+	}
+	cgeo, err := carena.Decode()
+	if err != nil {
+		t.Fatalf("comparer arena decode: %v", err)
+	}
+	mmLoci := alloc.Gather(cgeo, ca.MMLoci, []uint32(nil))
+	mmCount := alloc.Gather(cgeo, ca.MMCount, []uint16(nil))
+	dirs := alloc.Gather(cgeo, ca.Direction, []byte(nil))
 
-	hits := make([]baseline.Hit, 0, entries)
-	for i := uint32(0); i < entries; i++ {
+	hits := make([]baseline.Hit, 0, cgeo.Total)
+	for i := 0; i < cgeo.Total; i++ {
 		hits = append(hits, baseline.Hit{
-			Pos:        int(ca.MMLoci[i]),
-			Dir:        ca.Direction[i],
-			Mismatches: int(ca.MMCount[i]),
+			Pos:        int(mmLoci[i]),
+			Dir:        dirs[i],
+			Mismatches: int(mmCount[i]),
 		})
 	}
 	sort.Slice(hits, func(i, j int) bool {
@@ -346,14 +367,14 @@ func TestFinderFlagsBothStrands(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var count uint32
+	arena := alloc.NewHost(alloc.WorstCase(1, 4))
 	fa := &FinderArgs{
 		Chr:     seq,
 		Pattern: pat,
 		Sites:   3,
-		Loci:    make([]uint32, 8),
-		Flags:   make([]byte, 8),
-		Count:   &count,
+		Loci:    make([]uint32, arena.Layout.Slots()),
+		Flags:   make([]byte, arena.Layout.Slots()),
+		Arena:   arena.Device(),
 	}
 	_, err = dev.Launch(gpu.LaunchSpec{
 		Name: "finder", Global: gpu.R1(4), Local: gpu.R1(4),
@@ -366,9 +387,15 @@ func TestFinderFlagsBothStrands(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	geo, err := arena.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loci := alloc.Gather(geo, fa.Loci, []uint32(nil))
+	flags := alloc.Gather(geo, fa.Flags, []byte(nil))
 	got := map[uint32]byte{}
-	for i := uint32(0); i < count; i++ {
-		got[fa.Loci[i]] = fa.Flags[i]
+	for i, l := range loci {
+		got[l] = flags[i]
 	}
 	if got[0] != FlagReverse {
 		t.Errorf("pos 0 flag = %v, want reverse (CCA matches CCN)", got[0])
@@ -380,8 +407,9 @@ func TestFinderFlagsBothStrands(t *testing.T) {
 
 func TestArgsValidate(t *testing.T) {
 	pat, _ := NewPatternPair([]byte("NGG"))
+	fArena := alloc.NewHost(alloc.WorstCase(1, 6))
 	okF := FinderArgs{Chr: []byte("ACGTACGT"), Pattern: pat, Sites: 6,
-		Loci: make([]uint32, 6), Flags: make([]byte, 6), Count: new(uint32)}
+		Loci: make([]uint32, 6), Flags: make([]byte, 6), Arena: fArena.Device()}
 	if err := okF.validate(); err != nil {
 		t.Errorf("valid finder args rejected: %v", err)
 	}
@@ -396,9 +424,16 @@ func TestArgsValidate(t *testing.T) {
 		t.Error("short loci accepted")
 	}
 	bad = okF
-	bad.Count = nil
+	bad.Arena = nil
 	if err := bad.validate(); err == nil {
-		t.Error("nil count accepted")
+		t.Error("nil arena accepted")
+	}
+	bad = okF
+	badArena := *fArena.Device()
+	badArena.PageOf = badArena.PageOf[:0]
+	bad.Arena = &badArena
+	if err := bad.validate(); err == nil {
+		t.Error("mismatched arena group tables accepted")
 	}
 	bad = okF
 	bad.Pattern = nil
@@ -406,9 +441,10 @@ func TestArgsValidate(t *testing.T) {
 		t.Error("nil pattern accepted")
 	}
 
+	cArena := alloc.NewHost(alloc.WorstCase(1, 4))
 	okC := ComparerArgs{Chr: []byte("ACGT"), Loci: make([]uint32, 4), Flags: make([]byte, 4),
 		LociCount: 2, Guide: pat, MMLoci: make([]uint32, 4), MMCount: make([]uint16, 4),
-		Direction: make([]byte, 4), EntryCount: new(uint32)}
+		Direction: make([]byte, 4), Arena: cArena.Device()}
 	if err := okC.validate(); err != nil {
 		t.Errorf("valid comparer args rejected: %v", err)
 	}
@@ -423,9 +459,9 @@ func TestArgsValidate(t *testing.T) {
 		t.Error("short output accepted")
 	}
 	badC = okC
-	badC.EntryCount = nil
+	badC.Arena = nil
 	if err := badC.validate(); err == nil {
-		t.Error("nil entry count accepted")
+		t.Error("nil arena accepted")
 	}
 	badC = okC
 	badC.Guide = nil

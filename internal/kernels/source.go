@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/alloc"
 	"casoffinder/internal/opencl"
 )
 
@@ -42,7 +43,9 @@ func localSlots(args []any, i int, elemBytes int) (int, error) {
 }
 
 // Finder argument-slot order for the OpenCL frontend, following the kernel
-// signature of Table VI.
+// signature of Table VI with the flat count buffer replaced by the output
+// arena's state (page geometry scalars, page cursor, per-group counters and
+// page table, overflow counter).
 const (
 	FinderArgChr = iota
 	FinderArgPat
@@ -51,14 +54,20 @@ const (
 	FinderArgSites
 	FinderArgLoci
 	FinderArgFlags
-	FinderArgCount
+	FinderArgPageSlots
+	FinderArgPages
+	FinderArgPageCursor
+	FinderArgGroupCount
+	FinderArgGroupPage
+	FinderArgOverflow
 	FinderArgLocalPat
 	FinderArgLocalPatIndex
 	finderNumArgs
 )
 
 // Comparer argument-slot order for the OpenCL frontend, following the
-// signature of Listing 1.
+// signature of Listing 1 with the "entrycount" cursor replaced by the
+// output arena's state.
 const (
 	ComparerArgLociCount = iota
 	ComparerArgChr
@@ -71,11 +80,57 @@ const (
 	ComparerArgFlags
 	ComparerArgMMCount
 	ComparerArgDirection
-	ComparerArgEntryCount
+	ComparerArgPageSlots
+	ComparerArgPages
+	ComparerArgPageCursor
+	ComparerArgGroupCount
+	ComparerArgGroupPage
+	ComparerArgOverflow
 	ComparerArgLocalComp
 	ComparerArgLocalCompIndex
 	comparerNumArgs
 )
+
+// arenaSlots parses the six arena argument slots starting at base: the
+// page-size and page-count scalars, then the cursor, group-counter,
+// group-page and overflow buffers.
+func arenaSlots(kernel string, args []any, base int) (*alloc.Device, error) {
+	pageSlots, err := scalar[int32](args, base)
+	if err != nil {
+		return nil, err
+	}
+	pages, err := scalar[int32](args, base+1)
+	if err != nil {
+		return nil, err
+	}
+	cursor, err := memSlice[uint32](args, base+2)
+	if err != nil {
+		return nil, err
+	}
+	count, err := memSlice[uint32](args, base+3)
+	if err != nil {
+		return nil, err
+	}
+	pageOf, err := memSlice[uint32](args, base+4)
+	if err != nil {
+		return nil, err
+	}
+	overflow, err := memSlice[uint32](args, base+5)
+	if err != nil {
+		return nil, err
+	}
+	if len(cursor) < 1 || len(overflow) < 1 {
+		return nil, fmt.Errorf("kernels: %s: empty arena cursor or overflow buffer", kernel)
+	}
+	return &alloc.Device{
+		PageSlots: int(pageSlots),
+		Pages:     int(pages),
+		Cursor:    &cursor[0],
+		Count:     count,
+		PageOf:    pageOf,
+		Overflow:  &overflow[0],
+	}, nil
+}
 
 // ComparerKernelName returns the registry name of a comparer variant
 // ("comparer" for the baseline, "comparer_optN" for the optimizations).
@@ -142,12 +197,9 @@ func finderSlots(args []any) (fa *FinderArgs, lPatN, lIdxN int, err error) {
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	count, err := memSlice[uint32](args, FinderArgCount)
+	arena, err := arenaSlots("finder", args, FinderArgPageSlots)
 	if err != nil {
 		return nil, 0, 0, err
-	}
-	if len(count) < 1 {
-		return nil, 0, 0, fmt.Errorf("kernels: finder: count buffer is empty")
 	}
 	lPatN, err = localSlots(args, FinderArgLocalPat, 1)
 	if err != nil {
@@ -167,7 +219,7 @@ func finderSlots(args []any) (fa *FinderArgs, lPatN, lIdxN int, err error) {
 		Sites: int(sites),
 		Loci:  loci,
 		Flags: flags,
-		Count: &count[0],
+		Arena: arena,
 	}
 	if err := fa.validate(); err != nil {
 		return nil, 0, 0, err
@@ -254,12 +306,9 @@ func comparerSlots(args []any) (ca *ComparerArgs, lCompN, lIdxN int, err error) 
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	entryCount, err := memSlice[uint32](args, ComparerArgEntryCount)
+	arena, err := arenaSlots("comparer", args, ComparerArgPageSlots)
 	if err != nil {
 		return nil, 0, 0, err
-	}
-	if len(entryCount) < 1 {
-		return nil, 0, 0, fmt.Errorf("kernels: comparer: entry-count buffer is empty")
 	}
 	lCompN, err = localSlots(args, ComparerArgLocalComp, 1)
 	if err != nil {
@@ -279,11 +328,11 @@ func comparerSlots(args []any) (ca *ComparerArgs, lCompN, lIdxN int, err error) 
 			Index:      compIndex,
 			PatternLen: int(plen),
 		},
-		Threshold:  threshold,
-		MMLoci:     mmLoci,
-		MMCount:    mmCount,
-		Direction:  direction,
-		EntryCount: &entryCount[0],
+		Threshold: threshold,
+		MMLoci:    mmLoci,
+		MMCount:   mmCount,
+		Direction: direction,
+		Arena:     arena,
 	}
 	if err := ca.validate(); err != nil {
 		return nil, 0, 0, err

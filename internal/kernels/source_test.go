@@ -7,6 +7,7 @@ import (
 	"casoffinder/internal/baseline"
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/alloc"
 	"casoffinder/internal/gpu/device"
 	"casoffinder/internal/opencl"
 )
@@ -68,17 +69,76 @@ func TestCLSourceEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lociBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, sites, nil)
+	const wg = 64
+	gws := (sites + wg - 1) / wg * wg
+	fLayout := alloc.WorstCase(gws/wg, wg)
+	lociBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, fLayout.Slots(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	flagsBuf, err := opencl.CreateBuffer[byte](ctx, opencl.MemReadWrite, sites, nil)
+	flagsBuf, err := opencl.CreateBuffer[byte](ctx, opencl.MemReadWrite, fLayout.Slots(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	countBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, 1, nil)
+	// One arena state stack, reused by the finder and the comparer: the
+	// comparer's group tables are never larger here.
+	cursorBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, 1, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	countBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, fLayout.Groups, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadWrite|opencl.MemCopyHostPtr, fLayout.Groups, alloc.UnsetPages(fLayout.Groups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovfBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resetArena := func(groups int) {
+		t.Helper()
+		if _, err := opencl.EnqueueWriteBuffer(q, cursorBuf, true, 0, 1, []uint32{0}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opencl.EnqueueWriteBuffer(q, ovfBuf, true, 0, 1, []uint32{0}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opencl.EnqueueWriteBuffer(q, countBuf, true, 0, groups, make([]uint32, groups)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opencl.EnqueueWriteBuffer(q, pageBuf, true, 0, groups, alloc.UnsetPages(groups)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readArena := func(groups, pageSlots, pages int) *alloc.Geometry {
+		t.Helper()
+		ovf := make([]uint32, 1)
+		if _, err := opencl.EnqueueReadBuffer(q, ovfBuf, true, 0, 1, ovf); err != nil {
+			t.Fatal(err)
+		}
+		if ovf[0] != 0 {
+			t.Fatalf("worst-case arena overflowed %d entries", ovf[0])
+		}
+		cursor := make([]uint32, 1)
+		if _, err := opencl.EnqueueReadBuffer(q, cursorBuf, true, 0, 1, cursor); err != nil {
+			t.Fatal(err)
+		}
+		count := make([]uint32, groups)
+		if _, err := opencl.EnqueueReadBuffer(q, countBuf, true, 0, groups, count); err != nil {
+			t.Fatal(err)
+		}
+		pageOf := make([]uint32, groups)
+		if _, err := opencl.EnqueueReadBuffer(q, pageBuf, true, 0, groups, pageOf); err != nil {
+			t.Fatal(err)
+		}
+		geo, err := alloc.Decode(cursor[0], count, pageOf, pageSlots, pages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return geo
 	}
 
 	finder, err := prog.CreateKernel("finder")
@@ -88,7 +148,9 @@ func TestCLSourceEndToEnd(t *testing.T) {
 	finderArgs := []any{
 		chrBuf, patBuf, patIdxBuf,
 		int32(pat.PatternLen), uint32(sites),
-		lociBuf, flagsBuf, countBuf,
+		lociBuf, flagsBuf,
+		int32(fLayout.PageSlots), int32(fLayout.Pages),
+		cursorBuf, countBuf, pageBuf, ovfBuf,
 	}
 	for i, a := range finderArgs {
 		if err := finder.SetArg(i, a); err != nil {
@@ -101,18 +163,32 @@ func TestCLSourceEndToEnd(t *testing.T) {
 	if err := finder.SetArgLocal(FinderArgLocalPatIndex, 4*2*pat.PatternLen); err != nil {
 		t.Fatal(err)
 	}
-	gws := (sites + 63) / 64 * 64
 	if _, err := q.EnqueueNDRangeKernel(finder, gws, 0); err != nil {
 		t.Fatalf("finder enqueue: %v", err)
 	}
 
-	countHost := make([]uint32, 1)
-	if _, err := opencl.EnqueueReadBuffer(q, countBuf, true, 0, 1, countHost); err != nil {
-		t.Fatal(err)
-	}
-	n := int(countHost[0])
+	fgeo := readArena(fLayout.Groups, fLayout.PageSlots, fLayout.Pages)
+	n := fgeo.Total
 	if n == 0 {
 		t.Fatal("finder found no candidate sites")
+	}
+	lociStrided := make([]uint32, fLayout.Slots())
+	if _, err := opencl.EnqueueReadBuffer(q, lociBuf, true, 0, len(lociStrided), lociStrided); err != nil {
+		t.Fatal(err)
+	}
+	flagsStrided := make([]byte, fLayout.Slots())
+	if _, err := opencl.EnqueueReadBuffer(q, flagsBuf, true, 0, len(flagsStrided), flagsStrided); err != nil {
+		t.Fatal(err)
+	}
+	loci := alloc.Gather(fgeo, lociStrided, []uint32(nil))
+	flags := alloc.Gather(fgeo, flagsStrided, []byte(nil))
+	cLociBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, n, loci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFlagsBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, n, flags)
+	if err != nil {
+		t.Fatal(err)
 	}
 
 	compBuf, err := opencl.CreateBuffer(ctx, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(gd.Codes), gd.Codes)
@@ -123,37 +199,35 @@ func TestCLSourceEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mmLociBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemWriteOnly, 2*n, nil)
+	cgws := (n + wg - 1) / wg * wg
+	cLayout := alloc.WorstCase(cgws/wg, 2*wg)
+	mmLociBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemWriteOnly, cLayout.Slots(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mmCountBuf, err := opencl.CreateBuffer[uint16](ctx, opencl.MemWriteOnly, 2*n, nil)
+	mmCountBuf, err := opencl.CreateBuffer[uint16](ctx, opencl.MemWriteOnly, cLayout.Slots(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dirBuf, err := opencl.CreateBuffer[byte](ctx, opencl.MemWriteOnly, 2*n, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	entryBuf, err := opencl.CreateBuffer[uint32](ctx, opencl.MemReadWrite, 1, nil)
+	dirBuf, err := opencl.CreateBuffer[byte](ctx, opencl.MemWriteOnly, cLayout.Slots(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	for _, variant := range Variants() {
-		// Reset the entry counter between variants.
-		if _, err := opencl.EnqueueWriteBuffer(q, entryBuf, true, 0, 1, []uint32{0}); err != nil {
-			t.Fatal(err)
-		}
+		// Reset the arena between variants.
+		resetArena(cLayout.Groups)
 		comparer, err := prog.CreateKernel(ComparerKernelName(variant))
 		if err != nil {
 			t.Fatal(err)
 		}
 		comparerArgs := []any{
-			uint32(n), chrBuf, lociBuf, mmLociBuf,
+			uint32(n), chrBuf, cLociBuf, mmLociBuf,
 			compBuf, compIdxBuf,
 			int32(gd.PatternLen), uint16(maxMM),
-			flagsBuf, mmCountBuf, dirBuf, entryBuf,
+			cFlagsBuf, mmCountBuf, dirBuf,
+			int32(cLayout.PageSlots), int32(cLayout.Pages),
+			cursorBuf, countBuf, pageBuf, ovfBuf,
 		}
 		for i, a := range comparerArgs {
 			if err := comparer.SetArg(i, a); err != nil {
@@ -166,29 +240,27 @@ func TestCLSourceEndToEnd(t *testing.T) {
 		if err := comparer.SetArgLocal(ComparerArgLocalCompIndex, 4*2*gd.PatternLen); err != nil {
 			t.Fatal(err)
 		}
-		cgws := (n + 63) / 64 * 64
-		if _, err := q.EnqueueNDRangeKernel(comparer, cgws, 64); err != nil {
+		if _, err := q.EnqueueNDRangeKernel(comparer, cgws, wg); err != nil {
 			t.Fatalf("%s enqueue: %v", variant, err)
 		}
 
-		entries := make([]uint32, 1)
-		if _, err := opencl.EnqueueReadBuffer(q, entryBuf, true, 0, 1, entries); err != nil {
+		cgeo := readArena(cLayout.Groups, cLayout.PageSlots, cLayout.Pages)
+		mmStrided := make([]uint32, cLayout.Slots())
+		if _, err := opencl.EnqueueReadBuffer(q, mmLociBuf, true, 0, len(mmStrided), mmStrided); err != nil {
 			t.Fatal(err)
 		}
-		e := int(entries[0])
-		mmLoci := make([]uint32, e)
-		mmCount := make([]uint16, e)
-		dirs := make([]byte, e)
-		if _, err := opencl.EnqueueReadBuffer(q, mmLociBuf, true, 0, e, mmLoci); err != nil {
+		cntStrided := make([]uint16, cLayout.Slots())
+		if _, err := opencl.EnqueueReadBuffer(q, mmCountBuf, true, 0, len(cntStrided), cntStrided); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := opencl.EnqueueReadBuffer(q, mmCountBuf, true, 0, e, mmCount); err != nil {
+		dirStrided := make([]byte, cLayout.Slots())
+		if _, err := opencl.EnqueueReadBuffer(q, dirBuf, true, 0, len(dirStrided), dirStrided); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := opencl.EnqueueReadBuffer(q, dirBuf, true, 0, e, dirs); err != nil {
-			t.Fatal(err)
-		}
-		got := make([]baseline.Hit, e)
+		mmLoci := alloc.Gather(cgeo, mmStrided, []uint32(nil))
+		mmCount := alloc.Gather(cgeo, cntStrided, []uint16(nil))
+		dirs := alloc.Gather(cgeo, dirStrided, []byte(nil))
+		got := make([]baseline.Hit, cgeo.Total)
 		for i := range got {
 			got[i] = baseline.Hit{Pos: int(mmLoci[i]), Dir: dirs[i], Mismatches: int(mmCount[i])}
 		}
@@ -225,7 +297,8 @@ func TestCLSourceArgTypeErrors(t *testing.T) {
 	// Slot 0 wants a byte buffer; give it a uint32 one.
 	args := []any{
 		wrong, wrong, wrong, int32(3), uint32(1),
-		wrong, wrong, wrong,
+		wrong, wrong, int32(4), int32(1),
+		wrong, wrong, wrong, wrong,
 	}
 	for i, a := range args {
 		if err := finder.SetArg(i, a); err != nil {

@@ -44,6 +44,14 @@ const (
 	// MetricFaults carries a site="..." label per fault site.
 	MetricFaults = "casoffinder_faults_total"
 
+	// Hit-buffer arena counters (internal/gpu/alloc), also mirrored from
+	// search.Profile mutators: bytes of arena entry storage provisioned,
+	// pages claimed by kernels, and launches repeated after an arena
+	// overflow (grow-and-retry).
+	MetricArenaBytes     = "casoffinder_arena_bytes_total"
+	MetricArenaPages     = "casoffinder_arena_page_claims_total"
+	MetricArenaOverflows = "casoffinder_arena_overflow_retries_total"
+
 	// Emitted by the pipeline topologies.
 	MetricStageSeconds   = "casoffinder_stage_seconds"
 	MetricScanSeconds    = "casoffinder_scan_seconds"

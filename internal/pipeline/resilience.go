@@ -41,6 +41,14 @@ const (
 	DefaultBackoffBase = 1 * time.Millisecond
 	// DefaultBackoffMax caps the exponential backoff growth.
 	DefaultBackoffMax = 50 * time.Millisecond
+	// DefaultMaxOverflowRelaunches is the per-chunk budget for relaunching
+	// after a fault.Overflow error escapes a backend. Backends grow their
+	// hit-buffer arena and relaunch internally, so an escaped overflow means
+	// the arena was exhausted at its worst-case layout — possible only under
+	// corrupted arena readback, which a fresh attempt usually clears. The
+	// budget is separate from the transient retry budget: an overflow
+	// relaunch must not starve the retries a genuinely flaky device needs.
+	DefaultMaxOverflowRelaunches = 2
 )
 
 // Resilience configures the fault-tolerant executor. Setting a non-nil
@@ -140,6 +148,10 @@ type Report struct {
 	Chunks int
 	// Retries counts primary-backend retry attempts across all chunks.
 	Retries int64
+	// OverflowRelaunches counts chunks relaunched on the primary after a
+	// fault.Overflow error escaped the backend (an arena exhausted at its
+	// worst-case layout, i.e. corrupted arena readback).
+	OverflowRelaunches int64
 	// Failovers counts chunks re-staged on the fallback backend.
 	Failovers int64
 	// WatchdogKills counts phases cancelled by the watchdog deadline.
@@ -153,7 +165,8 @@ type Report struct {
 
 // Degraded reports whether the run deviated from the clean path at all.
 func (r *Report) Degraded() bool {
-	return r.Retries > 0 || r.Failovers > 0 || r.WatchdogKills > 0 || len(r.Quarantined) > 0
+	return r.Retries > 0 || r.OverflowRelaunches > 0 || r.Failovers > 0 ||
+		r.WatchdogKills > 0 || len(r.Quarantined) > 0
 }
 
 // ChunkFailure records one quarantined chunk: which part of the assembly is
@@ -301,7 +314,11 @@ func (p *Pipeline) scanResilient(ctx context.Context, primary Backend, openFallb
 		return hits, err
 	}
 
-	// Primary arm: first attempt plus the transient retry budget.
+	// Primary arm: first attempt plus the transient retry budget. Overflow
+	// errors relaunch on their own bounded budget without backoff or
+	// consuming a transient retry — the arena state is rebuilt from scratch
+	// each attempt, so there is nothing to wait out.
+	overflows := 0
 	for try := 0; ; try++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -315,6 +332,14 @@ func (p *Pipeline) scanResilient(ctx context.Context, primary Backend, openFallb
 			return nil, nil, ctx.Err()
 		}
 		lastErr = err
+		if fault.ClassOf(err) == fault.Overflow && overflows < DefaultMaxOverflowRelaunches {
+			overflows++
+			rep.OverflowRelaunches++
+			p.Trace.Instant(track, "overflow-relaunch", index,
+				obs.Attr{Key: "error", Value: err.Error()})
+			try--
+			continue
+		}
 		if fault.ClassOf(err) != fault.Transient || try >= res.maxRetries() {
 			break // fatal, corrupted, or out of retries: fail over
 		}

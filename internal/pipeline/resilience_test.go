@@ -184,6 +184,80 @@ func TestResilientFailover(t *testing.T) {
 	checkFlakyAccounting(t, b)
 }
 
+// TestOverflowRelaunches: an overflow-classed failure (a hit arena that was
+// provisioned too small) relaunches on the primary under its own budget —
+// no backoff, no transient retry consumed, no failover — and the stream
+// still comes out complete and in order, with the relaunches counted as
+// degradation.
+func TestOverflowRelaunches(t *testing.T) {
+	asm := testAsm(500)
+	want := goldenStream(t, asm)
+
+	b := newFlakyBackend()
+	b.failFind = func(_ context.Context, key string, attempt int) error {
+		if key == "seq0:28" && attempt < DefaultMaxOverflowRelaunches {
+			return fault.Errorf(fault.SiteArena, fault.Overflow, "scripted arena exhaustion")
+		}
+		return nil
+	}
+	var rep *Report
+	// MaxRetries 0: any consumed transient retry would break the chunk, so
+	// success proves the overflow arm has its own budget.
+	p := resilientPipeline(b, nil, Resilience{MaxRetries: -1, OnReport: func(r *Report) { rep = r }})
+	got, err := streamResilient(t, p, asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("relaunched stream diverges:\n got %v\nwant %v", got, want)
+	}
+	if rep == nil || rep.OverflowRelaunches != DefaultMaxOverflowRelaunches ||
+		rep.Retries != 0 || rep.Failovers != 0 || len(rep.Quarantined) != 0 {
+		t.Errorf("report = %+v, want exactly %d overflow relaunches and nothing else",
+			rep, DefaultMaxOverflowRelaunches)
+	}
+	if !rep.Degraded() {
+		t.Error("overflow relaunches must mark the run degraded")
+	}
+	if got := b.attemptsFor("seq0:28"); got != DefaultMaxOverflowRelaunches+1 {
+		t.Errorf("primary attempts = %d, want 1 + %d relaunches", got, DefaultMaxOverflowRelaunches)
+	}
+	checkFlakyAccounting(t, b)
+}
+
+// TestOverflowBudgetExhausted: overflow past the relaunch budget is not
+// retried forever — it fails over like any other persistent failure, so a
+// livelocked allocator cannot wedge a chunk.
+func TestOverflowBudgetExhausted(t *testing.T) {
+	asm := testAsm(500)
+	want := goldenStream(t, asm)
+
+	b := newFlakyBackend()
+	b.failFind = func(_ context.Context, key string, _ int) error {
+		if key == "seq0:28" {
+			return fault.Errorf(fault.SiteArena, fault.Overflow, "scripted persistent exhaustion")
+		}
+		return nil
+	}
+	fb := newFakeBackend()
+	var rep *Report
+	p := resilientPipeline(b, fb, Resilience{MaxRetries: -1, OnReport: func(r *Report) { rep = r }})
+	got, err := streamResilient(t, p, asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("failover stream diverges:\n got %v\nwant %v", got, want)
+	}
+	if rep.OverflowRelaunches != DefaultMaxOverflowRelaunches || rep.Failovers != 1 || !rep.FallbackUsed {
+		t.Errorf("report = %+v, want %d relaunches then failover", rep, DefaultMaxOverflowRelaunches)
+	}
+	if got := b.attemptsFor("seq0:28"); got != DefaultMaxOverflowRelaunches+1 {
+		t.Errorf("primary attempts = %d, want the relaunch budget and no transient retries", got)
+	}
+	checkFlakyAccounting(t, b)
+}
+
 // TestCorruptionSkipsRetry: a corruption-classed failure must never be
 // retried on the backend that produced it — it goes straight to the
 // fallback for re-verification.

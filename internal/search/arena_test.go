@@ -1,0 +1,209 @@
+package search
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"casoffinder/internal/fault"
+	"casoffinder/internal/genome"
+	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/device"
+	"casoffinder/internal/kernels"
+	"casoffinder/internal/pipeline"
+)
+
+// denseAssembly builds the arena stress genome in two regions. The first is
+// PAM-rich but hit-free — a repeating GGA unit puts a candidate at every
+// third position while the interleaved As keep the all-G guide over its
+// mismatch budget — so its chunks carry large worst-case comparer
+// provisioning that the density predictor learns to collapse. The second is
+// all G: every position is a PAM site and every candidate is a hit, denser
+// than anything the predictor has seen — exactly the shape that must trip
+// the overflow grow-and-retry path rather than drop hits.
+func denseAssembly(sparse, dense int) *genome.Assembly {
+	unit := []byte("GGA")
+	data := make([]byte, sparse+dense)
+	for i := 0; i < sparse; i++ {
+		data[i] = unit[i%len(unit)]
+	}
+	for i := sparse; i < len(data); i++ {
+		data[i] = 'G'
+	}
+	return &genome.Assembly{Name: "dense", Sequences: []*genome.Sequence{
+		{Name: "chr1", Data: data},
+	}}
+}
+
+func denseRequest() *Request {
+	return &Request{
+		Pattern:    testPattern,
+		Queries:    []Query{{Guide: "GGGGGGGGGGNN", MaxMismatches: 1}},
+		ChunkBytes: 400,
+	}
+}
+
+// arenaProfile is the subset of engines whose arena accounting the dense
+// matrix inspects.
+type arenaProfiler interface {
+	Engine
+	LastProfile() *Profile
+}
+
+// TestDenseCandidateRegionMatrix drives the dense genome through all five
+// engines. For the arena-backed simulators it runs each engine twice — the
+// density-provisioned default and the pinned worst-case baseline — and
+// requires (1) the dynamic run's overflow-retry actually fired, (2) its hit
+// stream is byte-identical to the worst-case baseline and to the CPU
+// reference, and (3) it provisioned strictly fewer arena bytes than
+// worst-case provisioning. CPU and Indexed have no arenas; they pin the
+// reference stream.
+func TestDenseCandidateRegionMatrix(t *testing.T) {
+	asm := denseAssembly(3200, 500)
+	req := denseRequest()
+
+	want, err := (&CPU{Workers: 4}).Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 300 {
+		t.Fatalf("dense genome produced only %d hits; region is not dense", len(want))
+	}
+	if idx, err := (&Indexed{Workers: 4}).Run(asm, req); err != nil {
+		t.Fatalf("indexed: %v", err)
+	} else if !equalHits(idx, want) {
+		t.Errorf("indexed diverged on the dense genome (%d vs %d hits)", len(idx), len(want))
+	}
+
+	builds := []struct {
+		name  string
+		build func(worst bool) arenaProfiler
+	}{
+		{"opencl-sim", func(worst bool) arenaProfiler {
+			return &SimCL{Device: gpu.New(device.MI100(), gpu.WithWorkers(4)),
+				Variant: kernels.Base, WorstCaseArena: worst}
+		}},
+		{"sycl-sim", func(worst bool) arenaProfiler {
+			return &SimSYCL{Device: gpu.New(device.MI100(), gpu.WithWorkers(4)),
+				Variant: kernels.Opt3, WorkGroupSize: 64, WorstCaseArena: worst}
+		}},
+		{"sycl-multi", func(worst bool) arenaProfiler {
+			return &MultiSYCL{Devices: []*gpu.Device{
+				gpu.New(device.MI100(), gpu.WithWorkers(4)),
+				gpu.New(device.MI60(), gpu.WithWorkers(4)),
+			}, Variant: kernels.Base, WorkGroupSize: 64, WorstCaseArena: worst}
+		}},
+	}
+	for _, b := range builds {
+		t.Run(b.name, func(t *testing.T) {
+			worstEng := b.build(true)
+			worstHits, err := worstEng.Run(asm, req)
+			if err != nil {
+				t.Fatalf("worst-case run: %v", err)
+			}
+			dynEng := b.build(false)
+			dynHits, err := dynEng.Run(asm, req)
+			if err != nil {
+				t.Fatalf("dynamic run: %v", err)
+			}
+			if !equalHits(dynHits, worstHits) {
+				t.Errorf("dynamic hits diverge from worst-case baseline (%d vs %d)",
+					len(dynHits), len(worstHits))
+			}
+			if !equalHits(dynHits, want) {
+				t.Errorf("hits diverge from the CPU reference (%d vs %d)", len(dynHits), len(want))
+			}
+
+			worstProf, dynProf := worstEng.LastProfile(), dynEng.LastProfile()
+			if worstProf.OverflowRetries != 0 {
+				t.Errorf("worst-case provisioning overflowed %d times; it never may",
+					worstProf.OverflowRetries)
+			}
+			if dynProf.OverflowRetries == 0 {
+				t.Error("dense region did not trip the overflow-retry path")
+			}
+			if dynProf.ArenaBytes >= worstProf.ArenaBytes {
+				t.Errorf("dynamic provisioning %d bytes >= worst case %d bytes",
+					dynProf.ArenaBytes, worstProf.ArenaBytes)
+			}
+			if dynProf.ArenaPageClaims == 0 {
+				t.Error("no arena pages claimed on a genome full of hits")
+			}
+		})
+	}
+}
+
+// TestDenseRegionSeededFaults overlays the dense-region overflow path with
+// the seeded fault injector: overflow relaunches and fault retries compose,
+// and the stream stays byte-identical to the clean run.
+func TestDenseRegionSeededFaults(t *testing.T) {
+	asm := denseAssembly(1200, 500)
+	req := denseRequest()
+	golden, err := (&CPU{Workers: 4}).Run(asm, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, se := range simEngines() {
+		t.Run(se.name, func(t *testing.T) {
+			plan := fault.Plan{Seed: 42, Rate: 0.05}
+			eng := se.build(plan, &pipeline.Resilience{Seed: plan.Seed, Watchdog: 500 * time.Millisecond})
+			got, err := eng.Run(asm, req)
+			if err != nil {
+				t.Fatalf("faulted dense run: %v", err)
+			}
+			if !equalHits(got, golden) {
+				t.Errorf("hits diverged under faults (%d vs %d)", len(got), len(golden))
+			}
+		})
+	}
+}
+
+// TestZeroBodyChunkFind is the regression test for the zero-site launch
+// crash: a chunk with Body == 0 (representable — a tail that only carries
+// overlap bases) used to reach the finder enqueue, whose zero-size launch
+// reported zero work-groups and crashed the pad recovery with a division by
+// zero. Find must skip the launch and report zero candidates.
+func TestZeroBodyChunkFind(t *testing.T) {
+	req := denseRequest()
+	plan, err := pipeline.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := &genome.Chunk{
+		SeqIndex: 0,
+		SeqName:  "chr1",
+		Start:    0,
+		Data:     []byte("GATTACAGGGG"), // plen-1 = 11 overlap bases, no body
+		Body:     0,
+		Overlap:  11,
+	}
+	ctx := context.Background()
+
+	cl, err := newCLBackend(&SimCL{Device: gpu.New(device.MI100(), gpu.WithWorkers(4)), Variant: kernels.Base}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.Stage(ctx, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cl.Find(ctx, st); err != nil || n != 0 {
+		t.Errorf("opencl Find on zero-body chunk = (%d, %v), want (0, nil)", n, err)
+	}
+	cl.Release(st)
+
+	sy, err := newSYCLBackend(&SimSYCL{Device: gpu.New(device.MI100(), gpu.WithWorkers(4)), Variant: kernels.Base, WorkGroupSize: 64}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sy.Close()
+	st, err = sy.Stage(ctx, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := sy.Find(ctx, st); err != nil || n != 0 {
+		t.Errorf("sycl Find on zero-body chunk = (%d, %v), want (0, nil)", n, err)
+	}
+	sy.Release(st)
+}

@@ -47,6 +47,10 @@ type MultiSYCL struct {
 	// measured pass per device type. Output stays byte-identical.
 	Auto      bool
 	Calibrate bool
+	// WorstCaseArena pins every device's hit-buffer arenas to the
+	// worst-case layout instead of density-driven provisioning; see
+	// SimCL.WorstCaseArena.
+	WorstCaseArena bool
 	// Resilience, when set, is the fleet's device-level policy: per-chunk
 	// transient retries on the owning device, then eviction; a fully
 	// evicted fleet fails over to the CPU engine (unless a custom
@@ -172,7 +176,8 @@ func (e *MultiSYCL) Stream(ctx context.Context, asm *genome.Assembly, req *Reque
 	for i, dev := range e.Devices {
 		sub := &SimSYCL{
 			Device: dev, Variant: e.Variant, WorkGroupSize: e.WorkGroupSize,
-			Trace: e.Trace, Metrics: e.Metrics, Track: fmt.Sprintf("sycl-sim[%d]", i),
+			WorstCaseArena: e.WorstCaseArena,
+			Trace:          e.Trace, Metrics: e.Metrics, Track: fmt.Sprintf("sycl-sim[%d]", i),
 		}
 		if tuned != nil {
 			sub.Auto, sub.Calibrate, sub.tuned = true, e.Calibrate, tuned[i]

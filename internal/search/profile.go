@@ -41,6 +41,18 @@ type Profile struct {
 	// Entries is the total number of comparer output entries.
 	Entries int64
 
+	// Hit-buffer arena counters, filled by the arena-backed backends.
+
+	// ArenaBytes is the total arena entry storage provisioned across
+	// launches — the figure density-driven allocation shrinks relative to
+	// worst-case provisioning.
+	ArenaBytes int64
+	// ArenaPageClaims is the number of arena pages kernels claimed.
+	ArenaPageClaims int64
+	// OverflowRetries counts launches repeated after the arena overflowed
+	// and was grown (the bounded grow-and-retry loop).
+	OverflowRetries int64
+
 	// Resilience counters, filled by the fault-tolerant executor when the
 	// engine runs with a pipeline.Resilience policy.
 
@@ -161,14 +173,35 @@ func (p *Profile) addEntries(n int64) {
 	p.metrics.Count(obs.MetricEntries, n)
 }
 
+// addArena records one launch's arena provisioning: bytes of entry storage
+// and the pages its kernel claimed.
+func (p *Profile) addArena(bytes, pageClaims int64) {
+	p.mu.Lock()
+	p.ArenaBytes += bytes
+	p.ArenaPageClaims += pageClaims
+	p.mu.Unlock()
+	p.metrics.Count(obs.MetricArenaBytes, bytes)
+	p.metrics.Count(obs.MetricArenaPages, pageClaims)
+}
+
+// addOverflowRetry counts one grow-and-relaunch after an arena overflow.
+func (p *Profile) addOverflowRetry() {
+	p.mu.Lock()
+	p.OverflowRetries++
+	p.mu.Unlock()
+	p.metrics.Count(obs.MetricArenaOverflows, 1)
+}
+
 // addResilience folds one run's resilience report into the profile.
 func (p *Profile) addResilience(rep *pipeline.Report) {
 	p.mu.Lock()
 	p.Retries += rep.Retries
+	p.OverflowRetries += rep.OverflowRelaunches
 	p.Failovers += rep.Failovers
 	p.WatchdogKills += rep.WatchdogKills
 	p.QuarantinedChunks += len(rep.Quarantined)
 	p.mu.Unlock()
+	p.metrics.Count(obs.MetricArenaOverflows, rep.OverflowRelaunches)
 	p.metrics.Count(obs.MetricRetries, rep.Retries)
 	p.metrics.Count(obs.MetricFailovers, rep.Failovers)
 	p.metrics.Count(obs.MetricWatchdogKills, rep.WatchdogKills)
@@ -291,6 +324,9 @@ func (p *Profile) merge(o *Profile) {
 	p.BytesRead += o.BytesRead
 	p.CandidateSites += o.CandidateSites
 	p.Entries += o.Entries
+	p.ArenaBytes += o.ArenaBytes
+	p.ArenaPageClaims += o.ArenaPageClaims
+	p.OverflowRetries += o.OverflowRetries
 	p.Retries += o.Retries
 	p.Failovers += o.Failovers
 	p.WatchdogKills += o.WatchdogKills

@@ -313,6 +313,13 @@ func TestMetricsAgreeWithProfile(t *testing.T) {
 		obs.MetricWatchdogKills:   p.WatchdogKills,
 		obs.MetricQuarantined:     int64(p.QuarantinedChunks),
 		obs.MetricAsyncExceptions: p.AsyncExceptions,
+		// Arena accounting must survive the fault paths too: a Find that
+		// rejects a corrupted count readback records the readback (and any
+		// arena provisioning before it) in both ledgers before rejecting,
+		// so a degraded run cannot drift the -metrics view from LastProfile.
+		obs.MetricArenaBytes:     p.ArenaBytes,
+		obs.MetricArenaPages:     p.ArenaPageClaims,
+		obs.MetricArenaOverflows: p.OverflowRetries,
 	}
 	for name, want := range counters {
 		if got := snap.Counters[name]; got != want {

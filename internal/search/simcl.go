@@ -8,6 +8,7 @@ import (
 	"casoffinder/internal/fault"
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/alloc"
 	"casoffinder/internal/kernels"
 	"casoffinder/internal/obs"
 	"casoffinder/internal/opencl"
@@ -36,6 +37,13 @@ type SimCL struct {
 	// fixed-variant run.
 	Auto      bool
 	Calibrate bool
+	// WorstCaseArena pins every launch's hit-buffer arena to the worst-case
+	// layout (one page per work-group — the provisioning the pre-arena
+	// backends effectively used) instead of sizing it from the predicted hit
+	// density. The kernels and the hit stream are identical either way; only
+	// the provisioned bytes differ, which is what the staged-bytes ablation
+	// measures.
+	WorstCaseArena bool
 	// Resilience, when set, runs the engine under the pipeline's
 	// fault-tolerant executor: transient errors retry with backoff, hung
 	// kernels are reaped by the watchdog, and chunks the device cannot
@@ -154,6 +162,13 @@ type clBackend struct {
 	patBuf    *opencl.Mem
 	patIdxBuf *opencl.Mem
 
+	// finderPred and comparerPred carry the observed hit density across
+	// chunks; each launch's arena is provisioned from them unless the
+	// artifact's PAM index gives an exact count or WorstCaseArena pins the
+	// layout.
+	finderPred   *alloc.Predictor
+	comparerPred *alloc.Predictor
+
 	// mu guards live: the stager creates buffers while the scan worker
 	// releases others.
 	mu   sync.Mutex
@@ -176,7 +191,12 @@ func clCreate[T any](b *clBackend, flags opencl.MemFlags, n int, host []T) (*ope
 // context, queue, program, build, kernels) plus the run-constant pattern
 // upload. On any failure the partially built state is torn down via Close.
 func newCLBackend(e *SimCL, plan *pipeline.Plan) (_ *clBackend, err error) {
-	b := &clBackend{e: e, plan: plan, prof: newProfile(e.Metrics), live: make(map[*opencl.Mem]struct{})}
+	b := &clBackend{
+		e: e, plan: plan, prof: newProfile(e.Metrics),
+		finderPred:   newFinderPredictor(),
+		comparerPred: newComparerPredictor(),
+		live:         make(map[*opencl.Mem]struct{}),
+	}
 	e.profile = b.prof
 	if e.tuned != nil {
 		b.prof.addTune(e.track(), e.tuned)
@@ -276,66 +296,123 @@ func (b *clBackend) Close() (err error) {
 	return err
 }
 
-// clStaged is one chunk's device state: the per-chunk buffers created at
-// stage time, the comparer output buffers created once candidates are
-// known, and the raw entries accumulated across guides.
+// clArena is one launch's device-side arena state: the page cursor, the
+// per-group emission counters and page table, and the overflow counter.
+type clArena struct {
+	layout alloc.Layout
+
+	cursorBuf, countBuf, pageBuf, ovfBuf *opencl.Mem
+}
+
+// createArena allocates and initialises one launch's arena state buffers
+// for the layout (cursor and counters zeroed, page table cleared to NoPage).
+// On error the partial allocation is left to the caller's release/Close.
+func (b *clBackend) createArena(l alloc.Layout) (*clArena, error) {
+	a := &clArena{layout: l}
+	var err error
+	if a.cursorBuf, err = clCreate[uint32](b, opencl.MemReadWrite, 1, nil); err != nil {
+		return nil, err
+	}
+	if a.countBuf, err = clCreate[uint32](b, opencl.MemReadWrite, l.Groups, nil); err != nil {
+		return nil, err
+	}
+	if a.pageBuf, err = clCreate(b, opencl.MemReadWrite|opencl.MemCopyHostPtr, l.Groups, alloc.UnsetPages(l.Groups)); err != nil {
+		return nil, err
+	}
+	if a.ovfBuf, err = clCreate[uint32](b, opencl.MemReadWrite, 1, nil); err != nil {
+		return nil, err
+	}
+	b.prof.addStaged(l.MetaBytes())
+	return a, nil
+}
+
+// release frees the arena's state buffers.
+func (a *clArena) release(b *clBackend) error {
+	var err error
+	for _, m := range []*opencl.Mem{a.cursorBuf, a.countBuf, a.pageBuf, a.ovfBuf} {
+		closeErr(b.releaseBuf(m), &err)
+	}
+	return err
+}
+
+// readArena reads the launch's arena state back. The overflow counter is
+// read (and accounted) first: a non-zero value means the launch dropped
+// entries and must be retried on a grown arena, returned as dropped with a
+// nil geometry. A clean launch's claim state is then read and decoded —
+// Decode rejects impossible state as fault.SiteArena corruption, after the
+// readback bytes are already on the profile.
+func (b *clBackend) readArena(a *clArena) (geo *alloc.Geometry, dropped uint32, err error) {
+	ovf := make([]uint32, 1)
+	if _, err := opencl.EnqueueReadBuffer(b.queue, a.ovfBuf, true, 0, 1, ovf); err != nil {
+		return nil, 0, err
+	}
+	b.prof.addRead(4)
+	if ovf[0] != 0 {
+		return nil, ovf[0], nil
+	}
+	cursor := make([]uint32, 1)
+	if _, err := opencl.EnqueueReadBuffer(b.queue, a.cursorBuf, true, 0, 1, cursor); err != nil {
+		return nil, 0, err
+	}
+	count := make([]uint32, a.layout.Groups)
+	if _, err := opencl.EnqueueReadBuffer(b.queue, a.countBuf, true, 0, len(count), count); err != nil {
+		return nil, 0, err
+	}
+	pageOf := make([]uint32, a.layout.Groups)
+	if _, err := opencl.EnqueueReadBuffer(b.queue, a.pageBuf, true, 0, len(pageOf), pageOf); err != nil {
+		return nil, 0, err
+	}
+	b.prof.addRead(4 + 8*int64(a.layout.Groups))
+	geo, err = alloc.Decode(cursor[0], count, pageOf, a.layout.PageSlots, a.layout.Pages)
+	if err != nil {
+		return nil, 0, err
+	}
+	return geo, 0, nil
+}
+
+// clStaged is one chunk's state: the sequence buffer created at stage time,
+// the device-side compacted candidate buffers the finder arena is drained
+// into, and the raw entries accumulated across guides.
 type clStaged struct {
 	ch *genome.Chunk
 
-	chrBuf, lociBuf, flagsBuf, countBuf     *opencl.Mem
-	mmLociBuf, mmCountBuf, dirBuf, entryBuf *opencl.Mem
+	chrBuf              *opencl.Mem
+	cLociBuf, cFlagsBuf *opencl.Mem
 
 	n       int
 	entries []rawHit
 }
 
-// Stage implements pipeline.Backend: create and fill the chunk's input and
-// finder output buffers (step 9 of the host lifecycle). This runs on the
-// stager goroutine while the scan worker drives kernels over the previous
-// chunk; a mid-stage failure leaves the earlier buffers to Close.
+// Stage implements pipeline.Backend: create and fill the chunk's sequence
+// buffer (step 9 of the host lifecycle). The finder's output no longer
+// stages worst-case sites-sized buffers here — each Find attempt provisions
+// an arena for the predicted density instead. This runs on the stager
+// goroutine while the scan worker drives kernels over the previous chunk.
 func (b *clBackend) Stage(ctx context.Context, ch *genome.Chunk) (pipeline.Staged, error) {
 	s := &clStaged{ch: ch}
 	data := ch.Data
-	sites := ch.Body
 	var err error
 	if s.chrBuf, err = clCreate(b, opencl.MemReadOnly|opencl.MemCopyHostPtr, len(data), data); err != nil {
-		return nil, err
-	}
-	if s.lociBuf, err = clCreate[uint32](b, opencl.MemReadWrite, sites, nil); err != nil {
-		return nil, err
-	}
-	if s.flagsBuf, err = clCreate[byte](b, opencl.MemReadWrite, sites, nil); err != nil {
-		return nil, err
-	}
-	if s.countBuf, err = clCreate[uint32](b, opencl.MemReadWrite, 1, nil); err != nil {
 		return nil, err
 	}
 	b.prof.addStagedChunk(int64(len(data)))
 	return s, nil
 }
 
-// Find implements pipeline.Backend: set the finder arguments, enqueue it
-// over the padded site range and read back the candidate count and loci.
+// Find implements pipeline.Backend: enqueue the finder over the padded site
+// range with an arena provisioned for the predicted candidate density, grow
+// and relaunch on overflow, then compact the claimed pages into the
+// comparer's exact-size input with device-to-device copies. Only the arena's
+// claim state crosses back to the host; the candidates themselves never do.
 func (b *clBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) {
 	s := st.(*clStaged)
 	plen := b.plan.Pattern.PatternLen
 	sites := s.ch.Body
-
-	finderArgs := []any{
-		s.chrBuf, b.patBuf, b.patIdxBuf,
-		int32(plen), uint32(sites),
-		s.lociBuf, s.flagsBuf, s.countBuf,
-	}
-	for i, a := range finderArgs {
-		if err := b.finder.SetArg(i, a); err != nil {
-			return 0, err
-		}
-	}
-	if err := b.finder.SetArgLocal(kernels.FinderArgLocalPat, 2*plen); err != nil {
-		return 0, err
-	}
-	if err := b.finder.SetArgLocal(kernels.FinderArgLocalPatIndex, 4*2*plen); err != nil {
-		return 0, err
+	if sites == 0 {
+		// A final chunk can own zero site starts (its body is shorter than
+		// the pattern's overlap); there is nothing to scan, and a zero-sized
+		// ND-range cannot be enqueued.
+		return 0, nil
 	}
 
 	wg := b.e.wgSize()
@@ -343,59 +420,133 @@ func (b *clBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) {
 	if pad <= 0 {
 		pad = 64
 	}
+	// The padded global size makes the effective local size deterministic
+	// even when wg=0 leaves the choice to the runtime (defaultLocalSize
+	// picks the largest power of two dividing gws), so the group count —
+	// and with it the arena's page tables — is known on the host.
 	gws := (sites + pad - 1) / pad * pad
-	ev, err := b.queue.EnqueueNDRangeKernelCtx(ctx, b.finder, gws, wg)
-	if err != nil {
-		return 0, err
-	}
-	if err := ev.Wait(); err != nil {
-		return 0, err
-	}
-	b.prof.addKernel("finder", ev.Stats(), gws/int(ev.Stats().WorkGroups))
+	layout := finderLayout(b.plan, b.finderPred, s.ch, gws/pad, pad, b.e.WorstCaseArena)
 
-	countHost := make([]uint32, 1)
-	if _, err := opencl.EnqueueReadBuffer(b.queue, s.countBuf, true, 0, 1, countHost); err != nil {
-		return 0, err
-	}
-	s.n = int(countHost[0])
-	// Validate before sizing any allocation on it: a corrupted count
-	// readback (MSB flip → ~2^31) must be rejected, not used to size the
-	// loci read or the comparer output buffers.
-	if s.n > sites {
-		s.n = 0
-		return 0, fault.Errorf(fault.SiteReadback, fault.Corruption,
-			"search: %s: finder count %d exceeds the %d scanned sites", b.e.Name(), countHost[0], sites)
-	}
-	b.prof.addRead(4)
-	b.prof.addCandidates(int64(s.n))
-	if s.n == 0 {
-		return 0, nil
-	}
-	lociHost := make([]uint32, s.n)
-	if _, err := opencl.EnqueueReadBuffer(b.queue, s.lociBuf, true, 0, s.n, lociHost); err != nil {
-		return 0, err
-	}
-	b.prof.addRead(int64(4 * s.n))
+	for {
+		lociBuf, err := clCreate[uint32](b, opencl.MemReadWrite, layout.Slots(), nil)
+		if err != nil {
+			return 0, err
+		}
+		flagsBuf, err := clCreate[byte](b, opencl.MemReadWrite, layout.Slots(), nil)
+		if err != nil {
+			return 0, err
+		}
+		arena, err := b.createArena(layout)
+		if err != nil {
+			return 0, err
+		}
+		b.prof.addArena(layout.DataBytes(finderEntryBytes)+layout.MetaBytes(), 0)
+		release := func() error {
+			var err error
+			closeErr(b.releaseBuf(lociBuf), &err)
+			closeErr(b.releaseBuf(flagsBuf), &err)
+			closeErr(arena.release(b), &err)
+			return err
+		}
 
-	// Comparer output buffers sized for both strands of every candidate.
-	if s.mmLociBuf, err = clCreate[uint32](b, opencl.MemWriteOnly, 2*s.n, nil); err != nil {
-		return 0, err
-	}
-	if s.mmCountBuf, err = clCreate[uint16](b, opencl.MemWriteOnly, 2*s.n, nil); err != nil {
-		return 0, err
-	}
-	if s.dirBuf, err = clCreate[byte](b, opencl.MemWriteOnly, 2*s.n, nil); err != nil {
-		return 0, err
-	}
-	if s.entryBuf, err = clCreate[uint32](b, opencl.MemReadWrite, 1, nil); err != nil {
-		return 0, err
+		finderArgs := []any{
+			s.chrBuf, b.patBuf, b.patIdxBuf,
+			int32(plen), uint32(sites),
+			lociBuf, flagsBuf,
+			int32(layout.PageSlots), int32(layout.Pages),
+			arena.cursorBuf, arena.countBuf, arena.pageBuf, arena.ovfBuf,
+		}
+		for i, a := range finderArgs {
+			if err := b.finder.SetArg(i, a); err != nil {
+				return 0, err
+			}
+		}
+		if err := b.finder.SetArgLocal(kernels.FinderArgLocalPat, 2*plen); err != nil {
+			return 0, err
+		}
+		if err := b.finder.SetArgLocal(kernels.FinderArgLocalPatIndex, 4*2*plen); err != nil {
+			return 0, err
+		}
+
+		ev, err := b.queue.EnqueueNDRangeKernelCtx(ctx, b.finder, gws, wg)
+		if err != nil {
+			return 0, err
+		}
+		if err := ev.Wait(); err != nil {
+			return 0, err
+		}
+		b.prof.addKernel("finder", ev.Stats(), pad)
+
+		geo, dropped, err := b.readArena(arena)
+		if err != nil {
+			return 0, err
+		}
+		if dropped > 0 {
+			if err := release(); err != nil {
+				return 0, err
+			}
+			grown, ok := alloc.Grow(layout)
+			if !ok {
+				return 0, fault.Errorf(fault.SiteArena, fault.Overflow,
+					"search: %s: finder arena dropped %d entries at worst-case %v", b.e.Name(), dropped, layout)
+			}
+			layout = grown
+			b.prof.addOverflowRetry()
+			continue
+		}
+		b.prof.addArena(0, int64(geo.Claimed))
+
+		s.n = geo.Total
+		// The finder emits at most one entry per scanned site; a larger
+		// total can only be corrupted arena state that slipped past Decode's
+		// structural checks. Reject before sizing the gather on it — the
+		// readback bytes are already on the profile.
+		if s.n > sites {
+			s.n = 0
+			return 0, fault.Errorf(fault.SiteReadback, fault.Corruption,
+				"search: %s: finder count %d exceeds the %d scanned sites", b.e.Name(), geo.Total, sites)
+		}
+		b.prof.addCandidates(int64(s.n))
+
+		if s.n > 0 {
+			// Compact the candidates into the comparer's exact-size input with
+			// device-to-device copies, one per claimed page: the comparer
+			// indexes loci/flags densely in [0, n), so a page-strided view
+			// would not do, and an on-device compaction keeps the candidates
+			// off the PCIe bus entirely — the host only ever reads the arena's
+			// claim state.
+			if s.cLociBuf, err = clCreate[uint32](b, opencl.MemReadWrite, s.n, nil); err != nil {
+				return 0, err
+			}
+			if s.cFlagsBuf, err = clCreate[byte](b, opencl.MemReadWrite, s.n, nil); err != nil {
+				return 0, err
+			}
+			pos := 0
+			for p := 0; p < geo.Claimed; p++ {
+				n := geo.Counts[p]
+				if _, err := opencl.EnqueueCopyBuffer[uint32](b.queue, lociBuf, s.cLociBuf, p*layout.PageSlots, pos, n); err != nil {
+					return 0, err
+				}
+				if _, err := opencl.EnqueueCopyBuffer[byte](b.queue, flagsBuf, s.cFlagsBuf, p*layout.PageSlots, pos, n); err != nil {
+					return 0, err
+				}
+				pos += n
+			}
+		}
+		if err := release(); err != nil {
+			return 0, err
+		}
+		b.finderPred.Observe(layout.Groups, geo.Claimed)
+		break
 	}
 	return s.n, nil
 }
 
-// Compare implements pipeline.Backend: upload one guide's tables, reset the
-// entry counter, enqueue the comparer and read back its entries. The
-// transient guide buffers are released here on success; an error leaves
+// Compare implements pipeline.Backend: upload one guide's tables, enqueue
+// the comparer with an arena provisioned for the predicted entry density
+// (two slots per candidate in the worst case), grow and relaunch on
+// overflow, and gather the entries with one ranged read per claimed page.
+// The transient guide buffers are released here on success; an error leaves
 // them to Close.
 func (b *clBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) error {
 	s := st.(*clStaged)
@@ -412,74 +563,131 @@ func (b *clBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) err
 	}
 	b.prof.addStaged(int64(len(g.Codes) + 4*len(g.Index)))
 
-	if _, err := opencl.EnqueueWriteBuffer(b.queue, s.entryBuf, true, 0, 1, []uint32{0}); err != nil {
-		return err
-	}
-	b.prof.addStaged(4)
-
-	comparerArgs := []any{
-		uint32(s.n), s.chrBuf, s.lociBuf, s.mmLociBuf,
-		compBuf, compIdxBuf,
-		int32(g.PatternLen), uint16(q.MaxMismatches),
-		s.flagsBuf, s.mmCountBuf, s.dirBuf, s.entryBuf,
-	}
-	for i, a := range comparerArgs {
-		if err := b.comparer.SetArg(i, a); err != nil {
-			return err
-		}
-	}
-	if err := b.comparer.SetArgLocal(kernels.ComparerArgLocalComp, 2*g.PatternLen); err != nil {
-		return err
-	}
-	if err := b.comparer.SetArgLocal(kernels.ComparerArgLocalCompIndex, 4*2*g.PatternLen); err != nil {
-		return err
-	}
 	wg := b.e.wgSize()
 	pad := wg
 	if pad <= 0 {
 		pad = 64
 	}
 	cgws := (s.n + pad - 1) / pad * pad
-	ev, err := b.queue.EnqueueNDRangeKernelCtx(ctx, b.comparer, cgws, wg)
-	if err != nil {
-		return err
-	}
-	if err := ev.Wait(); err != nil {
-		return err
-	}
-	b.prof.addKernel(b.comparer.Name(), ev.Stats(), cgws/int(ev.Stats().WorkGroups))
+	layout := comparerLayout(b.comparerPred, cgws/pad, 2*pad, b.e.WorstCaseArena)
 
-	entryHost := make([]uint32, 1)
-	if _, err := opencl.EnqueueReadBuffer(b.queue, s.entryBuf, true, 0, 1, entryHost); err != nil {
-		return err
-	}
-	cnt := int(entryHost[0])
-	// The comparer emits at most one entry per strand per candidate; a
-	// larger count can only be a corrupted readback — reject it before
-	// sizing the entry reads on it.
-	if cnt > 2*s.n {
-		return fault.Errorf(fault.SiteReadback, fault.Corruption,
-			"search: %s: comparer entry count %d exceeds 2×%d candidates", b.e.Name(), cnt, s.n)
-	}
-	b.prof.addRead(4)
-	b.prof.addEntries(int64(cnt))
-	if cnt > 0 {
-		mmLoci := make([]uint32, cnt)
-		mmCount := make([]uint16, cnt)
-		dirs := make([]byte, cnt)
-		if _, err := opencl.EnqueueReadBuffer(b.queue, s.mmLociBuf, true, 0, cnt, mmLoci); err != nil {
+	for {
+		mmLociBuf, err := clCreate[uint32](b, opencl.MemWriteOnly, layout.Slots(), nil)
+		if err != nil {
 			return err
 		}
-		if _, err := opencl.EnqueueReadBuffer(b.queue, s.mmCountBuf, true, 0, cnt, mmCount); err != nil {
+		mmCountBuf, err := clCreate[uint16](b, opencl.MemWriteOnly, layout.Slots(), nil)
+		if err != nil {
 			return err
 		}
-		if _, err := opencl.EnqueueReadBuffer(b.queue, s.dirBuf, true, 0, cnt, dirs); err != nil {
+		dirBuf, err := clCreate[byte](b, opencl.MemWriteOnly, layout.Slots(), nil)
+		if err != nil {
 			return err
 		}
-		b.prof.addRead(int64(cnt * (4 + 2 + 1)))
-		for i := 0; i < cnt; i++ {
-			s.entries = append(s.entries, rawHit{qi: qi, pos: int(mmLoci[i]), dir: dirs[i], mm: int(mmCount[i])})
+		arena, err := b.createArena(layout)
+		if err != nil {
+			return err
 		}
+		b.prof.addArena(layout.DataBytes(comparerEntryBytes)+layout.MetaBytes(), 0)
+		release := func() error {
+			var err error
+			for _, m := range []*opencl.Mem{mmLociBuf, mmCountBuf, dirBuf} {
+				closeErr(b.releaseBuf(m), &err)
+			}
+			closeErr(arena.release(b), &err)
+			return err
+		}
+
+		comparerArgs := []any{
+			uint32(s.n), s.chrBuf, s.cLociBuf, mmLociBuf,
+			compBuf, compIdxBuf,
+			int32(g.PatternLen), uint16(q.MaxMismatches),
+			s.cFlagsBuf, mmCountBuf, dirBuf,
+			int32(layout.PageSlots), int32(layout.Pages),
+			arena.cursorBuf, arena.countBuf, arena.pageBuf, arena.ovfBuf,
+		}
+		for i, a := range comparerArgs {
+			if err := b.comparer.SetArg(i, a); err != nil {
+				return err
+			}
+		}
+		if err := b.comparer.SetArgLocal(kernels.ComparerArgLocalComp, 2*g.PatternLen); err != nil {
+			return err
+		}
+		if err := b.comparer.SetArgLocal(kernels.ComparerArgLocalCompIndex, 4*2*g.PatternLen); err != nil {
+			return err
+		}
+		ev, err := b.queue.EnqueueNDRangeKernelCtx(ctx, b.comparer, cgws, wg)
+		if err != nil {
+			return err
+		}
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		b.prof.addKernel(b.comparer.Name(), ev.Stats(), pad)
+
+		geo, dropped, err := b.readArena(arena)
+		if err != nil {
+			return err
+		}
+		if dropped > 0 {
+			if err := release(); err != nil {
+				return err
+			}
+			grown, ok := alloc.Grow(layout)
+			if !ok {
+				return fault.Errorf(fault.SiteArena, fault.Overflow,
+					"search: %s: comparer arena dropped %d entries at worst-case %v", b.e.Name(), dropped, layout)
+			}
+			layout = grown
+			b.prof.addOverflowRetry()
+			continue
+		}
+		b.prof.addArena(0, int64(geo.Claimed))
+
+		cnt := geo.Total
+		// The comparer emits at most one entry per strand per candidate; a
+		// larger count can only be a corrupted readback — reject it before
+		// sizing the entry gather on it. The readback bytes are already on
+		// the profile.
+		if cnt > 2*s.n {
+			return fault.Errorf(fault.SiteReadback, fault.Corruption,
+				"search: %s: comparer entry count %d exceeds 2×%d candidates", b.e.Name(), cnt, s.n)
+		}
+		b.prof.addEntries(int64(cnt))
+		if cnt > 0 {
+			// Ranged reads gather only each claimed page's valid prefix: the
+			// readback traffic is cnt entries however sparsely the pages are
+			// filled, just as the pre-arena host read exactly the counted
+			// entries.
+			mmLoci := make([]uint32, cnt)
+			mmCount := make([]uint16, cnt)
+			dirs := make([]byte, cnt)
+			pos := 0
+			for p := 0; p < geo.Claimed; p++ {
+				n := geo.Counts[p]
+				base := p * layout.PageSlots
+				if _, err := opencl.EnqueueReadBuffer(b.queue, mmLociBuf, true, base, n, mmLoci[pos:]); err != nil {
+					return err
+				}
+				if _, err := opencl.EnqueueReadBuffer(b.queue, mmCountBuf, true, base, n, mmCount[pos:]); err != nil {
+					return err
+				}
+				if _, err := opencl.EnqueueReadBuffer(b.queue, dirBuf, true, base, n, dirs[pos:]); err != nil {
+					return err
+				}
+				pos += n
+			}
+			b.prof.addRead(int64(comparerEntryBytes * cnt))
+			for i := 0; i < cnt; i++ {
+				s.entries = append(s.entries, rawHit{qi: qi, pos: int(mmLoci[i]), dir: dirs[i], mm: int(mmCount[i])})
+			}
+		}
+		if err := release(); err != nil {
+			return err
+		}
+		b.comparerPred.Observe(layout.Groups, geo.Claimed)
+		break
 	}
 	if err := b.releaseBuf(compBuf); err != nil {
 		return err
@@ -498,10 +706,7 @@ func (b *clBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline.S
 		return nil, derr
 	}
 	var err error
-	for _, m := range []*opencl.Mem{
-		s.chrBuf, s.lociBuf, s.flagsBuf, s.countBuf,
-		s.mmLociBuf, s.mmCountBuf, s.dirBuf, s.entryBuf,
-	} {
+	for _, m := range []*opencl.Mem{s.chrBuf, s.cLociBuf, s.cFlagsBuf} {
 		closeErr(b.releaseBuf(m), &err)
 	}
 	if err != nil {
@@ -519,10 +724,7 @@ func (b *clBackend) Release(st pipeline.Staged) {
 	if !ok || s == nil {
 		return
 	}
-	for _, m := range []*opencl.Mem{
-		s.chrBuf, s.lociBuf, s.flagsBuf, s.countBuf,
-		s.mmLociBuf, s.mmCountBuf, s.dirBuf, s.entryBuf,
-	} {
+	for _, m := range []*opencl.Mem{s.chrBuf, s.cLociBuf, s.cFlagsBuf} {
 		_ = b.releaseBuf(m) // best effort; Close sweeps leftovers
 	}
 }

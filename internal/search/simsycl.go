@@ -8,6 +8,7 @@ import (
 	"casoffinder/internal/fault"
 	"casoffinder/internal/genome"
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/alloc"
 	"casoffinder/internal/kernels"
 	"casoffinder/internal/obs"
 	"casoffinder/internal/pipeline"
@@ -35,6 +36,10 @@ type SimSYCL struct {
 	// fixed-variant run.
 	Auto      bool
 	Calibrate bool
+	// WorstCaseArena pins every launch's hit-buffer arena to the worst-case
+	// layout (one page per work-group) instead of sizing it from the
+	// predicted hit density; see SimCL.WorstCaseArena.
+	WorstCaseArena bool
 	// Resilience, when set, runs the engine under the pipeline's
 	// fault-tolerant executor: transient errors (including asynchronous
 	// exceptions) retry with backoff, hung kernels are reaped by the
@@ -159,6 +164,11 @@ type syclBackend struct {
 	patBuf    *sycl.Buffer[byte]
 	patIdxBuf *sycl.Buffer[int32]
 
+	// finderPred and comparerPred carry the observed hit density across
+	// chunks for arena provisioning; see the shared helpers in arena.go.
+	finderPred   *alloc.Predictor
+	comparerPred *alloc.Predictor
+
 	// mu guards live: the stager creates buffers while the scan worker
 	// destroys others.
 	mu   sync.Mutex
@@ -188,7 +198,12 @@ func syclDestroy[T any](b *syclBackend, buf *sycl.Buffer[T], err *error) {
 // run-constant pattern tables; the scaffold goes behind the constant
 // address space as in the paper's finder kernel.
 func newSYCLBackend(e *SimSYCL, plan *pipeline.Plan) (_ *syclBackend, err error) {
-	b := &syclBackend{e: e, plan: plan, prof: newProfile(e.Metrics), live: make(map[destroyer]struct{})}
+	b := &syclBackend{
+		e: e, plan: plan, prof: newProfile(e.Metrics),
+		finderPred:   newFinderPredictor(),
+		comparerPred: newComparerPredictor(),
+		live:         make(map[destroyer]struct{}),
+	}
 	e.profile = b.prof
 	if e.tuned != nil {
 		b.prof.addTune(e.track(), e.tuned)
@@ -236,31 +251,138 @@ func (b *syclBackend) Close() (err error) {
 	return err
 }
 
-// syclStaged is one chunk's device state: the buffers created at stage
-// time, the comparer output buffers created once candidates are known, and
-// the raw entries accumulated across guides.
+// syclArena is one launch's device-side arena state buffers.
+type syclArena struct {
+	layout alloc.Layout
+
+	cursorBuf *sycl.Buffer[uint32]
+	countBuf  *sycl.Buffer[uint32]
+	pageBuf   *sycl.Buffer[uint32]
+	ovfBuf    *sycl.Buffer[uint32]
+}
+
+// createArena allocates one launch's arena state buffers for the layout
+// (cursor and counters zeroed, page table cleared to NoPage). On error the
+// partial allocation is left to the caller's release/Close.
+func (b *syclBackend) createArena(l alloc.Layout) (*syclArena, error) {
+	a := &syclArena{layout: l}
+	var err error
+	if a.cursorBuf, err = sycl.NewBuffer[uint32](1); err != nil {
+		return nil, err
+	}
+	b.track(a.cursorBuf)
+	if a.countBuf, err = sycl.NewBuffer[uint32](l.Groups); err != nil {
+		return nil, err
+	}
+	b.track(a.countBuf)
+	if a.pageBuf, err = sycl.NewBufferFrom(alloc.UnsetPages(l.Groups)); err != nil {
+		return nil, err
+	}
+	b.track(a.pageBuf)
+	if a.ovfBuf, err = sycl.NewBuffer[uint32](1); err != nil {
+		return nil, err
+	}
+	b.track(a.ovfBuf)
+	b.prof.addStaged(l.MetaBytes())
+	return a, nil
+}
+
+// release destroys the arena's state buffers.
+func (a *syclArena) release(b *syclBackend) error {
+	var err error
+	syclDestroy(b, a.cursorBuf, &err)
+	syclDestroy(b, a.countBuf, &err)
+	syclDestroy(b, a.pageBuf, &err)
+	syclDestroy(b, a.ovfBuf, &err)
+	return err
+}
+
+// access binds the arena state into a command group, returning the
+// kernel-visible alloc.Device over the accessor slices.
+func (a *syclArena) access(h *sycl.Handler) (*alloc.Device, error) {
+	cursorAcc, err := sycl.Access(h, a.cursorBuf, sycl.ReadWrite)
+	if err != nil {
+		return nil, err
+	}
+	countAcc, err := sycl.Access(h, a.countBuf, sycl.ReadWrite)
+	if err != nil {
+		return nil, err
+	}
+	pageAcc, err := sycl.Access(h, a.pageBuf, sycl.ReadWrite)
+	if err != nil {
+		return nil, err
+	}
+	ovfAcc, err := sycl.Access(h, a.ovfBuf, sycl.ReadWrite)
+	if err != nil {
+		return nil, err
+	}
+	return &alloc.Device{
+		PageSlots: a.layout.PageSlots,
+		Pages:     a.layout.Pages,
+		Cursor:    &cursorAcc.Slice()[0],
+		Count:     countAcc.Slice(),
+		PageOf:    pageAcc.Slice(),
+		Overflow:  &ovfAcc.Slice()[0],
+	}, nil
+}
+
+// readArena snapshots the launch's arena state back. The overflow counter
+// is read (and accounted) first: a non-zero value means the launch dropped
+// entries and must be retried on a grown arena, returned as dropped with a
+// nil geometry. A clean launch's claim state is then snapshotted and
+// decoded — Decode rejects impossible state as fault.SiteArena corruption,
+// after the readback bytes are already on the profile.
+func (b *syclBackend) readArena(a *syclArena) (geo *alloc.Geometry, dropped uint32, err error) {
+	ovf, err := a.ovfBuf.Snapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	b.prof.addRead(4)
+	if ovf[0] != 0 {
+		return nil, ovf[0], nil
+	}
+	cursor, err := a.cursorBuf.Snapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	count, err := a.countBuf.Snapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	pageOf, err := a.pageBuf.Snapshot()
+	if err != nil {
+		return nil, 0, err
+	}
+	b.prof.addRead(4 + 8*int64(a.layout.Groups))
+	geo, err = alloc.Decode(cursor[0], count, pageOf, a.layout.PageSlots, a.layout.Pages)
+	if err != nil {
+		return nil, 0, err
+	}
+	return geo, 0, nil
+}
+
+// syclStaged is one chunk's state: the sequence buffer created at stage
+// time, the device-side compacted candidate buffers the finder arena is
+// drained into, and the raw entries accumulated across guides.
 type syclStaged struct {
 	ch *genome.Chunk
 
-	chrBuf   *sycl.Buffer[byte]
-	lociBuf  *sycl.Buffer[uint32]
-	flagsBuf *sycl.Buffer[byte]
-	countBuf *sycl.Buffer[uint32]
-
-	mmLociBuf  *sycl.Buffer[uint32]
-	mmCountBuf *sycl.Buffer[uint16]
-	dirBuf     *sycl.Buffer[byte]
+	chrBuf    *sycl.Buffer[byte]
+	cLociBuf  *sycl.Buffer[uint32]
+	cFlagsBuf *sycl.Buffer[byte]
 
 	n       int
 	entries []rawHit
 }
 
-// Stage implements pipeline.Backend: create the chunk's input and finder
-// output buffers. The chunk is staged as-is: the kernels' IUPAC tables
-// accept soft-masked lower-case bases, so no per-chunk upper-case copy is
-// needed (site rendering normalizes case in the reported site). This runs
-// on the stager goroutine while the scan worker submits kernels for the
-// previous chunk; a mid-stage failure leaves the earlier buffers to Close.
+// Stage implements pipeline.Backend: create the chunk's sequence buffer.
+// The chunk is staged as-is: the kernels' IUPAC tables accept soft-masked
+// lower-case bases, so no per-chunk upper-case copy is needed (site
+// rendering normalizes case in the reported site). The finder's output no
+// longer stages worst-case Body-sized buffers here — each Find attempt
+// provisions an arena for the predicted density instead. This runs on the
+// stager goroutine while the scan worker submits kernels for the previous
+// chunk; a mid-stage failure leaves the earlier buffers to Close.
 func (b *syclBackend) Stage(ctx context.Context, ch *genome.Chunk) (pipeline.Staged, error) {
 	s := &syclStaged{ch: ch}
 	var err error
@@ -268,123 +390,207 @@ func (b *syclBackend) Stage(ctx context.Context, ch *genome.Chunk) (pipeline.Sta
 		return nil, err
 	}
 	b.track(s.chrBuf)
-	if s.lociBuf, err = sycl.NewBuffer[uint32](ch.Body); err != nil {
-		return nil, err
-	}
-	b.track(s.lociBuf)
-	if s.flagsBuf, err = sycl.NewBuffer[byte](ch.Body); err != nil {
-		return nil, err
-	}
-	b.track(s.flagsBuf)
-	if s.countBuf, err = sycl.NewBuffer[uint32](1); err != nil {
-		return nil, err
-	}
-	b.track(s.countBuf)
 	b.prof.addStagedChunk(int64(len(ch.Data)))
 	return s, nil
 }
 
 // Find implements pipeline.Backend: submit the finder command group (local
-// accessors, two phases) and read back the candidate count.
+// accessors, two phases) with an arena provisioned for the predicted
+// candidate density, grow and relaunch on overflow, then compact the
+// claimed pages into the comparer's exact-size input with device-side copy
+// command groups. Only the arena's claim state crosses back to the host;
+// the candidates themselves never do.
 func (b *syclBackend) Find(ctx context.Context, st pipeline.Staged) (int, error) {
 	s := st.(*syclStaged)
 	plen := b.plan.Pattern.PatternLen
 	sites := s.ch.Body
+	if sites == 0 {
+		// A final chunk can own zero site starts (its body is shorter than
+		// the pattern's overlap); there is nothing to scan, and a zero-sized
+		// ND-range cannot be launched.
+		return 0, nil
+	}
 	wg := b.e.wgSize()
 
 	gws := (sites + wg - 1) / wg * wg
-	ev := b.queue.SubmitCtx(ctx, func(h *sycl.Handler) error {
-		chrAcc, err := sycl.Access(h, s.chrBuf, sycl.Read)
+	layout := finderLayout(b.plan, b.finderPred, s.ch, gws/wg, wg, b.e.WorstCaseArena)
+
+	for {
+		lociBuf, err := sycl.NewBuffer[uint32](layout.Slots())
 		if err != nil {
+			return 0, err
+		}
+		b.track(lociBuf)
+		flagsBuf, err := sycl.NewBuffer[byte](layout.Slots())
+		if err != nil {
+			return 0, err
+		}
+		b.track(flagsBuf)
+		arena, err := b.createArena(layout)
+		if err != nil {
+			return 0, err
+		}
+		b.prof.addArena(layout.DataBytes(finderEntryBytes)+layout.MetaBytes(), 0)
+		release := func() error {
+			var err error
+			syclDestroy(b, lociBuf, &err)
+			syclDestroy(b, flagsBuf, &err)
+			closeErr(arena.release(b), &err)
 			return err
 		}
-		patAcc, err := sycl.Access(h, b.patBuf, sycl.Read)
-		if err != nil {
-			return err
-		}
-		patIdxAcc, err := sycl.Access(h, b.patIdxBuf, sycl.Read)
-		if err != nil {
-			return err
-		}
-		lociAcc, err := sycl.Access(h, s.lociBuf, sycl.Write)
-		if err != nil {
-			return err
-		}
-		flagsAcc, err := sycl.Access(h, s.flagsBuf, sycl.Write)
-		if err != nil {
-			return err
-		}
-		countAcc, err := sycl.Access(h, s.countBuf, sycl.ReadWrite)
-		if err != nil {
-			return err
-		}
-		lPat, err := sycl.NewLocalAccessor[byte](h, 2*plen)
-		if err != nil {
-			return err
-		}
-		lPatIdx, err := sycl.NewLocalAccessor[int32](h, 2*plen)
-		if err != nil {
-			return err
-		}
-		fa := &kernels.FinderArgs{
-			Chr: chrAcc.Slice(),
-			Pattern: &kernels.PatternPair{
-				Codes:      patAcc.Slice(),
-				Index:      patIdxAcc.Slice(),
-				PatternLen: plen,
-			},
-			Sites: sites,
-			Loci:  lociAcc.Slice(),
-			Flags: flagsAcc.Slice(),
-			Count: &countAcc.Slice()[0],
-		}
-		return h.ParallelForPhases("finder", gpu.R1(gws), gpu.R1(wg), []func(it *sycl.NDItem){
-			func(it *sycl.NDItem) { kernels.FinderStage(it.Item(), fa, lPat.Slice(it), lPatIdx.Slice(it)) },
-			func(it *sycl.NDItem) { kernels.FinderScan(it.Item(), fa, lPat.Slice(it), lPatIdx.Slice(it)) },
+
+		ev := b.queue.SubmitCtx(ctx, func(h *sycl.Handler) error {
+			chrAcc, err := sycl.Access(h, s.chrBuf, sycl.Read)
+			if err != nil {
+				return err
+			}
+			patAcc, err := sycl.Access(h, b.patBuf, sycl.Read)
+			if err != nil {
+				return err
+			}
+			patIdxAcc, err := sycl.Access(h, b.patIdxBuf, sycl.Read)
+			if err != nil {
+				return err
+			}
+			lociAcc, err := sycl.Access(h, lociBuf, sycl.Write)
+			if err != nil {
+				return err
+			}
+			flagsAcc, err := sycl.Access(h, flagsBuf, sycl.Write)
+			if err != nil {
+				return err
+			}
+			arenaDev, err := arena.access(h)
+			if err != nil {
+				return err
+			}
+			lPat, err := sycl.NewLocalAccessor[byte](h, 2*plen)
+			if err != nil {
+				return err
+			}
+			lPatIdx, err := sycl.NewLocalAccessor[int32](h, 2*plen)
+			if err != nil {
+				return err
+			}
+			fa := &kernels.FinderArgs{
+				Chr: chrAcc.Slice(),
+				Pattern: &kernels.PatternPair{
+					Codes:      patAcc.Slice(),
+					Index:      patIdxAcc.Slice(),
+					PatternLen: plen,
+				},
+				Sites: sites,
+				Loci:  lociAcc.Slice(),
+				Flags: flagsAcc.Slice(),
+				Arena: arenaDev,
+			}
+			return h.ParallelForPhases("finder", gpu.R1(gws), gpu.R1(wg), []func(it *sycl.NDItem){
+				func(it *sycl.NDItem) { kernels.FinderStage(it.Item(), fa, lPat.Slice(it), lPatIdx.Slice(it)) },
+				func(it *sycl.NDItem) { kernels.FinderScan(it.Item(), fa, lPat.Slice(it), lPatIdx.Slice(it)) },
+			})
 		})
-	})
-	if err := ev.Wait(); err != nil {
-		return 0, err
-	}
-	b.prof.addKernel("finder", ev.Stats(), wg)
+		if err := ev.Wait(); err != nil {
+			return 0, err
+		}
+		b.prof.addKernel("finder", ev.Stats(), wg)
 
-	countHost, err := s.countBuf.Snapshot()
-	if err != nil {
-		return 0, err
-	}
-	s.n = int(countHost[0])
-	// Validate before sizing the output buffers: a corrupted count readback
-	// (MSB flip, ~2^31) would otherwise drive the allocations below.
-	if s.n > sites {
-		s.n = 0
-		return 0, fault.Errorf(fault.SiteReadback, fault.Corruption,
-			"search: %s: finder count %d exceeds the %d scanned sites", b.e.Name(), countHost[0], sites)
-	}
-	b.prof.addRead(4)
-	b.prof.addCandidates(int64(s.n))
-	if s.n == 0 {
-		return 0, nil
-	}
+		geo, dropped, err := b.readArena(arena)
+		if err != nil {
+			return 0, err
+		}
+		if dropped > 0 {
+			if err := release(); err != nil {
+				return 0, err
+			}
+			grown, ok := alloc.Grow(layout)
+			if !ok {
+				return 0, fault.Errorf(fault.SiteArena, fault.Overflow,
+					"search: %s: finder arena dropped %d entries at worst-case %v", b.e.Name(), dropped, layout)
+			}
+			layout = grown
+			b.prof.addOverflowRetry()
+			continue
+		}
+		b.prof.addArena(0, int64(geo.Claimed))
 
-	// Comparer output buffers sized for both strands of every candidate.
-	if s.mmLociBuf, err = sycl.NewBuffer[uint32](2 * s.n); err != nil {
-		return 0, err
+		s.n = geo.Total
+		// The finder emits at most one entry per scanned site; a larger
+		// total can only be corrupted arena state that slipped past Decode's
+		// structural checks. Reject before sizing the gather on it — the
+		// readback bytes are already on the profile.
+		if s.n > sites {
+			s.n = 0
+			return 0, fault.Errorf(fault.SiteReadback, fault.Corruption,
+				"search: %s: finder count %d exceeds the %d scanned sites", b.e.Name(), geo.Total, sites)
+		}
+		b.prof.addCandidates(int64(s.n))
+
+		if s.n > 0 {
+			// Compact the candidates into the comparer's exact-size input
+			// with device-side copy command groups, one per claimed page: the
+			// comparer indexes loci/flags densely in [0, n), so a
+			// page-strided view would not do, and cgh.copy between ranged
+			// accessors keeps the candidates off the host entirely — only
+			// the arena's claim state is ever read back.
+			if s.cLociBuf, err = sycl.NewBuffer[uint32](s.n); err != nil {
+				return 0, err
+			}
+			b.track(s.cLociBuf)
+			if s.cFlagsBuf, err = sycl.NewBuffer[byte](s.n); err != nil {
+				return 0, err
+			}
+			b.track(s.cFlagsBuf)
+			if err := copyPages(b.queue, lociBuf, s.cLociBuf, geo); err != nil {
+				return 0, err
+			}
+			if err := copyPages(b.queue, flagsBuf, s.cFlagsBuf, geo); err != nil {
+				return 0, err
+			}
+		}
+		if err := release(); err != nil {
+			return 0, err
+		}
+		b.finderPred.Observe(layout.Groups, geo.Claimed)
+		break
 	}
-	b.track(s.mmLociBuf)
-	if s.mmCountBuf, err = sycl.NewBuffer[uint16](2 * s.n); err != nil {
-		return 0, err
-	}
-	b.track(s.mmCountBuf)
-	if s.dirBuf, err = sycl.NewBuffer[byte](2 * s.n); err != nil {
-		return 0, err
-	}
-	b.track(s.dirBuf)
 	return s.n, nil
 }
 
+// copyPages drains the claimed pages of a page-strided arena buffer into a
+// compact destination with one device-side copy command group per page —
+// cgh.copy(srcAccessor, dstAccessor) over ranged accessors. Each copy is
+// waited on so the caller may destroy the source afterwards.
+func copyPages[T any](q *sycl.Queue, src, dst *sycl.Buffer[T], geo *alloc.Geometry) error {
+	pos := 0
+	for p := 0; p < geo.Claimed; p++ {
+		n := geo.Counts[p]
+		base := p * geo.PageSlots
+		at := pos
+		ev := q.Submit(func(h *sycl.Handler) error {
+			srcAcc, err := sycl.AccessRange(h, src, sycl.Read, n, base)
+			if err != nil {
+				return err
+			}
+			dstAcc, err := sycl.AccessRange(h, dst, sycl.Write, n, at)
+			if err != nil {
+				return err
+			}
+			return sycl.Copy(h, dstAcc, srcAcc)
+		})
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		pos += n
+	}
+	return nil
+}
+
 // Compare implements pipeline.Backend: submit one guide's comparer command
-// group and read back its entries. The transient guide buffers are
-// destroyed here; an error leaves them to Close.
+// group with an arena provisioned for the predicted entry density (two
+// slots per candidate in the worst case), grow and relaunch on overflow,
+// and gather the entries with one ranged host accessor per claimed page.
+// The transient guide buffers are destroyed here; an error leaves them to
+// Close.
 func (b *syclBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) (err error) {
 	s := st.(*syclStaged)
 	g := b.plan.Guides[qi]
@@ -404,119 +610,180 @@ func (b *syclBackend) Compare(ctx context.Context, st pipeline.Staged, qi int) (
 	}
 	b.track(compIdxBuf)
 	defer syclDestroy(b, compIdxBuf, &err)
-	entryBuf, err := sycl.NewBuffer[uint32](1)
-	if err != nil {
-		return err
-	}
-	b.track(entryBuf)
-	defer syclDestroy(b, entryBuf, &err)
-	b.prof.addStaged(int64(len(g.Codes)+4*len(g.Index)) + 4)
+	b.prof.addStaged(int64(len(g.Codes) + 4*len(g.Index)))
 
 	phases := kernels.ComparerPhases(b.e.variant())
 	name := kernels.ComparerKernelName(b.e.variant())
 	cgws := (n + wg - 1) / wg * wg
-	ev := b.queue.SubmitCtx(ctx, func(h *sycl.Handler) error {
-		chrAcc, err := sycl.Access(h, s.chrBuf, sycl.Read)
-		if err != nil {
-			return err
-		}
-		lociAcc, err := sycl.Access(h, s.lociBuf, sycl.Read)
-		if err != nil {
-			return err
-		}
-		flagsAcc, err := sycl.Access(h, s.flagsBuf, sycl.Read)
-		if err != nil {
-			return err
-		}
-		compAcc, err := sycl.Access(h, compBuf, sycl.Read)
-		if err != nil {
-			return err
-		}
-		compIdxAcc, err := sycl.Access(h, compIdxBuf, sycl.Read)
-		if err != nil {
-			return err
-		}
-		mmLociAcc, err := sycl.Access(h, s.mmLociBuf, sycl.Write)
-		if err != nil {
-			return err
-		}
-		mmCountAcc, err := sycl.Access(h, s.mmCountBuf, sycl.Write)
-		if err != nil {
-			return err
-		}
-		dirAcc, err := sycl.Access(h, s.dirBuf, sycl.Write)
-		if err != nil {
-			return err
-		}
-		entryAcc, err := sycl.Access(h, entryBuf, sycl.ReadWrite)
-		if err != nil {
-			return err
-		}
-		lComp, err := sycl.NewLocalAccessor[byte](h, 2*g.PatternLen)
-		if err != nil {
-			return err
-		}
-		lCompIdx, err := sycl.NewLocalAccessor[int32](h, 2*g.PatternLen)
-		if err != nil {
-			return err
-		}
-		ca := &kernels.ComparerArgs{
-			Chr:       chrAcc.Slice(),
-			Loci:      lociAcc.Slice(),
-			Flags:     flagsAcc.Slice(),
-			LociCount: uint32(n),
-			Guide: &kernels.PatternPair{
-				Codes:      compAcc.Slice(),
-				Index:      compIdxAcc.Slice(),
-				PatternLen: g.PatternLen,
-			},
-			Threshold:  uint16(q.MaxMismatches),
-			MMLoci:     mmLociAcc.Slice(),
-			MMCount:    mmCountAcc.Slice(),
-			Direction:  dirAcc.Slice(),
-			EntryCount: &entryAcc.Slice()[0],
-		}
-		return h.ParallelForPhases(name, gpu.R1(cgws), gpu.R1(wg), []func(it *sycl.NDItem){
-			func(it *sycl.NDItem) { phases[0](it.Item(), ca, lComp.Slice(it), lCompIdx.Slice(it)) },
-			func(it *sycl.NDItem) { phases[1](it.Item(), ca, lComp.Slice(it), lCompIdx.Slice(it)) },
-		})
-	})
-	if err := ev.Wait(); err != nil {
-		return err
-	}
-	b.prof.addKernel(name, ev.Stats(), wg)
+	layout := comparerLayout(b.comparerPred, cgws/wg, 2*wg, b.e.WorstCaseArena)
 
-	entryHost, err := entryBuf.Snapshot()
-	if err != nil {
-		return err
-	}
-	cnt := int(entryHost[0])
-	// Validate before reading cnt entries from the output snapshots: the
-	// comparer writes at most two entries (one per strand) per candidate.
-	if cnt > 2*s.n {
-		return fault.Errorf(fault.SiteReadback, fault.Corruption,
-			"search: %s: comparer entry count %d exceeds the %d possible entries", b.e.Name(), entryHost[0], 2*s.n)
-	}
-	b.prof.addRead(4)
-	b.prof.addEntries(int64(cnt))
-	if cnt == 0 {
-		return nil
-	}
-	mmLoci, err := s.mmLociBuf.Snapshot()
-	if err != nil {
-		return err
-	}
-	mmCount, err := s.mmCountBuf.Snapshot()
-	if err != nil {
-		return err
-	}
-	dirs, err := s.dirBuf.Snapshot()
-	if err != nil {
-		return err
-	}
-	b.prof.addRead(int64(cnt * (4 + 2 + 1)))
-	for i := 0; i < cnt; i++ {
-		s.entries = append(s.entries, rawHit{qi: qi, pos: int(mmLoci[i]), dir: dirs[i], mm: int(mmCount[i])})
+	for {
+		mmLociBuf, err := sycl.NewBuffer[uint32](layout.Slots())
+		if err != nil {
+			return err
+		}
+		b.track(mmLociBuf)
+		mmCountBuf, err := sycl.NewBuffer[uint16](layout.Slots())
+		if err != nil {
+			return err
+		}
+		b.track(mmCountBuf)
+		dirBuf, err := sycl.NewBuffer[byte](layout.Slots())
+		if err != nil {
+			return err
+		}
+		b.track(dirBuf)
+		arena, err := b.createArena(layout)
+		if err != nil {
+			return err
+		}
+		b.prof.addArena(layout.DataBytes(comparerEntryBytes)+layout.MetaBytes(), 0)
+		release := func() error {
+			var err error
+			syclDestroy(b, mmLociBuf, &err)
+			syclDestroy(b, mmCountBuf, &err)
+			syclDestroy(b, dirBuf, &err)
+			closeErr(arena.release(b), &err)
+			return err
+		}
+
+		ev := b.queue.SubmitCtx(ctx, func(h *sycl.Handler) error {
+			chrAcc, err := sycl.Access(h, s.chrBuf, sycl.Read)
+			if err != nil {
+				return err
+			}
+			lociAcc, err := sycl.Access(h, s.cLociBuf, sycl.Read)
+			if err != nil {
+				return err
+			}
+			flagsAcc, err := sycl.Access(h, s.cFlagsBuf, sycl.Read)
+			if err != nil {
+				return err
+			}
+			compAcc, err := sycl.Access(h, compBuf, sycl.Read)
+			if err != nil {
+				return err
+			}
+			compIdxAcc, err := sycl.Access(h, compIdxBuf, sycl.Read)
+			if err != nil {
+				return err
+			}
+			mmLociAcc, err := sycl.Access(h, mmLociBuf, sycl.Write)
+			if err != nil {
+				return err
+			}
+			mmCountAcc, err := sycl.Access(h, mmCountBuf, sycl.Write)
+			if err != nil {
+				return err
+			}
+			dirAcc, err := sycl.Access(h, dirBuf, sycl.Write)
+			if err != nil {
+				return err
+			}
+			arenaDev, err := arena.access(h)
+			if err != nil {
+				return err
+			}
+			lComp, err := sycl.NewLocalAccessor[byte](h, 2*g.PatternLen)
+			if err != nil {
+				return err
+			}
+			lCompIdx, err := sycl.NewLocalAccessor[int32](h, 2*g.PatternLen)
+			if err != nil {
+				return err
+			}
+			ca := &kernels.ComparerArgs{
+				Chr:       chrAcc.Slice(),
+				Loci:      lociAcc.Slice(),
+				Flags:     flagsAcc.Slice(),
+				LociCount: uint32(n),
+				Guide: &kernels.PatternPair{
+					Codes:      compAcc.Slice(),
+					Index:      compIdxAcc.Slice(),
+					PatternLen: g.PatternLen,
+				},
+				Threshold: uint16(q.MaxMismatches),
+				MMLoci:    mmLociAcc.Slice(),
+				MMCount:   mmCountAcc.Slice(),
+				Direction: dirAcc.Slice(),
+				Arena:     arenaDev,
+			}
+			return h.ParallelForPhases(name, gpu.R1(cgws), gpu.R1(wg), []func(it *sycl.NDItem){
+				func(it *sycl.NDItem) { phases[0](it.Item(), ca, lComp.Slice(it), lCompIdx.Slice(it)) },
+				func(it *sycl.NDItem) { phases[1](it.Item(), ca, lComp.Slice(it), lCompIdx.Slice(it)) },
+			})
+		})
+		if err := ev.Wait(); err != nil {
+			return err
+		}
+		b.prof.addKernel(name, ev.Stats(), wg)
+
+		geo, dropped, err := b.readArena(arena)
+		if err != nil {
+			return err
+		}
+		if dropped > 0 {
+			if err := release(); err != nil {
+				return err
+			}
+			grown, ok := alloc.Grow(layout)
+			if !ok {
+				return fault.Errorf(fault.SiteArena, fault.Overflow,
+					"search: %s: comparer arena dropped %d entries at worst-case %v", b.e.Name(), dropped, layout)
+			}
+			layout = grown
+			b.prof.addOverflowRetry()
+			continue
+		}
+		b.prof.addArena(0, int64(geo.Claimed))
+
+		cnt := geo.Total
+		// The comparer writes at most two entries (one per strand) per
+		// candidate; a larger total can only be corrupted arena state.
+		// Reject before sizing the gather on it — the readback bytes are
+		// already on the profile.
+		if cnt > 2*s.n {
+			return fault.Errorf(fault.SiteReadback, fault.Corruption,
+				"search: %s: comparer entry count %d exceeds the %d possible entries", b.e.Name(), cnt, 2*s.n)
+		}
+		b.prof.addEntries(int64(cnt))
+		if cnt > 0 {
+			// Ranged host accessors gather only each claimed page's valid
+			// prefix: the readback traffic is cnt entries however sparsely
+			// the pages are filled, just as the pre-arena host read exactly
+			// the counted entries.
+			mmLoci := make([]uint32, 0, cnt)
+			mmCount := make([]uint16, 0, cnt)
+			dirs := make([]byte, 0, cnt)
+			for p := 0; p < geo.Claimed; p++ {
+				n := geo.Counts[p]
+				base := p * layout.PageSlots
+				lo, err := mmLociBuf.SnapshotRange(base, n)
+				if err != nil {
+					return err
+				}
+				mc, err := mmCountBuf.SnapshotRange(base, n)
+				if err != nil {
+					return err
+				}
+				dir, err := dirBuf.SnapshotRange(base, n)
+				if err != nil {
+					return err
+				}
+				mmLoci = append(mmLoci, lo...)
+				mmCount = append(mmCount, mc...)
+				dirs = append(dirs, dir...)
+			}
+			b.prof.addRead(int64(comparerEntryBytes * cnt))
+			for i := 0; i < cnt; i++ {
+				s.entries = append(s.entries, rawHit{qi: qi, pos: int(mmLoci[i]), dir: dirs[i], mm: int(mmCount[i])})
+			}
+		}
+		if err := release(); err != nil {
+			return err
+		}
+		b.comparerPred.Observe(layout.Groups, geo.Claimed)
+		break
 	}
 	return nil
 }
@@ -532,12 +799,8 @@ func (b *syclBackend) Drain(ctx context.Context, st pipeline.Staged, r *pipeline
 	}
 	var err error
 	syclDestroy(b, s.chrBuf, &err)
-	syclDestroy(b, s.lociBuf, &err)
-	syclDestroy(b, s.flagsBuf, &err)
-	syclDestroy(b, s.countBuf, &err)
-	syclDestroy(b, s.mmLociBuf, &err)
-	syclDestroy(b, s.mmCountBuf, &err)
-	syclDestroy(b, s.dirBuf, &err)
+	syclDestroy(b, s.cLociBuf, &err)
+	syclDestroy(b, s.cFlagsBuf, &err)
 	if err != nil {
 		return nil, err
 	}
@@ -554,10 +817,6 @@ func (b *syclBackend) Release(st pipeline.Staged) {
 	}
 	var err error
 	syclDestroy(b, s.chrBuf, &err)
-	syclDestroy(b, s.lociBuf, &err)
-	syclDestroy(b, s.flagsBuf, &err)
-	syclDestroy(b, s.countBuf, &err)
-	syclDestroy(b, s.mmLociBuf, &err)
-	syclDestroy(b, s.mmCountBuf, &err)
-	syclDestroy(b, s.dirBuf, &err)
+	syclDestroy(b, s.cLociBuf, &err)
+	syclDestroy(b, s.cFlagsBuf, &err)
 }

@@ -339,6 +339,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if cost <= 0 {
 		cost = 1
 	}
+	// Charge admission for what the pass will actually pin, not just what
+	// came over the wire: the body bytes plus the hit-arena provisioning
+	// its chunks claim on the device. A 200-byte request carrying 100
+	// guides is device-expensive; body bytes alone would let a burst of
+	// them sail under MaxInflightBytes.
+	cost += search.ArenaCostEstimate(preq.ChunkBytes, len(preq.Queries))
 
 	// Admission: quota, byte budget, bounded queue with shedding.
 	tk := newTicket(tenant, priority, cost, deadline)
@@ -351,7 +357,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 				obs.Attr{Key: "reason", Value: rej.Reason})
 			writeAPIError(w, apiErrorf(rej.Status, "rejected:"+rej.Reason,
 				"request rejected (%s); retry after %v", rej.Reason, rej.RetryAfter),
-				int(rej.RetryAfter.Seconds()+1))
+				retryAfterSeconds(rej.RetryAfter))
 			return
 		}
 		// The client's context ended while queued and admission let the
@@ -410,6 +416,20 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeOutcome(w, bw, started, hits, rep, firstErr(emitErr, passErr))
+}
+
+// retryAfterSeconds renders a rejection's hint as the whole-seconds
+// Retry-After header value: the ceiling of the duration, floored at one
+// second (RFC 9110 allows zero, but a zero hint invites an immediate retry
+// of a request we just shed). Truncate-plus-one is not a ceiling — it
+// rendered the default 1s hint as "2", silently doubling every advertised
+// backoff and halving the daemon's recovery throughput under burst.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // firstErr prefers the member's own terminal condition (a deadline that

@@ -249,6 +249,64 @@ func TestQuotaRejectsWithRetryAfter(t *testing.T) {
 	}
 }
 
+// TestRetryAfterIsCeiling pins the header arithmetic: the advertised
+// Retry-After is the ceiling of the rejection's hint in whole seconds. The
+// old rendering truncated and added one, so the default 1s hint went out as
+// "2" — every shed client backed off twice as long as the daemon asked.
+func TestRetryAfterIsCeiling(t *testing.T) {
+	for _, tt := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{time.Second, 1}, // the default hint: the regression case
+		{time.Millisecond, 1},
+		{0, 1},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{2*time.Second + time.Nanosecond, 3},
+	} {
+		if got := retryAfterSeconds(tt.d); got != tt.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tt.d, got, tt.want)
+		}
+	}
+}
+
+// TestRejectionAdvertisesExactRetryAfter drives the regression end to end:
+// a shed request under the default 1s hint must see Retry-After: 1 on the
+// wire, not 2.
+func TestRejectionAdvertisesExactRetryAfter(t *testing.T) {
+	eng := &stubEngine{block: make(chan struct{}), started: make(chan struct{}, 8)}
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Engine = eng
+		c.Limits.MaxInflight = 1
+		c.Limits.MaxQueue = 1
+		c.Limits.RetryAfter = time.Second
+	})
+
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ { // fill the running slot and the queue
+		go func() {
+			resp := postSearch(t, ts, searchBody, nil)
+			io.Copy(io.Discard, resp.Body)
+			done <- struct{}{}
+		}()
+	}
+	<-eng.started // the first request holds the engine
+	waitQueued(t, s.adm, 1)
+
+	resp := postSearch(t, ts, searchBody, nil) // over capacity: shed
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want %q (a 1s hint must not round up to 2)", got, "1")
+	}
+	io.Copy(io.Discard, resp.Body)
+	close(eng.block)
+	<-done
+	<-done
+}
+
 // TestBurstSheds is the overload acceptance check: 3x over capacity, the
 // excess sheds with 429 + Retry-After while everything admitted completes;
 // the queue never grows past its bound.

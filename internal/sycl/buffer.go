@@ -195,6 +195,13 @@ func (b *Buffer[T]) Destroy() error {
 // Snapshot waits for all outstanding work on the buffer and returns a copy
 // of its contents — a host accessor in SYCL terms.
 func (b *Buffer[T]) Snapshot() ([]T, error) {
+	return b.SnapshotRange(0, b.length)
+}
+
+// SnapshotRange waits for all outstanding work on the buffer and returns a
+// copy of n elements starting at element offset — a ranged host accessor,
+// reading back only the window the host needs.
+func (b *Buffer[T]) SnapshotRange(offset, n int) ([]T, error) {
 	for _, e := range b.deps.settled() {
 		if err := e.Wait(); err != nil {
 			return nil, fmt.Errorf("sycl: waiting for work on buffer: %w", err)
@@ -205,8 +212,14 @@ func (b *Buffer[T]) Snapshot() ([]T, error) {
 	if b.destroyed {
 		return nil, ErrBufferDestroyed
 	}
-	out := make([]T, b.length)
-	copy(out, b.data) // data may be nil (never materialised): zeros
+	if offset < 0 || n < 0 || offset+n > b.length {
+		return nil, fmt.Errorf("%w: snapshot [%d, %d) of %d",
+			ErrInvalidAccessRange, offset, offset+n, b.length)
+	}
+	out := make([]T, n)
+	if b.data != nil { // data may be nil (never materialised): zeros
+		copy(out, b.data[offset:offset+n])
+	}
 	// Readback corruption strikes the host copy only, after the device
 	// contents were read: the buffer itself stays intact, as when a bus
 	// flips bits on the way back. Only materialised device buffers are

@@ -170,6 +170,24 @@ func CopyToDevice[T any](h *Handler, dst *Accessor[T], src []T) error {
 	})
 }
 
+// Copy copies one device accessor's range into another — the
+// buffer-to-buffer form of Table III (cgh.copy(srcAccessor, dstAccessor)).
+// The copy stays on the device: it crosses no host boundary, so it has no
+// readback fault surface and costs no PCIe traffic.
+func Copy[T any](h *Handler, dst, src *Accessor[T]) error {
+	if !dst.Mode().writes() {
+		return fmt.Errorf("sycl: copy destination accessor is read-only")
+	}
+	if dst.Len() < src.Len() {
+		return fmt.Errorf("%w: copy destination holds %d of %d elements",
+			ErrInvalidAccessRange, dst.Len(), src.Len())
+	}
+	return h.setAction(func(dev *gpu.Device) (*gpu.Stats, error) {
+		copy(dst.Slice(), src.Slice())
+		return nil, nil
+	})
+}
+
 // LocalAccessor is shared local memory declared in a command group — the
 // SYCL replacement for an OpenCL __local kernel argument (§III.E). Each
 // work-group gets its own storage.

@@ -123,6 +123,10 @@ func (e ChunkEstimate) Parts(chunkBytes int) (finderSec, comparerSec, hostSec fl
 	// Finder: one work-item per position, a coalesced sequential window
 	// read plus a constant-cache scaffold fetch and a few ALU ops.
 	sites := int64(chunkBytes)
+	cand := int64(rate * float64(sites))
+	if cand < 1 {
+		cand = 1
+	}
 	finder := gpu.Stats{
 		WorkItems:       sites,
 		WorkGroups:      launchGroups(sites, e.Finder),
@@ -131,14 +135,15 @@ func (e ChunkEstimate) Parts(chunkBytes int) (finderSec, comparerSec, hostSec fl
 		ALUOps:          10 * sites,
 		Branches:        2 * sites,
 	}
+	// Hit-buffer arena claims: each surviving candidate bumps its group's
+	// entry counter, and each emitting group's leader claims a page (cursor
+	// bump plus page publish). The term is occupancy-independent in the
+	// roofline, so it shifts all candidates at one work-group size equally.
+	finder.AtomicOps = cand + 2*finder.WorkGroups
 
 	// Comparer: each surviving candidate window is re-read base by base on
 	// both strands — the scattered dependent loads that make this kernel
 	// the hotspot and the latency term the dominant cross-device ratio.
-	cand := int64(rate * float64(sites))
-	if cand < 1 {
-		cand = 1
-	}
 	loads := 2 * cand * plen
 	comparer := gpu.Stats{
 		WorkItems:     cand * q,
@@ -148,6 +153,8 @@ func (e ChunkEstimate) Parts(chunkBytes int) (finderSec, comparerSec, hostSec fl
 		ALUOps:        4 * loads * q,
 		Branches:      loads * q,
 	}
+	// Arena claims on the hit path, same shape as the finder's.
+	comparer.AtomicOps = cand*q + 2*comparer.WorkGroups
 
 	return KernelSeconds(e.Finder.withEffectiveWaves(), &finder),
 		KernelSeconds(e.Comparer.withEffectiveWaves(), &comparer),

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"casoffinder/internal/gpu"
+	"casoffinder/internal/gpu/alloc"
 	"casoffinder/internal/kernels"
 	"casoffinder/internal/timing"
 )
@@ -106,21 +107,22 @@ func calibrate(n normConfig, d *Decision) error {
 func measure(dev *gpu.Device, n normConfig, w *calibWorkload, c *Candidate) (float64, error) {
 	plen := n.plen
 	nCand := len(w.loci)
-	ca := &kernels.ComparerArgs{
-		Chr:        w.chr,
-		Loci:       w.loci,
-		Flags:      w.flags,
-		LociCount:  uint32(nCand),
-		Guide:      w.guide,
-		Threshold:  w.threshold,
-		MMLoci:     make([]uint32, 2*nCand+2),
-		MMCount:    make([]uint16, 2*nCand+2),
-		Direction:  make([]byte, 2*nCand+2),
-		EntryCount: new(uint32),
-	}
-	phases := kernels.ComparerPhases(c.Variant)
 	wg := c.WGSize
 	gws := (nCand + wg - 1) / wg * wg
+	arena := alloc.NewHost(alloc.WorstCase(gws/wg, 2*wg))
+	ca := &kernels.ComparerArgs{
+		Chr:       w.chr,
+		Loci:      w.loci,
+		Flags:     w.flags,
+		LociCount: uint32(nCand),
+		Guide:     w.guide,
+		Threshold: w.threshold,
+		MMLoci:    make([]uint32, arena.Layout.Slots()),
+		MMCount:   make([]uint16, arena.Layout.Slots()),
+		Direction: make([]byte, arena.Layout.Slots()),
+		Arena:     arena.Device(),
+	}
+	phases := kernels.ComparerPhases(c.Variant)
 	stats, err := dev.Launch(gpu.LaunchSpec{
 		Name:   kernels.ComparerKernelName(c.Variant),
 		Global: gpu.R1(gws),

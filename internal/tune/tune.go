@@ -218,8 +218,13 @@ func Estimate(spec device.Spec, v kernels.ComparerVariant, wg, plen, queries int
 	if queries <= 0 {
 		queries = 1
 	}
-	fm := isa.FinderMetricsAt(spec, plen, wg)
-	cm := isa.ComparerMetricsAt(v, spec, plen, wg)
+	// The launch contexts are the arena-emitting kernels the engines run:
+	// same instruction mix as the Table X rows, with the hit-buffer arena
+	// claim's register overhead folded into occupancy and pressure
+	// (isa.ArenaSGPRs/ArenaVGPRs). Candidate.Occupancy stays the paper's
+	// Table X number; only the cost model sees the adjusted launch context.
+	fm := isa.FinderMetricsArenaAt(spec, plen, wg)
+	cm := isa.ComparerMetricsArenaAt(v, spec, plen, wg)
 	return timing.ChunkEstimate{
 		Finder: timing.KernelConfig{
 			Spec:                spec,
